@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: zero-value compression of CPU-to-GPU transfers — the
+ * optimisation the paper's sparsity study (Figs. 7-8) motivates.
+ * Sparse-input workloads (ARGA's one-hot features) gain the most.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    RunOptions plain = bench::benchOptions();
+    plain.iterations = 4;
+    RunOptions compressed = plain;
+    compressed.deviceConfig.h2dCompression = true;
+
+    std::cout << "Transfer-compression ablation (paper Sec. V-D "
+                 "takeaway)...\n\n";
+
+    TablePrinter table("Zero-value compression of H2D transfers");
+    table.setHeader({"Workload", "Sparsity", "Transfer time x",
+                     "Predicted x (1 - sparsity + 1/32)"});
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        std::cout << "  " << name << "..." << std::flush;
+        WorkloadProfile a =
+            CharacterizationRunner(plain).run(name);
+        WorkloadProfile b =
+            CharacterizationRunner(compressed).run(name);
+        std::cout << " done\n";
+
+        const double sparsity = a.profiler.avgTransferSparsity();
+        table.addRow({name, percent(sparsity),
+                      fixed(b.profiler.totalTransferTimeSec() /
+                                a.profiler.totalTransferTimeSec(), 3),
+                      fixed(1.0 - sparsity + 1.0 / 32.0, 3)});
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "Compression helps exactly where Fig. 7 shows high "
+                 "sparsity (ARGA most, PSAGE-NWP least).\n";
+    return 0;
+}

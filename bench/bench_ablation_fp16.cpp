@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: half-precision training (the paper's future-work item).
+ * fp16 halves every element's footprint: transfers shrink, cache
+ * lines cover twice the elements, and bandwidth-bound kernels speed
+ * up.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    RunOptions fp32 = bench::benchOptions();
+    fp32.iterations = 4;
+    RunOptions fp16 = fp32;
+    fp16.deviceConfig.elemBytes = 2;
+
+    std::cout << "Half-precision-training ablation (paper Sec. VII "
+                 "future work)...\n\n";
+
+    TablePrinter table("fp16 training vs fp32");
+    table.setHeader({"Workload", "H2D bytes x", "DRAM-bound time x",
+                     "L1 hit (fp32)", "L1 hit (fp16)"});
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        std::cout << "  " << name << "..." << std::flush;
+        WorkloadProfile a = CharacterizationRunner(fp32).run(name);
+        WorkloadProfile b = CharacterizationRunner(fp16).run(name);
+        std::cout << " done\n";
+        table.addRow(
+            {name,
+             fixed(b.profiler.totalTransferBytes() /
+                       a.profiler.totalTransferBytes(), 2),
+             fixed(b.profiler.totalKernelTimeSec() /
+                       a.profiler.totalKernelTimeSec(), 3),
+             percent(a.profiler.l1HitRate()),
+             percent(b.profiler.l1HitRate())});
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "fp16 halves the transferred bytes; time gains land "
+                 "mostly in bandwidth-bound kernels.\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: L1 bypass for irregular operators. The paper's cache
+ * takeaway suggests bypassing the (nearly useless) L1 for the
+ * gather/scatter/SpMM class of kernels; this bench measures the
+ * effect on cache traffic and kernel time across the suite.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    RunOptions base = bench::benchOptions();
+    base.iterations = 4;
+
+    RunOptions bypass = base;
+    bypass.deviceConfig.l1BypassIrregular = true;
+
+    std::cout << "L1-bypass ablation (irregular kernels skip the L1, "
+                 "paper SsV-C takeaway)...\n\n";
+
+    TablePrinter table("L1 bypass for irregular operators");
+    table.setHeader({"Workload", "L1 hit (base)", "L1 hit (bypass)",
+                     "L2 accesses x", "Kernel time x"});
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        std::cout << "  " << name << "..." << std::flush;
+        WorkloadProfile a = CharacterizationRunner(base).run(name);
+        WorkloadProfile b = CharacterizationRunner(bypass).run(name);
+        std::cout << " done\n";
+
+        double l2_ratio = 1.0;
+        // L2 sees more traffic when loads skip the L1.
+        const OpClassStats &ga =
+            a.profiler.classStats(OpClass::Gather);
+        const OpClassStats &gb =
+            b.profiler.classStats(OpClass::Gather);
+        if (ga.l2Accesses > 0)
+            l2_ratio = gb.l2Accesses / ga.l2Accesses;
+        table.addRow(
+            {name, percent(a.profiler.l1HitRate()),
+             percent(b.profiler.l1HitRate()),
+             fixed(l2_ratio, 2),
+             fixed(b.profiler.totalKernelTimeSec() /
+                       a.profiler.totalKernelTimeSec(), 3)});
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared driver for the figure/table benches: trains the whole suite
+ * on the simulated V100 under a profiler and hands the per-workload
+ * profiles to the report printer of the specific figure.
+ */
+
+#ifndef GNNMARK_BENCH_BENCH_COMMON_HH
+#define GNNMARK_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "base/logging.hh"
+#include "core/characterization.hh"
+#include "core/suite.hh"
+
+namespace gnnmark {
+namespace bench {
+
+/** Run options shared by the figure benches (env-overridable). */
+inline RunOptions
+benchOptions()
+{
+    RunOptions opt;
+    opt.scale = 1.0;
+    opt.iterations = 6;
+    opt.warmupIterations = 1;
+    opt.seed = 2021; // the paper's year
+    if (const char *s = std::getenv("GNNMARK_SCALE"))
+        opt.scale = std::atof(s);
+    if (const char *s = std::getenv("GNNMARK_ITERS"))
+        opt.iterations = std::atoi(s);
+    return opt;
+}
+
+/** Characterize the full suite (Table I order). */
+inline std::vector<WorkloadProfile>
+characterizeSuite()
+{
+    RunOptions opt = benchOptions();
+    std::cout << "Training the GNNMark suite on a simulated V100 "
+              << "(scale " << opt.scale << ", " << opt.iterations
+              << " measured iterations per workload)...\n\n";
+    CharacterizationRunner runner(opt);
+    std::vector<WorkloadProfile> profiles;
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        std::cout << "  " << name << "..." << std::flush;
+        profiles.push_back(runner.run(name));
+        std::cout << " done\n";
+    }
+    std::cout << "\n";
+    return profiles;
+}
+
+} // namespace bench
+} // namespace gnnmark
+
+#endif // GNNMARK_BENCH_BENCH_COMMON_HH

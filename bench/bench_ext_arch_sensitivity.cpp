@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Extension: architectural sensitivity. The paper's takeaways argue
+ * for specific hardware changes (better integer throughput, better
+ * instruction fetch, bigger/better caches). This bench quantifies a
+ * few of those levers by re-running representative workloads on
+ * modified device configurations:
+ *   - V100 vs. an A100-like part (more SMs, 6.5x the L2, 1.7x HBM bw)
+ *   - L2 capacity sweep (the cache takeaway)
+ *   - instruction-fetch penalty sweep (the fetch takeaway)
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+WorkloadProfile
+profileWith(const std::string &name, const GpuConfig &cfg)
+{
+    RunOptions opt = bench::benchOptions();
+    opt.iterations = 4;
+    opt.deviceConfig = cfg;
+    return CharacterizationRunner(opt).run(name);
+}
+
+const std::vector<std::string> kRepresentative = {
+    "PSAGE-MVL", "STGCN", "DGCN", "GW", "TLSTM"};
+
+} // namespace
+
+int
+main()
+{
+    // --- V100 vs A100-like ---
+    TablePrinter gens("Generation sensitivity: V100 vs A100-like");
+    gens.setHeader({"Workload", "V100 kernel ms", "A100 kernel ms",
+                    "Speedup", "V100 L2 hit", "A100 L2 hit"});
+    for (const std::string &name : kRepresentative) {
+        std::cout << "  " << name << " (V100/A100)..." << std::flush;
+        WorkloadProfile v = profileWith(name, GpuConfig::v100());
+        WorkloadProfile a = profileWith(name, GpuConfig::a100());
+        std::cout << " done\n";
+        gens.addRow({name,
+                     fixed(v.profiler.totalKernelTimeSec() * 1e3, 2),
+                     fixed(a.profiler.totalKernelTimeSec() * 1e3, 2),
+                     fixed(v.profiler.totalKernelTimeSec() /
+                               a.profiler.totalKernelTimeSec(), 2),
+                     percent(v.profiler.l2HitRate()),
+                     percent(a.profiler.l2HitRate())});
+    }
+    std::cout << "\n";
+    gens.print(std::cout);
+
+    // --- L2 capacity sweep on an irregular workload ---
+    TablePrinter l2("L2 capacity sweep (DGCN)");
+    l2.setHeader({"L2 size", "L2 hit", "Kernel ms"});
+    for (int mib : {2, 6, 12, 24, 48}) {
+        GpuConfig cfg = GpuConfig::v100();
+        cfg.l2SizeBytes = static_cast<uint64_t>(mib) * MiB;
+        WorkloadProfile p = profileWith("DGCN", cfg);
+        l2.addRow({strfmt("%d MiB", mib),
+                   percent(p.profiler.l2HitRate()),
+                   fixed(p.profiler.totalKernelTimeSec() * 1e3, 2)});
+    }
+    std::cout << "\n";
+    l2.print(std::cout);
+
+    // --- Instruction-fetch penalty sweep on a short-kernel workload ---
+    TablePrinter ifetch(
+        "Cold instruction-fetch penalty sweep (TLSTM)");
+    ifetch.setHeader({"Cold fetch cycles", "IFetch stall share",
+                      "Kernel ms"});
+    for (int cycles : {60, 120, 180, 360}) {
+        GpuConfig cfg = GpuConfig::v100();
+        cfg.ifetchColdCycles = cycles;
+        WorkloadProfile p = profileWith("TLSTM", cfg);
+        StallVector stalls = p.profiler.stallBreakdown();
+        ifetch.addRow(
+            {strfmt("%d", cycles),
+             percent(stalls[static_cast<size_t>(
+                 StallReason::InstructionFetch)]),
+             fixed(p.profiler.totalKernelTimeSec() * 1e3, 2)});
+    }
+    std::cout << "\n";
+    ifetch.print(std::cout);
+    std::cout << "\nBigger L2 and cheaper instruction fetch directly "
+                 "attack the paper's two cache takeaways.\n";
+    return 0;
+}

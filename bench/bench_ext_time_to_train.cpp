@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Extension: MLPerf-style time-to-train (the paper's Sec. VII plan).
+ * Each workload trains until its smoothed loss falls to 85% of its
+ * initial value; the simulated V100 wall time to that point is the
+ * metric.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+#include "core/time_to_train.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    RunOptions opt = bench::benchOptions();
+    TimeToTrainOptions tto;
+    tto.seed = opt.seed;
+    tto.scale = opt.scale;
+    tto.maxIterations = 120;
+
+    std::cout << "Time-to-train (to 85% of the initial smoothed "
+                 "loss)...\n\n";
+
+    TablePrinter table("MLPerf-style time-to-train on the simulated "
+                       "V100");
+    table.setHeader({"Workload", "Converged", "Steps", "Sim time (ms)",
+                     "Loss start", "Loss end"});
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        std::cout << "  " << name << "..." << std::flush;
+        auto wl = BenchmarkSuite::create(name);
+        TimeToTrainResult r = measureTimeToTrain(*wl, tto);
+        std::cout << (r.converged ? " converged\n" : " hit step cap\n");
+        table.addRow({r.name, r.converged ? "yes" : "no",
+                      strfmt("%d", r.iterations),
+                      fixed(r.simulatedTimeSec * 1e3, 1),
+                      fixed(r.initialLoss, 3), fixed(r.finalLoss, 3)});
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Extension: weak scaling of GNN training (the paper's Sec. VII
+ * future-work item). The per-GPU batch stays fixed while the world
+ * grows; efficiency measures how much of the extra throughput the
+ * all-reduce gives back.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+#include "multigpu/ddp.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    RunOptions opt = bench::benchOptions();
+    WorkloadConfig base;
+    base.seed = opt.seed;
+    base.scale = opt.scale;
+
+    DdpTrainer trainer;
+    TablePrinter table(
+        "Weak scaling: fixed per-GPU batch, growing world "
+        "(efficiency = t1 / tw)");
+    table.setHeader({"Workload", "GPUs", "Epoch (ms)", "Comm (ms)",
+                     "Efficiency"});
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        auto wl = BenchmarkSuite::create(name);
+        if (!wl->supportsMultiGpu())
+            continue;
+        std::cout << "Weak-scaling " << name << "..." << std::flush;
+        auto curve = trainer.weakScalingCurve(*wl, base, {1, 2, 4}, 2);
+        std::cout << " done\n";
+        for (const ScalingResult &r : curve) {
+            table.addRow({name, strfmt("%d", r.worldSize),
+                          fixed(r.epochTimeSec * 1e3, 2),
+                          fixed(r.commTimeSec * 1e3, 2),
+                          fixed(r.speedup, 3)});
+        }
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "\nCompute-per-GPU stays constant, so efficiency is "
+                 "set by the per-iteration all-reduce-to-compute "
+                 "ratio:\nshort-iteration workloads (PSAGE-MVL, KGNNL) "
+                 "lose the most.\n";
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates the paper's fig3 series (Fig3InstructionMix) by training
+ * the full GNNMark suite on the simulated V100 and printing the same
+ * rows the paper reports.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/reports.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    auto profiles = bench::characterizeSuite();
+    reports::printFig3InstructionMix(profiles, std::cout);
+    return 0;
+}

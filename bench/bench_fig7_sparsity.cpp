@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates the paper's fig7 series (Fig7Sparsity) by training
+ * the full GNNMark suite on the simulated V100 and printing the same
+ * rows the paper reports.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/reports.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    auto profiles = bench::characterizeSuite();
+    reports::printFig7Sparsity(profiles, std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Regenerates Fig. 8: transfer sparsity as a function of training
+ * iteration, showing the repeating per-iteration pattern the paper
+ * highlights as an opportunity for adaptive compression.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/reports.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    RunOptions opt = bench::benchOptions();
+    opt.iterations = 16; // a longer window to expose the pattern
+    CharacterizationRunner runner(opt);
+
+    std::cout << "Training representative workloads for "
+              << opt.iterations << " iterations...\n\n";
+    std::vector<WorkloadProfile> profiles;
+    for (const char *name : {"PSAGE-MVL", "DGCN", "ARGA", "TLSTM"})
+        profiles.push_back(runner.run(name));
+
+    reports::printFig8SparsityTimeline(profiles, std::cout,
+                                       opt.iterations);
+
+    // Per-transfer detail for one workload: the intra-iteration cycle.
+    const WorkloadProfile &p = profiles[0];
+    std::cout << "Per-transfer sparsity cycle for " << p.name
+              << " (first 12 transfers):\n";
+    int shown = 0;
+    for (const SparsitySample &s : p.profiler.sparsityTimeline()) {
+        if (s.iteration >= 1 && shown < 12) {
+            std::cout << "  it" << s.iteration << " " << s.tag << ": "
+                      << s.zeroFraction * 100.0 << "% zeros\n";
+            ++shown;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates Fig. 9: strong scaling of the suite under (simulated)
+ * PyTorch DistributedDataParallel on 1/2/4 NVLink-connected V100s.
+ * ARGA is excluded exactly as in the paper (whole-graph training).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/reports.hh"
+#include "multigpu/ddp.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    RunOptions opt = bench::benchOptions();
+    WorkloadConfig base;
+    base.seed = opt.seed;
+    base.scale = opt.scale;
+
+    DdpTrainer trainer;
+    std::vector<std::pair<std::string, std::vector<ScalingResult>>>
+        curves;
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        auto wl = BenchmarkSuite::create(name);
+        if (!wl->supportsMultiGpu()) {
+            std::cout << name
+                      << ": excluded (whole-graph training, as in the "
+                         "paper)\n";
+            continue;
+        }
+        std::cout << "Scaling " << name << " over 1/2/4 GPUs..."
+                  << std::flush;
+        curves.emplace_back(
+            name, trainer.scalingCurve(*wl, base, {1, 2, 4},
+                                       /*measured_iterations=*/3));
+        std::cout << " done\n";
+    }
+    std::cout << "\n";
+    reports::printFig9Scaling(curves, std::cout);
+    std::cout
+        << "Expected shape (paper): DGCN/STGCN/GW gain, TLSTM flat,\n"
+        << "PSAGE degrades because its batch sampler replicates work\n"
+        << "across replicas instead of sharding it.\n";
+    return 0;
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the instrumented operator layer.
+ * Each benchmark reports, besides the host execution time, the
+ * *simulated* GPU time and achieved GFLOPS/GIOPS as counters — the
+ * per-operation rates behind the paper's Fig. 4 discussion (GEMM in
+ * the mid-300s GFLOPS, gather/reduction far lower).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hh"
+#include "ops/elementwise.hh"
+#include "ops/exec_context.hh"
+#include "ops/gemm.hh"
+#include "ops/index.hh"
+#include "ops/reduce.hh"
+#include "ops/sort.hh"
+#include "ops/spmm.hh"
+#include "profiler/profiler.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+/** Per-benchmark device + profiler with simulated-time counters. */
+struct SimHarness
+{
+    GpuDevice device;
+    Profiler profiler;
+
+    SimHarness() { device.addObserver(&profiler); }
+
+    void
+    report(benchmark::State &state)
+    {
+        const double iters = static_cast<double>(state.iterations());
+        state.counters["sim_us"] = benchmark::Counter(
+            profiler.totalKernelTimeSec() * 1e6 / iters);
+        state.counters["sim_GFLOPS"] =
+            benchmark::Counter(profiler.gflops());
+        state.counters["sim_GIOPS"] =
+            benchmark::Counter(profiler.giops());
+        state.counters["l1_hit"] =
+            benchmark::Counter(profiler.l1HitRate());
+    }
+};
+
+} // namespace
+
+static void
+BM_Gemm(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    SimHarness sim;
+    DeviceGuard guard(&sim.device);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ops::gemm(a, b));
+    sim.report(state);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+static void
+BM_Spmm(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(2);
+    std::vector<std::tuple<int32_t, int32_t, float>> triples;
+    for (int64_t i = 0; i < n * 8; ++i) {
+        triples.emplace_back(
+            static_cast<int32_t>(rng.randint(static_cast<uint64_t>(n))),
+            static_cast<int32_t>(rng.randint(static_cast<uint64_t>(n))),
+            1.0f);
+    }
+    CsrMatrix csr = csrFromTriples(n, n, std::move(triples));
+    Tensor b = Tensor::randn({n, 64}, rng);
+    SimHarness sim;
+    DeviceGuard guard(&sim.device);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ops::spmm(csr, b));
+    sim.report(state);
+}
+BENCHMARK(BM_Spmm)->Arg(1024)->Arg(4096)->Arg(16384);
+
+static void
+BM_GatherRows(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    Tensor table = Tensor::randn({n, 64}, rng);
+    std::vector<int32_t> idx(n);
+    for (auto &i : idx)
+        i = static_cast<int32_t>(rng.randint(static_cast<uint64_t>(n)));
+    SimHarness sim;
+    DeviceGuard guard(&sim.device);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ops::gatherRows(table, idx));
+    sim.report(state);
+}
+BENCHMARK(BM_GatherRows)->Arg(4096)->Arg(65536);
+
+static void
+BM_ScatterAdd(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(4);
+    Tensor out({n, 64});
+    Tensor src = Tensor::randn({n, 64}, rng);
+    std::vector<int32_t> idx(n);
+    for (auto &i : idx)
+        i = static_cast<int32_t>(rng.randint(static_cast<uint64_t>(n)));
+    SimHarness sim;
+    DeviceGuard guard(&sim.device);
+    for (auto _ : state)
+        ops::scatterAddRows(out, idx, src);
+    sim.report(state);
+}
+BENCHMARK(BM_ScatterAdd)->Arg(4096)->Arg(65536);
+
+static void
+BM_RadixSort(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(5);
+    std::vector<int32_t> keys(n);
+    SimHarness sim;
+    DeviceGuard guard(&sim.device);
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (auto &k : keys) {
+            k = static_cast<int32_t>(
+                rng.randint(uint64_t{1} << 30));
+        }
+        state.ResumeTiming();
+        ops::sortKeys(keys);
+    }
+    sim.report(state);
+}
+BENCHMARK(BM_RadixSort)->Arg(16384)->Arg(131072);
+
+static void
+BM_Elementwise(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(6);
+    Tensor a = Tensor::randn({n}, rng);
+    Tensor b = Tensor::randn({n}, rng);
+    SimHarness sim;
+    DeviceGuard guard(&sim.device);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ops::add(a, b));
+    sim.report(state);
+}
+BENCHMARK(BM_Elementwise)->Arg(1 << 16)->Arg(1 << 20);
+
+static void
+BM_RowReduce(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(7);
+    Tensor a = Tensor::randn({n, 128}, rng);
+    SimHarness sim;
+    DeviceGuard guard(&sim.device);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ops::reduceSumRows(a));
+    sim.report(state);
+}
+BENCHMARK(BM_RowReduce)->Arg(1024)->Arg(16384);
+
+BENCHMARK_MAIN();

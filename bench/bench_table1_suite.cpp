@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates Table I (the suite inventory) plus per-workload model
+ * statistics: parameter footprint and steps per epoch at bench scale.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "bench_common.hh"
+#include "core/reports.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    reports::printTableOne(std::cout);
+    std::cout << "\n";
+
+    // Companion statistics (model sizes at bench scale).
+    RunOptions opt = bench::benchOptions();
+    TablePrinter stats("Workload statistics at bench scale");
+    stats.setHeader({"Workload", "Parameters", "Steps/epoch",
+                     "DDP-capable", "Sampler DDP-safe"});
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        auto wl = BenchmarkSuite::create(name);
+        WorkloadConfig cfg;
+        cfg.seed = opt.seed;
+        cfg.scale = opt.scale;
+        wl->setup(cfg);
+        stats.addRow({name, formatBytes(wl->parameterBytes()),
+                      strfmt("%lld", static_cast<long long>(
+                                         wl->iterationsPerEpoch())),
+                      wl->supportsMultiGpu() ? "yes" : "no",
+                      wl->samplerDdpCompatible() ? "yes" : "no"});
+    }
+    stats.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,20 @@
+#include <cstdio>
+#include "core/suite.hh"
+#include "ops/exec_context.hh"
+using namespace gnnmark;
+int main() {
+    for (const auto &name : BenchmarkSuite::workloadNames()) {
+        auto wl = BenchmarkSuite::create(name);
+        WorkloadConfig cfg; cfg.scale = 1.0;
+        wl->setup(cfg);
+        GpuDevice dev;
+        { DeviceGuard g(&dev); wl->trainIteration(); dev.resetTimers();
+          wl->trainIteration(); wl->trainIteration(); }
+        double kt = dev.kernelTimeSec() / 2, disp = dev.kernelCount() / 2 * dev.config().launchOverheadSec;
+        std::printf("%-10s kernel %.3f ms  dispatch %.3f ms  xfer %.3f ms  kernels/iter %lld\n",
+                    name.c_str(), kt * 1e3, disp * 1e3,
+                    dev.transferTimeSec() / 2 * 1e3,
+                    static_cast<long long>(dev.kernelCount() / 2));
+    }
+    return 0;
+}

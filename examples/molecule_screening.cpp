@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Molecular property screening example: train a deep residual GCN on
+ * batches of synthetic molecules and screen a held-out set — the
+ * paper's molecular-property-prediction use case (DeepGCN). Shows
+ * graph batching, GENConv-style message passing and readout pooling.
+ */
+
+#include <iostream>
+
+#include "graph/generators.hh"
+#include "models/deepgcn.hh"
+#include "nn/loss.hh"
+#include "nn/optim.hh"
+#include "ops/exec_context.hh"
+#include "profiler/profiler.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+/** Forward a molecule batch through the model. */
+Variable
+forward(const GraphBatch &batch, nn::Linear &encoder,
+        std::vector<std::unique_ptr<DeepGcnLayer>> &layers,
+        nn::Linear &readout)
+{
+    const int64_t n = batch.graph.numNodes();
+    Tensor inv_deg({n});
+    for (int64_t v = 0; v < n; ++v) {
+        inv_deg(v) = 1.0f / static_cast<float>(
+                                std::max(1, batch.graph.degree(v)));
+    }
+    Variable h = ag::relu(encoder.forward(Variable(batch.features)));
+    for (auto &layer : layers) {
+        h = layer->forward(h, batch.graph.edgeSrc(),
+                           batch.graph.edgeDst(), inv_deg);
+    }
+    return readout.forward(ag::segmentMeanRows(h, batch.nodeOffsets));
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(13);
+    const int64_t hidden = 64;
+    const int depth = 8;
+
+    auto molecules = gen::molecules(rng, /*count=*/280, 10, 24,
+                                    /*feat_dim=*/9);
+    std::vector<SmallGraph> train(molecules.begin(),
+                                  molecules.begin() + 240);
+    std::vector<SmallGraph> held_out(molecules.begin() + 240,
+                                     molecules.end());
+
+    nn::Linear encoder(9, hidden, rng);
+    std::vector<std::unique_ptr<DeepGcnLayer>> layers;
+    for (int l = 0; l < depth; ++l)
+        layers.push_back(std::make_unique<DeepGcnLayer>(hidden, rng));
+    nn::Linear readout(hidden, 2, rng);
+
+    std::vector<Variable> params = encoder.parameters();
+    for (auto &layer : layers) {
+        for (const auto &p : layer->parameters())
+            params.push_back(p);
+    }
+    for (const auto &p : readout.parameters())
+        params.push_back(p);
+    nn::Adam optim(params, 1e-3f);
+
+    GpuDevice device;
+    Profiler profiler;
+    device.addObserver(&profiler);
+    DeviceGuard guard(&device);
+
+    std::cout << "Training a " << depth
+              << "-layer residual GCN on molecule batches...\n";
+    const int64_t bsz = 32;
+    for (int step = 0; step < 30; ++step) {
+        std::vector<SmallGraph> chosen;
+        for (int64_t i = 0; i < bsz; ++i) {
+            chosen.push_back(
+                train[(step * bsz + i) % train.size()]);
+        }
+        GraphBatch batch = GraphBatch::build(chosen);
+        Variable logits = forward(batch, encoder, layers, readout);
+        Variable loss = nn::crossEntropy(logits, batch.labels);
+        optim.zeroGrad();
+        loss.backward();
+        optim.step();
+        if (step % 10 == 0) {
+            std::cout << "  step " << step << " loss "
+                      << loss.value()(0) << " acc "
+                      << nn::accuracy(logits.value(), batch.labels)
+                      << "\n";
+        }
+    }
+
+    GraphBatch test = GraphBatch::build(held_out);
+    Variable logits = forward(test, encoder, layers, readout);
+    std::cout << "\nHeld-out screening accuracy: "
+              << nn::accuracy(logits.value(), test.labels) << " over "
+              << test.numGraphs() << " molecules\n";
+
+    auto mix = profiler.instructionMix();
+    std::cout << "Simulated GPU activity: " << profiler.totalLaunches()
+              << " kernels; instruction mix int32 "
+              << mix.int32Frac * 100 << "% / fp32 "
+              << mix.fp32Frac * 100 << "%\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quickstart: train one GNNMark workload on the simulated V100 and
+ * print the paper's headline metrics for it.
+ *
+ * Usage: quickstart [workload-name] (default: ARGA)
+ */
+
+#include <iostream>
+
+#include "core/characterization.hh"
+#include "core/reports.hh"
+#include "core/suite.hh"
+
+using namespace gnnmark;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "ARGA";
+
+    RunOptions options;
+    options.iterations = 4;
+    options.scale = 0.5;
+    CharacterizationRunner runner(options);
+
+    std::cout << "Training " << name
+              << " on a simulated V100 (scaled dataset)...\n\n";
+    WorkloadProfile profile = runner.run(name);
+
+    std::cout << "Loss trajectory:";
+    for (float loss : profile.losses)
+        std::cout << " " << loss;
+    std::cout << "\n\n";
+
+    auto mix = profile.profiler.instructionMix();
+    std::cout << "Kernel launches:  " << profile.profiler.totalLaunches()
+              << "\n"
+              << "Kernel time:      "
+              << profile.profiler.totalKernelTimeSec() * 1e3 << " ms\n"
+              << "Epoch time (est): " << profile.epochTimeSec * 1e3
+              << " ms\n"
+              << "GFLOPS / GIOPS:   " << profile.profiler.gflops()
+              << " / " << profile.profiler.giops() << "\n"
+              << "IPC:              " << profile.profiler.avgIpc() << "\n"
+              << "Instruction mix:  int32 " << mix.int32Frac * 100
+              << "%, fp32 " << mix.fp32Frac * 100 << "%\n"
+              << "L1 / L2 hit:      "
+              << profile.profiler.l1HitRate() * 100 << "% / "
+              << profile.profiler.l2HitRate() * 100 << "%\n"
+              << "Divergent loads:  "
+              << profile.profiler.divergentLoadFraction() * 100 << "%\n"
+              << "H2D sparsity:     "
+              << profile.profiler.avgTransferSparsity() * 100 << "%\n\n";
+
+    reports::printKernelTable(profile, std::cout);
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Recommender example: train a small PinSAGE-style model on a
+ * synthetic user-item interaction graph with the library's random-walk
+ * sampler, then produce item-to-item recommendations from the learned
+ * embeddings. Demonstrates the graph generators, samplers, SageLayer
+ * and the training loop — the paper's recommendation use case.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "graph/generators.hh"
+#include "graph/samplers.hh"
+#include "models/gnn_layers.hh"
+#include "nn/loss.hh"
+#include "nn/optim.hh"
+#include "ops/elementwise.hh"
+#include "ops/gemm.hh"
+#include "ops/index.hh"
+#include "ops/exec_context.hh"
+#include "profiler/profiler.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+/** Positions of queries inside a sorted unique id list. */
+std::vector<int32_t>
+positionsIn(const std::vector<int32_t> &sorted_ids,
+            const std::vector<int32_t> &queries)
+{
+    std::vector<int32_t> out;
+    for (int32_t q : queries) {
+        out.push_back(static_cast<int32_t>(
+            std::lower_bound(sorted_ids.begin(), sorted_ids.end(), q) -
+            sorted_ids.begin()));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(7);
+    const int64_t hidden = 48;
+
+    // A MovieLens-like interaction graph.
+    auto data = gen::bipartiteRecsys(rng, /*users=*/400, /*items=*/300,
+                                     /*interactions=*/6000,
+                                     /*item_feat_dim=*/64,
+                                     /*feature_zero_fraction=*/0.2);
+    auto item_to_user = data.graph.relationAdjList(data.relItemUser);
+    auto user_to_item = data.graph.relationAdjList(data.relUserItem);
+    RandomWalkSampler sampler(item_to_user, user_to_item, 8, 2, 6);
+
+    nn::Linear proj(64, hidden, rng);
+    SageLayer sage(hidden, hidden, rng);
+    std::vector<Variable> params = proj.parameters();
+    for (const auto &p : sage.parameters())
+        params.push_back(p);
+    nn::Adam optim(params, 1e-3f);
+
+    GpuDevice device;
+    Profiler profiler;
+    device.addObserver(&profiler);
+    DeviceGuard guard(&device);
+
+    // Embed all items through one sampled layer.
+    std::vector<int32_t> all_items(data.items);
+    for (int64_t i = 0; i < data.items; ++i)
+        all_items[i] = static_cast<int32_t>(i);
+    auto embed_all = [&]() {
+        SampledBlock block = sampler.sample(all_items, rng);
+        Tensor raw = ops::indexSelectRows(data.itemFeatures,
+                                          block.srcNodes);
+        Variable h0 = ag::relu(proj.forward(Variable(raw)));
+        return sage.forward(block, h0,
+                            positionsIn(block.srcNodes, block.dstNodes));
+    };
+
+    std::cout << "Training a PinSAGE-style recommender...\n";
+    for (int step = 0; step < 30; ++step) {
+        Variable emb = embed_all();
+        // Co-clicked pairs as positives, random items as negatives.
+        std::vector<int32_t> anchors, pos, neg;
+        for (int i = 0; i < 128; ++i) {
+            int32_t a = static_cast<int32_t>(rng.randint(
+                static_cast<uint64_t>(data.items)));
+            const auto &users = item_to_user[a];
+            if (users.empty())
+                continue;
+            const auto &items =
+                user_to_item[users[rng.randint(users.size())]];
+            anchors.push_back(a);
+            pos.push_back(items[rng.randint(items.size())]);
+            neg.push_back(static_cast<int32_t>(rng.randint(
+                static_cast<uint64_t>(data.items))));
+        }
+        Variable ea = ag::indexSelectRows(emb, anchors);
+        Variable ep = ag::indexSelectRows(emb, pos);
+        Variable en = ag::indexSelectRows(emb, neg);
+        Variable pos_score = ag::scale(ag::meanRows(ag::mul(ea, ep)),
+                                       static_cast<float>(hidden));
+        Variable neg_score = ag::scale(ag::meanRows(ag::mul(ea, en)),
+                                       static_cast<float>(hidden));
+        Variable loss = nn::maxMarginLoss(pos_score, neg_score, 1.0f);
+        optim.zeroGrad();
+        loss.backward();
+        optim.step();
+        if (step % 10 == 0) {
+            std::cout << "  step " << step << " loss "
+                      << loss.value()(0) << "\n";
+        }
+    }
+
+    // Recommendations: nearest neighbours in embedding space.
+    Tensor emb = embed_all().value();
+    std::cout << "\nTop-3 similar items (by learned embedding):\n";
+    for (int32_t item : {0, 1, 2}) {
+        Tensor scores =
+            ops::gemm(ops::sliceRows(emb, item, item + 1), emb, false,
+                      true);
+        std::vector<std::pair<float, int32_t>> ranked;
+        for (int64_t j = 0; j < data.items; ++j) {
+            if (j != item)
+                ranked.push_back({scores(0, j), static_cast<int32_t>(j)});
+        }
+        std::partial_sort(ranked.begin(), ranked.begin() + 3,
+                          ranked.end(), std::greater<>());
+        std::cout << "  item " << item << " -> " << ranked[0].second
+                  << ", " << ranked[1].second << ", " << ranked[2].second
+                  << "\n";
+    }
+
+    std::cout << "\nSimulated GPU activity: "
+              << profiler.totalLaunches() << " kernels, "
+              << profiler.totalKernelTimeSec() * 1e3 << " ms, "
+              << profiler.gflops() << " GFLOPS\n";
+    return 0;
+}

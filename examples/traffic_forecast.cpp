@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Traffic forecasting example: train an ST-Conv block stack on the
+ * synthetic sensor network and predict next-step speeds — the paper's
+ * dynamic-graph use case (STGCN). Shows temporal windows, the spectral
+ * graph convolution over the sensor adjacency, and MSE training.
+ */
+
+#include <iostream>
+
+#include "graph/generators.hh"
+#include "models/stgcn.hh"
+#include "nn/optim.hh"
+#include "ops/exec_context.hh"
+#include "profiler/profiler.hh"
+
+using namespace gnnmark;
+
+int
+main()
+{
+    Rng rng(11);
+    const int64_t window = 12;
+    const int64_t batch = 8;
+
+    auto data = gen::traffic(rng, /*sensors=*/96, /*timesteps=*/480);
+    const int64_t n = data.sensors.numNodes();
+    CsrMatrix adj = data.sensors.gcnNormAdjacency();
+
+    StConvBlock block1(1, 12, 24, rng);
+    StConvBlock block2(24, 24, 36, rng);
+    Variable out_conv = Variable::param(
+        Tensor::randn({1, 36, window - 8, 1}, rng, 0.1f));
+
+    std::vector<Variable> params = block1.parameters();
+    for (const auto &p : block2.parameters())
+        params.push_back(p);
+    params.push_back(out_conv);
+    nn::Adam optim(params, 1e-3f);
+
+    GpuDevice device;
+    Profiler profiler;
+    device.addObserver(&profiler);
+    DeviceGuard guard(&device);
+
+    auto make_batch = [&](Tensor &input, Tensor &target) {
+        for (int64_t b = 0; b < batch; ++b) {
+            int64_t t0 = static_cast<int64_t>(rng.randint(
+                static_cast<uint64_t>(data.series.size(0) - window - 1)));
+            for (int64_t t = 0; t < window; ++t) {
+                for (int64_t v = 0; v < n; ++v)
+                    input(b, 0, t, v) = data.series(t0 + t, v);
+            }
+            for (int64_t v = 0; v < n; ++v)
+                target(b, v) = data.series(t0 + window, v);
+        }
+    };
+
+    std::cout << "Training STGCN on " << n << " sensors...\n";
+    float first = 0, last = 0;
+    for (int step = 0; step < 25; ++step) {
+        Tensor input({batch, 1, window, n});
+        Tensor target({batch, n});
+        make_batch(input, target);
+
+        Variable h = block2.forward(
+            block1.forward(Variable(input), adj, adj), adj, adj);
+        Variable pred =
+            ag::reshape(ag::conv2d(h, out_conv), {batch, n});
+        Variable loss = ag::mseLoss(pred, Variable(target));
+        optim.zeroGrad();
+        loss.backward();
+        optim.step();
+
+        if (step == 0)
+            first = loss.value()(0);
+        last = loss.value()(0);
+        if (step % 8 == 0) {
+            std::cout << "  step " << step << " mse " << loss.value()(0)
+                      << "\n";
+        }
+    }
+    std::cout << "MSE " << first << " -> " << last << "\n";
+
+    // Forecast the step after the last full window.
+    Tensor input({batch, 1, window, n});
+    Tensor target({batch, n});
+    make_batch(input, target);
+    Variable pred = ag::reshape(
+        ag::conv2d(block2.forward(block1.forward(Variable(input), adj,
+                                                 adj), adj, adj),
+                   out_conv),
+        {batch, n});
+    std::cout << "\nSensor forecasts (predicted vs actual):\n";
+    for (int64_t v = 0; v < 5; ++v) {
+        std::cout << "  sensor " << v << ": " << pred.value()(0, v)
+                  << " vs " << target(0, v) << "\n";
+    }
+
+    std::cout << "\nSimulated GPU activity: "
+              << profiler.totalLaunches() << " kernels, conv share "
+              << profiler.opTimeBreakdown()[static_cast<size_t>(
+                     OpClass::Conv)] * 100
+              << "% of kernel time\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gnnmark {
+
+namespace {
+
+bool informEnabled = true;
+
+void
+vreport(FILE *out, const char *tag, const char *file, int line,
+        const char *fmt, va_list args)
+{
+    if (file != nullptr) {
+        std::fprintf(out, "%s: (%s:%d) ", tag, file, line);
+    } else {
+        std::fprintf(out, "%s: ", tag);
+    }
+    std::vfprintf(out, fmt, args);
+    std::fprintf(out, "\n");
+    std::fflush(out);
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "panic", file, line, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "fatal", file, line, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+assertFailImpl(const char *file, int line, const char *cond,
+               const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: (%s:%d) assertion '%s' failed: ", file,
+                 line, cond);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "warn", nullptr, 0, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!informEnabled)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport(stdout, "info", nullptr, 0, fmt, args);
+    va_end(args);
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled = enabled;
+}
+
+} // namespace gnnmark

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Status/error reporting helpers, modelled on gem5's logging facilities.
+ *
+ * - panic():  an internal invariant was violated (a bug in this library).
+ *             Aborts so a debugger/core dump can capture the state.
+ * - fatal():  the simulation cannot continue due to a user error (bad
+ *             configuration, invalid arguments). Exits with status 1.
+ * - warn():   something is suspect but execution can continue.
+ * - inform(): plain status output.
+ */
+
+#ifndef GNNMARK_BASE_LOGGING_HH
+#define GNNMARK_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace gnnmark {
+
+/** Print a formatted message tagged "panic:" and abort. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted message tagged "fatal:" and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted message tagged "warn:" to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a failed assertion (condition text + context) and abort. */
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** Enable/disable inform() output (benchmark binaries silence it). */
+void setInformEnabled(bool enabled);
+
+} // namespace gnnmark
+
+#define GNN_PANIC(...) \
+    ::gnnmark::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define GNN_FATAL(...) \
+    ::gnnmark::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an internal invariant; always checked (not tied to NDEBUG). */
+#define GNN_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::gnnmark::assertFailImpl(__FILE__, __LINE__, #cond,            \
+                                      __VA_ARGS__);                         \
+        }                                                                   \
+    } while (0)
+
+#endif // GNNMARK_BASE_LOGGING_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Byte-size constants and unit-formatting helpers.
+ */
+
+#ifndef GNNMARK_BASE_UNITS_HH
+#define GNNMARK_BASE_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/string_utils.hh"
+
+namespace gnnmark {
+
+constexpr uint64_t KiB = 1024ULL;
+constexpr uint64_t MiB = 1024ULL * KiB;
+constexpr uint64_t GiB = 1024ULL * MiB;
+
+/** Format a byte count with a binary suffix, e.g. "6.0 MiB". */
+inline std::string
+formatBytes(double bytes)
+{
+    if (bytes >= static_cast<double>(GiB))
+        return strfmt("%.1f GiB", bytes / static_cast<double>(GiB));
+    if (bytes >= static_cast<double>(MiB))
+        return strfmt("%.1f MiB", bytes / static_cast<double>(MiB));
+    if (bytes >= static_cast<double>(KiB))
+        return strfmt("%.1f KiB", bytes / static_cast<double>(KiB));
+    return strfmt("%.0f B", bytes);
+}
+
+/** Format a rate with an SI suffix, e.g. 1.99e12 -> "1.99 T". */
+inline std::string
+formatSi(double value, int decimals = 2)
+{
+    const char *suffix = "";
+    if (value >= 1e12) {
+        value /= 1e12;
+        suffix = " T";
+    } else if (value >= 1e9) {
+        value /= 1e9;
+        suffix = " G";
+    } else if (value >= 1e6) {
+        value /= 1e6;
+        suffix = " M";
+    } else if (value >= 1e3) {
+        value /= 1e3;
+        suffix = " K";
+    }
+    return strfmt("%.*f%s", decimals, value, suffix);
+}
+
+} // namespace gnnmark
+
+#endif // GNNMARK_BASE_UNITS_HH

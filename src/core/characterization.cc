@@ -1,0 +1,66 @@
+#include "core/characterization.hh"
+
+#include "base/logging.hh"
+#include "core/suite.hh"
+#include "ops/exec_context.hh"
+
+namespace gnnmark {
+
+CharacterizationRunner::CharacterizationRunner(RunOptions options)
+    : options_(options)
+{
+}
+
+WorkloadProfile
+CharacterizationRunner::run(Workload &workload) const
+{
+    WorkloadProfile profile;
+    profile.name = workload.name();
+
+    GpuDevice device(options_.deviceConfig, options_.seed);
+    device.addObserver(&profile.profiler);
+
+    WorkloadConfig cfg;
+    cfg.seed = options_.seed;
+    cfg.scale = options_.scale;
+    cfg.inferenceOnly = options_.inferenceOnly;
+    workload.setup(cfg);
+
+    DeviceGuard guard(&device);
+    for (int i = 0; i < options_.warmupIterations; ++i)
+        workload.trainIteration();
+    // Warm-up kernels stay in the profile (nvprof profiles the whole
+    // run too), but the timer restarts for the epoch extrapolation.
+    device.resetTimers();
+
+    for (int i = 0; i < options_.iterations; ++i) {
+        profile.profiler.beginIteration();
+        profile.losses.push_back(workload.trainIteration());
+    }
+
+    profile.wallTimeSec = device.wallTimeSec();
+    profile.iterationsPerEpoch = workload.iterationsPerEpoch();
+    profile.epochTimeSec =
+        device.wallTimeSec() / options_.iterations *
+        static_cast<double>(profile.iterationsPerEpoch);
+    profile.parameterBytes = workload.parameterBytes();
+    return profile;
+}
+
+WorkloadProfile
+CharacterizationRunner::run(const std::string &workload_name) const
+{
+    auto workload = BenchmarkSuite::create(workload_name);
+    return run(*workload);
+}
+
+std::vector<WorkloadProfile>
+CharacterizationRunner::runSuite() const
+{
+    std::vector<WorkloadProfile> out;
+    for (const std::string &name : BenchmarkSuite::workloadNames())
+        out.push_back(run(name));
+    return out;
+}
+
+} // namespace gnnmark

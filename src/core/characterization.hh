@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The characterization driver: trains a workload on a simulated GPU
+ * under a profiler and packages every metric the paper's evaluation
+ * section reports.
+ */
+
+#ifndef GNNMARK_CORE_CHARACTERIZATION_HH
+#define GNNMARK_CORE_CHARACTERIZATION_HH
+
+#include <string>
+#include <vector>
+
+#include "models/workload.hh"
+#include "profiler/profiler.hh"
+#include "sim/gpu_config.hh"
+
+namespace gnnmark {
+
+/** Knobs for one characterization run. */
+struct RunOptions
+{
+    uint64_t seed = 42;
+    double scale = 1.0;       ///< dataset scale factor
+    int iterations = 8;       ///< measured training steps
+    int warmupIterations = 1; ///< untimed steps before measuring
+    bool inferenceOnly = false; ///< forward passes only
+    GpuConfig deviceConfig = GpuConfig::v100();
+};
+
+/** Everything measured while training one workload. */
+struct WorkloadProfile
+{
+    std::string name;
+    Profiler profiler;        ///< full metric aggregates
+    std::vector<float> losses;
+    double wallTimeSec = 0;   ///< simulated wall time of measured steps
+    double epochTimeSec = 0;  ///< extrapolated time per epoch
+    int64_t iterationsPerEpoch = 0;
+    double parameterBytes = 0;
+};
+
+/** Runs workloads and collects WorkloadProfiles. */
+class CharacterizationRunner
+{
+  public:
+    explicit CharacterizationRunner(RunOptions options = RunOptions{});
+
+    /** Train and profile one workload. */
+    WorkloadProfile run(Workload &workload) const;
+
+    /** Train and profile a workload by suite name. */
+    WorkloadProfile run(const std::string &workload_name) const;
+
+    /** Profile the whole suite (Table I order). */
+    std::vector<WorkloadProfile> runSuite() const;
+
+    const RunOptions &options() const { return options_; }
+
+  private:
+    RunOptions options_;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_CORE_CHARACTERIZATION_HH

@@ -1,0 +1,336 @@
+#include "core/reports.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/string_utils.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+#include "core/suite.hh"
+
+namespace gnnmark {
+namespace reports {
+
+void
+printTableOne(std::ostream &os)
+{
+    TablePrinter table(
+        "Table I: GNNMark workloads (synthetic-dataset reproduction)");
+    table.setHeader({"Workload", "Model", "Framework", "Domain",
+                     "Dataset", "Graph type"});
+    for (const auto &wl : BenchmarkSuite::createAll()) {
+        table.addRow({wl->name(), wl->modelName(), wl->framework(),
+                      wl->domain(), wl->datasetName(), wl->graphType()});
+    }
+    table.print(os);
+}
+
+void
+printFig2OpBreakdown(const std::vector<WorkloadProfile> &profiles,
+                     std::ostream &os)
+{
+    TablePrinter table(
+        "Fig. 2: execution-time breakdown by operation (percent of "
+        "kernel time)");
+    std::vector<std::string> header = {"Workload"};
+    for (OpClass c : allOpClasses())
+        header.push_back(opClassName(c));
+    table.setHeader(header);
+
+    std::array<double, kNumOpClasses> mean{};
+    for (const WorkloadProfile &p : profiles) {
+        auto breakdown = p.profiler.opTimeBreakdown();
+        std::vector<std::string> row = {p.name};
+        for (size_t i = 0; i < kNumOpClasses; ++i) {
+            row.push_back(fixed(breakdown[i] * 100.0, 1));
+            mean[i] += breakdown[i] / profiles.size();
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> avg = {"MEAN"};
+    for (size_t i = 0; i < kNumOpClasses; ++i)
+        avg.push_back(fixed(mean[i] * 100.0, 1));
+    table.addRow(avg);
+    table.print(os);
+
+    const double gemm_spmm =
+        (mean[static_cast<size_t>(OpClass::Gemm)] +
+         mean[static_cast<size_t>(OpClass::Gemv)] +
+         mean[static_cast<size_t>(OpClass::SpMM)]) * 100.0;
+    const double agg_ops =
+        (mean[static_cast<size_t>(OpClass::Sort)] +
+         mean[static_cast<size_t>(OpClass::IndexSelect)] +
+         mean[static_cast<size_t>(OpClass::Reduction)] +
+         mean[static_cast<size_t>(OpClass::Scatter)] +
+         mean[static_cast<size_t>(OpClass::Gather)]) * 100.0;
+    os << strfmt("Suite mean GEMM+SpMM share: %.1f%% "
+                 "(paper: ~25%%)\n", gemm_spmm);
+    os << strfmt("Suite mean sort+index+reduce+scatter+gather share: "
+                 "%.1f%% (paper: ~20.8%%)\n\n", agg_ops);
+}
+
+void
+printFig3InstructionMix(const std::vector<WorkloadProfile> &profiles,
+                        std::ostream &os)
+{
+    TablePrinter table(
+        "Fig. 3: dynamic instruction mix (percent of instructions)");
+    table.setHeader({"Workload", "int32", "fp32", "other"});
+    double mean_int = 0, mean_fp = 0;
+    for (const WorkloadProfile &p : profiles) {
+        auto mix = p.profiler.instructionMix();
+        table.addRow({p.name, fixed(mix.int32Frac * 100.0, 1),
+                      fixed(mix.fp32Frac * 100.0, 1),
+                      fixed(mix.otherFrac * 100.0, 1)});
+        mean_int += mix.int32Frac / profiles.size();
+        mean_fp += mix.fp32Frac / profiles.size();
+    }
+    table.addRow({"MEAN", fixed(mean_int * 100.0, 1),
+                  fixed(mean_fp * 100.0, 1),
+                  fixed((1.0 - mean_int - mean_fp) * 100.0, 1)});
+    table.print(os);
+    os << strfmt("Suite mean int32 share: %.1f%% (paper: 64%%); fp32: "
+                 "%.1f%% (paper: 28.7%%)\n\n",
+                 mean_int * 100.0, mean_fp * 100.0);
+}
+
+void
+printFig4Throughput(const std::vector<WorkloadProfile> &profiles,
+                    std::ostream &os)
+{
+    TablePrinter table("Fig. 4: arithmetic throughput per workload");
+    table.setHeader({"Workload", "GFLOPS", "GIOPS", "IPC"});
+    double mean_gf = 0, mean_gi = 0, mean_ipc = 0;
+    for (const WorkloadProfile &p : profiles) {
+        table.addRow({p.name, fixed(p.profiler.gflops(), 1),
+                      fixed(p.profiler.giops(), 1),
+                      fixed(p.profiler.avgIpc(), 2)});
+        mean_gf += p.profiler.gflops() / profiles.size();
+        mean_gi += p.profiler.giops() / profiles.size();
+        mean_ipc += p.profiler.avgIpc() / profiles.size();
+    }
+    table.addRow({"MEAN", fixed(mean_gf, 1), fixed(mean_gi, 1),
+                  fixed(mean_ipc, 2)});
+    table.print(os);
+    os << strfmt("Suite means (paper: 214 GFLOPS, 705 GIOPS, IPC "
+                 "0.55): %.0f GFLOPS, %.0f GIOPS, IPC %.2f\n\n",
+                 mean_gf, mean_gi, mean_ipc);
+}
+
+void
+printFig5Stalls(const std::vector<WorkloadProfile> &profiles,
+                std::ostream &os)
+{
+    TablePrinter table(
+        "Fig. 5: warp issue-stall breakdown (percent of stall cycles)");
+    std::vector<std::string> header = {"Workload"};
+    for (size_t r = 0; r < kNumStallReasons; ++r)
+        header.push_back(stallReasonName(static_cast<StallReason>(r)));
+    table.setHeader(header);
+
+    StallVector mean{};
+    for (const WorkloadProfile &p : profiles) {
+        StallVector b = p.profiler.stallBreakdown();
+        std::vector<std::string> row = {p.name};
+        for (size_t r = 0; r < kNumStallReasons; ++r) {
+            row.push_back(fixed(b[r] * 100.0, 1));
+            mean[r] += b[r] / profiles.size();
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> avg = {"MEAN"};
+    for (size_t r = 0; r < kNumStallReasons; ++r)
+        avg.push_back(fixed(mean[r] * 100.0, 1));
+    table.addRow(avg);
+    table.print(os);
+    os << strfmt(
+        "Suite means (paper: MemDep 34.3%%, ExecDep 29.5%%, IFetch "
+        "21.6%%): MemDep %.1f%%, ExecDep %.1f%%, IFetch %.1f%%\n\n",
+        mean[0] * 100.0, mean[1] * 100.0, mean[2] * 100.0);
+
+    // Per-op-class stall detail (paper Fig. 5's companion analysis).
+    TablePrinter detail(
+        "Per-operation stall shares (suite-wide, percent)");
+    std::vector<std::string> dh = {"Operation"};
+    for (size_t r = 0; r < kNumStallReasons; ++r)
+        dh.push_back(stallReasonName(static_cast<StallReason>(r)));
+    detail.setHeader(dh);
+    for (OpClass c : allOpClasses()) {
+        StallVector sum{};
+        double total = 0;
+        for (const WorkloadProfile &p : profiles) {
+            const OpClassStats &s = p.profiler.classStats(c);
+            for (size_t r = 0; r < kNumStallReasons; ++r) {
+                sum[r] += s.stallCycles[r];
+                total += s.stallCycles[r];
+            }
+        }
+        if (total <= 0)
+            continue;
+        std::vector<std::string> row = {opClassName(c)};
+        for (size_t r = 0; r < kNumStallReasons; ++r)
+            row.push_back(fixed(sum[r] / total * 100.0, 1));
+        detail.addRow(row);
+    }
+    detail.print(os);
+    os << "\n";
+}
+
+void
+printFig6Cache(const std::vector<WorkloadProfile> &profiles,
+               std::ostream &os)
+{
+    TablePrinter table(
+        "Fig. 6: cache hit rates and load divergence (percent)");
+    table.setHeader({"Workload", "L1 hit", "L2 hit", "Divergent loads"});
+    double mean_l1 = 0, mean_l2 = 0, mean_div = 0;
+    for (const WorkloadProfile &p : profiles) {
+        table.addRow({p.name, fixed(p.profiler.l1HitRate() * 100.0, 1),
+                      fixed(p.profiler.l2HitRate() * 100.0, 1),
+                      fixed(p.profiler.divergentLoadFraction() * 100.0,
+                            1)});
+        mean_l1 += p.profiler.l1HitRate() / profiles.size();
+        mean_l2 += p.profiler.l2HitRate() / profiles.size();
+        mean_div +=
+            p.profiler.divergentLoadFraction() / profiles.size();
+    }
+    table.addRow({"MEAN", fixed(mean_l1 * 100.0, 1),
+                  fixed(mean_l2 * 100.0, 1), fixed(mean_div * 100.0, 1)});
+    table.print(os);
+    os << strfmt("Suite means (paper: L1 ~15%%, L2 ~70%%, divergent "
+                 "~32.5%%): L1 %.1f%%, L2 %.1f%%, divergent %.1f%%\n\n",
+                 mean_l1 * 100.0, mean_l2 * 100.0, mean_div * 100.0);
+
+    TablePrinter detail("Per-operation L1 hit rate (suite-wide)");
+    detail.setHeader({"Operation", "L1 hit", "L2 hit", "Divergent"});
+    for (OpClass c : allOpClasses()) {
+        double l1a = 0, l1h = 0, l2a = 0, l2h = 0, ld = 0, dv = 0;
+        for (const WorkloadProfile &p : profiles) {
+            const OpClassStats &s = p.profiler.classStats(c);
+            l1a += s.l1Accesses;
+            l1h += s.l1Hits;
+            l2a += s.l2Accesses;
+            l2h += s.l2Hits;
+            ld += s.loads;
+            dv += s.divergentLoads;
+        }
+        if (l2a <= 0)
+            continue;
+        detail.addRow({opClassName(c),
+                       fixed(l1a > 0 ? l1h / l1a * 100.0 : 0.0, 1),
+                       fixed(l2h / l2a * 100.0, 1),
+                       fixed(ld > 0 ? dv / ld * 100.0 : 0.0, 1)});
+    }
+    detail.print(os);
+    os << "\n";
+}
+
+void
+printFig7Sparsity(const std::vector<WorkloadProfile> &profiles,
+                  std::ostream &os)
+{
+    TablePrinter table(
+        "Fig. 7: average sparsity of CPU-to-GPU transfers");
+    table.setHeader({"Workload", "Sparsity", "Transferred"});
+    double mean = 0;
+    for (const WorkloadProfile &p : profiles) {
+        table.addRow(
+            {p.name,
+             fixed(p.profiler.avgTransferSparsity() * 100.0, 1),
+             formatBytes(p.profiler.totalTransferBytes())});
+        mean += p.profiler.avgTransferSparsity() / profiles.size();
+    }
+    table.addRow({"MEAN", fixed(mean * 100.0, 1), ""});
+    table.print(os);
+    os << strfmt("Suite mean transfer sparsity: %.1f%% (paper: "
+                 "43.2%%)\n\n", mean * 100.0);
+}
+
+void
+printFig8SparsityTimeline(const std::vector<WorkloadProfile> &profiles,
+                          std::ostream &os, int max_points)
+{
+    TablePrinter table(
+        "Fig. 8: transfer sparsity vs. training iteration (percent)");
+    std::vector<std::string> header = {"Workload"};
+    for (int i = 1; i <= max_points; ++i)
+        header.push_back(strfmt("it%d", i));
+    table.setHeader(header);
+
+    for (const WorkloadProfile &p : profiles) {
+        // Byte-weighted sparsity per iteration.
+        std::vector<double> bytes(max_points + 1, 0);
+        std::vector<double> zeros(max_points + 1, 0);
+        for (const SparsitySample &s : p.profiler.sparsityTimeline()) {
+            if (s.iteration >= 1 && s.iteration <= max_points) {
+                bytes[s.iteration] += s.bytes;
+                zeros[s.iteration] += s.bytes * s.zeroFraction;
+            }
+        }
+        std::vector<std::string> row = {p.name};
+        for (int i = 1; i <= max_points; ++i) {
+            row.push_back(bytes[i] > 0
+                              ? fixed(zeros[i] / bytes[i] * 100.0, 1)
+                              : std::string("-"));
+        }
+        table.addRow(row);
+    }
+    table.print(os);
+    os << "\n";
+}
+
+void
+printFig9Scaling(
+    const std::vector<std::pair<std::string, std::vector<ScalingResult>>>
+        &curves,
+    std::ostream &os)
+{
+    TablePrinter table(
+        "Fig. 9: strong scaling with PyTorch DDP (time per epoch)");
+    table.setHeader({"Workload", "GPUs", "Epoch (ms)", "Compute (ms)",
+                     "Comm (ms)", "Speedup vs 1 GPU"});
+    for (const auto &[name, points] : curves) {
+        for (const ScalingResult &r : points) {
+            table.addRow({name, strfmt("%d", r.worldSize),
+                          fixed(r.epochTimeSec * 1e3, 2),
+                          fixed(r.computeTimeSec * 1e3, 2),
+                          fixed(r.commTimeSec * 1e3, 2),
+                          fixed(r.speedup, 2)});
+        }
+    }
+    table.print(os);
+    os << "\n";
+}
+
+void
+printKernelTable(const WorkloadProfile &profile, std::ostream &os,
+                 int top_n)
+{
+    std::vector<std::pair<std::string, const OpClassStats *>> rows;
+    for (const auto &[name, stats] : profile.profiler.kernelStats())
+        rows.emplace_back(name, &stats);
+    std::sort(rows.begin(), rows.end(), [](const auto &a, const auto &b) {
+        return a.second->timeSec > b.second->timeSec;
+    });
+
+    TablePrinter table(
+        strfmt("Top kernels for %s (nvprof-style)",
+               profile.name.c_str()));
+    table.setHeader({"Kernel", "Time (us)", "Calls", "Share"});
+    const double total = profile.profiler.totalKernelTimeSec();
+    for (int i = 0;
+         i < top_n && i < static_cast<int>(rows.size()); ++i) {
+        table.addRow({rows[i].first,
+                      fixed(rows[i].second->timeSec * 1e6, 1),
+                      strfmt("%lld", static_cast<long long>(
+                                         rows[i].second->launches)),
+                      percent(total > 0
+                                  ? rows[i].second->timeSec / total
+                                  : 0.0)});
+    }
+    table.print(os);
+    os << "\n";
+}
+
+} // namespace reports
+} // namespace gnnmark

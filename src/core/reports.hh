@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Paper-style report emitters: one printer per table/figure of the
+ * evaluation section, consuming WorkloadProfiles.
+ */
+
+#ifndef GNNMARK_CORE_REPORTS_HH
+#define GNNMARK_CORE_REPORTS_HH
+
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "core/characterization.hh"
+#include "multigpu/ddp.hh"
+
+namespace gnnmark {
+namespace reports {
+
+/** Table I: the suite inventory. */
+void printTableOne(std::ostream &os);
+
+/** Fig. 2: execution-time breakdown by operation class (percent). */
+void printFig2OpBreakdown(const std::vector<WorkloadProfile> &profiles,
+                          std::ostream &os);
+
+/** Fig. 3: dynamic instruction mix (int32 / fp32 / other, percent). */
+void printFig3InstructionMix(const std::vector<WorkloadProfile> &profiles,
+                             std::ostream &os);
+
+/** Fig. 4: GFLOPS / GIOPS per workload, plus IPC. */
+void printFig4Throughput(const std::vector<WorkloadProfile> &profiles,
+                         std::ostream &os);
+
+/** Fig. 5: warp stall breakdown, plus a per-op-class detail table. */
+void printFig5Stalls(const std::vector<WorkloadProfile> &profiles,
+                     std::ostream &os);
+
+/** Fig. 6: L1/L2 hit rates and load divergence, overall + per class. */
+void printFig6Cache(const std::vector<WorkloadProfile> &profiles,
+                    std::ostream &os);
+
+/** Fig. 7: average H2D transfer sparsity per workload. */
+void printFig7Sparsity(const std::vector<WorkloadProfile> &profiles,
+                       std::ostream &os);
+
+/** Fig. 8: sparsity vs. training iteration for each workload. */
+void printFig8SparsityTimeline(
+    const std::vector<WorkloadProfile> &profiles, std::ostream &os,
+    int max_points = 24);
+
+/** Fig. 9: strong scaling (time per epoch and speedup vs 1 GPU). */
+void printFig9Scaling(
+    const std::vector<std::pair<std::string, std::vector<ScalingResult>>>
+        &curves,
+    std::ostream &os);
+
+/** nvprof-style top-kernel table for one workload. */
+void printKernelTable(const WorkloadProfile &profile, std::ostream &os,
+                      int top_n = 12);
+
+} // namespace reports
+} // namespace gnnmark
+
+#endif // GNNMARK_CORE_REPORTS_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The GNNMark benchmark suite registry (the paper's Table I): the
+ * eight workload configurations and a factory to instantiate them.
+ */
+
+#ifndef GNNMARK_CORE_SUITE_HH
+#define GNNMARK_CORE_SUITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/workload.hh"
+
+namespace gnnmark {
+
+/** Factory for the suite's workloads. */
+class BenchmarkSuite
+{
+  public:
+    /**
+     * Names of all workload configurations, in Table I order:
+     * PSAGE-MVL, PSAGE-NWP, STGCN, DGCN, GW, KGNNL, KGNNH, ARGA,
+     * TLSTM.
+     */
+    static const std::vector<std::string> &workloadNames();
+
+    /** Instantiate one workload by name (fatal on unknown name). */
+    static std::unique_ptr<Workload> create(const std::string &name);
+
+    /** Instantiate every workload. */
+    static std::vector<std::unique_ptr<Workload>> createAll();
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_CORE_SUITE_HH

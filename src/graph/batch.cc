@@ -1,0 +1,51 @@
+#include "graph/batch.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+GraphBatch
+GraphBatch::build(const std::vector<SmallGraph> &graphs)
+{
+    GNN_ASSERT(!graphs.empty(), "cannot batch zero graphs");
+    const int64_t f = graphs[0].features.size(1);
+
+    GraphBatch batch;
+    batch.nodeOffsets.push_back(0);
+    int64_t total_nodes = 0;
+    int64_t total_edges = 0;
+    for (const SmallGraph &g : graphs) {
+        GNN_ASSERT(g.features.dim() == 2 && g.features.size(1) == f &&
+                   g.features.size(0) == g.graph.numNodes(),
+                   "inconsistent features in batch: %s for %lld nodes",
+                   g.features.shapeString().c_str(),
+                   static_cast<long long>(g.graph.numNodes()));
+        total_nodes += g.graph.numNodes();
+        total_edges += g.graph.numEdges();
+        batch.nodeOffsets.push_back(static_cast<int32_t>(total_nodes));
+        batch.targets.push_back(g.target);
+        batch.labels.push_back(g.label);
+    }
+
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    edges.reserve(total_edges);
+    batch.features = Tensor({total_nodes, f});
+    float *pf = batch.features.data();
+    int32_t base = 0;
+    for (const SmallGraph &g : graphs) {
+        for (size_t e = 0; e < g.graph.edgeSrc().size(); ++e) {
+            edges.emplace_back(base + g.graph.edgeSrc()[e],
+                               base + g.graph.edgeDst()[e]);
+        }
+        std::copy(g.features.data(),
+                  g.features.data() + g.features.numel(),
+                  pf + static_cast<int64_t>(base) * f);
+        base += static_cast<int32_t>(g.graph.numNodes());
+    }
+    batch.graph = Graph(total_nodes, std::move(edges));
+    return batch;
+}
+
+} // namespace gnnmark

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Batching of many small graphs (molecules, proteins) into one large
+ * disjoint-union graph, the DGL/PyG strategy whose behaviour the
+ * Tree-LSTM and DeepGCN workloads exercise.
+ */
+
+#ifndef GNNMARK_GRAPH_BATCH_HH
+#define GNNMARK_GRAPH_BATCH_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+#include "tensor/tensor.hh"
+
+namespace gnnmark {
+
+/** A small graph with node features and a graph-level target. */
+struct SmallGraph
+{
+    Graph graph;
+    Tensor features; ///< [numNodes, F]
+    float target = 0.0f;   ///< regression target
+    int32_t label = 0;     ///< classification label
+};
+
+/** Disjoint union of small graphs with segment bookkeeping. */
+struct GraphBatch
+{
+    Graph graph;          ///< union graph
+    Tensor features;      ///< [totalNodes, F] stacked features
+    std::vector<int32_t> nodeOffsets; ///< size numGraphs + 1
+    std::vector<float> targets;       ///< per graph
+    std::vector<int32_t> labels;      ///< per graph
+
+    int64_t numGraphs() const
+    {
+        return static_cast<int64_t>(targets.size());
+    }
+
+    /** Merge the given graphs (feature widths must agree). */
+    static GraphBatch build(const std::vector<SmallGraph> &graphs);
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_GRAPH_BATCH_HH

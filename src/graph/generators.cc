@@ -1,0 +1,413 @@
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+namespace gen {
+
+CitationData
+citation(Rng &rng, int64_t nodes, int64_t feat_dim, int classes,
+         double feature_density, double avg_degree, double homophily)
+{
+    GNN_ASSERT(nodes > 0 && feat_dim > 0 && classes > 0,
+               "citation: bad sizes");
+    CitationData data;
+    data.numClasses = classes;
+    data.labels.resize(nodes);
+    for (int64_t v = 0; v < nodes; ++v)
+        data.labels[v] = static_cast<int32_t>(rng.randint(
+            static_cast<uint64_t>(classes)));
+
+    // Sparse bag-of-words features: 80% of a node's words come from
+    // its class's band of the vocabulary.
+    data.features = Tensor({nodes, feat_dim});
+    const int64_t band = std::max<int64_t>(1, feat_dim / classes);
+    const int64_t words_per_node = std::max<int64_t>(
+        1, static_cast<int64_t>(feature_density *
+                                static_cast<double>(feat_dim)));
+    for (int64_t v = 0; v < nodes; ++v) {
+        const int64_t band_lo = data.labels[v] * band;
+        for (int64_t w = 0; w < words_per_node; ++w) {
+            int64_t word;
+            if (rng.bernoulli(0.8)) {
+                word = band_lo + static_cast<int64_t>(rng.randint(
+                    static_cast<uint64_t>(band)));
+            } else {
+                word = static_cast<int64_t>(rng.randint(
+                    static_cast<uint64_t>(feat_dim)));
+            }
+            data.features(v, word) = 1.0f;
+        }
+    }
+
+    // Homophilous edges: in-class with probability `homophily`.
+    const int64_t num_edges = static_cast<int64_t>(
+        avg_degree * static_cast<double>(nodes) / 2.0);
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    edges.reserve(num_edges);
+    for (int64_t e = 0; e < num_edges; ++e) {
+        const int32_t u = static_cast<int32_t>(rng.randint(
+            static_cast<uint64_t>(nodes)));
+        int32_t v = u;
+        for (int tries = 0; tries < 64 && v == u; ++tries) {
+            int32_t cand = static_cast<int32_t>(rng.randint(
+                static_cast<uint64_t>(nodes)));
+            const bool same = data.labels[cand] == data.labels[u];
+            if (cand != u && (same == rng.bernoulli(homophily)))
+                v = cand;
+        }
+        if (v != u)
+            edges.emplace_back(u, v);
+    }
+    data.graph = Graph(nodes, std::move(edges), /*symmetric=*/true);
+    return data;
+}
+
+CitationData
+cora(Rng &rng, double scale)
+{
+    const int64_t nodes =
+        std::max<int64_t>(64, static_cast<int64_t>(2708 * scale));
+    const int64_t feats =
+        std::max<int64_t>(32, static_cast<int64_t>(1433 * scale));
+    return citation(rng, nodes, feats, 7, 0.013, 3.9, 0.81);
+}
+
+Graph
+powerLaw(Rng &rng, int64_t nodes, int edges_per_node)
+{
+    GNN_ASSERT(nodes > 1 && edges_per_node >= 1, "powerLaw: bad sizes");
+    // Preferential attachment: each new node links to `edges_per_node`
+    // targets drawn proportionally to current degree.
+    std::vector<int32_t> endpoint_pool; // node repeated deg times
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    endpoint_pool.push_back(0);
+    for (int32_t v = 1; v < nodes; ++v) {
+        std::set<int32_t> targets;
+        const int want = std::min<int>(edges_per_node, v);
+        while (static_cast<int>(targets.size()) < want) {
+            int32_t t =
+                endpoint_pool[rng.randint(endpoint_pool.size())];
+            targets.insert(t);
+        }
+        for (int32_t t : targets) {
+            edges.emplace_back(v, t);
+            endpoint_pool.push_back(t);
+            endpoint_pool.push_back(v);
+        }
+    }
+    return Graph(nodes, std::move(edges), /*symmetric=*/true);
+}
+
+RecsysData
+bipartiteRecsys(Rng &rng, int64_t users, int64_t items,
+                int64_t interactions, int64_t item_feat_dim,
+                double feature_zero_fraction)
+{
+    GNN_ASSERT(users > 0 && items > 0 && interactions > 0,
+               "bipartiteRecsys: bad sizes");
+    RecsysData data;
+    data.users = users;
+    data.items = items;
+    data.userType = data.graph.addNodeType("user", users);
+    data.itemType = data.graph.addNodeType("item", items);
+
+    // Item popularity follows a Zipf-like distribution, as with real
+    // interaction data.
+    std::vector<double> popularity(items);
+    for (int64_t i = 0; i < items; ++i)
+        popularity[i] = 1.0 / std::pow(static_cast<double>(i + 1), 0.8);
+
+    Relation ui{"clicked", data.userType, data.itemType, {}};
+    std::set<std::pair<int32_t, int32_t>> seen;
+    for (int64_t e = 0; e < interactions; ++e) {
+        const int32_t u = static_cast<int32_t>(rng.randint(
+            static_cast<uint64_t>(users)));
+        const int32_t i = static_cast<int32_t>(rng.discrete(popularity));
+        if (seen.insert({u, i}).second)
+            ui.edges.emplace_back(u, i);
+    }
+    Relation iu{"clicked-by", data.itemType, data.userType, {}};
+    for (auto [u, i] : ui.edges)
+        iu.edges.emplace_back(i, u);
+    data.relUserItem = data.graph.addRelation(std::move(ui));
+    data.relItemUser = data.graph.addRelation(std::move(iu));
+
+    // Dense-ish item features with a controlled zero fraction.
+    data.itemFeatures = Tensor({items, item_feat_dim});
+    for (int64_t i = 0; i < items; ++i) {
+        for (int64_t j = 0; j < item_feat_dim; ++j) {
+            if (!rng.bernoulli(feature_zero_fraction)) {
+                data.itemFeatures(i, j) =
+                    static_cast<float>(rng.normal(0.0, 0.5));
+            }
+        }
+    }
+    return data;
+}
+
+TrafficData
+traffic(Rng &rng, int64_t sensors, int64_t timesteps, double avg_degree)
+{
+    GNN_ASSERT(sensors > 0 && timesteps > 0, "traffic: bad sizes");
+    TrafficData data;
+
+    // Road-network-like graph: a ring backbone with random chords.
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    for (int32_t v = 0; v < sensors; ++v)
+        edges.emplace_back(v, static_cast<int32_t>((v + 1) % sensors));
+    const int64_t extra = static_cast<int64_t>(
+        std::max(0.0, (avg_degree - 2.0)) * static_cast<double>(sensors) /
+        2.0);
+    for (int64_t e = 0; e < extra; ++e) {
+        int32_t u = static_cast<int32_t>(rng.randint(
+            static_cast<uint64_t>(sensors)));
+        int32_t v = static_cast<int32_t>(rng.randint(
+            static_cast<uint64_t>(sensors)));
+        if (u != v)
+            edges.emplace_back(u, v);
+    }
+    data.sensors = Graph(sensors, std::move(edges), /*symmetric=*/true);
+
+    // Daily-period speeds with per-sensor phase plus diffusion noise:
+    // predictable enough for STGCN to fit. Roughly 18% of the readings
+    // are zeroed, matching METR-LA's missing-sensor entries.
+    data.series = Tensor({timesteps, sensors});
+    const double period = 48.0;
+    for (int64_t n = 0; n < sensors; ++n) {
+        const double phase = rng.uniform() * 2.0 * M_PI;
+        const double amp = 0.4 + 0.3 * rng.uniform();
+        for (int64_t t = 0; t < timesteps; ++t) {
+            if (rng.bernoulli(0.18))
+                continue; // missing reading stays 0
+            const double v =
+                amp * std::sin(2.0 * M_PI * t / period + phase) +
+                0.05 * rng.normal();
+            data.series(t, n) = static_cast<float>(v);
+        }
+    }
+    return data;
+}
+
+namespace {
+
+SmallGraph
+randomSmallGraph(Rng &rng, int min_nodes, int max_nodes, int64_t feat_dim,
+                 double edge_density, const std::vector<float> &w_true)
+{
+    const int n = static_cast<int>(
+        rng.randint(static_cast<int64_t>(min_nodes),
+                    static_cast<int64_t>(max_nodes)));
+    SmallGraph g;
+    // A connected backbone (random spanning path) plus density edges.
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    std::vector<int32_t> order(n);
+    for (int i = 0; i < n; ++i)
+        order[i] = i;
+    rng.shuffle(order);
+    for (int i = 1; i < n; ++i)
+        edges.emplace_back(order[i - 1], order[i]);
+    for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) {
+            if (rng.bernoulli(edge_density))
+                edges.emplace_back(u, v);
+        }
+    }
+    g.graph = Graph(n, std::move(edges), /*symmetric=*/true);
+
+    // Categorical atom-type features (one-hot plus a degree column).
+    g.features = Tensor({n, feat_dim});
+    double feat_sum = 0.0;
+    for (int v = 0; v < n; ++v) {
+        const int64_t atom = static_cast<int64_t>(rng.randint(
+            static_cast<uint64_t>(feat_dim - 1)));
+        g.features(v, atom) = 1.0f;
+        g.features(v, feat_dim - 1) =
+            static_cast<float>(g.graph.degree(v)) / 4.0f;
+        for (int64_t j = 0; j < feat_dim; ++j)
+            feat_sum += w_true[j] * g.features(v, j);
+    }
+    const double avg_deg = 2.0 * g.graph.numEdges() /
+                           std::max(1.0, static_cast<double>(n));
+    const double latent =
+        feat_sum / n + 0.4 * (avg_deg - 2.5) + 0.2 * rng.normal();
+    g.target = static_cast<float>(latent);
+    g.label = latent > 0.0 ? 1 : 0;
+    return g;
+}
+
+} // namespace
+
+namespace {
+
+/** Binarise targets at the median so classes are balanced. */
+void
+medianLabel(std::vector<SmallGraph> &graphs)
+{
+    std::vector<float> targets;
+    targets.reserve(graphs.size());
+    for (const SmallGraph &g : graphs)
+        targets.push_back(g.target);
+    std::nth_element(targets.begin(),
+                     targets.begin() + targets.size() / 2,
+                     targets.end());
+    const float median = targets[targets.size() / 2];
+    for (SmallGraph &g : graphs)
+        g.label = g.target > median ? 1 : 0;
+}
+
+} // namespace
+
+std::vector<SmallGraph>
+molecules(Rng &rng, int count, int min_atoms, int max_atoms,
+          int64_t feat_dim)
+{
+    std::vector<float> w_true(feat_dim);
+    for (auto &w : w_true)
+        w = static_cast<float>(rng.normal(0.0, 1.0));
+    std::vector<SmallGraph> out;
+    out.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        out.push_back(randomSmallGraph(rng, min_atoms, max_atoms,
+                                       feat_dim, 0.12, w_true));
+    }
+    medianLabel(out);
+    return out;
+}
+
+std::vector<SmallGraph>
+proteins(Rng &rng, int count)
+{
+    std::vector<float> w_true(3);
+    for (auto &w : w_true)
+        w = static_cast<float>(rng.normal(0.0, 1.0));
+    std::vector<SmallGraph> out;
+    out.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        out.push_back(randomSmallGraph(rng, 20, 60, 3, 0.1, w_true));
+    }
+    medianLabel(out);
+    return out;
+}
+
+KnowledgeGraphText
+knowledgeGraph(Rng &rng, int64_t entities, int samples, int vocab,
+               int sentence_len, int64_t feat_dim)
+{
+    GNN_ASSERT(entities > 4 && samples > 0 && vocab > 4,
+               "knowledgeGraph: bad sizes");
+    KnowledgeGraphText data;
+    data.vocabSize = vocab;
+    data.entities = powerLaw(rng, entities, 3);
+
+    data.entityFeatures = Tensor({entities, feat_dim});
+    for (int64_t e = 0; e < entities; ++e) {
+        for (int64_t j = 0; j < feat_dim; ++j) {
+            if (!rng.bernoulli(0.3)) {
+                data.entityFeatures(e, j) =
+                    static_cast<float>(rng.normal(0.0, 0.5));
+            }
+        }
+    }
+
+    // Each abstract mentions a connected set of entities; the target
+    // sentence tokens are a (noisy) deterministic function of the
+    // entities so the decoder has signal to learn.
+    for (int s = 0; s < samples; ++s) {
+        std::vector<int32_t> ents;
+        int32_t cur = static_cast<int32_t>(rng.randint(
+            static_cast<uint64_t>(entities)));
+        ents.push_back(cur);
+        const int set_size =
+            4 + static_cast<int>(rng.randint(uint64_t{8}));
+        for (int i = 1; i < set_size; ++i) {
+            auto [begin, end] = data.entities.neighbors(cur);
+            if (begin == end)
+                break;
+            cur = begin[rng.randint(static_cast<uint64_t>(end - begin))];
+            ents.push_back(cur);
+        }
+        std::sort(ents.begin(), ents.end());
+        ents.erase(std::unique(ents.begin(), ents.end()), ents.end());
+
+        std::vector<int32_t> tokens;
+        tokens.reserve(sentence_len);
+        for (int t = 0; t < sentence_len; ++t) {
+            const int32_t ent = ents[t % ents.size()];
+            int32_t tok = static_cast<int32_t>(
+                (ent * 7 + t * 3) % vocab);
+            if (rng.bernoulli(0.1)) {
+                tok = static_cast<int32_t>(rng.randint(
+                    static_cast<uint64_t>(vocab)));
+            }
+            tokens.push_back(tok);
+        }
+        data.entitySets.push_back(std::move(ents));
+        data.targetTokens.push_back(std::move(tokens));
+    }
+    return data;
+}
+
+namespace {
+
+/** Recursively build a random binary tree over [lo, hi) leaves. */
+int32_t
+buildSubtree(Tree &tree, Rng &rng, int lo, int hi,
+             const std::vector<int32_t> &leaf_tokens)
+{
+    if (hi - lo == 1) {
+        tree.children.emplace_back();
+        tree.token.push_back(leaf_tokens[lo]);
+        return static_cast<int32_t>(tree.children.size()) - 1;
+    }
+    const int split =
+        lo + 1 + static_cast<int>(rng.randint(
+                     static_cast<uint64_t>(hi - lo - 1)));
+    const int32_t left = buildSubtree(tree, rng, lo, split, leaf_tokens);
+    const int32_t right = buildSubtree(tree, rng, split, hi, leaf_tokens);
+    tree.children.push_back({left, right});
+    tree.token.push_back(-1);
+    return static_cast<int32_t>(tree.children.size()) - 1;
+}
+
+} // namespace
+
+std::vector<Tree>
+sentimentTrees(Rng &rng, int count, int vocab, int min_leaves,
+               int max_leaves, int num_classes)
+{
+    GNN_ASSERT(vocab > 2 && min_leaves >= 1 && max_leaves >= min_leaves,
+               "sentimentTrees: bad sizes");
+    std::vector<Tree> out;
+    out.reserve(count);
+    // Half the vocabulary is "positive"; the tree label reflects the
+    // majority leaf polarity, giving the model learnable signal.
+    for (int i = 0; i < count; ++i) {
+        const int leaves = static_cast<int>(
+            rng.randint(static_cast<int64_t>(min_leaves),
+                        static_cast<int64_t>(max_leaves)));
+        std::vector<int32_t> tokens(leaves);
+        int positive = 0;
+        for (int l = 0; l < leaves; ++l) {
+            tokens[l] = static_cast<int32_t>(rng.randint(
+                static_cast<uint64_t>(vocab)));
+            if (tokens[l] < vocab / 2)
+                ++positive;
+        }
+        Tree t;
+        t.root = buildSubtree(t, rng, 0, leaves, tokens);
+        const double pos_frac =
+            static_cast<double>(positive) / static_cast<double>(leaves);
+        t.label = static_cast<int32_t>(std::min<double>(
+            num_classes - 1, pos_frac * num_classes));
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+} // namespace gen
+} // namespace gnnmark

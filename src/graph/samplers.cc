@@ -1,0 +1,130 @@
+#include "graph/samplers.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+namespace {
+
+/** Relabel global neighbour ids to positions in a dedup'd src list. */
+void
+finalizeBlock(SampledBlock &block,
+              std::vector<int32_t> global_neighbors)
+{
+    std::vector<int32_t> uniq = global_neighbors;
+    for (int32_t d : block.dstNodes)
+        uniq.push_back(d); // destinations see themselves too
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+
+    std::unordered_map<int32_t, int32_t> pos;
+    pos.reserve(uniq.size());
+    for (size_t i = 0; i < uniq.size(); ++i)
+        pos[uniq[i]] = static_cast<int32_t>(i);
+
+    block.srcNodes = std::move(uniq);
+    block.neighbors.reserve(global_neighbors.size());
+    for (int32_t g : global_neighbors)
+        block.neighbors.push_back(pos.at(g));
+}
+
+} // namespace
+
+NeighborSampler::NeighborSampler(const Graph &graph, int fanout)
+    : graph_(graph), fanout_(fanout)
+{
+    GNN_ASSERT(fanout > 0, "fanout must be positive");
+}
+
+SampledBlock
+NeighborSampler::sample(const std::vector<int32_t> &seeds, Rng &rng) const
+{
+    SampledBlock block;
+    block.dstNodes = seeds;
+    block.offsets.push_back(0);
+
+    std::vector<int32_t> global_neighbors;
+    for (int32_t seed : seeds) {
+        auto [begin, end] = graph_.neighbors(seed);
+        const int64_t deg = end - begin;
+        const int take = static_cast<int>(
+            std::min<int64_t>(fanout_, deg));
+        for (int i = 0; i < take; ++i) {
+            global_neighbors.push_back(
+                begin[rng.randint(static_cast<uint64_t>(deg))]);
+            block.weights.push_back(1.0f /
+                                    static_cast<float>(take));
+        }
+        block.offsets.push_back(
+            static_cast<int32_t>(global_neighbors.size()));
+    }
+    finalizeBlock(block, std::move(global_neighbors));
+    return block;
+}
+
+RandomWalkSampler::RandomWalkSampler(
+    std::vector<std::vector<int32_t>> item_to_user,
+    std::vector<std::vector<int32_t>> user_to_item, int walks,
+    int walk_length, int top_t)
+    : itemToUser_(std::move(item_to_user)),
+      userToItem_(std::move(user_to_item)), walks_(walks),
+      walkLength_(walk_length), topT_(top_t)
+{
+    GNN_ASSERT(walks > 0 && walk_length > 0 && top_t > 0,
+               "invalid random-walk sampler parameters");
+}
+
+SampledBlock
+RandomWalkSampler::sample(const std::vector<int32_t> &seeds,
+                          Rng &rng) const
+{
+    SampledBlock block;
+    block.dstNodes = seeds;
+    block.offsets.push_back(0);
+
+    std::vector<int32_t> global_neighbors;
+    std::unordered_map<int32_t, int32_t> visits;
+    for (int32_t seed : seeds) {
+        visits.clear();
+        for (int w = 0; w < walks_; ++w) {
+            int32_t item = seed;
+            for (int step = 0; step < walkLength_; ++step) {
+                const auto &users = itemToUser_[item];
+                if (users.empty())
+                    break;
+                const int32_t user = users[rng.randint(users.size())];
+                const auto &items = userToItem_[user];
+                if (items.empty())
+                    break;
+                item = items[rng.randint(items.size())];
+                if (item != seed)
+                    ++visits[item];
+            }
+        }
+        // Top-T most visited items become the weighted neighbours.
+        std::vector<std::pair<int32_t, int32_t>> counted;
+        counted.reserve(visits.size());
+        for (auto [item, count] : visits)
+            counted.emplace_back(count, item);
+        std::sort(counted.rbegin(), counted.rend());
+        const int take = static_cast<int>(
+            std::min<size_t>(topT_, counted.size()));
+        float total = 0.0f;
+        for (int i = 0; i < take; ++i)
+            total += static_cast<float>(counted[i].first);
+        for (int i = 0; i < take; ++i) {
+            global_neighbors.push_back(counted[i].second);
+            block.weights.push_back(
+                static_cast<float>(counted[i].first) / total);
+        }
+        block.offsets.push_back(
+            static_cast<int32_t>(global_neighbors.size()));
+    }
+    finalizeBlock(block, std::move(global_neighbors));
+    return block;
+}
+
+} // namespace gnnmark

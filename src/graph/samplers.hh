@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Mini-batch samplers: uniform neighbour sampling (GraphSAGE-style)
+ * and the random-walk importance sampler PinSAGE uses to pick and
+ * weight neighbours without touching the whole graph.
+ */
+
+#ifndef GNNMARK_GRAPH_SAMPLERS_HH
+#define GNNMARK_GRAPH_SAMPLERS_HH
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "graph/graph.hh"
+#include "graph/hetero_graph.hh"
+
+namespace gnnmark {
+
+/**
+ * One message-passing block of a sampled computation graph: every
+ * destination node aggregates from a weighted neighbour list drawn
+ * from the source node set.
+ */
+struct SampledBlock
+{
+    /** Global ids of source nodes (dedup'd, sorted). */
+    std::vector<int32_t> srcNodes;
+    /** Global ids of destination nodes. */
+    std::vector<int32_t> dstNodes;
+    /** CSR over destinations: offsets into neighbor arrays. */
+    std::vector<int32_t> offsets;
+    /** Neighbour positions, as indices into srcNodes. */
+    std::vector<int32_t> neighbors;
+    /** Importance weight per neighbour entry. */
+    std::vector<float> weights;
+};
+
+/** Uniform fixed-fanout neighbour sampler over a homogeneous graph. */
+class NeighborSampler
+{
+  public:
+    NeighborSampler(const Graph &graph, int fanout);
+
+    /** Sample one block rooted at `seeds`. */
+    SampledBlock sample(const std::vector<int32_t> &seeds, Rng &rng) const;
+
+  private:
+    const Graph &graph_;
+    int fanout_;
+};
+
+/**
+ * PinSAGE random-walk sampler over an item-user-item bipartite graph:
+ * for each seed item, run `walks` alternating two-hop walks of length
+ * `walk_length`, count item visits, and keep the `top_t` most visited
+ * items as weighted neighbours.
+ */
+class RandomWalkSampler
+{
+  public:
+    /**
+     * @param item_to_user adjacency item -> users
+     * @param user_to_item adjacency user -> items
+     */
+    RandomWalkSampler(std::vector<std::vector<int32_t>> item_to_user,
+                      std::vector<std::vector<int32_t>> user_to_item,
+                      int walks, int walk_length, int top_t);
+
+    SampledBlock sample(const std::vector<int32_t> &seeds, Rng &rng) const;
+
+    int64_t numItems() const
+    {
+        return static_cast<int64_t>(itemToUser_.size());
+    }
+
+  private:
+    std::vector<std::vector<int32_t>> itemToUser_;
+    std::vector<std::vector<int32_t>> userToItem_;
+    int walks_;
+    int walkLength_;
+    int topT_;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_GRAPH_SAMPLERS_HH

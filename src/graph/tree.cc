@@ -1,0 +1,104 @@
+#include "graph/tree.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+void
+Tree::validate() const
+{
+    const int64_t n = numNodes();
+    GNN_ASSERT(n > 0, "empty tree");
+    GNN_ASSERT(static_cast<int64_t>(token.size()) == n,
+               "token array size mismatch");
+    GNN_ASSERT(root >= 0 && root < n, "root %d out of range", root);
+    std::vector<int32_t> parent_count(n, 0);
+    for (int64_t v = 0; v < n; ++v) {
+        for (int32_t c : children[v]) {
+            GNN_ASSERT(c >= 0 && c < n, "child %d out of range", c);
+            GNN_ASSERT(c != v, "self-loop at node %d",
+                       static_cast<int32_t>(v));
+            ++parent_count[c];
+        }
+        if (children[v].empty()) {
+            GNN_ASSERT(token[v] >= 0, "leaf %d has no token",
+                       static_cast<int32_t>(v));
+        }
+    }
+    GNN_ASSERT(parent_count[root] == 0, "root has a parent");
+    for (int64_t v = 0; v < n; ++v) {
+        if (v != root) {
+            GNN_ASSERT(parent_count[v] == 1,
+                       "node %d has %d parents",
+                       static_cast<int32_t>(v), parent_count[v]);
+        }
+    }
+}
+
+TreeBatch
+TreeBatch::build(const std::vector<Tree> &trees)
+{
+    TreeBatch batch;
+
+    // Assign contiguous batched ids and compute per-node heights.
+    std::vector<int32_t> height; // height 0 = leaf
+    std::vector<std::vector<int32_t>> children;
+    for (const Tree &t : trees) {
+        t.validate();
+        const int32_t base = static_cast<int32_t>(batch.totalNodes);
+        const int64_t n = t.numNodes();
+
+        // Height via reverse topological sweep (children have smaller
+        // heights; compute with an explicit stack post-order).
+        std::vector<int32_t> h(n, -1);
+        std::vector<std::pair<int32_t, size_t>> stack{{t.root, 0}};
+        while (!stack.empty()) {
+            auto &[v, next] = stack.back();
+            if (next < t.children[v].size()) {
+                int32_t c = t.children[v][next++];
+                stack.push_back({c, 0});
+            } else {
+                int32_t best = -1;
+                for (int32_t c : t.children[v])
+                    best = std::max(best, h[c]);
+                h[v] = best + 1;
+                stack.pop_back();
+            }
+        }
+
+        for (int64_t v = 0; v < n; ++v) {
+            height.push_back(h[v]);
+            std::vector<int32_t> kids;
+            kids.reserve(t.children[v].size());
+            for (int32_t c : t.children[v])
+                kids.push_back(base + c);
+            children.push_back(std::move(kids));
+            batch.tokens.push_back(t.token[v]);
+        }
+        batch.roots.push_back(base + t.root);
+        batch.labels.push_back(t.label);
+        batch.totalNodes += n;
+    }
+
+    const int32_t max_height =
+        *std::max_element(height.begin(), height.end());
+    batch.levels.resize(max_height + 1);
+    for (int64_t v = 0; v < batch.totalNodes; ++v) {
+        Level &level = batch.levels[height[v]];
+        level.nodes.push_back(static_cast<int32_t>(v));
+    }
+    for (Level &level : batch.levels) {
+        level.childOffsets.push_back(0);
+        for (int32_t v : level.nodes) {
+            for (int32_t c : children[v])
+                level.childIds.push_back(c);
+            level.childOffsets.push_back(
+                static_cast<int32_t>(level.childIds.size()));
+        }
+    }
+    return batch;
+}
+
+} // namespace gnnmark

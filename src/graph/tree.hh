@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Parse trees and tree batching for the Tree-LSTM workload. Batching
+ * merges many small trees into one node space and schedules them by
+ * level (leaves first), the DGL batching strategy the paper studies.
+ */
+
+#ifndef GNNMARK_GRAPH_TREE_HH
+#define GNNMARK_GRAPH_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gnnmark {
+
+/** One parse tree; node 0..n-1, leaves carry token ids. */
+struct Tree
+{
+    /** children[v] lists v's children (empty for leaves). */
+    std::vector<std::vector<int32_t>> children;
+    /** token[v] is a vocabulary id for leaves, -1 for internal nodes. */
+    std::vector<int32_t> token;
+    int32_t root = 0;
+    int32_t label = 0; ///< sentiment class of the root
+
+    int64_t numNodes() const
+    {
+        return static_cast<int64_t>(children.size());
+    }
+
+    /** Structural sanity check (each non-root has one parent, etc.). */
+    void validate() const;
+};
+
+/** Many trees batched into one node space with level scheduling. */
+struct TreeBatch
+{
+    /** All nodes of all trees, re-indexed contiguously. */
+    int64_t totalNodes = 0;
+
+    /** Processing wave: all nodes whose children are already done. */
+    struct Level
+    {
+        std::vector<int32_t> nodes;        ///< batched node ids
+        std::vector<int32_t> childOffsets; ///< size nodes.size() + 1
+        std::vector<int32_t> childIds;     ///< batched child node ids
+    };
+    std::vector<Level> levels; ///< level 0 holds the leaves
+
+    std::vector<int32_t> tokens; ///< per batched node; -1 internal
+    std::vector<int32_t> roots;  ///< batched id of each tree's root
+    std::vector<int32_t> labels; ///< per-tree label
+
+    /** Batch trees; node ids are offset in input order. */
+    static TreeBatch build(const std::vector<Tree> &trees);
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_GRAPH_TREE_HH

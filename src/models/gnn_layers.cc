@@ -1,0 +1,44 @@
+#include "models/gnn_layers.hh"
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+GcnLayer::GcnLayer(int64_t in, int64_t out, Rng &rng)
+    : linear_(in, out, rng)
+{
+    addChild(&linear_);
+}
+
+Variable
+GcnLayer::forward(const CsrMatrix &adj, const CsrMatrix &adj_t,
+                  const Variable &x) const
+{
+    return ag::spmm(adj, adj_t, linear_.forward(x));
+}
+
+SageLayer::SageLayer(int64_t in, int64_t out, Rng &rng)
+    : self_(in, out, rng), neigh_(in, out, rng)
+{
+    addChild(&self_);
+    addChild(&neigh_);
+}
+
+Variable
+SageLayer::forward(const SampledBlock &block, const Variable &src_feats,
+                   const std::vector<int32_t> &dst_index) const
+{
+    // Gather neighbour features per edge, weight them, segment-sum
+    // per destination: the gather/scatter phase of aggregation.
+    Variable msgs = ag::gatherRows(src_feats, block.neighbors);
+    Tensor w({static_cast<int64_t>(block.weights.size())});
+    std::copy(block.weights.begin(), block.weights.end(), w.data());
+    Variable weighted = ag::mulRowsByConst(msgs, w);
+    Variable agg = ag::segmentSumRows(weighted, block.offsets);
+
+    Variable self_feats = ag::gatherRows(src_feats, dst_index);
+    return ag::relu(ag::add(self_.forward(self_feats),
+                            neigh_.forward(agg)));
+}
+
+} // namespace gnnmark

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reusable GNN layers: GCN (SpMM aggregation) and GraphSAGE (sampled
+ * gather/segment aggregation over message-passing blocks).
+ */
+
+#ifndef GNNMARK_MODELS_GNN_LAYERS_HH
+#define GNNMARK_MODELS_GNN_LAYERS_HH
+
+#include "graph/samplers.hh"
+#include "nn/layers.hh"
+#include "tensor/csr.hh"
+
+namespace gnnmark {
+
+/** Kipf-Welling GCN layer: H' = act(A_norm H W + b). */
+class GcnLayer : public nn::Module
+{
+  public:
+    GcnLayer(int64_t in, int64_t out, Rng &rng);
+
+    /**
+     * @param adj   normalised adjacency
+     * @param adj_t its transpose (for the backward SpMM)
+     */
+    Variable forward(const CsrMatrix &adj, const CsrMatrix &adj_t,
+                     const Variable &x) const;
+
+  private:
+    nn::Linear linear_;
+};
+
+/**
+ * GraphSAGE layer over a sampled block: destination features are
+ * concatenated with the weighted mean of gathered neighbour features,
+ * then projected.
+ */
+class SageLayer : public nn::Module
+{
+  public:
+    SageLayer(int64_t in, int64_t out, Rng &rng);
+
+    /**
+     * @param block     sampled neighbourhood structure
+     * @param src_feats [block.srcNodes.size(), in] features
+     * @param dst_index positions of block.dstNodes within srcNodes
+     */
+    Variable forward(const SampledBlock &block, const Variable &src_feats,
+                     const std::vector<int32_t> &dst_index) const;
+
+  private:
+    nn::Linear self_;
+    nn::Linear neigh_;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_MODELS_GNN_LAYERS_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * PinSAGE workload (PSAGE): random-walk-sampled GraphSAGE for item
+ * recommendation on a bipartite user-item graph, after the DGL
+ * implementation of Ying et al. Two dataset configurations mirror the
+ * paper: MVL (MovieLens-like, narrow features) and NWP
+ * (Nowplaying-like, 10x wider features).
+ */
+
+#ifndef GNNMARK_MODELS_PINSAGE_HH
+#define GNNMARK_MODELS_PINSAGE_HH
+
+#include <memory>
+#include <optional>
+
+#include "graph/generators.hh"
+#include "graph/samplers.hh"
+#include "models/gnn_layers.hh"
+#include "models/workload.hh"
+#include "nn/optim.hh"
+
+namespace gnnmark {
+
+/** Dataset flavour for the PinSAGE workload. */
+enum class PinSageDataset
+{
+    MVL, ///< MovieLens-like: 64-wide item features, 22% zeros
+    NWP, ///< Nowplaying-like: 640-wide item features, 11% zeros
+};
+
+/** The PSAGE workload (see file comment); MVL or NWP flavour. */
+class PinSage : public Workload
+{
+  public:
+    explicit PinSage(PinSageDataset dataset);
+
+    std::string name() const override;
+    std::string modelName() const override { return "PinSAGE"; }
+    std::string framework() const override { return "DGL"; }
+    std::string domain() const override { return "Recommendation"; }
+    std::string datasetName() const override;
+    std::string graphType() const override { return "Heterogeneous"; }
+
+    void setup(const WorkloadConfig &config) override;
+    float trainIteration() override;
+    int64_t iterationsPerEpoch() const override;
+    double parameterBytes() const override;
+
+    /** The DGL batch sampler replicates under DDP (paper Fig. 9). */
+    bool samplerDdpCompatible() const override { return false; }
+
+  private:
+    /** Draw a co-clicked positive partner for an item. */
+    int32_t samplePositive(int32_t item);
+
+    PinSageDataset dataset_;
+    WorkloadConfig cfg_;
+    std::optional<Rng> rng_;
+
+    gen::RecsysData data_;
+    std::vector<std::vector<int32_t>> itemToUser_;
+    std::vector<std::vector<int32_t>> userToItem_;
+    std::unique_ptr<RandomWalkSampler> sampler_;
+
+    int64_t hidden_ = 56;
+    int64_t batch_ = 192;
+    std::unique_ptr<nn::Linear> proj_;
+    std::unique_ptr<SageLayer> sage1_;
+    std::unique_ptr<SageLayer> sage2_;
+    std::unique_ptr<nn::Adam> optim_;
+
+    int64_t cursor_ = 0;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_MODELS_PINSAGE_HH

@@ -1,0 +1,21 @@
+#include "models/workload.hh"
+
+#include "ops/exec_context.hh"
+
+namespace gnnmark {
+
+void
+uploadInput(const Tensor &t, const std::string &tag)
+{
+    if (GpuDevice *dev = ExecContext::device())
+        dev->copyHostToDevice(t.data(), t.numel(), tag);
+}
+
+void
+uploadInput(const std::vector<int32_t> &idx, const std::string &tag)
+{
+    if (GpuDevice *dev = ExecContext::device())
+        dev->copyHostToDevice(idx.data(), idx.size(), tag);
+}
+
+} // namespace gnnmark

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The GNNMark workload interface. Each of the suite's seven models
+ * implements it: setup() synthesises the dataset and builds the model,
+ * trainIteration() runs one forward/backward/optimiser step against
+ * whatever device is bound via DeviceGuard, uploading its mini-batch
+ * inputs through the device so transfer sparsity is observed.
+ */
+
+#ifndef GNNMARK_MODELS_WORKLOAD_HH
+#define GNNMARK_MODELS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace gnnmark {
+
+/** Scale and sharding knobs shared by all workloads. */
+struct WorkloadConfig
+{
+    uint64_t seed = 42;
+    /** Dataset scale factor (1.0 = the suite's default sizes). */
+    double scale = 1.0;
+    /** DDP sharding: this replica's rank and the world size. */
+    int rank = 0;
+    int worldSize = 1;
+    /**
+     * Forward-only mode (no backward pass, no optimiser step): used
+     * for the training-vs-inference comparison the paper draws
+     * against prior inference-focused studies.
+     */
+    bool inferenceOnly = false;
+};
+
+/** One GNNMark training workload. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Suite identifier, e.g. "PSAGE-MVL" (Table I row key). */
+    virtual std::string name() const = 0;
+
+    /** @{ Table I metadata. */
+    virtual std::string modelName() const = 0;
+    virtual std::string framework() const = 0;
+    virtual std::string domain() const = 0;
+    virtual std::string datasetName() const = 0;
+    virtual std::string graphType() const = 0;
+    /** @} */
+
+    /** Build datasets and model state; called once. */
+    virtual void setup(const WorkloadConfig &config) = 0;
+
+    /** One training step; returns the loss. */
+    virtual float trainIteration() = 0;
+
+    /** Mini-batch steps per epoch at the configured scale. */
+    virtual int64_t iterationsPerEpoch() const = 0;
+
+    /** Bytes of trainable parameters (the DDP all-reduce payload). */
+    virtual double parameterBytes() const = 0;
+
+    /**
+     * False for models whose batch sampler replicates work instead of
+     * sharding under DistributedDataParallel (the PinSAGE pathology
+     * in the paper's Fig. 9).
+     */
+    virtual bool samplerDdpCompatible() const { return true; }
+
+    /**
+     * False for models that inherently train on the whole graph at
+     * once (ARGA), which the paper excludes from the scaling study.
+     */
+    virtual bool supportsMultiGpu() const { return true; }
+};
+
+/** Upload a tensor to the bound device, if any (sparsity-tracked). */
+void uploadInput(const Tensor &t, const std::string &tag);
+
+/** Upload an index array to the bound device, if any. */
+void uploadInput(const std::vector<int32_t> &idx, const std::string &tag);
+
+} // namespace gnnmark
+
+#endif // GNNMARK_MODELS_WORKLOAD_HH

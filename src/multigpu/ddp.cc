@@ -1,0 +1,168 @@
+#include "multigpu/ddp.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "ops/exec_context.hh"
+
+namespace gnnmark {
+
+namespace {
+
+/** DDP bucket size (PyTorch default 25 MB). */
+constexpr double kBucketBytes = 25.0 * 1024 * 1024;
+
+/** Fixed per-iteration DDP bookkeeping (hooks, bucket ready checks). */
+constexpr double kDdpOverheadSec = 40e-6;
+
+} // namespace
+
+DdpTrainer::DdpTrainer(GpuConfig device_config,
+                       InterconnectConfig link_config)
+    : deviceConfig_(device_config), interconnect_(link_config)
+{
+}
+
+ScalingResult
+DdpTrainer::measure(Workload &workload, const WorkloadConfig &base,
+                    int world, int measured_iterations)
+{
+    GNN_ASSERT(world >= 1, "world size must be >= 1");
+    GNN_ASSERT(measured_iterations >= 1, "need at least one iteration");
+
+    WorkloadConfig cfg = base;
+    cfg.rank = 0;
+    cfg.worldSize = world;
+
+    GpuDevice device(deviceConfig_, base.seed + world);
+    workload.setup(cfg);
+
+    DeviceGuard guard(&device);
+    workload.trainIteration(); // warm up sampling caches
+    device.resetTimers();
+
+    for (int i = 0; i < measured_iterations; ++i)
+        workload.trainIteration();
+
+    const double iter_compute =
+        device.wallTimeSec() / measured_iterations;
+    const double iter_transfer =
+        device.transferTimeSec() / measured_iterations;
+
+    double iter_comm = 0;
+    if (world > 1) {
+        // Bucketed ring all-reduce of the gradients.
+        const double bytes = workload.parameterBytes();
+        const int buckets = std::max(
+            1, static_cast<int>((bytes + kBucketBytes - 1) /
+                                kBucketBytes));
+        iter_comm = interconnect_.allReduceTime(bytes, world) +
+                    buckets * interconnect_.config().messageLatencySec +
+                    kDdpOverheadSec;
+        if (!workload.samplerDdpCompatible()) {
+            // Replicated batches: every replica pulls the full input
+            // over the shared host link, serialising the copies.
+            iter_comm += iter_transfer * (world - 1);
+        }
+    }
+
+    ScalingResult res;
+    res.worldSize = world;
+    const double iters =
+        static_cast<double>(workload.iterationsPerEpoch());
+    res.computeTimeSec = iter_compute * iters;
+    res.commTimeSec = iter_comm * iters;
+    res.epochTimeSec = res.computeTimeSec + res.commTimeSec;
+    return res;
+}
+
+ScalingResult
+DdpTrainer::measureWeak(Workload &workload, const WorkloadConfig &base,
+                        int world, int measured_iterations)
+{
+    GNN_ASSERT(world >= 1, "world size must be >= 1");
+
+    // Per-GPU work is the full single-GPU batch: run with worldSize 1
+    // for the compute, then charge the world-sized communication.
+    WorkloadConfig cfg = base;
+    cfg.rank = 0;
+    cfg.worldSize = 1;
+
+    GpuDevice device(deviceConfig_, base.seed + 100 + world);
+    workload.setup(cfg);
+    DeviceGuard guard(&device);
+    workload.trainIteration();
+    device.resetTimers();
+    for (int i = 0; i < measured_iterations; ++i)
+        workload.trainIteration();
+
+    const double iter_compute =
+        device.wallTimeSec() / measured_iterations;
+    double iter_comm = 0;
+    if (world > 1) {
+        const double bytes = workload.parameterBytes();
+        const int buckets = std::max(
+            1, static_cast<int>((bytes + kBucketBytes - 1) /
+                                kBucketBytes));
+        iter_comm = interconnect_.allReduceTime(bytes, world) +
+                    buckets * interconnect_.config().messageLatencySec +
+                    kDdpOverheadSec;
+    }
+
+    ScalingResult res;
+    res.worldSize = world;
+    const double iters =
+        static_cast<double>(workload.iterationsPerEpoch());
+    res.computeTimeSec = iter_compute * iters;
+    res.commTimeSec = iter_comm * iters;
+    res.epochTimeSec = res.computeTimeSec + res.commTimeSec;
+    return res;
+}
+
+std::vector<ScalingResult>
+DdpTrainer::weakScalingCurve(Workload &workload,
+                             const WorkloadConfig &base,
+                             const std::vector<int> &world_sizes,
+                             int measured_iterations)
+{
+    std::vector<ScalingResult> out;
+    double base_time = 0;
+    for (int w : world_sizes) {
+        ScalingResult r =
+            measureWeak(workload, base, w, measured_iterations);
+        if (w == 1)
+            base_time = r.epochTimeSec;
+        out.push_back(r);
+    }
+    for (ScalingResult &r : out) {
+        // Weak-scaling efficiency: constant per-GPU time is 1.0.
+        r.speedup = base_time > 0 && r.epochTimeSec > 0
+                        ? base_time / r.epochTimeSec
+                        : 0;
+    }
+    return out;
+}
+
+std::vector<ScalingResult>
+DdpTrainer::scalingCurve(Workload &workload, const WorkloadConfig &base,
+                         const std::vector<int> &world_sizes,
+                         int measured_iterations)
+{
+    std::vector<ScalingResult> out;
+    double base_time = 0;
+    for (int w : world_sizes) {
+        ScalingResult r =
+            measure(workload, base, w, measured_iterations);
+        if (w == 1 || base_time == 0)
+            base_time = w == 1 ? r.epochTimeSec : base_time;
+        out.push_back(r);
+    }
+    for (ScalingResult &r : out) {
+        r.speedup =
+            base_time > 0 && r.epochTimeSec > 0
+                ? base_time / r.epochTimeSec : 0;
+    }
+    return out;
+}
+
+} // namespace gnnmark

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Simulated PyTorch DistributedDataParallel training over N GPUs, for
+ * the paper's strong-scaling study (Fig. 9). Per iteration each
+ * replica computes on its shard of the global batch; gradients are
+ * bucketed and ring-all-reduced over NVLink. Workloads whose sampler
+ * is not DDP-aware (PinSAGE) replicate the full batch on every
+ * replica and pay host-link contention for the duplicated input
+ * transfers — reproducing the degradation the paper observes.
+ */
+
+#ifndef GNNMARK_MULTIGPU_DDP_HH
+#define GNNMARK_MULTIGPU_DDP_HH
+
+#include "models/workload.hh"
+#include "sim/gpu_config.hh"
+#include "sim/interconnect.hh"
+
+namespace gnnmark {
+
+/** One point of the strong-scaling curve. */
+struct ScalingResult
+{
+    int worldSize = 1;
+    double epochTimeSec = 0;   ///< average simulated time per epoch
+    double computeTimeSec = 0; ///< per-epoch on-GPU compute share
+    double commTimeSec = 0;    ///< per-epoch all-reduce + replication
+    double speedup = 0;        ///< vs. the 1-GPU epoch time
+};
+
+/** Strong-scaling measurement harness. */
+class DdpTrainer
+{
+  public:
+    DdpTrainer(GpuConfig device_config = GpuConfig::v100(),
+               InterconnectConfig link_config = InterconnectConfig{});
+
+    /**
+     * Measure average time-per-epoch for `workload` on `world` GPUs.
+     * A fresh device and workload state are used per call.
+     *
+     * @param measured_iterations training steps to time (extrapolated
+     *        to the epoch length).
+     */
+    ScalingResult measure(Workload &workload, const WorkloadConfig &base,
+                          int world, int measured_iterations = 4);
+
+    /** Full curve over the given world sizes, with speedups. */
+    std::vector<ScalingResult>
+    scalingCurve(Workload &workload, const WorkloadConfig &base,
+                 const std::vector<int> &world_sizes,
+                 int measured_iterations = 4);
+
+    /**
+     * Weak scaling (the paper's Sec. VII future-work item): the
+     * per-GPU batch stays constant while the world grows, so the
+     * global batch scales with the GPU count. The reported `speedup`
+     * field carries the weak-scaling *efficiency* t1/tw (1.0 =
+     * perfect).
+     */
+    ScalingResult measureWeak(Workload &workload,
+                              const WorkloadConfig &base, int world,
+                              int measured_iterations = 4);
+
+    /** Weak-scaling curve over the given world sizes. */
+    std::vector<ScalingResult>
+    weakScalingCurve(Workload &workload, const WorkloadConfig &base,
+                     const std::vector<int> &world_sizes,
+                     int measured_iterations = 4);
+
+  private:
+    GpuConfig deviceConfig_;
+    Interconnect interconnect_;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_MULTIGPU_DDP_HH

@@ -1,0 +1,41 @@
+#include "nn/loss.hh"
+
+#include "base/logging.hh"
+#include "ops/reduce.hh"
+
+namespace gnnmark {
+namespace nn {
+
+Variable
+crossEntropy(const Variable &logits, const std::vector<int32_t> &labels)
+{
+    return ag::nllLoss(ag::logSoftmaxRows(logits), labels);
+}
+
+Variable
+maxMarginLoss(const Variable &pos_scores, const Variable &neg_scores,
+              float margin)
+{
+    Variable diff = ag::sub(neg_scores, pos_scores);
+    return ag::meanAll(ag::relu(ag::addScalar(diff, margin)));
+}
+
+double
+accuracy(const Tensor &logits, const std::vector<int32_t> &labels)
+{
+    GNN_ASSERT(logits.dim() == 2 &&
+               logits.size(0) == static_cast<int64_t>(labels.size()),
+               "accuracy: shape mismatch");
+    std::vector<int32_t> pred = ops::argmaxRows(logits);
+    int64_t correct = 0;
+    for (size_t i = 0; i < labels.size(); ++i) {
+        if (pred[i] == labels[i])
+            ++correct;
+    }
+    return labels.empty() ? 0.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(labels.size());
+}
+
+} // namespace nn
+} // namespace gnnmark

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Loss helpers and metrics built from the differentiable ops.
+ */
+
+#ifndef GNNMARK_NN_LOSS_HH
+#define GNNMARK_NN_LOSS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/var_ops.hh"
+
+namespace gnnmark {
+namespace nn {
+
+/** Softmax cross-entropy on logits [N, C] -> scalar. */
+Variable crossEntropy(const Variable &logits,
+                      const std::vector<int32_t> &labels);
+
+/** Max-margin ranking loss mean(relu(neg - pos + margin)) -> scalar. */
+Variable maxMarginLoss(const Variable &pos_scores,
+                       const Variable &neg_scores, float margin);
+
+/** Fraction of rows whose argmax matches the label. */
+double accuracy(const Tensor &logits, const std::vector<int32_t> &labels);
+
+} // namespace nn
+} // namespace gnnmark
+
+#endif // GNNMARK_NN_LOSS_HH

@@ -1,0 +1,49 @@
+#include "nn/module.hh"
+
+namespace gnnmark {
+namespace nn {
+
+std::vector<Variable>
+Module::parameters() const
+{
+    std::vector<Variable> out = params_;
+    for (const Module *child : children_) {
+        auto sub = child->parameters();
+        out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+}
+
+void
+Module::zeroGrad()
+{
+    for (Variable &p : params_)
+        p.zeroGrad();
+    for (Module *child : children_)
+        child->zeroGrad();
+}
+
+int64_t
+Module::parameterCount() const
+{
+    int64_t count = 0;
+    for (const Variable &p : parameters())
+        count += p.value().numel();
+    return count;
+}
+
+Variable
+Module::addParam(Tensor init)
+{
+    params_.push_back(Variable::param(std::move(init)));
+    return params_.back();
+}
+
+void
+Module::addChild(Module *child)
+{
+    children_.push_back(child);
+}
+
+} // namespace nn
+} // namespace gnnmark

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Base class for neural-network modules: parameter registration,
+ * recursive collection, and gradient reset.
+ */
+
+#ifndef GNNMARK_NN_MODULE_HH
+#define GNNMARK_NN_MODULE_HH
+
+#include <vector>
+
+#include "ops/variable.hh"
+
+namespace gnnmark {
+namespace nn {
+
+/** A container of trainable parameters (possibly nested). */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    Module() = default;
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** All parameters, including those of registered children. */
+    std::vector<Variable> parameters() const;
+
+    /** Drop accumulated gradients on every parameter. */
+    void zeroGrad();
+
+    /** Total number of trainable scalars. */
+    int64_t parameterCount() const;
+
+  protected:
+    /** Register a trainable parameter (requires-grad leaf). */
+    Variable addParam(Tensor init);
+
+    /** Register a child whose parameters are aggregated. */
+    void addChild(Module *child);
+
+  private:
+    std::vector<Variable> params_;
+    std::vector<Module *> children_;
+};
+
+} // namespace nn
+} // namespace gnnmark
+
+#endif // GNNMARK_NN_MODULE_HH

@@ -1,0 +1,239 @@
+#include "ops/batchnorm.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "ops/exec_context.hh"
+#include "ops/kernel_common.hh"
+
+namespace gnnmark {
+namespace ops {
+
+namespace {
+
+/** Emit the two batch-norm kernels: a stats pass and an apply pass. */
+void
+emitNormKernels(const char *base, int64_t n, int64_t f, uint64_t x_addr,
+                uint64_t y_addr, int extra_passes = 0)
+{
+    if (ExecContext::device() == nullptr)
+        return;
+    const int eb = deviceElemBytes();
+    const int64_t chunks = std::max<int64_t>(1, (f + 31) / 32);
+
+    // Pass 1: per-column mean/variance (Welford over row strides).
+    {
+        KernelDesc desc;
+        desc.name = kernelName(std::string(base) + "_stats", {n, f});
+        desc.opClass = OpClass::BatchNorm;
+        desc.blocks = chunks;
+        desc.warpsPerBlock = 8;
+        desc.codeBytes = 10 * 1024;
+        desc.aluIlp = 2.0;
+        desc.loadDepFraction = 0.6;
+        desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
+            const int64_t chunk = warp_id / 8;
+            const int64_t slice = warp_id % 8;
+            const int64_t rows = (n + 7) / 8;
+            int64_t done = 0;
+            for (int64_t r = 0; r < rows; ++r, ++done) {
+                if (sink.full())
+                    break;
+                int64_t row = slice * rows + r;
+                if (row >= n)
+                    break;
+                sink.loadCoalesced(x_addr + (row * f + chunk * 32) * eb,
+                                   eb);
+                sink.fp32(3); // running mean + m2 updates
+                sink.int32(1);
+            }
+            if (done < rows && done > 1) {
+                sink.scaleRemainder(static_cast<double>(rows) /
+                                    static_cast<double>(done));
+            }
+            sink.sharedStore(2);
+            sink.barrier();
+            sink.sharedLoad(6);
+            sink.fp32(6);
+            sink.sfu(1); // rsqrt
+            sink.storeCoalesced(y_addr + chunk * 32 * eb, eb);
+        };
+        emitKernel(desc);
+    }
+
+    // Pass 2 (+ optional backward passes): streaming normalise/apply.
+    for (int p = 0; p <= extra_passes; ++p) {
+        ElementwiseSpec spec;
+        spec.name = std::string(base) + "_apply";
+        spec.elems = n * f;
+        spec.inAddrs = {x_addr};
+        spec.outAddrs = {y_addr};
+        spec.fp32PerElem = 4;
+        spec.int32PerElem = 12;
+        spec.opClass = OpClass::BatchNorm;
+        spec.elemBytes = eb;
+        emitElementwise(spec);
+    }
+}
+
+void
+checkNormArgs(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+              int64_t stat_dim, const char *name)
+{
+    GNN_ASSERT(x.dim() == 2, "%s: x must be 2-d, got %s", name,
+               x.shapeString().c_str());
+    GNN_ASSERT(gamma.dim() == 1 && gamma.size(0) == stat_dim &&
+               beta.dim() == 1 && beta.size(0) == stat_dim,
+               "%s: gamma/beta must be [%lld]", name,
+               static_cast<long long>(stat_dim));
+}
+
+} // namespace
+
+Tensor
+batchNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+          float eps, BatchNormState &state)
+{
+    const int64_t n = x.size(0);
+    const int64_t f = x.dim() == 2 ? x.size(1) : 0;
+    checkNormArgs(x, gamma, beta, f, "batchNorm");
+    GNN_ASSERT(n > 0, "batchNorm over an empty batch");
+
+    state.mean = Tensor({f});
+    state.invStd = Tensor({f});
+    state.xhat = Tensor({n, f});
+    Tensor y({n, f});
+
+    const float *px = x.data();
+    for (int64_t j = 0; j < f; ++j) {
+        double sum = 0.0, sq = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+            const double v = px[i * f + j];
+            sum += v;
+            sq += v * v;
+        }
+        const double mean = sum / n;
+        const double var = std::max(0.0, sq / n - mean * mean);
+        state.mean(j) = static_cast<float>(mean);
+        state.invStd(j) = static_cast<float>(1.0 / std::sqrt(var + eps));
+    }
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < f; ++j) {
+            const float xh = (x(i, j) - state.mean(j)) * state.invStd(j);
+            state.xhat(i, j) = xh;
+            y(i, j) = gamma(j) * xh + beta(j);
+        }
+    }
+    emitNormKernels("batchnorm", n, f, x.deviceAddr(), y.deviceAddr());
+    return y;
+}
+
+void
+batchNormBackward(const Tensor &grad_out, const Tensor &gamma,
+                  const BatchNormState &state, Tensor &grad_x,
+                  Tensor &grad_gamma, Tensor &grad_beta)
+{
+    const int64_t n = state.xhat.size(0);
+    const int64_t f = state.xhat.size(1);
+    GNN_ASSERT(grad_out.dim() == 2 && grad_out.size(0) == n &&
+               grad_out.size(1) == f, "batchNormBackward: bad grad shape");
+
+    grad_x = Tensor({n, f});
+    grad_gamma = Tensor({f});
+    grad_beta = Tensor({f});
+
+    for (int64_t j = 0; j < f; ++j) {
+        double sum_g = 0.0, sum_gx = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+            sum_g += grad_out(i, j);
+            sum_gx += grad_out(i, j) * state.xhat(i, j);
+        }
+        grad_beta(j) = static_cast<float>(sum_g);
+        grad_gamma(j) = static_cast<float>(sum_gx);
+        const float inv_n = 1.0f / static_cast<float>(n);
+        for (int64_t i = 0; i < n; ++i) {
+            grad_x(i, j) = gamma(j) * state.invStd(j) *
+                           (grad_out(i, j) -
+                            static_cast<float>(sum_g) * inv_n -
+                            state.xhat(i, j) *
+                                static_cast<float>(sum_gx) * inv_n);
+        }
+    }
+    emitNormKernels("batchnorm_bwd", n, f, grad_out.deviceAddr(),
+                    grad_x.deviceAddr(), 1);
+}
+
+Tensor
+layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+          float eps, LayerNormState &state)
+{
+    const int64_t n = x.size(0);
+    const int64_t f = x.dim() == 2 ? x.size(1) : 0;
+    checkNormArgs(x, gamma, beta, f, "layerNorm");
+    GNN_ASSERT(f > 0, "layerNorm over empty rows");
+
+    state.mean = Tensor({n});
+    state.invStd = Tensor({n});
+    state.xhat = Tensor({n, f});
+    Tensor y({n, f});
+
+    for (int64_t i = 0; i < n; ++i) {
+        double sum = 0.0, sq = 0.0;
+        for (int64_t j = 0; j < f; ++j) {
+            const double v = x(i, j);
+            sum += v;
+            sq += v * v;
+        }
+        const double mean = sum / f;
+        const double var = std::max(0.0, sq / f - mean * mean);
+        state.mean(i) = static_cast<float>(mean);
+        state.invStd(i) = static_cast<float>(1.0 / std::sqrt(var + eps));
+        for (int64_t j = 0; j < f; ++j) {
+            const float xh =
+                (x(i, j) - state.mean(i)) * state.invStd(i);
+            state.xhat(i, j) = xh;
+            y(i, j) = gamma(j) * xh + beta(j);
+        }
+    }
+    emitNormKernels("layernorm", n, f, x.deviceAddr(), y.deviceAddr());
+    return y;
+}
+
+void
+layerNormBackward(const Tensor &grad_out, const Tensor &gamma,
+                  const LayerNormState &state, Tensor &grad_x,
+                  Tensor &grad_gamma, Tensor &grad_beta)
+{
+    const int64_t n = state.xhat.size(0);
+    const int64_t f = state.xhat.size(1);
+    GNN_ASSERT(grad_out.dim() == 2 && grad_out.size(0) == n &&
+               grad_out.size(1) == f, "layerNormBackward: bad grad shape");
+
+    grad_x = Tensor({n, f});
+    grad_gamma = Tensor({f});
+    grad_beta = Tensor({f});
+
+    for (int64_t i = 0; i < n; ++i) {
+        double sum_g = 0.0, sum_gx = 0.0;
+        for (int64_t j = 0; j < f; ++j) {
+            const float gg = grad_out(i, j) * gamma(j);
+            sum_g += gg;
+            sum_gx += gg * state.xhat(i, j);
+            grad_gamma(j) += grad_out(i, j) * state.xhat(i, j);
+            grad_beta(j) += grad_out(i, j);
+        }
+        const float inv_f = 1.0f / static_cast<float>(f);
+        for (int64_t j = 0; j < f; ++j) {
+            const float gg = grad_out(i, j) * gamma(j);
+            grad_x(i, j) = state.invStd(i) *
+                           (gg - static_cast<float>(sum_g) * inv_f -
+                            state.xhat(i, j) *
+                                static_cast<float>(sum_gx) * inv_f);
+        }
+    }
+    emitNormKernels("layernorm_bwd", n, f, grad_out.deviceAddr(),
+                    grad_x.deviceAddr(), 1);
+}
+
+} // namespace ops
+} // namespace gnnmark

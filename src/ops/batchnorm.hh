@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Train-mode batch normalisation over [N, F] feature matrices (the
+ * form DeepGCN applies between its residual GCN layers), plus row-wise
+ * layer normalisation used by transformer-style models.
+ */
+
+#ifndef GNNMARK_OPS_BATCHNORM_HH
+#define GNNMARK_OPS_BATCHNORM_HH
+
+#include "tensor/tensor.hh"
+
+namespace gnnmark {
+namespace ops {
+
+/** Saved forward statistics needed by the backward pass. */
+struct BatchNormState
+{
+    Tensor mean;   ///< [F]
+    Tensor invStd; ///< [F]
+    Tensor xhat;   ///< [N, F] normalised input
+};
+
+/**
+ * y = gamma * (x - mean) / sqrt(var + eps) + beta, with batch
+ * statistics over the rows. Returns y and fills `state`.
+ */
+Tensor batchNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 float eps, BatchNormState &state);
+
+/** Gradients of batchNorm. Outputs are allocated by the callee. */
+void batchNormBackward(const Tensor &grad_out, const Tensor &gamma,
+                       const BatchNormState &state, Tensor &grad_x,
+                       Tensor &grad_gamma, Tensor &grad_beta);
+
+/** Per-row layer norm state. */
+struct LayerNormState
+{
+    Tensor mean;   ///< [N]
+    Tensor invStd; ///< [N]
+    Tensor xhat;   ///< [N, F]
+};
+
+/** Row-wise layer normalisation with learnable gamma/beta [F]. */
+Tensor layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 float eps, LayerNormState &state);
+
+/** Gradients of layerNorm. */
+void layerNormBackward(const Tensor &grad_out, const Tensor &gamma,
+                       const LayerNormState &state, Tensor &grad_x,
+                       Tensor &grad_gamma, Tensor &grad_beta);
+
+} // namespace ops
+} // namespace gnnmark
+
+#endif // GNNMARK_OPS_BATCHNORM_HH

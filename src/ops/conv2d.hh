@@ -1,0 +1,33 @@
+/**
+ * @file
+ * 2-D convolution (NCHW), used by the spatio-temporal blocks of STGCN.
+ * Forward plus the two backward operators (input and weight grads).
+ */
+
+#ifndef GNNMARK_OPS_CONV2D_HH
+#define GNNMARK_OPS_CONV2D_HH
+
+#include "tensor/tensor.hh"
+
+namespace gnnmark {
+namespace ops {
+
+/**
+ * Convolve input [N, C, H, W] with weight [K, C, R, S]; zero padding
+ * `pad` on both spatial axes, stride 1. Returns [N, K, OH, OW] where
+ * OH = H + 2*pad - R + 1 and OW = W + 2*pad - S + 1.
+ */
+Tensor conv2d(const Tensor &input, const Tensor &weight, int pad = 0);
+
+/** Gradient wrt the input; grad_out is [N, K, OH, OW]. */
+Tensor conv2dGradInput(const Tensor &grad_out, const Tensor &weight,
+                       const Tensor &input, int pad = 0);
+
+/** Gradient wrt the weight. */
+Tensor conv2dGradWeight(const Tensor &grad_out, const Tensor &input,
+                        const Tensor &weight, int pad = 0);
+
+} // namespace ops
+} // namespace gnnmark
+
+#endif // GNNMARK_OPS_CONV2D_HH

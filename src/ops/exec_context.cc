@@ -1,0 +1,33 @@
+#include "ops/exec_context.hh"
+
+namespace gnnmark {
+
+namespace {
+
+thread_local GpuDevice *currentDevice = nullptr;
+
+} // namespace
+
+GpuDevice *
+ExecContext::device()
+{
+    return currentDevice;
+}
+
+void
+ExecContext::setDevice(GpuDevice *device)
+{
+    currentDevice = device;
+}
+
+DeviceGuard::DeviceGuard(GpuDevice *device) : prev_(ExecContext::device())
+{
+    ExecContext::setDevice(device);
+}
+
+DeviceGuard::~DeviceGuard()
+{
+    ExecContext::setDevice(prev_);
+}
+
+} // namespace gnnmark

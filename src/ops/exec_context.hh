@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Binding between the operator layer and a simulated GPU.
+ *
+ * Operators compute real results on the host; when a device is bound
+ * via DeviceGuard they additionally emit kernel launches into it. With
+ * no device bound, operators are pure CPU math (handy for numerics
+ * tests).
+ */
+
+#ifndef GNNMARK_OPS_EXEC_CONTEXT_HH
+#define GNNMARK_OPS_EXEC_CONTEXT_HH
+
+#include "sim/gpu_device.hh"
+
+namespace gnnmark {
+
+/** Thread-local current device for operator kernel emission. */
+class ExecContext
+{
+  public:
+    /** Currently bound device, or nullptr. */
+    static GpuDevice *device();
+
+  private:
+    friend class DeviceGuard;
+    static void setDevice(GpuDevice *device);
+};
+
+/** RAII scope that binds a device as the current execution target. */
+class DeviceGuard
+{
+  public:
+    explicit DeviceGuard(GpuDevice *device);
+    ~DeviceGuard();
+
+    DeviceGuard(const DeviceGuard &) = delete;
+    DeviceGuard &operator=(const DeviceGuard &) = delete;
+
+  private:
+    GpuDevice *prev_;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_OPS_EXEC_CONTEXT_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Dense matrix multiply operators (GEMM / GEMV), the workhorses of the
+ * update (MLP) phase of GNN training.
+ */
+
+#ifndef GNNMARK_OPS_GEMM_HH
+#define GNNMARK_OPS_GEMM_HH
+
+#include "tensor/tensor.hh"
+
+namespace gnnmark {
+namespace ops {
+
+/**
+ * C = op(A) * op(B) where op transposes when the flag is set.
+ * Shapes: op(A) is [M, K], op(B) is [K, N]; returns [M, N].
+ */
+Tensor gemm(const Tensor &a, const Tensor &b, bool transpose_a = false,
+            bool transpose_b = false);
+
+/** y = A * x for A [M, K], x [K]; returns [M]. */
+Tensor gemv(const Tensor &a, const Tensor &x);
+
+} // namespace ops
+} // namespace gnnmark
+
+#endif // GNNMARK_OPS_GEMM_HH

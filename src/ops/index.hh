@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Indexed data-movement operators: index-select (embedding-style row
+ * lookup), gather (edge-endpoint feature fetch) and scatter-add — the
+ * irregular-access operations that dominate the aggregation phase of
+ * GNN training in the paper.
+ */
+
+#ifndef GNNMARK_OPS_INDEX_HH
+#define GNNMARK_OPS_INDEX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace gnnmark {
+namespace ops {
+
+/**
+ * out[i] = a[idx[i]] for a [N, F] table; returns [M, F].
+ * Classified IndexSelect (torch.index_select / embedding lookups).
+ */
+Tensor indexSelectRows(const Tensor &a, const std::vector<int32_t> &idx);
+
+/**
+ * Same data movement as indexSelectRows but classified Gather: used
+ * for per-edge endpoint feature fetches during message passing.
+ */
+Tensor gatherRows(const Tensor &a, const std::vector<int32_t> &idx);
+
+/**
+ * out[idx[i]] += src[i] for src [M, F] into out [N, F] (atomics on
+ * the device). Classified Scatter; the backward of gathers.
+ */
+void scatterAddRows(Tensor &out, const std::vector<int32_t> &idx,
+                    const Tensor &src);
+
+} // namespace ops
+} // namespace gnnmark
+
+#endif // GNNMARK_OPS_INDEX_HH

@@ -1,0 +1,122 @@
+#include "ops/kernel_common.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/string_utils.hh"
+#include "ops/exec_context.hh"
+
+namespace gnnmark {
+
+int64_t
+sizeBucket(int64_t n)
+{
+    if (n <= 2)
+        return n;
+    // Two bins per octave: n is rounded down to m or 1.5*m where m is
+    // the largest power of two <= n.
+    int64_t m = 1;
+    while ((m << 1) <= n)
+        m <<= 1;
+    return n >= m + m / 2 ? m + m / 2 : m;
+}
+
+std::string
+kernelName(const std::string &base, std::initializer_list<int64_t> dims)
+{
+    std::string out = base;
+    for (int64_t d : dims)
+        out += strfmt("_%lld", static_cast<long long>(sizeBucket(d)));
+    return out;
+}
+
+void
+emitKernel(const KernelDesc &desc)
+{
+    if (GpuDevice *dev = ExecContext::device())
+        dev->launch(desc);
+}
+
+int
+deviceElemBytes()
+{
+    GpuDevice *dev = ExecContext::device();
+    return dev != nullptr ? dev->config().elemBytes : 4;
+}
+
+FlatGrid
+flatGrid(int64_t elems, int elems_per_thread)
+{
+    GNN_ASSERT(elems >= 0, "negative element count");
+    GNN_ASSERT(elems_per_thread >= 1, "elems_per_thread must be >= 1");
+    FlatGrid g;
+    g.warpsPerBlock = 8;
+    g.elemsPerThread = elems_per_thread;
+    int64_t threads = std::max<int64_t>(
+        1, (elems + elems_per_thread - 1) / elems_per_thread);
+    g.blocks = std::max<int64_t>(1, (threads + 255) / 256);
+    return g;
+}
+
+void
+emitElementwise(const ElementwiseSpec &spec)
+{
+    if (ExecContext::device() == nullptr || spec.elems == 0)
+        return;
+
+    FlatGrid grid = flatGrid(spec.elems);
+    const int64_t total_threads = grid.totalThreads();
+    const int64_t elems = spec.elems;
+    const int elem_bytes = spec.elemBytes;
+    const auto in_addrs = spec.inAddrs;
+    const auto out_addrs = spec.outAddrs;
+    const int fp = spec.fp32PerElem;
+    const int sf = spec.sfuPerElem;
+    const int in32 = spec.int32PerElem;
+    const int ept = grid.elemsPerThread;
+
+    KernelDesc desc;
+    desc.name = kernelName(spec.name, {spec.elems});
+    desc.opClass = spec.opClass;
+    desc.blocks = grid.blocks;
+    desc.warpsPerBlock = grid.warpsPerBlock;
+    desc.codeBytes = 2048 + 256 * (fp + sf + in32);
+    desc.aluIlp = 3.0;           // simple independent per-element work
+    desc.loadDepFraction = 0.7; // partially unrolled consume-after-load
+    for (uint64_t a : out_addrs) {
+        desc.outputRanges.emplace_back(
+            a, static_cast<uint64_t>(spec.elems) * elem_bytes);
+    }
+    // Input footprints land in the L2 too (read by the whole grid).
+    for (uint64_t a : in_addrs) {
+        desc.outputRanges.emplace_back(
+            a, static_cast<uint64_t>(spec.elems) * elem_bytes);
+    }
+    desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
+        // Grid-stride loop: chunk c covers elements
+        // [c*total_threads + warp*32, +32) for this warp's lanes.
+        for (int c = 0; c < ept; ++c) {
+            int64_t first = c * total_threads + warp_id * 32;
+            if (first >= elems)
+                break;
+            int lanes = static_cast<int>(
+                std::min<int64_t>(32, elems - first));
+            sink.int32(in32);
+            for (uint64_t a : in_addrs)
+                sink.loadCoalesced(a + first * elem_bytes, elem_bytes,
+                                   lanes);
+            if (fp > 0)
+                sink.fp32(fp);
+            if (sf > 0)
+                sink.sfu(sf);
+            for (uint64_t a : out_addrs)
+                sink.storeCoalesced(a + first * elem_bytes, elem_bytes,
+                                    lanes);
+            sink.misc(1);
+        }
+    };
+    emitKernel(desc);
+}
+
+} // namespace gnnmark

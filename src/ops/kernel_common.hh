@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for building and emitting kernel descriptors from
+ * operator implementations.
+ */
+
+#ifndef GNNMARK_OPS_KERNEL_COMMON_HH
+#define GNNMARK_OPS_KERNEL_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/kernel_desc.hh"
+
+namespace gnnmark {
+
+/**
+ * Round a size to a coarse logarithmic bucket (2 bins per octave) so
+ * kernels with near-identical shapes share one sampling identity, the
+ * way nvprof groups invocations of the same kernel symbol.
+ */
+int64_t sizeBucket(int64_t n);
+
+/** Append a bucketed shape suffix to a kernel base name. */
+std::string kernelName(const std::string &base,
+                       std::initializer_list<int64_t> dims);
+
+/**
+ * Launch `desc` on the currently bound device (no-op without one).
+ */
+void emitKernel(const KernelDesc &desc);
+
+/**
+ * Bytes per floating-point element on the bound device (4 for fp32,
+ * 2 under the half-precision ablation, 4 with no device bound).
+ */
+int deviceElemBytes();
+
+/**
+ * Build a grid for a flat 1-D range: 8 warps (256 threads) per block,
+ * each thread covering `elems_per_thread` elements grid-stride.
+ */
+struct FlatGrid
+{
+    int64_t blocks;
+    int warpsPerBlock;
+    int elemsPerThread;
+    int64_t totalThreads() const { return blocks * warpsPerBlock * 32; }
+};
+FlatGrid flatGrid(int64_t elems, int elems_per_thread = 4);
+
+/**
+ * Specification of a streaming element-wise kernel: each element reads
+ * one value from every input array, applies a fixed op template, and
+ * writes every output array.
+ */
+struct ElementwiseSpec
+{
+    std::string name;
+    int64_t elems = 0;
+    std::vector<uint64_t> inAddrs;  ///< device addrs of input arrays
+    std::vector<uint64_t> outAddrs; ///< device addrs of output arrays
+    int fp32PerElem = 1;  ///< plain fp ops per element
+    int sfuPerElem = 0;   ///< transcendental ops per element
+    int int32PerElem = 2; ///< addressing/index integer ops per element
+    OpClass opClass = OpClass::ElementWise;
+    int elemBytes = 4;
+};
+
+/** Emit the element-wise kernel described by `spec`. */
+void emitElementwise(const ElementwiseSpec &spec);
+
+} // namespace gnnmark
+
+#endif // GNNMARK_OPS_KERNEL_COMMON_HH

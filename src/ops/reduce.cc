@@ -1,0 +1,392 @@
+#include "ops/reduce.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/logging.hh"
+#include "ops/exec_context.hh"
+#include "ops/kernel_common.hh"
+
+namespace gnnmark {
+namespace ops {
+
+namespace {
+
+/**
+ * Emit a row-reduction kernel: one warp per row, coalesced 32-wide
+ * strides over the row followed by a shared-memory tree reduce.
+ */
+void
+emitRowReduce(const std::string &base, int64_t n, int64_t f,
+              uint64_t in_addr, uint64_t out_addr)
+{
+    if (ExecContext::device() == nullptr)
+        return;
+    const int eb = deviceElemBytes();
+    const int64_t chunks = std::max<int64_t>(1, (f + 31) / 32);
+
+    KernelDesc desc;
+    desc.name = kernelName(base, {n, f});
+    desc.opClass = OpClass::Reduction;
+    desc.blocks = std::max<int64_t>(1, (n + 7) / 8);
+    desc.warpsPerBlock = 8;
+    desc.codeBytes = 8 * 1024;
+    desc.aluIlp = 2.0; // serial accumulator chain
+    desc.loadDepFraction = 0.6;
+    desc.outputRanges.emplace_back(out_addr,
+                                   static_cast<uint64_t>(n) * eb);
+    desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
+        const int64_t row = warp_id;
+        if (row >= n)
+            return;
+        int64_t done = 0;
+        for (int64_t c = 0; c < chunks; ++c, ++done) {
+            if (sink.full())
+                break;
+            sink.loadCoalesced(in_addr + (row * f + c * 32) * eb, eb);
+            sink.fp32(1);
+            sink.int32(2);
+        }
+        if (done < chunks && done > 0) {
+            sink.scaleRemainder(static_cast<double>(chunks) /
+                                static_cast<double>(done));
+        }
+        sink.sharedLoad(5);
+        sink.fp32(5);
+        uint64_t addr = out_addr + row * eb;
+        sink.storeGlobal(&addr, 1, eb);
+    };
+    emitKernel(desc);
+}
+
+/**
+ * Emit a column-reduction kernel: warps stride down the rows with
+ * fully coalesced feature-slice loads.
+ */
+void
+emitColReduce(const std::string &base, int64_t n, int64_t f,
+              uint64_t in_addr, uint64_t out_addr)
+{
+    if (ExecContext::device() == nullptr)
+        return;
+    const int eb = deviceElemBytes();
+    const int64_t chunks = std::max<int64_t>(1, (f + 31) / 32);
+
+    // The grid tiles both axes; row-tile partials combine with global
+    // atomics, so tall-skinny reductions still fill the device.
+    const int64_t rows_per_block = 8 * 64;
+    const int64_t row_tiles =
+        std::max<int64_t>(1, (n + rows_per_block - 1) / rows_per_block);
+
+    KernelDesc desc;
+    desc.name = kernelName(base, {n, f});
+    desc.opClass = OpClass::Reduction;
+    desc.blocks = chunks * row_tiles;
+    desc.warpsPerBlock = 8;
+    desc.codeBytes = 8 * 1024;
+    desc.aluIlp = 2.0;
+    desc.loadDepFraction = 0.6;
+    desc.outputRanges.emplace_back(out_addr,
+                                   static_cast<uint64_t>(f) * eb);
+    desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
+        const int64_t block = warp_id / 8;
+        const int64_t chunk = block / row_tiles;
+        const int64_t row_tile = block % row_tiles;
+        const int64_t lane_row = warp_id % 8; // 8 warps split the tile
+        const int64_t first =
+            row_tile * rows_per_block + lane_row * 64;
+        for (int64_t r = 0; r < 64; ++r) {
+            int64_t row = first + r;
+            if (row >= n || sink.full())
+                break;
+            sink.loadCoalesced(in_addr + (row * f + chunk * 32) * eb, eb);
+            sink.fp32(1);
+            sink.int32(1);
+        }
+        sink.sharedStore(1);
+        sink.barrier();
+        sink.sharedLoad(3);
+        sink.fp32(3);
+        if (row_tiles > 1) {
+            uint64_t addrs[32];
+            for (int l = 0; l < 32; ++l) {
+                addrs[l] = out_addr +
+                           (chunk * 32 + l) * static_cast<uint64_t>(eb);
+            }
+            sink.atomicGlobal(addrs, 32, eb);
+        } else {
+            sink.storeCoalesced(out_addr + chunk * 32 * eb, eb);
+        }
+    };
+    emitKernel(desc);
+}
+
+/** Row-broadcast kernels share the element-wise template. */
+template <typename F>
+Tensor
+rowBroadcast(const Tensor &a, const Tensor &v, const char *name, F f)
+{
+    GNN_ASSERT(a.dim() == 2 && v.dim() == 1 && v.size(0) == a.size(0),
+               "%s: bad shapes %s, %s", name, a.shapeString().c_str(),
+               v.shapeString().c_str());
+    Tensor c(a.shape());
+    const int64_t n = a.size(0);
+    const int64_t cols = a.size(1);
+    const float *pa = a.data();
+    const float *pv = v.data();
+    float *pc = c.data();
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < cols; ++j)
+            pc[i * cols + j] = f(pa[i * cols + j], pv[i]);
+    }
+    ElementwiseSpec spec;
+    spec.name = name;
+    spec.elems = a.numel();
+    spec.inAddrs = {a.deviceAddr(), v.deviceAddr()};
+    spec.outAddrs = {c.deviceAddr()};
+    spec.fp32PerElem = 1;
+    spec.int32PerElem = 12;
+    spec.elemBytes = deviceElemBytes();
+    emitElementwise(spec);
+    return c;
+}
+
+} // namespace
+
+float
+reduceSumAll(const Tensor &a)
+{
+    const float *p = a.data();
+    double sum = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i)
+        sum += p[i];
+    // Device side: a grid-wide tree reduction over the flat array.
+    Tensor result({1});
+    emitRowReduce("reduce_all", 1, a.numel(), a.deviceAddr(),
+                  result.deviceAddr());
+    return static_cast<float>(sum);
+}
+
+float
+reduceMeanAll(const Tensor &a)
+{
+    GNN_ASSERT(a.numel() > 0, "mean of empty tensor");
+    return reduceSumAll(a) / static_cast<float>(a.numel());
+}
+
+Tensor
+reduceSumRows(const Tensor &a)
+{
+    GNN_ASSERT(a.dim() == 2, "reduceSumRows needs 2-d, got %s",
+               a.shapeString().c_str());
+    const int64_t n = a.size(0);
+    const int64_t f = a.size(1);
+    Tensor out({n});
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (int64_t j = 0; j < f; ++j)
+            s += pa[i * f + j];
+        po[i] = static_cast<float>(s);
+    }
+    emitRowReduce("reduce_rows", n, f, a.deviceAddr(), out.deviceAddr());
+    return out;
+}
+
+Tensor
+reduceMaxRows(const Tensor &a)
+{
+    GNN_ASSERT(a.dim() == 2, "reduceMaxRows needs 2-d, got %s",
+               a.shapeString().c_str());
+    const int64_t n = a.size(0);
+    const int64_t f = a.size(1);
+    Tensor out({n});
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (int64_t j = 0; j < f; ++j)
+            best = std::max(best, pa[i * f + j]);
+        po[i] = best;
+    }
+    emitRowReduce("reduce_max_rows", n, f, a.deviceAddr(),
+                  out.deviceAddr());
+    return out;
+}
+
+std::vector<int32_t>
+argmaxRows(const Tensor &a)
+{
+    GNN_ASSERT(a.dim() == 2, "argmaxRows needs 2-d, got %s",
+               a.shapeString().c_str());
+    const int64_t n = a.size(0);
+    const int64_t f = a.size(1);
+    std::vector<int32_t> out(n);
+    const float *pa = a.data();
+    for (int64_t i = 0; i < n; ++i) {
+        int32_t best = 0;
+        for (int64_t j = 1; j < f; ++j) {
+            if (pa[i * f + j] > pa[i * f + best])
+                best = static_cast<int32_t>(j);
+        }
+        out[i] = best;
+    }
+    Tensor dummy({n});
+    emitRowReduce("reduce_argmax_rows", n, f, a.deviceAddr(),
+                  dummy.deviceAddr());
+    return out;
+}
+
+Tensor
+reduceSumCols(const Tensor &a)
+{
+    GNN_ASSERT(a.dim() == 2, "reduceSumCols needs 2-d, got %s",
+               a.shapeString().c_str());
+    const int64_t n = a.size(0);
+    const int64_t f = a.size(1);
+    Tensor out({f});
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < f; ++j)
+            po[j] += pa[i * f + j];
+    }
+    emitColReduce("reduce_cols", n, f, a.deviceAddr(), out.deviceAddr());
+    return out;
+}
+
+namespace {
+
+template <typename Combine>
+Tensor
+segmentReduce(const Tensor &src, const std::vector<int32_t> &offsets,
+              const char *name, Combine combine, float init,
+              bool zero_empty)
+{
+    GNN_ASSERT(src.dim() == 2, "%s needs 2-d src, got %s", name,
+               src.shapeString().c_str());
+    GNN_ASSERT(!offsets.empty(), "%s: empty offsets", name);
+    const int64_t segs = static_cast<int64_t>(offsets.size()) - 1;
+    const int64_t f = src.size(1);
+    GNN_ASSERT(offsets.back() == src.size(0),
+               "%s: offsets end %d != src rows %lld", name,
+               offsets.back(), static_cast<long long>(src.size(0)));
+
+    Tensor out({segs, f});
+    const float *ps = src.data();
+    float *po = out.data();
+    for (int64_t s = 0; s < segs; ++s) {
+        GNN_ASSERT(offsets[s] <= offsets[s + 1],
+                   "%s: offsets not monotone at %lld", name,
+                   static_cast<long long>(s));
+        if (offsets[s] == offsets[s + 1]) {
+            if (!zero_empty) {
+                for (int64_t j = 0; j < f; ++j)
+                    po[s * f + j] = 0.0f;
+            }
+            continue;
+        }
+        for (int64_t j = 0; j < f; ++j) {
+            float acc = init;
+            for (int32_t r = offsets[s]; r < offsets[s + 1]; ++r)
+                acc = combine(acc, ps[static_cast<int64_t>(r) * f + j]);
+            po[s * f + j] = acc;
+        }
+    }
+
+    if (ExecContext::device() != nullptr) {
+        const int eb = deviceElemBytes();
+        const int64_t chunks = std::max<int64_t>(1, (f + 31) / 32);
+        const uint64_t s_addr = src.deviceAddr();
+        const uint64_t o_addr = out.deviceAddr();
+        const uint64_t off_addr =
+            reinterpret_cast<uint64_t>(offsets.data());
+        const int32_t *off = offsets.data();
+
+        KernelDesc desc;
+        desc.name = kernelName(name, {segs, f});
+        desc.opClass = OpClass::Reduction;
+        desc.blocks = std::max<int64_t>(1, (segs * chunks + 7) / 8);
+        desc.warpsPerBlock = 8;
+        desc.codeBytes = 8 * 1024;
+        desc.aluIlp = 2.0;
+        desc.loadDepFraction = 0.6;
+        desc.outputRanges.emplace_back(
+            o_addr, static_cast<uint64_t>(segs) * f * eb);
+        desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
+            const int64_t seg = warp_id / chunks;
+            const int64_t chunk = warp_id % chunks;
+            if (seg >= segs)
+                return;
+            const int lanes = static_cast<int>(
+                std::min<int64_t>(32, f - chunk * 32));
+            uint64_t oa = off_addr + seg * 4;
+            sink.loadGlobal(&oa, 1, 8);
+            sink.int32(2);
+            int64_t rows = off[seg + 1] - off[seg];
+            int64_t done = 0;
+            for (int32_t r = off[seg]; r < off[seg + 1]; ++r, ++done) {
+                if (sink.full())
+                    break;
+                sink.loadCoalesced(
+                    s_addr + (static_cast<int64_t>(r) * f + chunk * 32) *
+                                 eb, eb, lanes);
+                sink.fp32(1);
+                sink.int32(1);
+            }
+            if (done < rows && done > 0) {
+                sink.scaleRemainder(static_cast<double>(rows) /
+                                    static_cast<double>(done));
+            }
+            sink.storeCoalesced(o_addr + (seg * f + chunk * 32) * eb, eb,
+                                lanes);
+            sink.misc(1);
+        };
+        emitKernel(desc);
+    }
+    return out;
+}
+
+} // namespace
+
+Tensor
+segmentSumRows(const Tensor &src, const std::vector<int32_t> &offsets)
+{
+    return segmentReduce(src, offsets, "segment_sum",
+                         [](float a, float b) { return a + b; }, 0.0f,
+                         true);
+}
+
+Tensor
+segmentMaxRows(const Tensor &src, const std::vector<int32_t> &offsets)
+{
+    return segmentReduce(
+        src, offsets, "segment_max",
+        [](float a, float b) { return std::max(a, b); },
+        -std::numeric_limits<float>::infinity(), false);
+}
+
+Tensor
+subRowsBy(const Tensor &a, const Tensor &v)
+{
+    return rowBroadcast(a, v, "ew_sub_rows",
+                        [](float x, float y) { return x - y; });
+}
+
+Tensor
+divRowsBy(const Tensor &a, const Tensor &v)
+{
+    return rowBroadcast(a, v, "ew_div_rows",
+                        [](float x, float y) { return x / y; });
+}
+
+Tensor
+mulRowsBy(const Tensor &a, const Tensor &v)
+{
+    return rowBroadcast(a, v, "ew_mul_rows",
+                        [](float x, float y) { return x * y; });
+}
+
+} // namespace ops
+} // namespace gnnmark

@@ -1,0 +1,48 @@
+#include "ops/softmax.hh"
+
+#include "base/logging.hh"
+#include "ops/elementwise.hh"
+#include "ops/reduce.hh"
+
+namespace gnnmark {
+namespace ops {
+
+Tensor
+softmaxRows(const Tensor &a)
+{
+    GNN_ASSERT(a.dim() == 2, "softmaxRows needs 2-d, got %s",
+               a.shapeString().c_str());
+    Tensor shifted = subRowsBy(a, reduceMaxRows(a));
+    Tensor e = exp(shifted);
+    return divRowsBy(e, reduceSumRows(e));
+}
+
+Tensor
+logSoftmaxRows(const Tensor &a)
+{
+    GNN_ASSERT(a.dim() == 2, "logSoftmaxRows needs 2-d, got %s",
+               a.shapeString().c_str());
+    Tensor shifted = subRowsBy(a, reduceMaxRows(a));
+    Tensor e = exp(shifted);
+    Tensor lse = log(reduceSumRows(e).reshape({a.size(0), 1}));
+    return subRowsBy(shifted, lse.reshape({a.size(0)}));
+}
+
+Tensor
+softmaxRowsBackward(const Tensor &grad_out, const Tensor &y)
+{
+    Tensor gy = mul(grad_out, y);
+    Tensor dot = reduceSumRows(gy);
+    return mul(y, subRowsBy(grad_out, dot));
+}
+
+Tensor
+logSoftmaxRowsBackward(const Tensor &grad_out, const Tensor &log_y)
+{
+    Tensor y = exp(log_y);
+    Tensor sum_g = reduceSumRows(grad_out);
+    return sub(grad_out, mulRowsBy(y, sum_g));
+}
+
+} // namespace ops
+} // namespace gnnmark

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Row-wise (log-)softmax, decomposed into the reduction + element-wise
+ * kernels the profiler sees under PyTorch.
+ */
+
+#ifndef GNNMARK_OPS_SOFTMAX_HH
+#define GNNMARK_OPS_SOFTMAX_HH
+
+#include "tensor/tensor.hh"
+
+namespace gnnmark {
+namespace ops {
+
+/** Row-wise softmax of a [N, F] tensor. */
+Tensor softmaxRows(const Tensor &a);
+
+/** Row-wise log-softmax. */
+Tensor logSoftmaxRows(const Tensor &a);
+
+/** Backward of softmaxRows given its output y: y*(g - sum(g*y)). */
+Tensor softmaxRowsBackward(const Tensor &grad_out, const Tensor &y);
+
+/** Backward of logSoftmaxRows given its output log_y. */
+Tensor logSoftmaxRowsBackward(const Tensor &grad_out, const Tensor &log_y);
+
+} // namespace ops
+} // namespace gnnmark
+
+#endif // GNNMARK_OPS_SOFTMAX_HH

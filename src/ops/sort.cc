@@ -1,0 +1,199 @@
+#include "ops/sort.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "base/logging.hh"
+#include "ops/exec_context.hh"
+#include "ops/kernel_common.hh"
+
+namespace gnnmark {
+namespace ops {
+
+namespace {
+
+constexpr int kRadixBits = 8;
+constexpr int kBuckets = 1 << kRadixBits;
+constexpr int kPasses = 32 / kRadixBits;
+
+/** Emit one radix-pass histogram kernel: coalesced key reads plus
+ *  shared-memory bucket counting. */
+void
+emitHistogram(int64_t n, uint64_t key_addr, int pass)
+{
+    if (ExecContext::device() == nullptr || n == 0)
+        return;
+    FlatGrid grid = flatGrid(n);
+    const int64_t total_threads = grid.totalThreads();
+    const int ept = grid.elemsPerThread;
+
+    KernelDesc desc;
+    desc.name = kernelName("radix_histogram", {n});
+    desc.opClass = OpClass::Sort;
+    desc.blocks = grid.blocks;
+    desc.warpsPerBlock = grid.warpsPerBlock;
+    desc.codeBytes = 10 * 1024;
+    desc.aluIlp = 3.0;
+    desc.loadDepFraction = 0.6;
+    (void)pass;
+    desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
+        for (int c = 0; c < ept; ++c) {
+            int64_t first = c * total_threads + warp_id * 32;
+            if (first >= n)
+                break;
+            int lanes =
+                static_cast<int>(std::min<int64_t>(32, n - first));
+            sink.loadCoalesced(key_addr + first * 4, 4, lanes);
+            sink.int32(12);      // shift, mask, lane vote
+            sink.sharedStore(1); // shared histogram bump
+            sink.misc(1);
+        }
+        sink.barrier();
+        sink.sharedLoad(8); // flush shared histogram to global
+        sink.int32(8);
+        sink.storeCoalesced(key_addr, 4, 8);
+    };
+    emitKernel(desc);
+}
+
+/**
+ * Emit one radix-pass scatter kernel with the *actual* destination
+ * addresses of the stable partition — the divergent writes that make
+ * sorting expensive on a GPU.
+ */
+void
+emitScatter(int64_t n, uint64_t in_addr, uint64_t out_addr,
+            const std::vector<int32_t> &dest, bool with_values)
+{
+    if (ExecContext::device() == nullptr || n == 0)
+        return;
+    const int32_t *pdest = dest.data();
+
+    KernelDesc desc;
+    desc.name = kernelName(with_values ? "radix_scatter_kv"
+                                       : "radix_scatter", {n});
+    desc.opClass = OpClass::Sort;
+    desc.blocks = std::max<int64_t>(1, (n + 255) / 256);
+    desc.warpsPerBlock = 8;
+    desc.codeBytes = 24 * 1024; // rank computation is bulky
+    desc.aluIlp = 2.5;
+    desc.loadDepFraction = 0.6;
+    desc.irregular = true;
+    desc.outputRanges.emplace_back(out_addr,
+                                   static_cast<uint64_t>(n) * 4);
+    desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
+        const int64_t first = warp_id * 32;
+        if (first >= n)
+            return;
+        const int lanes =
+            static_cast<int>(std::min<int64_t>(32, n - first));
+        sink.loadCoalesced(in_addr + first * 4, 4, lanes);
+        sink.int32(24); // digit extract + warp-scan rank
+        sink.sharedLoad(4);
+        sink.sharedStore(2);
+        uint64_t addrs[32];
+        for (int l = 0; l < lanes; ++l) {
+            addrs[l] = out_addr +
+                       static_cast<int64_t>(pdest[first + l]) * 4;
+        }
+        sink.storeGlobal(addrs, lanes, 4);
+        if (with_values) {
+            sink.loadCoalesced(in_addr + first * 4, 4, lanes);
+            sink.storeGlobal(addrs, lanes, 4);
+        }
+        sink.misc(2);
+    };
+    emitKernel(desc);
+}
+
+void
+radixSort(std::vector<int32_t> &keys, std::vector<int32_t> *values)
+{
+    const int64_t n = static_cast<int64_t>(keys.size());
+    if (n <= 1)
+        return;
+    for (int32_t k : keys) {
+        GNN_ASSERT(k >= 0, "radix sort requires non-negative keys, got %d",
+                   k);
+    }
+
+    std::vector<int32_t> key_buf(n), val_buf(values != nullptr ? n : 0);
+    std::vector<int32_t> dest(n);
+
+    for (int pass = 0; pass < kPasses; ++pass) {
+        const int shift = pass * kRadixBits;
+        std::array<int64_t, kBuckets> counts{};
+        for (int64_t i = 0; i < n; ++i)
+            ++counts[(keys[i] >> shift) & (kBuckets - 1)];
+        std::array<int64_t, kBuckets> offsets{};
+        int64_t running = 0;
+        for (int b = 0; b < kBuckets; ++b) {
+            offsets[b] = running;
+            running += counts[b];
+        }
+        for (int64_t i = 0; i < n; ++i) {
+            const int b = (keys[i] >> shift) & (kBuckets - 1);
+            dest[i] = static_cast<int32_t>(offsets[b]++);
+        }
+
+        emitHistogram(n, reinterpret_cast<uint64_t>(keys.data()), pass);
+        emitScatter(n, reinterpret_cast<uint64_t>(keys.data()),
+                    reinterpret_cast<uint64_t>(key_buf.data()), dest,
+                    values != nullptr);
+
+        for (int64_t i = 0; i < n; ++i)
+            key_buf[dest[i]] = keys[i];
+        keys.swap(key_buf);
+        if (values != nullptr) {
+            for (int64_t i = 0; i < n; ++i)
+                val_buf[dest[i]] = (*values)[i];
+            values->swap(val_buf);
+        }
+    }
+}
+
+} // namespace
+
+void
+sortKeys(std::vector<int32_t> &keys)
+{
+    radixSort(keys, nullptr);
+}
+
+void
+sortKeyValue(std::vector<int32_t> &keys, std::vector<int32_t> &values)
+{
+    GNN_ASSERT(keys.size() == values.size(),
+               "sortKeyValue: %zu keys vs %zu values", keys.size(),
+               values.size());
+    radixSort(keys, &values);
+}
+
+std::vector<int32_t>
+sortedUnique(std::vector<int32_t> keys)
+{
+    sortKeys(keys);
+    const int64_t n = static_cast<int64_t>(keys.size());
+    std::vector<int32_t> out;
+    out.reserve(keys.size());
+    for (int64_t i = 0; i < n; ++i) {
+        if (i == 0 || keys[i] != keys[i - 1])
+            out.push_back(keys[i]);
+    }
+    // Adjacent-difference flagging + compaction kernel.
+    if (ExecContext::device() != nullptr && n > 0) {
+        ElementwiseSpec spec;
+        spec.name = "unique_flags";
+        spec.elems = n;
+        spec.inAddrs = {reinterpret_cast<uint64_t>(keys.data())};
+        spec.outAddrs = {reinterpret_cast<uint64_t>(out.data())};
+        spec.fp32PerElem = 0;
+        spec.int32PerElem = 5;
+        spec.opClass = OpClass::Other;
+        emitElementwise(spec);
+    }
+    return out;
+}
+
+} // namespace ops
+} // namespace gnnmark

@@ -1,0 +1,105 @@
+#include "ops/spmm.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "ops/exec_context.hh"
+#include "ops/kernel_common.hh"
+
+namespace gnnmark {
+namespace ops {
+
+Tensor
+spmm(const CsrMatrix &a, const Tensor &b)
+{
+    GNN_ASSERT(b.dim() == 2 && b.size(0) == a.cols,
+               "spmm: A is %lldx%lld but B is %s",
+               static_cast<long long>(a.rows),
+               static_cast<long long>(a.cols), b.shapeString().c_str());
+    const int64_t m = a.rows;
+    const int64_t f = b.size(1);
+
+    Tensor c({m, f});
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int64_t r = 0; r < m; ++r) {
+        float *crow = pc + r * f;
+        for (int32_t e = a.rowPtr[r]; e < a.rowPtr[r + 1]; ++e) {
+            const float v = a.vals[e];
+            const float *brow =
+                pb + static_cast<int64_t>(a.colIdx[e]) * f;
+            for (int64_t j = 0; j < f; ++j)
+                crow[j] += v * brow[j];
+        }
+    }
+
+    if (ExecContext::device() != nullptr) {
+        const int eb = deviceElemBytes();
+        const int64_t fchunks = std::max<int64_t>(1, (f + 31) / 32);
+        const uint64_t b_addr = b.deviceAddr();
+        const uint64_t c_addr = c.deviceAddr();
+        const uint64_t rp_addr = a.rowPtrAddr();
+        const uint64_t ci_addr = a.colIdxAddr();
+        const uint64_t v_addr = a.valsAddr();
+        // Capturing raw pointers into `a` is safe: launch is synchronous.
+        const int32_t *row_ptr = a.rowPtr.data();
+        const int32_t *col_idx = a.colIdx.data();
+
+        KernelDesc desc;
+        desc.name = kernelName("spmm_csr", {m, f, a.nnz()});
+        desc.opClass = OpClass::SpMM;
+        desc.blocks = std::max<int64_t>(1, (m * fchunks + 7) / 8);
+        desc.warpsPerBlock = 8;
+        desc.codeBytes = 12 * 1024;
+        desc.aluIlp = 2.5;
+        desc.loadDepFraction = 0.6; // gathered row feeds the FMA
+        desc.irregular = true;
+        desc.outputRanges.emplace_back(
+            c_addr, static_cast<uint64_t>(m) * f * eb);
+        desc.outputRanges.emplace_back(
+            b_addr, static_cast<uint64_t>(b.size(0)) * f * eb);
+        desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
+            const int64_t row = warp_id / fchunks;
+            const int64_t chunk = warp_id % fchunks;
+            if (row >= m)
+                return;
+            const int lanes = static_cast<int>(
+                std::min<int64_t>(32, f - chunk * 32));
+            // Row extent from rowPtr (two scalar loads).
+            uint64_t rp = rp_addr + row * 4;
+            sink.loadGlobal(&rp, 1, 8);
+            sink.int32(2);
+            const int32_t begin = row_ptr[row];
+            const int32_t end = row_ptr[row + 1];
+            int64_t done = 0;
+            const int64_t nnz_row = end - begin;
+            for (int32_t e = begin; e < end; ++e, ++done) {
+                if (sink.full())
+                    break;
+                if ((e - begin) % 32 == 0) {
+                    // One coalesced colIdx/vals fetch per 32 edges.
+                    sink.loadCoalesced(ci_addr + e * 4, 4);
+                    sink.loadCoalesced(v_addr + e * eb, eb);
+                }
+                // Gather the 32-wide feature slice of row colIdx[e].
+                const int64_t col = col_idx[e];
+                sink.loadCoalesced(
+                    b_addr + (col * f + chunk * 32) * eb, eb, lanes);
+                sink.fma(1);
+                sink.int32(5);
+            }
+            if (done < nnz_row && done > 0) {
+                sink.scaleRemainder(static_cast<double>(nnz_row) /
+                                    static_cast<double>(done));
+            }
+            sink.storeCoalesced(c_addr + (row * f + chunk * 32) * eb, eb,
+                                lanes);
+            sink.misc(1);
+        };
+        emitKernel(desc);
+    }
+    return c;
+}
+
+} // namespace ops
+} // namespace gnnmark

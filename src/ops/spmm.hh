@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Sparse-dense matrix multiply (SpMM) over CSR adjacency matrices —
+ * the aggregation workhorse of GCN-style layers.
+ */
+
+#ifndef GNNMARK_OPS_SPMM_HH
+#define GNNMARK_OPS_SPMM_HH
+
+#include "tensor/csr.hh"
+#include "tensor/tensor.hh"
+
+namespace gnnmark {
+namespace ops {
+
+/**
+ * C = A * B for CSR A [M, N] and dense B [N, F]; returns [M, F].
+ * One warp processes one (row, 32-feature chunk) pair, gathering B
+ * rows by column index — the access pattern that gives SpMM its poor
+ * L1 locality in the paper.
+ */
+Tensor spmm(const CsrMatrix &a, const Tensor &b);
+
+} // namespace ops
+} // namespace gnnmark
+
+#endif // GNNMARK_OPS_SPMM_HH

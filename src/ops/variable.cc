@@ -1,0 +1,157 @@
+#include "ops/variable.hh"
+
+#include <unordered_set>
+
+#include "base/logging.hh"
+#include "ops/elementwise.hh"
+
+namespace gnnmark {
+
+namespace detail {
+
+void
+accumulateGrad(VarNode &node, const Tensor &g)
+{
+    GNN_ASSERT(node.value.sameShape(g),
+               "gradient shape %s does not match value shape %s",
+               g.shapeString().c_str(), node.value.shapeString().c_str());
+    if (!node.gradDefined) {
+        node.grad = g.clone();
+        node.gradDefined = true;
+    } else {
+        ops::addInto(node.grad, g);
+    }
+}
+
+} // namespace detail
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<detail::VarNode>())
+{
+    node_->value = std::move(value);
+    node_->requiresGrad = requires_grad;
+}
+
+Variable
+Variable::param(Tensor value)
+{
+    return Variable(std::move(value), true);
+}
+
+Variable
+Variable::makeResult(Tensor value, std::vector<Variable> parents,
+                     std::function<void(detail::VarNode &)> backward)
+{
+    bool needs = false;
+    for (const Variable &p : parents)
+        needs = needs || (p.defined() && p.requiresGrad());
+
+    Variable out(std::move(value), needs);
+    if (needs) {
+        for (const Variable &p : parents)
+            out.node_->parents.push_back(p.node());
+        out.node_->backward = std::move(backward);
+    }
+    return out;
+}
+
+const Tensor &
+Variable::value() const
+{
+    GNN_ASSERT(defined(), "value() on undefined Variable");
+    return node_->value;
+}
+
+Tensor &
+Variable::value()
+{
+    GNN_ASSERT(defined(), "value() on undefined Variable");
+    return node_->value;
+}
+
+bool
+Variable::requiresGrad() const
+{
+    return defined() && node_->requiresGrad;
+}
+
+const Tensor &
+Variable::grad() const
+{
+    GNN_ASSERT(defined(), "grad() on undefined Variable");
+    if (!node_->gradDefined) {
+        node_->grad = Tensor(node_->value.shape());
+        node_->gradDefined = true;
+    }
+    return node_->grad;
+}
+
+bool
+Variable::hasGrad() const
+{
+    return defined() && node_->gradDefined;
+}
+
+void
+Variable::zeroGrad()
+{
+    if (defined()) {
+        node_->gradDefined = false;
+        node_->grad = Tensor();
+    }
+}
+
+void
+Variable::backward()
+{
+    backward(Tensor::ones(value().shape()));
+}
+
+void
+Variable::backward(const Tensor &seed)
+{
+    GNN_ASSERT(defined(), "backward() on undefined Variable");
+    GNN_ASSERT(requiresGrad(), "backward() on a non-grad Variable");
+
+    // Topological order via iterative post-order DFS.
+    std::vector<detail::VarNode *> topo;
+    std::unordered_set<detail::VarNode *> visited;
+    struct Frame
+    {
+        detail::VarNode *node;
+        size_t next;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({node_.get(), 0});
+    visited.insert(node_.get());
+    while (!stack.empty()) {
+        Frame &f = stack.back();
+        if (f.next < f.node->parents.size()) {
+            detail::VarNode *p = f.node->parents[f.next++].get();
+            if (p != nullptr && p->requiresGrad &&
+                visited.insert(p).second) {
+                stack.push_back({p, 0});
+            }
+        } else {
+            topo.push_back(f.node);
+            stack.pop_back();
+        }
+    }
+
+    detail::accumulateGrad(*node_, seed);
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        detail::VarNode *n = *it;
+        if (n->backward && n->gradDefined)
+            n->backward(*n);
+    }
+}
+
+Variable
+Variable::detach() const
+{
+    if (!defined())
+        return Variable();
+    return Variable(node_->value, false);
+}
+
+} // namespace gnnmark

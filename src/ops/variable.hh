@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tape-free reverse-mode autograd over Tensors.
+ *
+ * Every differentiable operator (namespace ag) returns a Variable whose
+ * node stores the parents and a backward closure. backward() performs a
+ * topological sweep, fully accumulating each node's gradient before
+ * invoking its closure. Backward closures call the instrumented ops::
+ * functions, so the backward pass emits GPU kernels exactly like the
+ * forward pass — GNN *training*, not inference, is what the device
+ * model observes.
+ */
+
+#ifndef GNNMARK_OPS_VARIABLE_HH
+#define GNNMARK_OPS_VARIABLE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace gnnmark {
+
+namespace detail {
+
+/** Autograd graph node. */
+struct VarNode
+{
+    Tensor value;
+    Tensor grad;             ///< valid iff gradDefined
+    bool gradDefined = false;
+    bool requiresGrad = false;
+    std::vector<std::shared_ptr<VarNode>> parents;
+    /** Propagates this node's grad into the parents (may be empty). */
+    std::function<void(VarNode &self)> backward;
+};
+
+/** Accumulate `g` into the node's gradient (emits an add kernel). */
+void accumulateGrad(VarNode &node, const Tensor &g);
+
+} // namespace detail
+
+/** A tensor participating in the autograd graph. */
+class Variable
+{
+  public:
+    /** Undefined variable (no node). */
+    Variable() = default;
+
+    /** Leaf variable. */
+    explicit Variable(Tensor value, bool requires_grad = false);
+
+    /** Leaf that accumulates gradients (a trainable parameter). */
+    static Variable param(Tensor value);
+
+    /**
+     * Interior node produced by an operator.
+     * requiresGrad is inherited from the parents; if none requires a
+     * gradient the backward closure is dropped.
+     */
+    static Variable
+    makeResult(Tensor value, std::vector<Variable> parents,
+               std::function<void(detail::VarNode &self)> backward);
+
+    bool defined() const { return node_ != nullptr; }
+
+    const Tensor &value() const;
+    Tensor &value();
+
+    bool requiresGrad() const;
+
+    /** Gradient; zeros of the value's shape if none accumulated yet. */
+    const Tensor &grad() const;
+
+    /** True once a gradient has been accumulated. */
+    bool hasGrad() const;
+
+    /** Drop the accumulated gradient. */
+    void zeroGrad();
+
+    /** Reverse sweep seeded with ones (use on scalar losses). */
+    void backward();
+
+    /** Reverse sweep with an explicit seed gradient. */
+    void backward(const Tensor &seed);
+
+    /** Same value, detached from the graph. */
+    Variable detach() const;
+
+    const std::shared_ptr<detail::VarNode> &node() const { return node_; }
+
+  private:
+    std::shared_ptr<detail::VarNode> node_;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_OPS_VARIABLE_HH

@@ -1,0 +1,193 @@
+#include "profiler/profiler.hh"
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+namespace {
+
+void
+accumulate(OpClassStats &s, const KernelRecord &r)
+{
+    s.timeSec += r.timeSec;
+    s.launches += 1;
+    s.flops += r.flops;
+    s.intOps += r.intOps;
+    s.cycles += r.cycles;
+    s.instrs += r.totalInstrs();
+    s.loads += r.loads;
+    s.divergentLoads += r.divergentLoads;
+    s.l1Accesses += r.l1Accesses;
+    s.l1Hits += r.l1Hits;
+    s.l2Accesses += r.l2Accesses;
+    s.l2Hits += r.l2Hits;
+    for (size_t i = 0; i < kNumStallReasons; ++i)
+        s.stallCycles[i] += r.stallCycles[i];
+}
+
+double
+ratio(double num, double den)
+{
+    return den > 0 ? num / den : 0.0;
+}
+
+} // namespace
+
+double
+OpClassStats::l1HitRate() const
+{
+    return ratio(l1Hits, l1Accesses);
+}
+
+double
+OpClassStats::l2HitRate() const
+{
+    return ratio(l2Hits, l2Accesses);
+}
+
+double
+OpClassStats::divergentLoadFraction() const
+{
+    return ratio(divergentLoads, loads);
+}
+
+void
+Profiler::onKernel(const KernelRecord &r)
+{
+    accumulate(classes_[static_cast<size_t>(r.opClass)], r);
+    accumulate(kernels_[r.name], r);
+
+    totalTime_ += r.timeSec;
+    ++totalLaunches_;
+    fp32Instrs_ += r.fp32Instrs;
+    int32Instrs_ += r.int32Instrs;
+    otherInstrs_ += r.memInstrs + r.miscInstrs;
+    flops_ += r.flops;
+    intOps_ += r.intOps;
+    cycleWeightedIpc_ += r.ipc * r.cycles;
+    totalCycles_ += r.cycles;
+    for (size_t i = 0; i < kNumStallReasons; ++i)
+        stalls_[i] += r.stallCycles[i];
+    loads_ += r.loads;
+    divergentLoads_ += r.divergentLoads;
+    l1Acc_ += r.l1Accesses;
+    l1Hit_ += r.l1Hits;
+    l2Acc_ += r.l2Accesses;
+    l2Hit_ += r.l2Hits;
+}
+
+void
+Profiler::onTransfer(const TransferRecord &r)
+{
+    transferBytes_ += r.bytes;
+    transferZeroBytes_ += r.bytes * r.zeroFraction;
+    transferTime_ += r.timeSec;
+    sparsity_.push_back(
+        SparsitySample{iteration_, r.tag, r.bytes, r.zeroFraction});
+}
+
+void
+Profiler::beginIteration()
+{
+    ++iteration_;
+}
+
+void
+Profiler::reset()
+{
+    *this = Profiler();
+}
+
+std::array<double, kNumOpClasses>
+Profiler::opTimeBreakdown() const
+{
+    std::array<double, kNumOpClasses> out{};
+    for (size_t i = 0; i < kNumOpClasses; ++i)
+        out[i] = ratio(classes_[i].timeSec, totalTime_);
+    return out;
+}
+
+const OpClassStats &
+Profiler::classStats(OpClass c) const
+{
+    return classes_[static_cast<size_t>(c)];
+}
+
+Profiler::InstructionMix
+Profiler::instructionMix() const
+{
+    double total = fp32Instrs_ + int32Instrs_ + otherInstrs_;
+    InstructionMix mix;
+    mix.fp32Frac = ratio(fp32Instrs_, total);
+    mix.int32Frac = ratio(int32Instrs_, total);
+    mix.otherFrac = ratio(otherInstrs_, total);
+    return mix;
+}
+
+double
+Profiler::gflops() const
+{
+    return ratio(flops_, totalTime_) / 1e9;
+}
+
+double
+Profiler::giops() const
+{
+    return ratio(intOps_, totalTime_) / 1e9;
+}
+
+double
+Profiler::avgIpc() const
+{
+    return ratio(cycleWeightedIpc_, totalCycles_);
+}
+
+StallVector
+Profiler::stallBreakdown() const
+{
+    double total = 0;
+    for (double s : stalls_)
+        total += s;
+    StallVector out{};
+    for (size_t i = 0; i < kNumStallReasons; ++i)
+        out[i] = ratio(stalls_[i], total);
+    return out;
+}
+
+double
+Profiler::l1HitRate() const
+{
+    return ratio(l1Hit_, l1Acc_);
+}
+
+double
+Profiler::l2HitRate() const
+{
+    return ratio(l2Hit_, l2Acc_);
+}
+
+double
+Profiler::divergentLoadFraction() const
+{
+    return ratio(divergentLoads_, loads_);
+}
+
+double
+Profiler::avgTransferSparsity() const
+{
+    return ratio(transferZeroBytes_, transferBytes_);
+}
+
+const std::vector<SparsitySample> &
+Profiler::sparsityTimeline() const
+{
+    return sparsity_;
+}
+
+const std::map<std::string, OpClassStats> &
+Profiler::kernelStats() const
+{
+    return kernels_;
+}
+
+} // namespace gnnmark

@@ -1,0 +1,89 @@
+#include "sim/cache_model.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+CacheModel::CacheModel(uint64_t size_bytes, int assoc, int line_bytes)
+    : assoc_(assoc), lineBytes_(line_bytes)
+{
+    GNN_ASSERT(assoc > 0, "cache associativity must be positive");
+    GNN_ASSERT(line_bytes > 0 && std::has_single_bit(
+                   static_cast<uint64_t>(line_bytes)),
+               "line size must be a power of two");
+    GNN_ASSERT(size_bytes % (static_cast<uint64_t>(line_bytes) * assoc) == 0,
+               "cache size must be a multiple of line*assoc");
+    lineShift_ = std::countr_zero(static_cast<uint64_t>(line_bytes));
+    numSets_ = size_bytes / (static_cast<uint64_t>(line_bytes) * assoc);
+    GNN_ASSERT(numSets_ > 0, "cache must have at least one set");
+    ways_.resize(numSets_ * assoc_);
+}
+
+bool
+CacheModel::access(uint64_t addr)
+{
+    ++clock_;
+    const uint64_t line = addr >> lineShift_;
+    const uint64_t set = line % numSets_;
+    Way *base = &ways_[set * assoc_];
+
+    int victim = 0;
+    uint64_t victim_use = ~0ULL;
+    for (int w = 0; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            way.lastUse = clock_;
+            ++hits_;
+            return true;
+        }
+        uint64_t use = way.valid ? way.lastUse : 0;
+        if (use < victim_use) {
+            victim_use = use;
+            victim = w;
+        }
+    }
+    Way &way = base[victim];
+    way.valid = true;
+    way.tag = line;
+    way.lastUse = clock_;
+    ++misses_;
+    return false;
+}
+
+bool
+CacheModel::probe(uint64_t addr) const
+{
+    const uint64_t line = addr >> lineShift_;
+    const uint64_t set = line % numSets_;
+    const Way *base = &ways_[set * assoc_];
+    for (int w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    }
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto &w : ways_)
+        w = Way{};
+}
+
+void
+CacheModel::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+double
+CacheModel::hitRate() const
+{
+    uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
+
+} // namespace gnnmark

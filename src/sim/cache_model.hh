@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Set-associative LRU cache model used for the GPU's L1 data caches,
+ * the shared L2, and (with small geometry) the per-SM L0 I-caches.
+ */
+
+#ifndef GNNMARK_SIM_CACHE_MODEL_HH
+#define GNNMARK_SIM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gnnmark {
+
+/**
+ * A classic set-associative cache with true-LRU replacement.
+ *
+ * Addresses are byte addresses; the model tracks tags only (no data).
+ * Statistics accumulate until resetStats().
+ */
+class CacheModel
+{
+  public:
+    /**
+     * @param size_bytes Total capacity; must be a multiple of
+     *                   line_bytes * assoc.
+     * @param assoc      Ways per set.
+     * @param line_bytes Line size (power of two).
+     */
+    CacheModel(uint64_t size_bytes, int assoc, int line_bytes);
+
+    /**
+     * Look up (and on miss, fill) the line containing addr.
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /** Look up without filling on miss (used for bypass modelling). */
+    bool probe(uint64_t addr) const;
+
+    /** Drop all lines (e.g., between unrelated kernels for I-caches). */
+    void flush();
+
+    /** Zero the hit/miss counters (contents are kept). */
+    void resetStats();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t accesses() const { return hits_ + misses_; }
+
+    /** Hit rate in [0,1]; 0 if no accesses yet. */
+    double hitRate() const;
+
+    int lineBytes() const { return lineBytes_; }
+    uint64_t numSets() const { return numSets_; }
+    int assoc() const { return assoc_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = ~0ULL;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    int assoc_;
+    int lineBytes_;
+    int lineShift_;
+    uint64_t numSets_;
+    std::vector<Way> ways_; // numSets_ * assoc_, set-major
+    uint64_t clock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_SIM_CACHE_MODEL_HH

@@ -1,0 +1,28 @@
+#include "sim/gpu_config.hh"
+
+namespace gnnmark {
+
+GpuConfig
+GpuConfig::v100()
+{
+    // The defaults in the struct definition are the V100 numbers; this
+    // factory exists so call sites read explicitly and so alternative
+    // presets can be added without touching the defaults.
+    return GpuConfig{};
+}
+
+GpuConfig
+GpuConfig::a100()
+{
+    GpuConfig cfg;
+    cfg.numSms = 108;
+    cfg.clockGhz = 1.41;
+    cfg.l1SizeBytes = 192 * KiB;
+    cfg.l2SizeBytes = 40 * MiB;
+    cfg.dramBandwidth = 1555e9;
+    cfg.dramLatency = 470;  // HBM2e is slightly further away
+    cfg.l2HitLatency = 200; // larger, partitioned L2
+    return cfg;
+}
+
+} // namespace gnnmark

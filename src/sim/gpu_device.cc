@@ -1,0 +1,343 @@
+#include "sim/gpu_device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "sim/warp_pipeline.hh"
+
+namespace gnnmark {
+
+GpuDevice::GpuDevice(GpuConfig config, uint64_t seed)
+    : cfg_(config), rng_(seed),
+      l2_(config.l2SizeBytes, config.l2Assoc, config.cacheLineBytes)
+{
+    GNN_ASSERT(cfg_.simSmCount >= 1 && cfg_.simSmCount <= cfg_.numSms,
+               "simSmCount out of range");
+    for (int s = 0; s < cfg_.simSmCount; ++s) {
+        l1s_.emplace_back(cfg_.l1SizeBytes, cfg_.l1Assoc,
+                          cfg_.cacheLineBytes);
+    }
+}
+
+GpuDevice::Geometry
+GpuDevice::computeGeometry(const KernelDesc &desc) const
+{
+    GNN_ASSERT(desc.blocks >= 1, "kernel '%s' has no blocks",
+               desc.name.c_str());
+    GNN_ASSERT(desc.warpsPerBlock >= 1 &&
+               desc.warpsPerBlock <= cfg_.maxWarpsPerSm,
+               "kernel '%s' has invalid block size", desc.name.c_str());
+
+    Geometry geo;
+    geo.totalWarps = desc.totalWarps();
+    int by_warps = cfg_.maxWarpsPerSm / desc.warpsPerBlock;
+    geo.residentBlocks =
+        std::clamp(std::min(by_warps, cfg_.maxBlocksPerSm), 1,
+                   cfg_.maxBlocksPerSm);
+    int64_t blocks_per_sm =
+        (desc.blocks + cfg_.numSms - 1) / cfg_.numSms;
+    geo.waves = std::max<int64_t>(
+        1, (blocks_per_sm + geo.residentBlocks - 1) / geo.residentBlocks);
+    geo.activeSms = static_cast<int>(
+        std::min<int64_t>(cfg_.numSms, desc.blocks));
+    return geo;
+}
+
+KernelRecord
+GpuDevice::simulateDetailed(const KernelDesc &desc, const Geometry &geo,
+                            SampleState &state)
+{
+    GNN_ASSERT(desc.trace != nullptr, "kernel '%s' has no trace generator",
+               desc.name.c_str());
+
+    KernelRecord rec;
+    double sim_warps = 0;
+    double cycles_per_wave = 0;
+
+    for (int s = 0; s < cfg_.simSmCount; ++s) {
+        // Blocks are distributed to SMs round-robin; simulate the first
+        // resident wave of SM `s`.
+        std::vector<WarpTrace> traces;
+        for (int rb = 0; rb < geo.residentBlocks; ++rb) {
+            int64_t block = s + static_cast<int64_t>(rb) * cfg_.numSms;
+            if (block >= desc.blocks)
+                break;
+            for (int w = 0; w < desc.warpsPerBlock; ++w) {
+                int64_t warp_id = block * desc.warpsPerBlock + w;
+                WarpTrace trace;
+                WarpTraceSink sink(trace, cfg_.maxTraceInstrs,
+                                   cfg_.cacheLineBytes);
+                desc.trace(warp_id, sink);
+                traces.push_back(std::move(trace));
+            }
+        }
+        if (traces.empty())
+            continue;
+
+        // Volta invalidates the (non-coherent) L1 at kernel
+        // boundaries; only the L2 persists across launches.
+        l1s_[s].flush();
+        WarpPipeline pipeline(cfg_, l1s_[s], l2_, rng_);
+        WaveResult wave = pipeline.run(traces, desc);
+
+        sim_warps += static_cast<double>(traces.size());
+        cycles_per_wave += wave.cycles;
+        rec.fp32Instrs += wave.fp32Instrs;
+        rec.int32Instrs += wave.int32Instrs;
+        rec.memInstrs += wave.memInstrs;
+        rec.miscInstrs += wave.miscInstrs;
+        rec.flops += wave.flops;
+        rec.intOps += wave.intOps;
+        rec.loads += wave.loads;
+        rec.divergentLoads += wave.divergentLoads;
+        rec.l1Accesses += wave.l1Accesses;
+        rec.l1Hits += wave.l1Hits;
+        rec.l2Accesses += wave.l2Accesses;
+        rec.l2Hits += wave.l2Hits;
+        rec.dramBytes += wave.dramBytes;
+        for (size_t r = 0; r < kNumStallReasons; ++r)
+            rec.stallCycles[r] += wave.stalls[r];
+    }
+    GNN_ASSERT(sim_warps > 0, "kernel '%s' produced no simulated warps",
+               desc.name.c_str());
+    cycles_per_wave /= cfg_.simSmCount;
+
+    // Scale sampled counters to the full grid.
+    const double scale = static_cast<double>(geo.totalWarps) / sim_warps;
+    rec.fp32Instrs *= scale;
+    rec.int32Instrs *= scale;
+    rec.memInstrs *= scale;
+    rec.miscInstrs *= scale;
+    rec.flops *= scale;
+    rec.intOps *= scale;
+    rec.loads *= scale;
+    rec.divergentLoads *= scale;
+    rec.l1Accesses *= scale;
+    rec.l1Hits *= scale;
+    rec.l2Accesses *= scale;
+    rec.l2Hits *= scale;
+    rec.dramBytes *= scale;
+    for (auto &sc : rec.stallCycles)
+        sc *= scale;
+
+    rec.cycles = cycles_per_wave * static_cast<double>(geo.waves);
+    rec.detailed = true;
+
+    // Update the per-name running averages used for replay.
+    const double warps = static_cast<double>(geo.totalWarps);
+    state.fp32PerWarp += rec.fp32Instrs / warps;
+    state.int32PerWarp += rec.int32Instrs / warps;
+    state.memPerWarp += rec.memInstrs / warps;
+    state.miscPerWarp += rec.miscInstrs / warps;
+    state.flopsPerWarp += rec.flops / warps;
+    state.intOpsPerWarp += rec.intOps / warps;
+    state.loadsPerWarp += rec.loads / warps;
+    state.divergentPerWarp += rec.divergentLoads / warps;
+    state.l1AccPerWarp += rec.l1Accesses / warps;
+    state.l1HitPerWarp += rec.l1Hits / warps;
+    state.l2AccPerWarp += rec.l2Accesses / warps;
+    state.l2HitPerWarp += rec.l2Hits / warps;
+    state.dramBytesPerWarp += rec.dramBytes / warps;
+    state.cyclesPerWave += cycles_per_wave;
+    for (size_t r = 0; r < kNumStallReasons; ++r)
+        state.stallsPerWarp[r] += rec.stallCycles[r] / warps;
+    ++state.detailedRuns;
+
+    return rec;
+}
+
+KernelRecord
+GpuDevice::replayFromSample(const KernelDesc &desc, const Geometry &geo,
+                            const SampleState &state)
+{
+    const double n = static_cast<double>(state.detailedRuns);
+    const double warps = static_cast<double>(geo.totalWarps);
+
+    KernelRecord rec;
+    rec.detailed = false;
+    rec.fp32Instrs = state.fp32PerWarp / n * warps;
+    rec.int32Instrs = state.int32PerWarp / n * warps;
+    rec.memInstrs = state.memPerWarp / n * warps;
+    rec.miscInstrs = state.miscPerWarp / n * warps;
+    rec.flops = state.flopsPerWarp / n * warps;
+    rec.intOps = state.intOpsPerWarp / n * warps;
+    rec.loads = state.loadsPerWarp / n * warps;
+    rec.divergentLoads = state.divergentPerWarp / n * warps;
+    rec.l1Accesses = state.l1AccPerWarp / n * warps;
+    rec.l1Hits = state.l1HitPerWarp / n * warps;
+    rec.l2Accesses = state.l2AccPerWarp / n * warps;
+    rec.l2Hits = state.l2HitPerWarp / n * warps;
+    rec.dramBytes = state.dramBytesPerWarp / n * warps;
+    for (size_t r = 0; r < kNumStallReasons; ++r)
+        rec.stallCycles[r] = state.stallsPerWarp[r] / n * warps;
+    rec.cycles = state.cyclesPerWave / n * static_cast<double>(geo.waves);
+    (void)desc;
+    return rec;
+}
+
+void
+GpuDevice::finishRecord(KernelRecord &record, const Geometry &geo)
+{
+    double time_pipe = record.cycles / cfg_.clockHz();
+    double time_bw = record.dramBytes / cfg_.dramBandwidth;
+    if (time_bw > time_pipe) {
+        // Bandwidth-bound: the extra wait shows up as memory throttle.
+        double extra_cycles = (time_bw - time_pipe) * cfg_.clockHz();
+        record.stallCycles[static_cast<size_t>(
+            StallReason::MemoryThrottle)] += extra_cycles;
+    }
+    record.timeSec =
+        std::max(time_pipe, time_bw) + cfg_.kernelBaseTimeSec;
+    record.cycles = record.timeSec * cfg_.clockHz();
+    record.activeSms = geo.activeSms;
+    double per_sm_instrs =
+        record.totalInstrs() / std::max(1, geo.activeSms);
+    record.ipc = record.cycles > 0 ? per_sm_instrs / record.cycles : 0;
+}
+
+KernelRecord
+GpuDevice::launch(const KernelDesc &desc)
+{
+    Geometry geo = computeGeometry(desc);
+    SampleState &state = samples_[desc.name];
+
+    KernelRecord rec;
+    if (state.detailedRuns < cfg_.detailSampleLimit) {
+        rec = simulateDetailed(desc, geo, state);
+    } else {
+        rec = replayFromSample(desc, geo, state);
+    }
+    rec.name = desc.name;
+    rec.opClass = desc.opClass;
+    rec.invocation = state.invocations++;
+    finishRecord(rec, geo);
+
+    // Install the kernel's full write footprint into the L2 (the
+    // sampled warps covered only a slice of it).
+    int64_t line_budget = 32768;
+    for (const auto &[addr, bytes] : desc.outputRanges) {
+        const uint64_t line = cfg_.cacheLineBytes;
+        for (uint64_t a = addr; a < addr + bytes && line_budget > 0;
+             a += line, --line_budget) {
+            l2_.access(a);
+        }
+    }
+
+    kernelTime_ += rec.timeSec;
+    ++kernelCount_;
+
+    notify(rec);
+    return rec;
+}
+
+TransferRecord
+GpuDevice::recordTransfer(double bytes, double zero_fraction,
+                          const std::string &tag)
+{
+    TransferRecord tr;
+    tr.tag = tag;
+    tr.bytes = bytes;
+    tr.zeroFraction = zero_fraction;
+    double wire_bytes = bytes;
+    if (cfg_.h2dCompression) {
+        // Zero-value compression ablation: non-zeros plus a bitmap.
+        wire_bytes = bytes * (1.0 - zero_fraction) + bytes / 32.0;
+    }
+    tr.timeSec = cfg_.pcieLatencySec + wire_bytes / cfg_.pcieBandwidth;
+    transferTime_ += tr.timeSec;
+    for (auto *obs : observers_)
+        obs->onTransfer(tr);
+    return tr;
+}
+
+TransferRecord
+GpuDevice::copyHostToDevice(const float *data, size_t count,
+                            const std::string &tag)
+{
+    size_t zeros = 0;
+    for (size_t i = 0; i < count; ++i) {
+        if (data[i] == 0.0f)
+            ++zeros;
+    }
+    double zf = count == 0 ? 0.0
+                           : static_cast<double>(zeros) /
+                                 static_cast<double>(count);
+    installInL2(reinterpret_cast<uint64_t>(data),
+                count * static_cast<size_t>(cfg_.elemBytes));
+    return recordTransfer(static_cast<double>(count) * cfg_.elemBytes, zf,
+                          tag);
+}
+
+TransferRecord
+GpuDevice::copyHostToDevice(const int32_t *data, size_t count,
+                            const std::string &tag)
+{
+    size_t zeros = 0;
+    for (size_t i = 0; i < count; ++i) {
+        if (data[i] == 0)
+            ++zeros;
+    }
+    double zf = count == 0 ? 0.0
+                           : static_cast<double>(zeros) /
+                                 static_cast<double>(count);
+    installInL2(reinterpret_cast<uint64_t>(data),
+                count * sizeof(int32_t));
+    return recordTransfer(static_cast<double>(count) * sizeof(int32_t), zf,
+                          tag);
+}
+
+void
+GpuDevice::installInL2(uint64_t addr, size_t bytes)
+{
+    // Host-to-device DMA writes allocate in the L2 on Volta.
+    int64_t budget = 32768;
+    const uint64_t line = cfg_.cacheLineBytes;
+    for (uint64_t a = addr; a < addr + bytes && budget > 0;
+         a += line, --budget) {
+        l2_.access(a);
+    }
+}
+
+void
+GpuDevice::addObserver(KernelObserver *observer)
+{
+    observers_.push_back(observer);
+}
+
+void
+GpuDevice::clearObservers()
+{
+    observers_.clear();
+}
+
+void
+GpuDevice::notify(const KernelRecord &record)
+{
+    for (auto *obs : observers_)
+        obs->onKernel(record);
+}
+
+void
+GpuDevice::resetTimers()
+{
+    kernelTime_ = 0;
+    transferTime_ = 0;
+    kernelCount_ = 0;
+}
+
+void
+GpuDevice::flushCaches()
+{
+    l2_.flush();
+    for (auto &l1 : l1s_)
+        l1.flush();
+}
+
+void
+GpuDevice::resetSampling()
+{
+    samples_.clear();
+}
+
+} // namespace gnnmark

@@ -1,0 +1,50 @@
+#include "sim/interconnect.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+Interconnect::Interconnect(InterconnectConfig config) : cfg_(config)
+{
+    GNN_ASSERT(cfg_.linksPerGpu > 0 && cfg_.perLinkBandwidth > 0,
+               "invalid interconnect configuration");
+}
+
+double
+Interconnect::ringBandwidth() const
+{
+    // A ring uses half the links in each direction.
+    return cfg_.perLinkBandwidth * cfg_.linksPerGpu / 2.0;
+}
+
+double
+Interconnect::allReduceTime(double bytes, int world) const
+{
+    if (world <= 1 || bytes <= 0)
+        return 0.0;
+    double w = static_cast<double>(world);
+    double steps = 2.0 * (w - 1.0);
+    return steps * (bytes / w) / ringBandwidth() +
+           steps * cfg_.messageLatencySec;
+}
+
+double
+Interconnect::broadcastTime(double bytes, int world) const
+{
+    if (world <= 1 || bytes <= 0)
+        return 0.0;
+    double hops = std::ceil(std::log2(static_cast<double>(world)));
+    return hops * (bytes / ringBandwidth() + cfg_.messageLatencySec);
+}
+
+double
+Interconnect::p2pTime(double bytes) const
+{
+    if (bytes <= 0)
+        return 0.0;
+    return bytes / ringBandwidth() + cfg_.messageLatencySec;
+}
+
+} // namespace gnnmark

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Measured results of a kernel launch (and of host-to-device copies),
+ * as delivered to profiler observers. This is the model's analogue of
+ * one nvprof row plus the NVBit divergence counters.
+ */
+
+#ifndef GNNMARK_SIM_KERNEL_RECORD_HH
+#define GNNMARK_SIM_KERNEL_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/op_class.hh"
+#include "sim/stall.hh"
+
+namespace gnnmark {
+
+/** Per-launch metrics, scaled to the full grid. */
+struct KernelRecord
+{
+    std::string name;
+    OpClass opClass = OpClass::Other;
+    int64_t invocation = 0; ///< per-name launch counter (0-based)
+    bool detailed = false;  ///< freshly simulated vs. reused sample
+
+    double timeSec = 0;     ///< kernel duration (excludes launch gap)
+    double cycles = 0;      ///< SM cycles over the kernel duration
+    int activeSms = 0;      ///< SMs with at least one resident block
+    double ipc = 0;         ///< warp instrs / cycle / active SM
+
+    // Dynamic instruction counts (warp instructions, full grid).
+    double fp32Instrs = 0;
+    double int32Instrs = 0;
+    double memInstrs = 0;
+    double miscInstrs = 0;
+    double totalInstrs() const
+    {
+        return fp32Instrs + int32Instrs + memInstrs + miscInstrs;
+    }
+
+    // Lane-level arithmetic work (for GFLOPS / GIOPS).
+    double flops = 0;
+    double intOps = 0;
+
+    // Memory behaviour.
+    double loads = 0;          ///< global load instructions
+    double divergentLoads = 0; ///< loads touching > 1 cache line
+    double l1Accesses = 0;
+    double l1Hits = 0;
+    double l2Accesses = 0;
+    double l2Hits = 0;
+    double dramBytes = 0;
+
+    // Warp issue-stall cycles by reason (relative magnitudes matter).
+    StallVector stallCycles{};
+};
+
+/** One host-to-device copy, with the sparsity the paper tracks. */
+struct TransferRecord
+{
+    std::string tag;      ///< caller-provided label (e.g. "features")
+    double bytes = 0;
+    double zeroFraction = 0; ///< fraction of zero-valued elements
+    double timeSec = 0;
+};
+
+/**
+ * Observer interface for profilers; a device forwards every kernel
+ * launch and host-to-device transfer to its registered observers.
+ */
+class KernelObserver
+{
+  public:
+    virtual ~KernelObserver() = default;
+    virtual void onKernel(const KernelRecord &record) = 0;
+    virtual void onTransfer(const TransferRecord &record) = 0;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_SIM_KERNEL_RECORD_HH

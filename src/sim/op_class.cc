@@ -1,0 +1,32 @@
+#include "sim/op_class.hh"
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+const std::string &
+opClassName(OpClass c)
+{
+    static const std::array<std::string, kNumOpClasses> names = {
+        "GEMM",    "GEMV",        "SpMM",    "Conv",
+        "BatchNorm", "ElementWise", "Reduction", "Scatter",
+        "Gather",  "IndexSelect", "Sort",    "Other",
+    };
+    size_t i = static_cast<size_t>(c);
+    GNN_ASSERT(i < kNumOpClasses, "invalid OpClass %zu", i);
+    return names[i];
+}
+
+const std::array<OpClass, kNumOpClasses> &
+allOpClasses()
+{
+    static const std::array<OpClass, kNumOpClasses> all = {
+        OpClass::Gemm,      OpClass::Gemv,        OpClass::SpMM,
+        OpClass::Conv,      OpClass::BatchNorm,   OpClass::ElementWise,
+        OpClass::Reduction, OpClass::Scatter,     OpClass::Gather,
+        OpClass::IndexSelect, OpClass::Sort,      OpClass::Other,
+    };
+    return all;
+}
+
+} // namespace gnnmark

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Operation taxonomy used to classify GPU kernels, matching the operation
+ * classes GNNMark reports in its execution-time breakdown (Fig. 2):
+ * GEMM, SpMM, convolutions, scatters, gathers, reductions, index
+ * selection, sorting and element-wise operations.
+ */
+
+#ifndef GNNMARK_SIM_OP_CLASS_HH
+#define GNNMARK_SIM_OP_CLASS_HH
+
+#include <array>
+#include <string>
+
+namespace gnnmark {
+
+/** Kernel operation classes (the paper's Fig. 2 categories). */
+enum class OpClass
+{
+    Gemm,        ///< dense matrix-matrix multiply
+    Gemv,        ///< dense matrix-vector multiply
+    SpMM,        ///< sparse-dense matrix multiply (CSR)
+    Conv,        ///< 2D convolution
+    BatchNorm,   ///< batch normalisation (train-time, two-pass)
+    ElementWise, ///< per-element map ops (add, mul, ReLU, exp, ...)
+    Reduction,   ///< full or segmented reductions
+    Scatter,     ///< indexed writes (scatter/scatter-add)
+    Gather,      ///< indexed reads along graph edges
+    IndexSelect, ///< row selection / embedding lookup
+    Sort,        ///< key or key-value sorting
+    Other,       ///< anything else (RNG, loss bookkeeping, ...)
+    NumClasses
+};
+
+constexpr size_t kNumOpClasses = static_cast<size_t>(OpClass::NumClasses);
+
+/** Short printable name, e.g. "GEMM", "ElementWise". */
+const std::string &opClassName(OpClass c);
+
+/** All classes in declaration order (for iteration in reports). */
+const std::array<OpClass, kNumOpClasses> &allOpClasses();
+
+} // namespace gnnmark
+
+#endif // GNNMARK_SIM_OP_CLASS_HH

@@ -1,0 +1,19 @@
+#include "sim/stall.hh"
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+const std::string &
+stallReasonName(StallReason r)
+{
+    static const std::array<std::string, kNumStallReasons> names = {
+        "Memory Dependency", "Execution Dependency", "Instruction Fetch",
+        "Synchronization",   "Memory Throttle",      "Not Selected",
+    };
+    size_t i = static_cast<size_t>(r);
+    GNN_ASSERT(i < kNumStallReasons, "invalid StallReason %zu", i);
+    return names[i];
+}
+
+} // namespace gnnmark

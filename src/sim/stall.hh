@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Warp issue-stall taxonomy, following nvprof's stall-reason metrics that
+ * the paper reports in Fig. 5 (Memory Dependency, Execution Dependency,
+ * Instruction Fetch, plus synchronization / throttle / scheduler buckets).
+ */
+
+#ifndef GNNMARK_SIM_STALL_HH
+#define GNNMARK_SIM_STALL_HH
+
+#include <array>
+#include <string>
+
+namespace gnnmark {
+
+/** Reasons a resident warp cannot issue on a given cycle. */
+enum class StallReason
+{
+    MemoryDependency,    ///< waiting on an outstanding global load
+    ExecutionDependency, ///< waiting on an in-flight ALU/SFU result
+    InstructionFetch,    ///< waiting on the instruction cache
+    Synchronization,     ///< waiting at a block barrier
+    MemoryThrottle,      ///< memory system saturated (bandwidth bound)
+    NotSelected,         ///< eligible but scheduler picked another warp
+    NumReasons
+};
+
+constexpr size_t kNumStallReasons =
+    static_cast<size_t>(StallReason::NumReasons);
+
+/** Printable name, e.g. "Memory Dependency". */
+const std::string &stallReasonName(StallReason r);
+
+/** Per-reason accumulator (warp-cycles). */
+using StallVector = std::array<double, kNumStallReasons>;
+
+} // namespace gnnmark
+
+#endif // GNNMARK_SIM_STALL_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * In-order, multi-warp SM pipeline model.
+ *
+ * Replays the recorded traces of one wave of resident warps on one SM:
+ * warps issue round-robin (up to issueWidth per cycle), dependent-use
+ * latencies create issue stalls attributed per nvprof's taxonomy, and
+ * memory instructions walk the L1 -> L2 -> DRAM hierarchy line by line.
+ */
+
+#ifndef GNNMARK_SIM_WARP_PIPELINE_HH
+#define GNNMARK_SIM_WARP_PIPELINE_HH
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/cache_model.hh"
+#include "sim/gpu_config.hh"
+#include "sim/kernel_desc.hh"
+#include "sim/stall.hh"
+#include "sim/warp_trace.hh"
+
+namespace gnnmark {
+
+/** Aggregate results of simulating one wave on one SM. */
+struct WaveResult
+{
+    double cycles = 0;  ///< wave duration (extrapolated) in SM cycles
+    double issued = 0;  ///< warp instructions issued (full counts)
+
+    // Instruction mix (full counts from the traces).
+    double fp32Instrs = 0;
+    double int32Instrs = 0;
+    double memInstrs = 0;
+    double miscInstrs = 0;
+    double flops = 0;
+    double intOps = 0;
+
+    // Memory behaviour (extrapolated from the recorded prefix).
+    double loads = 0;
+    double divergentLoads = 0;
+    double l1Accesses = 0;
+    double l1Hits = 0;
+    double l2Accesses = 0;
+    double l2Hits = 0;
+    double dramBytes = 0;
+
+    StallVector stalls{}; ///< warp-stall cycles by reason (extrapolated)
+};
+
+/**
+ * Pipeline simulator bound to one SM's L1 and the device L2.
+ *
+ * The caches persist across kernels (owned by the device); the L0
+ * I-cache is rebuilt per run() since each kernel has different code.
+ */
+class WarpPipeline
+{
+  public:
+    WarpPipeline(const GpuConfig &config, CacheModel &l1, CacheModel &l2,
+                 Rng &rng);
+
+    /**
+     * Simulate one wave.
+     * @param warps Recorded traces of the resident warps.
+     * @param desc  The launch (for code size, ILP, bypass hints).
+     */
+    WaveResult run(const std::vector<WarpTrace> &warps,
+                   const KernelDesc &desc);
+
+  private:
+    const GpuConfig &cfg_;
+    CacheModel &l1_;
+    CacheModel &l2_;
+    Rng &rng_;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_SIM_WARP_PIPELINE_HH

@@ -1,0 +1,325 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "base/string_utils.hh"
+
+namespace gnnmark {
+
+namespace {
+
+int64_t
+shapeNumel(const std::vector<int64_t> &shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape) {
+        GNN_ASSERT(d >= 0, "negative dimension %lld",
+                   static_cast<long long>(d));
+        n *= d;
+    }
+    return n;
+}
+
+/**
+ * Caching storage allocator: freed blocks are recycled by size, so a
+ * training loop's activations land at the same (aligned) addresses
+ * every iteration, as under PyTorch's caching allocator.
+ */
+class StoragePool
+{
+  public:
+    static StoragePool &
+    instance()
+    {
+        static StoragePool pool;
+        return pool;
+    }
+
+    float *
+    acquire(int64_t numel)
+    {
+        auto &bin = free_[numel];
+        if (!bin.empty()) {
+            float *p = bin.back();
+            bin.pop_back();
+            return p;
+        }
+        void *raw = nullptr;
+        size_t bytes = std::max<size_t>(
+            256, static_cast<size_t>(numel) * sizeof(float));
+        int rc = posix_memalign(&raw, 256, bytes);
+        GNN_ASSERT(rc == 0, "allocation of %zu bytes failed", bytes);
+        return static_cast<float *>(raw);
+    }
+
+    void
+    release(float *p, int64_t numel)
+    {
+        free_[numel].push_back(p);
+    }
+
+  private:
+    std::unordered_map<int64_t, std::vector<float *>> free_;
+};
+
+std::shared_ptr<float>
+pooledStorage(int64_t numel)
+{
+    float *p = StoragePool::instance().acquire(numel);
+    return std::shared_ptr<float>(
+        p, [numel](float *ptr) {
+            StoragePool::instance().release(ptr, numel);
+        });
+}
+
+} // namespace
+
+Tensor::Tensor() : Tensor(std::vector<int64_t>{0})
+{
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), numel_(shapeNumel(shape_)),
+      storage_(pooledStorage(numel_))
+{
+    std::fill(storage_.get(), storage_.get() + numel_, 0.0f);
+}
+
+Tensor
+Tensor::zeros(std::vector<int64_t> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::ones(std::vector<int64_t> shape)
+{
+    return full(std::move(shape), 1.0f);
+}
+
+Tensor
+Tensor::full(std::vector<int64_t> shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::fromVector(std::vector<int64_t> shape, std::vector<float> values)
+{
+    Tensor t(std::move(shape));
+    GNN_ASSERT(static_cast<int64_t>(values.size()) == t.numel(),
+               "value count %zu does not match shape numel %lld",
+               values.size(), static_cast<long long>(t.numel()));
+    std::copy(values.begin(), values.end(), t.data());
+    return t;
+}
+
+Tensor
+Tensor::randn(std::vector<int64_t> shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+Tensor
+Tensor::uniform(std::vector<int64_t> shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = rng.uniform(lo, hi);
+    return t;
+}
+
+int64_t
+Tensor::size(int d) const
+{
+    int nd = dim();
+    if (d < 0)
+        d += nd;
+    GNN_ASSERT(d >= 0 && d < nd, "dimension %d out of range for %d-d",
+               d, nd);
+    return shape_[d];
+}
+
+bool
+Tensor::sameShape(const Tensor &other) const
+{
+    return shape_ == other.shape_;
+}
+
+float *
+Tensor::data()
+{
+    return storage_.get() + offset_;
+}
+
+const float *
+Tensor::data() const
+{
+    return storage_.get() + offset_;
+}
+
+float &
+Tensor::operator()(int64_t i)
+{
+    GNN_ASSERT(dim() == 1 && i >= 0 && i < shape_[0],
+               "bad 1-d index %lld", static_cast<long long>(i));
+    return data()[i];
+}
+
+float
+Tensor::operator()(int64_t i) const
+{
+    return const_cast<Tensor &>(*this)(i);
+}
+
+float &
+Tensor::operator()(int64_t i, int64_t j)
+{
+    GNN_ASSERT(dim() == 2 && i >= 0 && i < shape_[0] && j >= 0 &&
+               j < shape_[1], "bad 2-d index (%lld, %lld)",
+               static_cast<long long>(i), static_cast<long long>(j));
+    return data()[i * shape_[1] + j];
+}
+
+float
+Tensor::operator()(int64_t i, int64_t j) const
+{
+    return const_cast<Tensor &>(*this)(i, j);
+}
+
+float &
+Tensor::operator()(int64_t i, int64_t j, int64_t k)
+{
+    GNN_ASSERT(dim() == 3 && i >= 0 && i < shape_[0] && j >= 0 &&
+               j < shape_[1] && k >= 0 && k < shape_[2],
+               "bad 3-d index (%lld, %lld, %lld)",
+               static_cast<long long>(i), static_cast<long long>(j),
+               static_cast<long long>(k));
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float
+Tensor::operator()(int64_t i, int64_t j, int64_t k) const
+{
+    return const_cast<Tensor &>(*this)(i, j, k);
+}
+
+float &
+Tensor::operator()(int64_t i, int64_t j, int64_t k, int64_t l)
+{
+    GNN_ASSERT(dim() == 4 && i >= 0 && i < shape_[0] && j >= 0 &&
+               j < shape_[1] && k >= 0 && k < shape_[2] && l >= 0 &&
+               l < shape_[3], "bad 4-d index (%lld, %lld, %lld, %lld)",
+               static_cast<long long>(i), static_cast<long long>(j),
+               static_cast<long long>(k), static_cast<long long>(l));
+    return data()[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+float
+Tensor::operator()(int64_t i, int64_t j, int64_t k, int64_t l) const
+{
+    return const_cast<Tensor &>(*this)(i, j, k, l);
+}
+
+Tensor
+Tensor::reshape(std::vector<int64_t> shape) const
+{
+    GNN_ASSERT(shapeNumel(shape) == numel_,
+               "reshape numel mismatch: %lld vs %lld",
+               static_cast<long long>(shapeNumel(shape)),
+               static_cast<long long>(numel_));
+    Tensor t = *this;
+    t.shape_ = std::move(shape);
+    return t;
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor t(shape_);
+    std::copy(data(), data() + numel_, t.data());
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data(), data() + numel_, value);
+}
+
+void
+Tensor::zero()
+{
+    fill(0.0f);
+}
+
+uint64_t
+Tensor::deviceAddr() const
+{
+    return reinterpret_cast<uint64_t>(data());
+}
+
+double
+Tensor::zeroFraction() const
+{
+    if (numel_ == 0)
+        return 0.0;
+    int64_t zeros = 0;
+    const float *p = data();
+    for (int64_t i = 0; i < numel_; ++i) {
+        if (p[i] == 0.0f)
+            ++zeros;
+    }
+    return static_cast<double>(zeros) / static_cast<double>(numel_);
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::vector<std::string> dims;
+    dims.reserve(shape_.size());
+    for (int64_t d : shape_)
+        dims.push_back(strfmt("%lld", static_cast<long long>(d)));
+    return "[" + join(dims, ", ") + "]";
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    GNN_ASSERT(a.sameShape(b), "shape mismatch: %s vs %s",
+               a.shapeString().c_str(), b.shapeString().c_str());
+    float worst = 0.0f;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i)
+        worst = std::max(worst, std::abs(pa[i] - pb[i]));
+    return worst;
+}
+
+bool
+allClose(const Tensor &a, const Tensor &b, float rtol, float atol)
+{
+    if (!a.sameShape(b))
+        return false;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        float tol = atol + rtol * std::abs(pb[i]);
+        if (std::abs(pa[i] - pb[i]) > tol)
+            return false;
+    }
+    return true;
+}
+
+} // namespace gnnmark

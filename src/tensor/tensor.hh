@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Dense fp32 tensor, the value type flowing through the operator layer.
+ *
+ * Tensors are contiguous, row-major, and reference-counted: copies are
+ * shallow (sharing storage), clone() is deep. The storage address is
+ * stable for the tensor's lifetime and doubles as the simulated device
+ * address for the GPU cache models.
+ */
+
+#ifndef GNNMARK_TENSOR_TENSOR_HH
+#define GNNMARK_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace gnnmark {
+
+/** N-dimensional dense fp32 array (row-major, contiguous). */
+class Tensor
+{
+  public:
+    /** An empty 0-element tensor. */
+    Tensor();
+
+    /** Zero-initialised tensor of the given shape. */
+    explicit Tensor(std::vector<int64_t> shape);
+
+    /** @{ Factory helpers. */
+    static Tensor zeros(std::vector<int64_t> shape);
+    static Tensor ones(std::vector<int64_t> shape);
+    static Tensor full(std::vector<int64_t> shape, float value);
+    static Tensor fromVector(std::vector<int64_t> shape,
+                             std::vector<float> values);
+    /** i.i.d. N(0, stddev^2) entries. */
+    static Tensor randn(std::vector<int64_t> shape, Rng &rng,
+                        float stddev = 1.0f);
+    /** i.i.d. U[lo, hi) entries. */
+    static Tensor uniform(std::vector<int64_t> shape, Rng &rng, float lo,
+                          float hi);
+    /** @} */
+
+    /** Number of elements. */
+    int64_t numel() const { return numel_; }
+
+    /** Number of dimensions. */
+    int dim() const { return static_cast<int>(shape_.size()); }
+
+    /** Extent of dimension d (negative d counts from the back). */
+    int64_t size(int d) const;
+
+    const std::vector<int64_t> &shape() const { return shape_; }
+
+    /** True if this tensor has the same shape as `other`. */
+    bool sameShape(const Tensor &other) const;
+
+    /** @{ Raw element access. */
+    float *data();
+    const float *data() const;
+    /** @} */
+
+    /** @{ Indexed access (bounds-checked up to 4-D). */
+    float &operator()(int64_t i);
+    float operator()(int64_t i) const;
+    float &operator()(int64_t i, int64_t j);
+    float operator()(int64_t i, int64_t j) const;
+    float &operator()(int64_t i, int64_t j, int64_t k);
+    float operator()(int64_t i, int64_t j, int64_t k) const;
+    float &operator()(int64_t i, int64_t j, int64_t k, int64_t l);
+    float operator()(int64_t i, int64_t j, int64_t k, int64_t l) const;
+    /** @} */
+
+    /** View with a new shape (shares storage; numel must match). */
+    Tensor reshape(std::vector<int64_t> shape) const;
+
+    /** Deep copy. */
+    Tensor clone() const;
+
+    /** Set all elements to `value`. */
+    void fill(float value);
+
+    /** Set all elements to zero. */
+    void zero();
+
+    /** True if storage is allocated (numel may still be 0). */
+    bool defined() const { return storage_ != nullptr; }
+
+    /** Stable byte address of element 0, used as the device address. */
+    uint64_t deviceAddr() const;
+
+    /** Fraction of exactly-zero elements (sparsity, as in the paper). */
+    double zeroFraction() const;
+
+    /** Shape as a printable string, e.g. "[2, 3]". */
+    std::string shapeString() const;
+
+  private:
+    std::vector<int64_t> shape_;
+    int64_t numel_ = 0;
+    /**
+     * Pooled, 256-byte-aligned storage. Allocations are recycled by a
+     * caching allocator (like the PyTorch CUDA allocator), so training
+     * loops see stable "device" addresses across iterations — which is
+     * what the persistent L2 model in the simulator observes.
+     */
+    std::shared_ptr<float> storage_;
+    int64_t offset_ = 0; ///< element offset into storage (views)
+};
+
+/** Max |a - b| over all elements; shapes must match. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+/** True if all elements differ by at most atol + rtol * |b|. */
+bool allClose(const Tensor &a, const Tensor &b, float rtol = 1e-4f,
+              float atol = 1e-5f);
+
+} // namespace gnnmark
+
+#endif // GNNMARK_TENSOR_TENSOR_HH

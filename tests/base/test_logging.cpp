@@ -1,0 +1,31 @@
+/** @file Tests for panic/fatal/assert reporting. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+using namespace gnnmark;
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(GNN_PANIC("boom %d", 42), "panic.*boom 42");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(GNN_FATAL("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal.*bad config x");
+}
+
+TEST(LoggingDeath, AssertReportsConditionAndMessage)
+{
+    int value = 3;
+    EXPECT_DEATH(GNN_ASSERT(value == 4, "value was %d", value),
+                 "assertion 'value == 4' failed: value was 3");
+}
+
+TEST(Logging, AssertPassesQuietly)
+{
+    GNN_ASSERT(1 + 1 == 2, "arithmetic is broken");
+    SUCCEED();
+}

@@ -1,0 +1,150 @@
+/** @file Characterization-runner integration tests: the metrics the
+ *  figure benches consume are well formed and deterministic. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/characterization.hh"
+#include "core/reports.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+RunOptions
+tinyOptions()
+{
+    RunOptions opt;
+    opt.scale = 0.2;
+    opt.iterations = 3;
+    opt.warmupIterations = 1;
+    opt.seed = 77;
+    return opt;
+}
+
+} // namespace
+
+TEST(Characterization, ProfileWellFormed)
+{
+    CharacterizationRunner runner(tinyOptions());
+    WorkloadProfile p = runner.run("DGCN");
+
+    EXPECT_EQ(p.name, "DGCN");
+    EXPECT_EQ(p.losses.size(), 3u);
+    EXPECT_GT(p.wallTimeSec, 0);
+    EXPECT_GT(p.epochTimeSec, 0);
+    EXPECT_GT(p.iterationsPerEpoch, 0);
+    EXPECT_GT(p.parameterBytes, 0);
+
+    // Fig. 2 breakdown: fractions sum to 1.
+    auto breakdown = p.profiler.opTimeBreakdown();
+    double total = 0;
+    for (double f : breakdown) {
+        EXPECT_GE(f, 0);
+        total += f;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+
+    // Fig. 3 mix sums to 1.
+    auto mix = p.profiler.instructionMix();
+    EXPECT_NEAR(mix.int32Frac + mix.fp32Frac + mix.otherFrac, 1.0,
+                1e-9);
+
+    // Fig. 5 stalls sum to 1.
+    StallVector stalls = p.profiler.stallBreakdown();
+    double stall_total = 0;
+    for (double s : stalls)
+        stall_total += s;
+    EXPECT_NEAR(stall_total, 1.0, 1e-9);
+
+    // Fig. 6 rates are probabilities.
+    EXPECT_GE(p.profiler.l1HitRate(), 0);
+    EXPECT_LE(p.profiler.l1HitRate(), 1);
+    EXPECT_GE(p.profiler.l2HitRate(), 0);
+    EXPECT_LE(p.profiler.l2HitRate(), 1);
+    EXPECT_GE(p.profiler.divergentLoadFraction(), 0);
+    EXPECT_LE(p.profiler.divergentLoadFraction(), 1);
+
+    // Fig. 7 sparsity is a fraction and something was uploaded.
+    EXPECT_GT(p.profiler.totalTransferBytes(), 0);
+    EXPECT_GE(p.profiler.avgTransferSparsity(), 0);
+    EXPECT_LE(p.profiler.avgTransferSparsity(), 1);
+
+    // Fig. 8 timeline covers the measured iterations.
+    EXPECT_FALSE(p.profiler.sparsityTimeline().empty());
+
+    EXPECT_FALSE(p.profiler.kernelStats().empty());
+}
+
+TEST(Characterization, DeterministicAcrossRuns)
+{
+    CharacterizationRunner runner(tinyOptions());
+    WorkloadProfile a = runner.run("KGNNL");
+    WorkloadProfile b = runner.run("KGNNL");
+    ASSERT_EQ(a.losses.size(), b.losses.size());
+    for (size_t i = 0; i < a.losses.size(); ++i)
+        EXPECT_FLOAT_EQ(a.losses[i], b.losses[i]);
+    EXPECT_EQ(a.profiler.totalLaunches(), b.profiler.totalLaunches());
+    // Timing is deterministic only up to allocator state (address
+    // reuse changes cache behaviour, as on real hardware).
+    EXPECT_NEAR(a.profiler.totalKernelTimeSec(),
+                b.profiler.totalKernelTimeSec(),
+                a.profiler.totalKernelTimeSec() * 0.10);
+}
+
+TEST(Characterization, GwIsTheFp32DominatedWorkload)
+{
+    CharacterizationRunner runner(tinyOptions());
+    WorkloadProfile gw = runner.run("GW");
+    WorkloadProfile kgnn = runner.run("KGNNH");
+    auto gw_mix = gw.profiler.instructionMix();
+    auto kg_mix = kgnn.profiler.instructionMix();
+    // The paper's headline reversal: GW is fp-dominant, the
+    // higher-order GNN is int-dominant.
+    EXPECT_GT(gw_mix.fp32Frac, gw_mix.int32Frac);
+    EXPECT_GT(kg_mix.int32Frac, kg_mix.fp32Frac);
+}
+
+TEST(Characterization, ArgaTransfersAreHighlySparse)
+{
+    CharacterizationRunner runner(tinyOptions());
+    WorkloadProfile arga = runner.run("ARGA");
+    EXPECT_GT(arga.profiler.avgTransferSparsity(), 0.7);
+}
+
+TEST(Characterization, ReportsRenderForProfiles)
+{
+    CharacterizationRunner runner(tinyOptions());
+    std::vector<WorkloadProfile> profiles;
+    profiles.push_back(runner.run("DGCN"));
+    profiles.push_back(runner.run("TLSTM"));
+
+    std::ostringstream os;
+    reports::printFig2OpBreakdown(profiles, os);
+    reports::printFig3InstructionMix(profiles, os);
+    reports::printFig4Throughput(profiles, os);
+    reports::printFig5Stalls(profiles, os);
+    reports::printFig6Cache(profiles, os);
+    reports::printFig7Sparsity(profiles, os);
+    reports::printFig8SparsityTimeline(profiles, os, 3);
+    reports::printKernelTable(profiles[0], os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Fig. 2"), std::string::npos);
+    EXPECT_NE(out.find("Fig. 7"), std::string::npos);
+    EXPECT_NE(out.find("DGCN"), std::string::npos);
+    EXPECT_NE(out.find("TLSTM"), std::string::npos);
+    EXPECT_NE(out.find("GEMM"), std::string::npos);
+}
+
+TEST(Characterization, HalfPrecisionAblationMovesFewerBytes)
+{
+    RunOptions fp32 = tinyOptions();
+    RunOptions fp16 = tinyOptions();
+    fp16.deviceConfig.elemBytes = 2;
+    WorkloadProfile a = CharacterizationRunner(fp32).run("DGCN");
+    WorkloadProfile b = CharacterizationRunner(fp16).run("DGCN");
+    EXPECT_LT(b.profiler.totalTransferBytes(),
+              a.profiler.totalTransferBytes() * 0.75);
+}

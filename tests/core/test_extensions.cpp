@@ -1,0 +1,110 @@
+/** @file Tests for the future-work extensions: time-to-train, weak
+ *  scaling, and inference-only characterization. */
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.hh"
+#include "core/suite.hh"
+#include "core/time_to_train.hh"
+#include "multigpu/ddp.hh"
+
+using namespace gnnmark;
+
+TEST(TimeToTrain, ConvergesOnLearnableWorkload)
+{
+    auto wl = BenchmarkSuite::create("DGCN");
+    TimeToTrainOptions opt;
+    opt.scale = 0.25;
+    opt.maxIterations = 60;
+    TimeToTrainResult r = measureTimeToTrain(*wl, opt);
+    EXPECT_TRUE(r.converged);
+    EXPECT_GT(r.iterations, 1);
+    EXPECT_LE(r.iterations, 60);
+    EXPECT_GT(r.simulatedTimeSec, 0);
+    EXPECT_LT(r.finalLoss, r.initialLoss);
+}
+
+TEST(TimeToTrain, RespectsIterationCap)
+{
+    auto wl = BenchmarkSuite::create("STGCN");
+    TimeToTrainOptions opt;
+    opt.scale = 0.25;
+    opt.lossFraction = 0.0001; // unreachable
+    opt.maxIterations = 4;
+    TimeToTrainResult r = measureTimeToTrain(*wl, opt);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.iterations, 4);
+}
+
+TEST(TimeToTrainDeath, BadOptionsPanic)
+{
+    auto wl = BenchmarkSuite::create("DGCN");
+    TimeToTrainOptions opt;
+    opt.lossFraction = 1.5;
+    EXPECT_DEATH(measureTimeToTrain(*wl, opt), "loss fraction");
+}
+
+TEST(InferenceMode, SkipsBackwardAndOptimizer)
+{
+    RunOptions train;
+    train.scale = 0.25;
+    train.iterations = 3;
+    RunOptions infer = train;
+    infer.inferenceOnly = true;
+
+    WorkloadProfile t = CharacterizationRunner(train).run("KGNNL");
+    WorkloadProfile i = CharacterizationRunner(infer).run("KGNNL");
+    // Forward-only launches far fewer kernels and is faster.
+    EXPECT_LT(i.profiler.totalLaunches(),
+              t.profiler.totalLaunches() * 0.7);
+    EXPECT_LT(i.wallTimeSec, t.wallTimeSec);
+    // No optimiser kernels in inference mode.
+    for (const auto &[name, stats] : i.profiler.kernelStats())
+        EXPECT_EQ(name.find("optim_"), std::string::npos) << name;
+}
+
+TEST(InferenceMode, LossStaysFlat)
+{
+    auto wl = BenchmarkSuite::create("DGCN");
+    WorkloadConfig cfg;
+    cfg.scale = 0.25;
+    cfg.inferenceOnly = true;
+    wl->setup(cfg);
+    // Without optimiser steps, repeated passes over the same data give
+    // the same loss trajectory start (weights frozen).
+    float a = wl->trainIteration();
+    for (int i = 0; i < 3; ++i)
+        wl->trainIteration();
+    auto wl2 = BenchmarkSuite::create("DGCN");
+    wl2->setup(cfg);
+    EXPECT_FLOAT_EQ(wl2->trainIteration(), a);
+}
+
+TEST(WeakScaling, EfficiencyAtMostOneAndCommGrows)
+{
+    auto wl = BenchmarkSuite::create("DGCN");
+    WorkloadConfig base;
+    base.scale = 0.3;
+    DdpTrainer trainer;
+    auto curve = trainer.weakScalingCurve(*wl, base, {1, 2, 4}, 2);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_NEAR(curve[0].speedup, 1.0, 1e-9);
+    EXPECT_EQ(curve[0].commTimeSec, 0);
+    // Efficiency cannot exceed 1 by much and decays with world size.
+    EXPECT_LE(curve[1].speedup, 1.1);
+    EXPECT_LE(curve[2].speedup, curve[1].speedup + 0.1);
+    EXPECT_GT(curve[2].commTimeSec, 0);
+}
+
+TEST(WeakScaling, ComputeStaysConstant)
+{
+    auto wl = BenchmarkSuite::create("KGNNL");
+    WorkloadConfig base;
+    base.scale = 0.3;
+    DdpTrainer trainer;
+    ScalingResult one = trainer.measureWeak(*wl, base, 1, 2);
+    ScalingResult four = trainer.measureWeak(*wl, base, 4, 2);
+    // Per-GPU compute identical up to sampling noise.
+    EXPECT_NEAR(four.computeTimeSec, one.computeTimeSec,
+                one.computeTimeSec * 0.2);
+}

@@ -1,0 +1,43 @@
+/** @file Suite registry and report emitter tests. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/reports.hh"
+#include "core/suite.hh"
+
+using namespace gnnmark;
+
+TEST(Suite, RegistryHasAllNineConfigs)
+{
+    const auto &names = BenchmarkSuite::workloadNames();
+    EXPECT_EQ(names.size(), 9u);
+    EXPECT_EQ(names.front(), "PSAGE-MVL");
+    EXPECT_EQ(names.back(), "TLSTM");
+}
+
+TEST(Suite, CreateAllInstantiatesEverything)
+{
+    auto all = BenchmarkSuite::createAll();
+    EXPECT_EQ(all.size(), BenchmarkSuite::workloadNames().size());
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i]->name(), BenchmarkSuite::workloadNames()[i]);
+}
+
+TEST(SuiteDeath, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT(BenchmarkSuite::create("NOPE"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Reports, TableOnePrintsEveryWorkload)
+{
+    std::ostringstream os;
+    reports::printTableOne(os);
+    for (const std::string &name : BenchmarkSuite::workloadNames())
+        EXPECT_NE(os.str().find(name), std::string::npos) << name;
+    EXPECT_NE(os.str().find("PinSAGE"), std::string::npos);
+    EXPECT_NE(os.str().find("DGL"), std::string::npos);
+    EXPECT_NE(os.str().find("Heterogeneous"), std::string::npos);
+}

@@ -1,0 +1,203 @@
+/** @file Synthetic dataset generator tests. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hh"
+
+using namespace gnnmark;
+
+TEST(Generators, CitationShapesAndClasses)
+{
+    Rng rng(1);
+    auto data = gen::citation(rng, 300, 200, 5);
+    EXPECT_EQ(data.graph.numNodes(), 300);
+    EXPECT_EQ(data.features.shape(), (std::vector<int64_t>{300, 200}));
+    EXPECT_EQ(data.labels.size(), 300u);
+    EXPECT_EQ(data.numClasses, 5);
+    for (int32_t label : data.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 5);
+    }
+}
+
+TEST(Generators, CitationFeaturesSparse)
+{
+    Rng rng(2);
+    auto data = gen::citation(rng, 200, 500, 4, /*density=*/0.02);
+    double zf = data.features.zeroFraction();
+    EXPECT_GT(zf, 0.95);
+    EXPECT_LT(zf, 0.999);
+}
+
+TEST(Generators, CitationHomophily)
+{
+    Rng rng(3);
+    auto data = gen::citation(rng, 400, 100, 4, 0.02, 4.0, 0.9);
+    int64_t intra = 0, total = 0;
+    for (size_t e = 0; e < data.graph.edgeSrc().size(); ++e) {
+        intra += data.labels[data.graph.edgeSrc()[e]] ==
+                 data.labels[data.graph.edgeDst()[e]];
+        ++total;
+    }
+    // Strong homophily should give far more intra-class edges than
+    // the 25% a random pairing would.
+    EXPECT_GT(static_cast<double>(intra) / total, 0.6);
+}
+
+TEST(Generators, CoraPresetShape)
+{
+    Rng rng(4);
+    auto data = gen::cora(rng, 1.0);
+    EXPECT_EQ(data.graph.numNodes(), 2708);
+    EXPECT_EQ(data.features.size(1), 1433);
+    EXPECT_EQ(data.numClasses, 7);
+}
+
+TEST(Generators, PowerLawIsHeavyTailed)
+{
+    Rng rng(5);
+    Graph g = gen::powerLaw(rng, 2000, 3);
+    int32_t max_deg = 0;
+    double mean_deg = 0;
+    for (int64_t v = 0; v < g.numNodes(); ++v) {
+        max_deg = std::max(max_deg, g.degree(v));
+        mean_deg += g.degree(v);
+    }
+    mean_deg /= g.numNodes();
+    // Preferential attachment: hub degree far above the mean.
+    EXPECT_GT(max_deg, mean_deg * 8);
+}
+
+TEST(Generators, RecsysZeroFractionControlled)
+{
+    Rng rng(6);
+    auto mvl = gen::bipartiteRecsys(rng, 200, 150, 3000, 64, 0.22);
+    EXPECT_NEAR(mvl.itemFeatures.zeroFraction(), 0.22, 0.02);
+    auto nwp = gen::bipartiteRecsys(rng, 200, 150, 3000, 640, 0.11);
+    EXPECT_NEAR(nwp.itemFeatures.zeroFraction(), 0.11, 0.02);
+    // NWP features 10x wider, as in the paper.
+    EXPECT_EQ(nwp.itemFeatures.size(1), 10 * mvl.itemFeatures.size(1));
+}
+
+TEST(Generators, RecsysRelationsConsistent)
+{
+    Rng rng(7);
+    auto data = gen::bipartiteRecsys(rng, 50, 40, 500, 16, 0.2);
+    const Relation &ui = data.graph.relation(data.relUserItem);
+    const Relation &iu = data.graph.relation(data.relItemUser);
+    EXPECT_EQ(ui.edges.size(), iu.edges.size());
+    EXPECT_GT(ui.edges.size(), 100u);
+}
+
+TEST(Generators, TrafficSeriesShapeAndMissing)
+{
+    Rng rng(8);
+    auto data = gen::traffic(rng, 100, 400);
+    EXPECT_EQ(data.series.shape(), (std::vector<int64_t>{400, 100}));
+    EXPECT_GE(data.sensors.numEdges(), 200); // at least the ring
+    // ~18% missing readings.
+    EXPECT_NEAR(data.series.zeroFraction(), 0.18, 0.03);
+}
+
+TEST(Generators, TrafficIsPeriodic)
+{
+    Rng rng(9);
+    auto data = gen::traffic(rng, 10, 384);
+    // Autocorrelation at the period (48) beats a random offset (17).
+    auto corr = [&](int64_t lag) {
+        double s = 0;
+        int64_t cnt = 0;
+        for (int64_t n = 0; n < 10; ++n) {
+            for (int64_t t = 0; t + lag < 384; ++t) {
+                if (data.series(t, n) != 0.0f &&
+                    data.series(t + lag, n) != 0.0f) {
+                    s += data.series(t, n) * data.series(t + lag, n);
+                    ++cnt;
+                }
+            }
+        }
+        return s / cnt;
+    };
+    EXPECT_GT(corr(48), corr(17) + 0.01);
+}
+
+TEST(Generators, MoleculesWellFormed)
+{
+    Rng rng(10);
+    auto mols = gen::molecules(rng, 50, 10, 24, 9);
+    EXPECT_EQ(mols.size(), 50u);
+    int positives = 0;
+    for (const auto &m : mols) {
+        EXPECT_GE(m.graph.numNodes(), 10);
+        EXPECT_LE(m.graph.numNodes(), 24);
+        EXPECT_EQ(m.features.size(1), 9);
+        EXPECT_GE(m.graph.numEdges(),
+                  2 * (m.graph.numNodes() - 1)); // connected backbone
+        positives += m.label;
+    }
+    // Labels are learnable but not degenerate.
+    EXPECT_GT(positives, 5);
+    EXPECT_LT(positives, 45);
+}
+
+TEST(Generators, ProteinsBiggerThanMolecules)
+{
+    Rng rng(11);
+    auto prot = gen::proteins(rng, 20);
+    for (const auto &p : prot) {
+        EXPECT_GE(p.graph.numNodes(), 20);
+        EXPECT_EQ(p.features.size(1), 3);
+    }
+}
+
+TEST(Generators, KnowledgeGraphSamplesConnected)
+{
+    Rng rng(12);
+    auto kg = gen::knowledgeGraph(rng, 300, 40, 500, 12, 64);
+    EXPECT_EQ(kg.entities.numNodes(), 300);
+    EXPECT_EQ(kg.entitySets.size(), 40u);
+    EXPECT_EQ(kg.targetTokens.size(), 40u);
+    for (const auto &sent : kg.targetTokens) {
+        EXPECT_EQ(sent.size(), 12u);
+        for (int32_t tok : sent) {
+            EXPECT_GE(tok, 0);
+            EXPECT_LT(tok, 500);
+        }
+    }
+    for (const auto &ents : kg.entitySets) {
+        EXPECT_FALSE(ents.empty());
+        EXPECT_TRUE(std::is_sorted(ents.begin(), ents.end()));
+    }
+}
+
+TEST(Generators, SentimentTreesValidAndLabeled)
+{
+    Rng rng(13);
+    auto trees = gen::sentimentTrees(rng, 30, 100, 3, 15, 5);
+    EXPECT_EQ(trees.size(), 30u);
+    for (const auto &t : trees) {
+        t.validate();
+        EXPECT_GE(t.label, 0);
+        EXPECT_LT(t.label, 5);
+        int leaves = 0;
+        for (const auto &kids : t.children)
+            leaves += kids.empty();
+        EXPECT_GE(leaves, 3);
+        EXPECT_LE(leaves, 15);
+        // Binary internal nodes: n = 2*leaves - 1.
+        EXPECT_EQ(t.numNodes(), 2 * leaves - 1);
+    }
+}
+
+TEST(Generators, DeterministicGivenSeed)
+{
+    Rng a(99), b(99);
+    auto da = gen::citation(a, 100, 50, 3);
+    auto db = gen::citation(b, 100, 50, 3);
+    EXPECT_EQ(da.graph.numEdges(), db.graph.numEdges());
+    EXPECT_EQ(da.labels, db.labels);
+    EXPECT_TRUE(allClose(da.features, db.features));
+}

@@ -1,0 +1,141 @@
+/** @file Neighbour / random-walk sampler tests. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hh"
+#include "graph/samplers.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+void
+checkBlockInvariants(const SampledBlock &block)
+{
+    // Offsets form a CSR over destinations.
+    ASSERT_EQ(block.offsets.size(), block.dstNodes.size() + 1);
+    EXPECT_EQ(block.offsets.front(), 0);
+    EXPECT_EQ(block.offsets.back(),
+              static_cast<int32_t>(block.neighbors.size()));
+    for (size_t i = 0; i + 1 < block.offsets.size(); ++i)
+        EXPECT_LE(block.offsets[i], block.offsets[i + 1]);
+    // Neighbour entries index into srcNodes.
+    for (int32_t p : block.neighbors) {
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, static_cast<int32_t>(block.srcNodes.size()));
+    }
+    // srcNodes sorted unique.
+    EXPECT_TRUE(std::is_sorted(block.srcNodes.begin(),
+                               block.srcNodes.end()));
+    EXPECT_EQ(std::adjacent_find(block.srcNodes.begin(),
+                                 block.srcNodes.end()),
+              block.srcNodes.end());
+    // Destinations are present among the sources (self features).
+    for (int32_t d : block.dstNodes) {
+        EXPECT_TRUE(std::binary_search(block.srcNodes.begin(),
+                                       block.srcNodes.end(), d));
+    }
+    EXPECT_EQ(block.weights.size(), block.neighbors.size());
+}
+
+} // namespace
+
+TEST(NeighborSampler, RespectsFanout)
+{
+    Rng rng(61);
+    Graph g = gen::powerLaw(rng, 500, 4);
+    NeighborSampler sampler(g, /*fanout=*/5);
+    std::vector<int32_t> seeds = {0, 10, 20, 30};
+    SampledBlock block = sampler.sample(seeds, rng);
+    checkBlockInvariants(block);
+    for (size_t i = 0; i < seeds.size(); ++i)
+        EXPECT_LE(block.offsets[i + 1] - block.offsets[i], 5);
+}
+
+TEST(NeighborSampler, SampledNeighborsAreRealNeighbors)
+{
+    Rng rng(62);
+    Graph g = gen::powerLaw(rng, 300, 3);
+    NeighborSampler sampler(g, 4);
+    std::vector<int32_t> seeds = {5, 6, 7};
+    SampledBlock block = sampler.sample(seeds, rng);
+    for (size_t i = 0; i < seeds.size(); ++i) {
+        auto [begin, end] = g.neighbors(seeds[i]);
+        std::set<int32_t> actual(begin, end);
+        for (int32_t e = block.offsets[i]; e < block.offsets[i + 1];
+             ++e) {
+            int32_t global = block.srcNodes[block.neighbors[e]];
+            EXPECT_TRUE(actual.count(global))
+                << global << " is not a neighbor of " << seeds[i];
+        }
+    }
+}
+
+TEST(NeighborSampler, WeightsSumToOnePerDestination)
+{
+    Rng rng(63);
+    Graph g = gen::powerLaw(rng, 300, 3);
+    NeighborSampler sampler(g, 6);
+    SampledBlock block = sampler.sample({1, 2, 3, 4}, rng);
+    for (size_t i = 0; i + 1 < block.offsets.size(); ++i) {
+        if (block.offsets[i] == block.offsets[i + 1])
+            continue;
+        double sum = 0;
+        for (int32_t e = block.offsets[i]; e < block.offsets[i + 1]; ++e)
+            sum += block.weights[e];
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(RandomWalkSampler, ProducesWeightedTopT)
+{
+    Rng rng(64);
+    auto data = gen::bipartiteRecsys(rng, 100, 80, 1500, 8, 0.2);
+    RandomWalkSampler sampler(
+        data.graph.relationAdjList(data.relItemUser),
+        data.graph.relationAdjList(data.relUserItem),
+        /*walks=*/10, /*walk_length=*/2, /*top_t=*/4);
+    std::vector<int32_t> seeds = {0, 1, 2, 3, 4, 5};
+    SampledBlock block = sampler.sample(seeds, rng);
+    checkBlockInvariants(block);
+    for (size_t i = 0; i < seeds.size(); ++i) {
+        int32_t count = block.offsets[i + 1] - block.offsets[i];
+        EXPECT_LE(count, 4);
+        if (count > 0) {
+            double sum = 0;
+            float prev = 2.0f;
+            for (int32_t e = block.offsets[i];
+                 e < block.offsets[i + 1]; ++e) {
+                sum += block.weights[e];
+                // Importance weights come out most-visited first.
+                EXPECT_LE(block.weights[e], prev + 1e-6f);
+                prev = block.weights[e];
+            }
+            EXPECT_NEAR(sum, 1.0, 1e-5);
+        }
+    }
+}
+
+TEST(RandomWalkSampler, NeighborsAreItems)
+{
+    Rng rng(65);
+    auto data = gen::bipartiteRecsys(rng, 60, 40, 800, 8, 0.2);
+    RandomWalkSampler sampler(
+        data.graph.relationAdjList(data.relItemUser),
+        data.graph.relationAdjList(data.relUserItem), 8, 2, 3);
+    SampledBlock block = sampler.sample({0, 1, 2}, rng);
+    for (int32_t s : block.srcNodes) {
+        EXPECT_GE(s, 0);
+        EXPECT_LT(s, 40);
+    }
+}
+
+TEST(SamplerDeath, BadParamsPanic)
+{
+    Rng rng(66);
+    Graph g(10, {});
+    EXPECT_DEATH(NeighborSampler(g, 0), "fanout");
+}

@@ -1,0 +1,116 @@
+/** @file Tree validation and level-wise batching tests. */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "graph/generators.hh"
+#include "graph/tree.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+/** left/right leaves under one root: ((t0 t1) t2). */
+Tree
+smallTree()
+{
+    Tree t;
+    t.children = {{}, {}, {0, 1}, {}, {2, 3}};
+    t.token = {10, 11, -1, 12, -1};
+    t.root = 4;
+    t.label = 1;
+    return t;
+}
+
+} // namespace
+
+TEST(Tree, ValidatesGoodTree)
+{
+    smallTree().validate();
+}
+
+TEST(TreeDeath, CatchesLeafWithoutToken)
+{
+    Tree t = smallTree();
+    t.token[0] = -1;
+    EXPECT_DEATH(t.validate(), "no token");
+}
+
+TEST(TreeDeath, CatchesTwoParents)
+{
+    Tree t = smallTree();
+    t.children[4] = {2, 0}; // node 0 now has parents 2 and 4
+    EXPECT_DEATH(t.validate(), "parents");
+}
+
+TEST(TreeBatch, LevelsRespectDependencies)
+{
+    TreeBatch b = TreeBatch::build({smallTree()});
+    EXPECT_EQ(b.totalNodes, 5);
+    // Level 0: leaves 0,1,3. Level 1: node 2. Level 2: node 4.
+    ASSERT_EQ(b.levels.size(), 3u);
+    EXPECT_EQ(b.levels[0].nodes.size(), 3u);
+    EXPECT_EQ(b.levels[1].nodes.size(), 1u);
+    EXPECT_EQ(b.levels[2].nodes.size(), 1u);
+    // Children of level-1 node are level-0 nodes 0 and 1.
+    EXPECT_EQ(b.levels[1].childIds,
+              (std::vector<int32_t>{0, 1}));
+}
+
+TEST(TreeBatch, OffsetsConsistent)
+{
+    TreeBatch b = TreeBatch::build({smallTree(), smallTree()});
+    EXPECT_EQ(b.totalNodes, 10);
+    EXPECT_EQ(b.roots.size(), 2u);
+    EXPECT_EQ(b.roots[1], 9);
+    for (const auto &level : b.levels) {
+        ASSERT_EQ(level.childOffsets.size(), level.nodes.size() + 1);
+        EXPECT_EQ(level.childOffsets.back(),
+                  static_cast<int32_t>(level.childIds.size()));
+        for (size_t i = 0; i + 1 < level.childOffsets.size(); ++i)
+            EXPECT_LE(level.childOffsets[i], level.childOffsets[i + 1]);
+    }
+}
+
+TEST(TreeBatch, TokensCarriedOver)
+{
+    TreeBatch b = TreeBatch::build({smallTree()});
+    EXPECT_EQ(b.tokens[0], 10);
+    EXPECT_EQ(b.tokens[3], 12);
+    EXPECT_EQ(b.tokens[4], -1);
+}
+
+/** Property over random trees: every child sits in a lower level. */
+class TreeBatchSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TreeBatchSweep, ChildrenAlwaysInEarlierLevels)
+{
+    Rng rng(GetParam());
+    auto trees = gen::sentimentTrees(rng, 20, 50, 2, 12);
+    TreeBatch b = TreeBatch::build(trees);
+
+    std::vector<int> level_of(b.totalNodes, -1);
+    for (size_t li = 0; li < b.levels.size(); ++li) {
+        for (int32_t v : b.levels[li].nodes)
+            level_of[v] = static_cast<int>(li);
+    }
+    // Every node appears in exactly one level.
+    for (int64_t v = 0; v < b.totalNodes; ++v)
+        EXPECT_GE(level_of[v], 0);
+    for (size_t li = 0; li < b.levels.size(); ++li) {
+        for (int32_t c : b.levels[li].childIds)
+            EXPECT_LT(level_of[c], static_cast<int>(li));
+    }
+    // Leaves (level 0) carry tokens; internal nodes never do.
+    for (int32_t v : b.levels[0].nodes)
+        EXPECT_GE(b.tokens[v], 0);
+    for (size_t li = 1; li < b.levels.size(); ++li) {
+        for (int32_t v : b.levels[li].nodes)
+            EXPECT_EQ(b.tokens[v], -1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeBatchSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));

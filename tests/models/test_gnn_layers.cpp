@@ -1,0 +1,111 @@
+/** @file Unit tests for the reusable GNN layer blocks. */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hh"
+#include "graph/samplers.hh"
+#include "models/deepgcn.hh"
+#include "models/gnn_layers.hh"
+#include "models/stgcn.hh"
+
+using namespace gnnmark;
+
+TEST(GcnLayer, ShapeAndSelfLoopPropagation)
+{
+    Rng rng(81);
+    Graph g(4, {{0, 1}, {1, 2}}, /*symmetric=*/true);
+    CsrMatrix adj = g.gcnNormAdjacency();
+    GcnLayer layer(3, 5, rng);
+    Variable x(Tensor::randn({4, 3}, rng));
+    Variable y = layer.forward(adj, adj, x);
+    EXPECT_EQ(y.value().shape(), (std::vector<int64_t>{4, 5}));
+    // Node 3 is isolated but has a self loop: output is nonzero.
+    double mag = 0;
+    for (int64_t f = 0; f < 5; ++f)
+        mag += std::abs(y.value()(3, f));
+    EXPECT_GT(mag, 1e-6);
+}
+
+TEST(GcnLayer, GradientsFlowToWeights)
+{
+    Rng rng(82);
+    Graph g(6, {{0, 1}, {2, 3}, {4, 5}}, true);
+    CsrMatrix adj = g.gcnNormAdjacency();
+    GcnLayer layer(4, 4, rng);
+    Variable x(Tensor::randn({6, 4}, rng));
+    ag::sumAll(layer.forward(adj, adj, x)).backward();
+    for (const Variable &p : layer.parameters())
+        EXPECT_TRUE(p.hasGrad());
+}
+
+TEST(SageLayer, AggregatesWeightedNeighbours)
+{
+    Rng rng(83);
+    Graph g = gen::powerLaw(rng, 64, 3);
+    NeighborSampler sampler(g, 4);
+    std::vector<int32_t> seeds = {0, 1, 2, 3};
+    SampledBlock block = sampler.sample(seeds, rng);
+
+    SageLayer layer(8, 8, rng);
+    Variable feats = Variable::param(Tensor::randn(
+        {static_cast<int64_t>(block.srcNodes.size()), 8}, rng));
+    std::vector<int32_t> dst_index;
+    for (int32_t d : block.dstNodes) {
+        dst_index.push_back(static_cast<int32_t>(
+            std::lower_bound(block.srcNodes.begin(),
+                             block.srcNodes.end(), d) -
+            block.srcNodes.begin()));
+    }
+    Variable out = layer.forward(block, feats, dst_index);
+    EXPECT_EQ(out.value().shape(), (std::vector<int64_t>{4, 8}));
+    // ReLU output is non-negative.
+    for (int64_t i = 0; i < out.value().numel(); ++i)
+        EXPECT_GE(out.value().data()[i], 0.0f);
+    ag::sumAll(out).backward();
+    EXPECT_TRUE(feats.hasGrad());
+}
+
+TEST(StConvBlock, TemporalShrinkage)
+{
+    Rng rng(84);
+    Graph g = gen::powerLaw(rng, 20, 2);
+    CsrMatrix adj = g.gcnNormAdjacency();
+    StConvBlock block(1, 4, 6, rng);
+    Variable x(Tensor::randn({2, 1, 12, 20}, rng));
+    Variable y = block.forward(x, adj, adj);
+    // Two Kt=3 temporal convolutions shrink T by 4.
+    EXPECT_EQ(y.value().shape(), (std::vector<int64_t>{2, 6, 8, 20}));
+}
+
+TEST(DeepGcnLayer, ResidualPreservesShapeAndGrads)
+{
+    Rng rng(85);
+    Graph g = gen::powerLaw(rng, 30, 3);
+    Tensor inv_deg({30});
+    for (int64_t v = 0; v < 30; ++v) {
+        inv_deg(v) =
+            1.0f / static_cast<float>(std::max(1, g.degree(v)));
+    }
+    DeepGcnLayer layer(16, rng);
+    Variable h = Variable::param(Tensor::randn({30, 16}, rng));
+    Variable out =
+        layer.forward(h, g.edgeSrc(), g.edgeDst(), inv_deg);
+    EXPECT_EQ(out.value().shape(), h.value().shape());
+    ag::sumAll(out).backward();
+    EXPECT_TRUE(h.hasGrad());
+    for (const Variable &p : layer.parameters())
+        EXPECT_TRUE(p.hasGrad());
+}
+
+TEST(DeepGcnLayer, SoftmaxAggregationIsConvexForIdenticalMessages)
+{
+    // With a single incoming edge, the softmax weight is exactly 1, so
+    // the aggregate equals the (relu'd, eps-shifted) message.
+    Rng rng(86);
+    Graph g(2, {{0, 1}});
+    Tensor inv_deg = Tensor::ones({2});
+    DeepGcnLayer layer(4, rng);
+    Variable h(Tensor::randn({2, 4}, rng));
+    Variable out = layer.forward(h, g.edgeSrc(), g.edgeDst(), inv_deg);
+    EXPECT_EQ(out.value().shape(), (std::vector<int64_t>{2, 4}));
+}

@@ -1,0 +1,98 @@
+/** @file DDP strong-scaling simulation tests (paper Fig. 9 shapes). */
+
+#include <gtest/gtest.h>
+
+#include "core/suite.hh"
+#include "multigpu/ddp.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+WorkloadConfig
+benchConfig()
+{
+    // Strong scaling needs the full-size datasets: at tiny scales
+    // every workload is dispatch-bound and nothing scales (which is
+    // itself the TLSTM story, but not the DGCN/STGCN/GW one).
+    WorkloadConfig cfg;
+    cfg.seed = 5;
+    cfg.scale = 1.0;
+    return cfg;
+}
+
+std::vector<ScalingResult>
+curve(const std::string &name)
+{
+    auto wl = BenchmarkSuite::create(name);
+    DdpTrainer trainer;
+    return trainer.scalingCurve(*wl, benchConfig(), {1, 2, 4},
+                                /*measured_iterations=*/2);
+}
+
+} // namespace
+
+TEST(Ddp, SingleGpuBaseline)
+{
+    auto wl = BenchmarkSuite::create("DGCN");
+    DdpTrainer trainer;
+    ScalingResult r = trainer.measure(*wl, benchConfig(), 1, 2);
+    EXPECT_EQ(r.commTimeSec, 0);
+    EXPECT_GT(r.epochTimeSec, 0);
+    EXPECT_DOUBLE_EQ(r.epochTimeSec, r.computeTimeSec);
+}
+
+TEST(Ddp, MultiGpuPaysCommunication)
+{
+    auto wl = BenchmarkSuite::create("DGCN");
+    DdpTrainer trainer;
+    ScalingResult r = trainer.measure(*wl, benchConfig(), 4, 2);
+    EXPECT_GT(r.commTimeSec, 0);
+}
+
+TEST(Ddp, ComputeBoundWorkloadsScale)
+{
+    // DGCN, STGCN and GW benefit from multi-GPU training (Fig. 9).
+    // GW's bar is lower: at reproduction scale its sequential LSTM
+    // decoder is latency-bound (1-block kernels do not shrink when
+    // the batch shards), muting the speedup relative to the paper's
+    // full-size model; see EXPERIMENTS.md.
+    for (const char *name : {"DGCN", "STGCN"}) {
+        auto points = curve(name);
+        ASSERT_EQ(points.size(), 3u);
+        EXPECT_GT(points[2].speedup, 1.3) << name << " at 4 GPUs";
+        EXPECT_GE(points[1].speedup, 1.0) << name << " at 2 GPUs";
+    }
+    auto gw = curve("GW");
+    EXPECT_GT(gw[2].speedup, 1.15) << "GW at 4 GPUs";
+}
+
+TEST(Ddp, PinSageDegradesWithReplication)
+{
+    auto points = curve("PSAGE-MVL");
+    // The DDP-incompatible sampler replicates work: 4 GPUs are slower
+    // than 1 (the paper's Fig. 9 pathology).
+    EXPECT_LT(points[2].speedup, 1.0);
+    EXPECT_LT(points[2].speedup, points[1].speedup + 0.2);
+}
+
+TEST(Ddp, TreeLstmBarelyScales)
+{
+    auto points = curve("TLSTM");
+    // Low arithmetic intensity: far from linear scaling.
+    EXPECT_LT(points[2].speedup, 2.5);
+}
+
+TEST(Ddp, SpeedupRelativeToOneGpu)
+{
+    auto points = curve("DGCN");
+    EXPECT_NEAR(points[0].speedup, 1.0, 1e-9);
+}
+
+TEST(DdpDeath, InvalidWorldPanics)
+{
+    auto wl = BenchmarkSuite::create("DGCN");
+    DdpTrainer trainer;
+    EXPECT_DEATH(trainer.measure(*wl, benchConfig(), 0, 1),
+                 "world size");
+}

@@ -1,0 +1,170 @@
+/** @file Layer tests: Linear, Embedding, LSTM cell, attention, norms. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hh"
+#include "nn/loss.hh"
+#include "ops/elementwise.hh"
+
+using namespace gnnmark;
+
+TEST(Linear, ShapeAndBias)
+{
+    Rng rng(71);
+    nn::Linear lin(8, 3, rng);
+    Variable x(Tensor::randn({5, 8}, rng));
+    Variable y = lin.forward(x);
+    EXPECT_EQ(y.value().shape(), (std::vector<int64_t>{5, 3}));
+    EXPECT_EQ(lin.parameterCount(), 8 * 3 + 3);
+}
+
+TEST(Linear, NoBiasVariant)
+{
+    Rng rng(72);
+    nn::Linear lin(4, 4, rng, /*bias=*/false);
+    EXPECT_EQ(lin.parameterCount(), 16);
+    Variable zero(Tensor({2, 4}));
+    Variable y = lin.forward(zero);
+    EXPECT_FLOAT_EQ(maxAbsDiff(y.value(), Tensor({2, 4})), 0.0f);
+}
+
+TEST(Linear, TrainsOnLeastSquares)
+{
+    Rng rng(73);
+    nn::Linear lin(3, 1, rng);
+    // Target function y = 2x0 - x1 + 0.5x2 + 1.
+    Tensor xs = Tensor::randn({64, 3}, rng);
+    Tensor ys({64, 1});
+    for (int64_t i = 0; i < 64; ++i) {
+        ys(i, 0) = 2 * xs(i, 0) - xs(i, 1) + 0.5f * xs(i, 2) + 1.0f;
+    }
+    float first_loss = 0, last_loss = 0;
+    for (int step = 0; step < 200; ++step) {
+        lin.zeroGrad();
+        Variable loss = ag::mseLoss(lin.forward(Variable(xs)),
+                                    Variable(ys));
+        loss.backward();
+        auto params = lin.parameters();
+        for (Variable &p : params) {
+            float *v = p.value().data();
+            const float *g = p.grad().data();
+            for (int64_t j = 0; j < p.value().numel(); ++j)
+                v[j] -= 0.05f * g[j];
+        }
+        if (step == 0)
+            first_loss = loss.value()(0);
+        last_loss = loss.value()(0);
+    }
+    EXPECT_LT(last_loss, first_loss * 0.05f);
+}
+
+TEST(Embedding, LooksUpAndTrains)
+{
+    Rng rng(74);
+    nn::Embedding emb(10, 4, rng);
+    Variable rows = emb.forward({3, 3, 7});
+    EXPECT_EQ(rows.value().shape(), (std::vector<int64_t>{3, 4}));
+    EXPECT_TRUE(allClose(
+        ops::sliceRows(rows.value(), 0, 1),
+        ops::sliceRows(rows.value(), 1, 2)));
+
+    ag::sumAll(rows).backward();
+    // Row 3 was used twice: gradient 2, row 7 once: gradient 1.
+    Variable table = emb.parameters()[0];
+    EXPECT_NEAR(table.grad()(3, 0), 2.0f, 1e-5f);
+    EXPECT_NEAR(table.grad()(7, 0), 1.0f, 1e-5f);
+    EXPECT_NEAR(table.grad()(0, 0), 0.0f, 1e-5f);
+}
+
+TEST(BatchNorm1dModule, Normalises)
+{
+    Rng rng(75);
+    nn::BatchNorm1d bn(4);
+    Variable x(Tensor::randn({100, 4}, rng, 5.0f));
+    Variable y = bn.forward(x);
+    double sum = 0;
+    for (int64_t i = 0; i < 100; ++i)
+        sum += y.value()(i, 0);
+    EXPECT_NEAR(sum / 100, 0.0, 1e-3);
+}
+
+TEST(LstmCell, StateShapesAndBounds)
+{
+    Rng rng(76);
+    nn::LstmCell cell(6, 8, rng);
+    auto s0 = cell.initial(3);
+    Variable x(Tensor::randn({3, 6}, rng));
+    auto s1 = cell.forward(x, s0);
+    EXPECT_EQ(s1.h.value().shape(), (std::vector<int64_t>{3, 8}));
+    EXPECT_EQ(s1.c.value().shape(), (std::vector<int64_t>{3, 8}));
+    // h = o * tanh(c) is bounded by (-1, 1).
+    for (int64_t i = 0; i < s1.h.value().numel(); ++i)
+        EXPECT_LT(std::abs(s1.h.value().data()[i]), 1.0f);
+}
+
+TEST(LstmCell, GradientsReachAllParams)
+{
+    Rng rng(77);
+    nn::LstmCell cell(4, 4, rng);
+    auto s0 = cell.initial(2);
+    Variable x = Variable::param(Tensor::randn({2, 4}, rng));
+    auto s1 = cell.forward(x, s0);
+    auto s2 = cell.forward(x, s1); // two steps, shared weights
+    ag::sumAll(s2.h).backward();
+    EXPECT_TRUE(x.hasGrad());
+    for (const Variable &p : cell.parameters())
+        EXPECT_TRUE(p.hasGrad());
+}
+
+TEST(Attention, OutputShapeAndGrad)
+{
+    Rng rng(78);
+    nn::MultiheadAttention attn(16, 4, rng);
+    Variable q = Variable::param(Tensor::randn({6, 16}, rng));
+    Variable kv(Tensor::randn({10, 16}, rng));
+    Variable out = attn.forward(q, kv, kv);
+    EXPECT_EQ(out.value().shape(), (std::vector<int64_t>{6, 16}));
+    ag::sumAll(out).backward();
+    EXPECT_TRUE(q.hasGrad());
+}
+
+TEST(AttentionDeath, HeadsMustDivideDim)
+{
+    Rng rng(79);
+    EXPECT_DEATH(nn::MultiheadAttention(10, 3, rng), "divisible");
+}
+
+TEST(Glu, GatesCorrectly)
+{
+    Variable a(Tensor::full({2, 2}, 3.0f));
+    Variable b(Tensor({2, 2})); // zeros: sigmoid = 0.5
+    Variable y = nn::glu(a, b);
+    EXPECT_NEAR(y.value()(0, 0), 1.5f, 1e-6f);
+}
+
+TEST(Loss, CrossEntropyUniformBaseline)
+{
+    Tensor logits({4, 8}); // all zeros: uniform distribution
+    Variable loss =
+        nn::crossEntropy(Variable(logits), {0, 1, 2, 3});
+    EXPECT_NEAR(loss.value()(0), std::log(8.0f), 1e-4f);
+}
+
+TEST(Loss, MaxMarginZeroWhenWellSeparated)
+{
+    Variable pos(Tensor::full({4}, 10.0f));
+    Variable neg(Tensor::full({4}, -10.0f));
+    Variable loss = nn::maxMarginLoss(pos, neg, 1.0f);
+    EXPECT_FLOAT_EQ(loss.value()(0), 0.0f);
+}
+
+TEST(Loss, AccuracyMetric)
+{
+    Tensor logits = Tensor::fromVector({2, 3},
+                                       {0.1f, 0.9f, 0.0f,
+                                        0.8f, 0.1f, 0.1f});
+    EXPECT_DOUBLE_EQ(nn::accuracy(logits, {1, 0}), 1.0);
+    EXPECT_DOUBLE_EQ(nn::accuracy(logits, {0, 0}), 0.5);
+}

@@ -1,0 +1,208 @@
+/** @file Convolution and normalisation tests (with gradient checks). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hh"
+#include "ops/batchnorm.hh"
+#include "ops/conv2d.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+/** Numerically differentiate sum(conv2d(x, w)) wrt one element. */
+float
+numericConvGrad(Tensor &pert, const Tensor &input, const Tensor &weight,
+                int pad, int64_t flat_index)
+{
+    const float eps = 1e-2f;
+    float *slot = pert.data() + flat_index;
+    const float saved = *slot;
+    auto total = [&]() {
+        Tensor out = ops::conv2d(input, weight, pad);
+        double s = 0;
+        for (int64_t i = 0; i < out.numel(); ++i)
+            s += out.data()[i];
+        return s;
+    };
+    *slot = saved + eps;
+    double plus = total();
+    *slot = saved - eps;
+    double minus = total();
+    *slot = saved;
+    return static_cast<float>((plus - minus) / (2 * eps));
+}
+
+} // namespace
+
+TEST(Conv2d, KnownSmallConvolution)
+{
+    // 1x1x3x3 input, 1x1x2x2 kernel of ones => sliding window sums.
+    Tensor in = Tensor::fromVector({1, 1, 3, 3},
+                                   {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    Tensor w = Tensor::ones({1, 1, 2, 2});
+    Tensor out = ops::conv2d(in, w);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 12.0f);
+    EXPECT_FLOAT_EQ(out(0, 0, 1, 1), 28.0f);
+}
+
+TEST(Conv2d, PaddingGrowsOutput)
+{
+    Tensor in = Tensor::ones({1, 1, 3, 3});
+    Tensor w = Tensor::ones({1, 1, 3, 3});
+    Tensor out = ops::conv2d(in, w, /*pad=*/1);
+    EXPECT_EQ(out.size(2), 3);
+    EXPECT_FLOAT_EQ(out(0, 0, 1, 1), 9.0f); // centre sees all 9
+    EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 4.0f); // corner sees 4
+}
+
+TEST(Conv2d, MultiChannelAccumulates)
+{
+    Rng rng(21);
+    Tensor in = Tensor::randn({2, 3, 5, 4}, rng);
+    Tensor w = Tensor::randn({4, 3, 2, 2}, rng);
+    Tensor out = ops::conv2d(in, w);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{2, 4, 4, 3}));
+    // Cross-check one output element by hand.
+    double acc = 0;
+    for (int64_t c = 0; c < 3; ++c) {
+        for (int64_t r = 0; r < 2; ++r) {
+            for (int64_t s = 0; s < 2; ++s)
+                acc += in(1, c, 2 + r, 1 + s) * w(3, c, r, s);
+        }
+    }
+    EXPECT_NEAR(out(1, 3, 2, 1), acc, 1e-4);
+}
+
+TEST(Conv2d, GradInputMatchesFiniteDifference)
+{
+    Rng rng(22);
+    Tensor in = Tensor::randn({1, 2, 4, 4}, rng);
+    Tensor w = Tensor::randn({2, 2, 3, 3}, rng);
+    Tensor gout = Tensor::ones({1, 2, 2, 2});
+    Tensor gin = ops::conv2dGradInput(gout, w, in, 0);
+    for (int64_t idx : {0L, 5L, 17L, 31L}) {
+        float numeric = numericConvGrad(in, in, w, 0, idx);
+        EXPECT_NEAR(gin.data()[idx], numeric, 5e-2)
+            << "at flat index " << idx;
+    }
+}
+
+TEST(Conv2d, GradWeightMatchesFiniteDifference)
+{
+    Rng rng(23);
+    Tensor in = Tensor::randn({1, 2, 4, 4}, rng);
+    Tensor w = Tensor::randn({2, 2, 3, 3}, rng);
+    Tensor gout = Tensor::ones({1, 2, 2, 2});
+    Tensor gw = ops::conv2dGradWeight(gout, in, w, 0);
+    for (int64_t idx : {0L, 7L, 20L, 35L}) {
+        float numeric = numericConvGrad(w, in, w, 0, idx);
+        EXPECT_NEAR(gw.data()[idx], numeric, 5e-2)
+            << "at flat index " << idx;
+    }
+}
+
+TEST(Conv2dDeath, ChannelMismatchPanics)
+{
+    Tensor in({1, 3, 4, 4});
+    Tensor w({2, 2, 2, 2});
+    EXPECT_DEATH(ops::conv2d(in, w), "channel mismatch");
+}
+
+TEST(BatchNorm, NormalisesColumns)
+{
+    Rng rng(24);
+    Tensor x = Tensor::randn({200, 5}, rng, 3.0f);
+    // Shift each column.
+    for (int64_t i = 0; i < 200; ++i) {
+        for (int64_t j = 0; j < 5; ++j)
+            x(i, j) += static_cast<float>(j) * 10.0f;
+    }
+    ops::BatchNormState state;
+    Tensor y = ops::batchNorm(x, Tensor::ones({5}), Tensor({5}), 1e-5f,
+                              state);
+    for (int64_t j = 0; j < 5; ++j) {
+        double sum = 0, sq = 0;
+        for (int64_t i = 0; i < 200; ++i) {
+            sum += y(i, j);
+            sq += y(i, j) * y(i, j);
+        }
+        EXPECT_NEAR(sum / 200, 0.0, 1e-3);
+        EXPECT_NEAR(sq / 200, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNorm, GammaBetaApplied)
+{
+    Rng rng(25);
+    Tensor x = Tensor::randn({50, 2}, rng);
+    Tensor gamma = Tensor::fromVector({2}, {2.0f, 0.5f});
+    Tensor beta = Tensor::fromVector({2}, {1.0f, -1.0f});
+    ops::BatchNormState state;
+    Tensor y = ops::batchNorm(x, gamma, beta, 1e-5f, state);
+    double sum0 = 0;
+    for (int64_t i = 0; i < 50; ++i)
+        sum0 += y(i, 0);
+    EXPECT_NEAR(sum0 / 50, 1.0, 1e-3); // beta shifts the mean
+}
+
+TEST(BatchNorm, BackwardGradientsSumProperty)
+{
+    // Sum over batch of dL/dx is ~0 for batch norm (mean subtraction).
+    Rng rng(26);
+    Tensor x = Tensor::randn({64, 3}, rng);
+    ops::BatchNormState state;
+    ops::batchNorm(x, Tensor::ones({3}), Tensor({3}), 1e-5f, state);
+    Tensor gout = Tensor::randn({64, 3}, rng);
+    Tensor gx, ggamma, gbeta;
+    ops::batchNormBackward(gout, Tensor::ones({3}), state, gx, ggamma,
+                           gbeta);
+    for (int64_t j = 0; j < 3; ++j) {
+        double col = 0, gb = 0;
+        for (int64_t i = 0; i < 64; ++i) {
+            col += gx(i, j);
+            gb += gout(i, j);
+        }
+        EXPECT_NEAR(col, 0.0, 1e-3);
+        EXPECT_NEAR(gbeta(j), gb, 1e-3);
+    }
+}
+
+TEST(LayerNorm, RowStatistics)
+{
+    Rng rng(28);
+    Tensor x = Tensor::randn({6, 128}, rng, 2.0f);
+    ops::LayerNormState state;
+    Tensor y = ops::layerNorm(x, Tensor::ones({128}), Tensor({128}),
+                              1e-5f, state);
+    for (int64_t i = 0; i < 6; ++i) {
+        double sum = 0, sq = 0;
+        for (int64_t j = 0; j < 128; ++j) {
+            sum += y(i, j);
+            sq += y(i, j) * y(i, j);
+        }
+        EXPECT_NEAR(sum / 128, 0.0, 1e-3);
+        EXPECT_NEAR(sq / 128, 1.0, 1e-2);
+    }
+}
+
+TEST(LayerNorm, BackwardRowGradSumsToZero)
+{
+    Rng rng(29);
+    Tensor x = Tensor::randn({8, 32}, rng);
+    ops::LayerNormState state;
+    ops::layerNorm(x, Tensor::ones({32}), Tensor({32}), 1e-5f, state);
+    Tensor gout = Tensor::randn({8, 32}, rng);
+    Tensor gx, ggamma, gbeta;
+    ops::layerNormBackward(gout, Tensor::ones({32}), state, gx, ggamma,
+                           gbeta);
+    for (int64_t i = 0; i < 8; ++i) {
+        double row = 0;
+        for (int64_t j = 0; j < 32; ++j)
+            row += gx(i, j);
+        EXPECT_NEAR(row, 0.0, 1e-3);
+    }
+}

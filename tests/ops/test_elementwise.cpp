@@ -1,0 +1,226 @@
+/** @file Numerics + emission tests for the element-wise operators. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/elementwise.hh"
+#include "ops/exec_context.hh"
+#include "profiler/profiler.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+Tensor
+iota(std::vector<int64_t> shape, float start = -3.0f, float step = 0.5f)
+{
+    Tensor t(std::move(shape));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.data()[i] = start + step * static_cast<float>(i);
+    return t;
+}
+
+} // namespace
+
+TEST(Elementwise, AddSubMul)
+{
+    Tensor a = iota({2, 3});
+    Tensor b = Tensor::full({2, 3}, 2.0f);
+    EXPECT_FLOAT_EQ(ops::add(a, b)(0, 0), a(0, 0) + 2.0f);
+    EXPECT_FLOAT_EQ(ops::sub(a, b)(1, 2), a(1, 2) - 2.0f);
+    EXPECT_FLOAT_EQ(ops::mul(a, b)(0, 2), a(0, 2) * 2.0f);
+}
+
+TEST(Elementwise, Div)
+{
+    Tensor a = Tensor::fromVector({3}, {6.0f, -9.0f, 1.0f});
+    Tensor b = Tensor::fromVector({3}, {2.0f, 3.0f, 4.0f});
+    Tensor c = ops::div(a, b);
+    EXPECT_FLOAT_EQ(c(0), 3.0f);
+    EXPECT_FLOAT_EQ(c(1), -3.0f);
+    EXPECT_FLOAT_EQ(c(2), 0.25f);
+}
+
+TEST(Elementwise, ScaledOps)
+{
+    Tensor a = iota({4});
+    Tensor b = Tensor::ones({4});
+    Tensor r = ops::addScaled(a, b, 0.5f);
+    EXPECT_FLOAT_EQ(r(0), a(0) + 0.5f);
+    EXPECT_FLOAT_EQ(ops::scale(a, -2.0f)(1), -2.0f * a(1));
+    EXPECT_FLOAT_EQ(ops::addScalar(a, 10.0f)(2), a(2) + 10.0f);
+}
+
+TEST(Elementwise, AddIntoAccumulates)
+{
+    Tensor dst = Tensor::full({3}, 1.0f);
+    Tensor src = Tensor::full({3}, 2.0f);
+    ops::addInto(dst, src);
+    ops::addInto(dst, src);
+    EXPECT_FLOAT_EQ(dst(0), 5.0f);
+}
+
+TEST(Elementwise, ReluAndGrad)
+{
+    Tensor a = Tensor::fromVector({4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+    Tensor y = ops::relu(a);
+    EXPECT_FLOAT_EQ(y(0), 0.0f);
+    EXPECT_FLOAT_EQ(y(2), 2.0f);
+    Tensor g = Tensor::ones({4});
+    Tensor dx = ops::reluGrad(g, a);
+    EXPECT_FLOAT_EQ(dx(0), 0.0f);
+    EXPECT_FLOAT_EQ(dx(2), 1.0f);
+}
+
+TEST(Elementwise, Prelu)
+{
+    Tensor a = Tensor::fromVector({2}, {-2.0f, 4.0f});
+    Tensor y = ops::prelu(a, 0.25f);
+    EXPECT_FLOAT_EQ(y(0), -0.5f);
+    EXPECT_FLOAT_EQ(y(1), 4.0f);
+    Tensor g = Tensor::ones({2});
+    EXPECT_FLOAT_EQ(ops::preluGradInput(g, a, 0.25f)(0), 0.25f);
+    EXPECT_FLOAT_EQ(ops::preluGradSlope(g, a), -2.0f);
+}
+
+TEST(Elementwise, SigmoidTanhExpLog)
+{
+    Tensor a = Tensor::fromVector({2}, {0.0f, 1.0f});
+    EXPECT_FLOAT_EQ(ops::sigmoid(a)(0), 0.5f);
+    EXPECT_NEAR(ops::tanh(a)(1), std::tanh(1.0f), 1e-6f);
+    EXPECT_NEAR(ops::exp(a)(1), std::exp(1.0f), 1e-5f);
+    Tensor p = Tensor::fromVector({2}, {1.0f, static_cast<float>(M_E)});
+    EXPECT_NEAR(ops::log(p)(1), 1.0f, 1e-6f);
+}
+
+TEST(Elementwise, SigmoidGradMatchesDerivative)
+{
+    Tensor a = Tensor::fromVector({1}, {0.3f});
+    Tensor y = ops::sigmoid(a);
+    Tensor g = Tensor::ones({1});
+    float expected = y(0) * (1.0f - y(0));
+    EXPECT_NEAR(ops::sigmoidGrad(g, y)(0), expected, 1e-6f);
+}
+
+TEST(Elementwise, DropoutMaskConsistent)
+{
+    Rng rng(3);
+    Tensor a = Tensor::full({1000}, 2.0f);
+    Tensor mask;
+    Tensor y = ops::dropout(a, 0.4f, rng, &mask);
+    int zeros = 0;
+    for (int64_t i = 0; i < y.numel(); ++i) {
+        EXPECT_FLOAT_EQ(y(i), a(i) * mask(i));
+        zeros += y(i) == 0.0f;
+    }
+    EXPECT_NEAR(zeros / 1000.0, 0.4, 0.06);
+    // Inverted dropout preserves the expectation.
+    double sum = 0;
+    for (int64_t i = 0; i < y.numel(); ++i)
+        sum += y(i);
+    EXPECT_NEAR(sum / y.numel(), 2.0, 0.25);
+}
+
+TEST(Elementwise, AddBiasRows)
+{
+    Tensor a = Tensor::zeros({2, 3});
+    Tensor b = Tensor::fromVector({3}, {1, 2, 3});
+    Tensor y = ops::addBiasRows(a, b);
+    EXPECT_FLOAT_EQ(y(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(y(1, 2), 3.0f);
+}
+
+TEST(Elementwise, ConcatAndSliceRows)
+{
+    Tensor a = Tensor::full({2, 2}, 1.0f);
+    Tensor b = Tensor::full({3, 2}, 2.0f);
+    Tensor c = ops::concatRows({a, b});
+    EXPECT_EQ(c.size(0), 5);
+    EXPECT_FLOAT_EQ(c(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(c(4, 1), 2.0f);
+    Tensor s = ops::sliceRows(c, 2, 5);
+    EXPECT_EQ(s.size(0), 3);
+    EXPECT_FLOAT_EQ(s(0, 0), 2.0f);
+}
+
+TEST(Elementwise, ConcatCols)
+{
+    Tensor a = Tensor::full({2, 2}, 1.0f);
+    Tensor b = Tensor::full({2, 3}, 2.0f);
+    Tensor c = ops::concatCols(a, b);
+    EXPECT_EQ(c.size(1), 5);
+    EXPECT_FLOAT_EQ(c(1, 1), 1.0f);
+    EXPECT_FLOAT_EQ(c(1, 2), 2.0f);
+}
+
+TEST(Elementwise, Transpose2d)
+{
+    Tensor a = iota({2, 3});
+    Tensor t = ops::transpose2d(a);
+    EXPECT_EQ(t.size(0), 3);
+    for (int64_t i = 0; i < 2; ++i) {
+        for (int64_t j = 0; j < 3; ++j)
+            EXPECT_FLOAT_EQ(t(j, i), a(i, j));
+    }
+}
+
+TEST(Elementwise, EmitsKernelsWhenDeviceBound)
+{
+    GpuDevice dev;
+    Profiler prof;
+    dev.addObserver(&prof);
+    Tensor a = iota({64, 64});
+    {
+        DeviceGuard guard(&dev);
+        ops::relu(a);
+    }
+    EXPECT_EQ(prof.totalLaunches(), 1);
+    EXPECT_GT(prof.classStats(OpClass::ElementWise).timeSec, 0);
+}
+
+TEST(Elementwise, NoEmissionWithoutDevice)
+{
+    GpuDevice dev;
+    Profiler prof;
+    dev.addObserver(&prof);
+    Tensor a = iota({8, 8});
+    ops::relu(a); // no DeviceGuard
+    EXPECT_EQ(prof.totalLaunches(), 0);
+}
+
+TEST(ElementwiseDeath, ShapeMismatchPanics)
+{
+    Tensor a({2, 2}), b({3, 2});
+    EXPECT_DEATH(ops::add(a, b), "shape mismatch");
+}
+
+/** Property sweep: add/mul identities over many sizes. */
+class ElementwiseSizes : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(ElementwiseSizes, AddZeroIsIdentity)
+{
+    Rng rng(GetParam());
+    Tensor a = Tensor::randn({GetParam()}, rng);
+    EXPECT_TRUE(allClose(ops::add(a, Tensor({GetParam()})), a));
+}
+
+TEST_P(ElementwiseSizes, MulOneIsIdentity)
+{
+    Rng rng(GetParam() + 1);
+    Tensor a = Tensor::randn({GetParam()}, rng);
+    EXPECT_TRUE(allClose(ops::mul(a, Tensor::ones({GetParam()})), a));
+}
+
+TEST_P(ElementwiseSizes, ReluIdempotent)
+{
+    Rng rng(GetParam() + 2);
+    Tensor a = Tensor::randn({GetParam()}, rng);
+    Tensor once = ops::relu(a);
+    EXPECT_TRUE(allClose(ops::relu(once), once));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ElementwiseSizes,
+                         ::testing::Values(1, 7, 32, 100, 1000, 4097));

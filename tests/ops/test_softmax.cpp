@@ -1,0 +1,112 @@
+/** @file Softmax / log-softmax tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hh"
+#include "ops/softmax.hh"
+
+using namespace gnnmark;
+
+TEST(Softmax, RowsSumToOne)
+{
+    Rng rng(31);
+    Tensor a = Tensor::randn({5, 9}, rng, 3.0f);
+    Tensor y = ops::softmaxRows(a);
+    for (int64_t i = 0; i < 5; ++i) {
+        double sum = 0;
+        for (int64_t j = 0; j < 9; ++j) {
+            EXPECT_GT(y(i, j), 0.0f);
+            sum += y(i, j);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Softmax, InvariantToRowShift)
+{
+    Rng rng(32);
+    Tensor a = Tensor::randn({3, 7}, rng);
+    Tensor shifted = a.clone();
+    for (int64_t j = 0; j < 7; ++j)
+        shifted(1, j) += 100.0f;
+    Tensor ya = ops::softmaxRows(a);
+    Tensor yb = ops::softmaxRows(shifted);
+    for (int64_t j = 0; j < 7; ++j)
+        EXPECT_NEAR(ya(1, j), yb(1, j), 1e-5);
+}
+
+TEST(Softmax, NumericallyStableForLargeInputs)
+{
+    Tensor a = Tensor::full({2, 3}, 1e4f);
+    Tensor y = ops::softmaxRows(a);
+    for (int64_t j = 0; j < 3; ++j)
+        EXPECT_NEAR(y(0, j), 1.0 / 3.0, 1e-5);
+}
+
+TEST(LogSoftmax, AgreesWithLogOfSoftmax)
+{
+    Rng rng(33);
+    Tensor a = Tensor::randn({4, 6}, rng);
+    Tensor log_y = ops::logSoftmaxRows(a);
+    Tensor y = ops::softmaxRows(a);
+    for (int64_t i = 0; i < 4; ++i) {
+        for (int64_t j = 0; j < 6; ++j)
+            EXPECT_NEAR(log_y(i, j), std::log(y(i, j)), 1e-4);
+    }
+}
+
+TEST(Softmax, BackwardMatchesFiniteDifference)
+{
+    Rng rng(34);
+    Tensor a = Tensor::randn({2, 5}, rng);
+    Tensor gout = Tensor::randn({2, 5}, rng);
+    Tensor y = ops::softmaxRows(a);
+    Tensor grad = ops::softmaxRowsBackward(gout, y);
+
+    const float eps = 1e-3f;
+    for (int64_t idx = 0; idx < a.numel(); ++idx) {
+        float saved = a.data()[idx];
+        auto loss = [&]() {
+            Tensor out = ops::softmaxRows(a);
+            double s = 0;
+            for (int64_t i = 0; i < out.numel(); ++i)
+                s += static_cast<double>(out.data()[i]) * gout.data()[i];
+            return s;
+        };
+        a.data()[idx] = saved + eps;
+        double plus = loss();
+        a.data()[idx] = saved - eps;
+        double minus = loss();
+        a.data()[idx] = saved;
+        EXPECT_NEAR(grad.data()[idx], (plus - minus) / (2 * eps), 1e-2);
+    }
+}
+
+TEST(LogSoftmax, BackwardMatchesFiniteDifference)
+{
+    Rng rng(35);
+    Tensor a = Tensor::randn({2, 4}, rng);
+    Tensor gout = Tensor::randn({2, 4}, rng);
+    Tensor log_y = ops::logSoftmaxRows(a);
+    Tensor grad = ops::logSoftmaxRowsBackward(gout, log_y);
+
+    const float eps = 1e-3f;
+    for (int64_t idx = 0; idx < a.numel(); ++idx) {
+        float saved = a.data()[idx];
+        auto loss = [&]() {
+            Tensor out = ops::logSoftmaxRows(a);
+            double s = 0;
+            for (int64_t i = 0; i < out.numel(); ++i)
+                s += static_cast<double>(out.data()[i]) * gout.data()[i];
+            return s;
+        };
+        a.data()[idx] = saved + eps;
+        double plus = loss();
+        a.data()[idx] = saved - eps;
+        double minus = loss();
+        a.data()[idx] = saved;
+        EXPECT_NEAR(grad.data()[idx], (plus - minus) / (2 * eps), 1e-2);
+    }
+}

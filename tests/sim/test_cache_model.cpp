@@ -1,0 +1,124 @@
+/** @file Tests for the set-associative LRU cache model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache_model.hh"
+
+using namespace gnnmark;
+
+TEST(CacheModel, ColdMissThenHit)
+{
+    CacheModel c(1024, 2, 64);
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(63));  // same line
+    EXPECT_FALSE(c.access(64)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(CacheModel, LruEvictsOldest)
+{
+    // 2-way, 1 set: capacity 2 lines.
+    CacheModel c(128, 2, 64);
+    c.access(0);   // A
+    c.access(64);  // B
+    c.access(0);   // touch A; B is now LRU
+    c.access(128); // C evicts B
+    EXPECT_TRUE(c.access(0));
+    EXPECT_FALSE(c.access(64)); // B was evicted
+}
+
+TEST(CacheModel, SetIndexingSeparatesSets)
+{
+    // 2 sets, direct-mapped: lines 0 and 1 land in different sets.
+    CacheModel c(128, 1, 64);
+    c.access(0);
+    c.access(64);
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(64));
+    // Conflicting line in set 0 evicts line 0 only.
+    c.access(128);
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(64));
+}
+
+TEST(CacheModel, FlushDropsEverything)
+{
+    CacheModel c(1024, 4, 64);
+    c.access(0);
+    c.flush();
+    EXPECT_FALSE(c.access(0));
+}
+
+TEST(CacheModel, ProbeDoesNotFill)
+{
+    CacheModel c(1024, 4, 64);
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_FALSE(c.access(0)); // still a miss: probe didn't fill
+    EXPECT_TRUE(c.probe(0));
+}
+
+TEST(CacheModel, ResetStatsKeepsContents)
+{
+    CacheModel c(1024, 4, 64);
+    c.access(0);
+    c.resetStats();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_TRUE(c.access(0)); // line survived the stats reset
+}
+
+TEST(CacheModel, HitRate)
+{
+    CacheModel c(1024, 4, 64);
+    EXPECT_EQ(c.hitRate(), 0.0);
+    c.access(0);
+    c.access(0);
+    c.access(0);
+    c.access(0);
+    EXPECT_NEAR(c.hitRate(), 0.75, 1e-9);
+}
+
+TEST(CacheModelDeath, BadGeometryPanics)
+{
+    EXPECT_DEATH(CacheModel(100, 2, 64), "multiple");
+    EXPECT_DEATH(CacheModel(1024, 2, 63), "power of two");
+}
+
+/**
+ * Property: a working set no larger than the capacity never misses
+ * after the first (cold) pass, for any associativity.
+ */
+class CacheResidency : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CacheResidency, WorkingSetFitsAfterWarmup)
+{
+    const int assoc = GetParam();
+    CacheModel c(64 * 64, assoc, 64); // 64 lines capacity
+    for (int round = 0; round < 3; ++round) {
+        for (uint64_t line = 0; line < 64; ++line)
+            c.access(line * 64);
+    }
+    EXPECT_EQ(c.misses(), 64u);
+    EXPECT_EQ(c.hits(), 128u);
+}
+
+TEST_P(CacheResidency, ThrashingWorkingSetMissesEveryTime)
+{
+    const int assoc = GetParam();
+    CacheModel c(64 * 64, assoc, 64);
+    // Working set = 2x capacity, streamed cyclically: true LRU evicts
+    // the line just before it would be reused.
+    uint64_t miss_before = 0;
+    for (int round = 0; round < 4; ++round) {
+        for (uint64_t line = 0; line < 128; ++line)
+            c.access(line * 64);
+    }
+    miss_before = c.misses();
+    EXPECT_EQ(miss_before, 4u * 128u); // everything misses
+}
+
+INSTANTIATE_TEST_SUITE_P(Assoc, CacheResidency,
+                         ::testing::Values(1, 2, 4, 8, 16));

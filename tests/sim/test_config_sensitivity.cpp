@@ -1,0 +1,125 @@
+/** @file Property tests: the timing model responds monotonically to
+ *  its architectural knobs (the sensitivity directions the
+ *  arch-sensitivity bench reports). */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "sim/gpu_device.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+/** Streaming pointer-chase-ish kernel touching fresh lines. */
+KernelDesc
+memoryKernel(int64_t blocks)
+{
+    KernelDesc desc;
+    desc.name = "mem";
+    desc.blocks = blocks;
+    desc.warpsPerBlock = 8;
+    desc.loadDepFraction = 1.0;
+    desc.trace = [](int64_t warp_id, WarpTraceSink &sink) {
+        for (int i = 0; i < 128; ++i) {
+            sink.loadCoalesced(
+                static_cast<uint64_t>(warp_id) * 16384 + i * 128, 4);
+            sink.fp32(1);
+        }
+    };
+    return desc;
+}
+
+/** Compute-dense kernel (saturates the fp ports). */
+KernelDesc
+computeKernel(int64_t blocks)
+{
+    KernelDesc desc;
+    desc.name = "fma";
+    desc.blocks = blocks;
+    desc.warpsPerBlock = 8;
+    desc.aluIlp = 4.0;
+    desc.trace = [](int64_t, WarpTraceSink &sink) { sink.fma(1024); };
+    return desc;
+}
+
+double
+timeWith(const GpuConfig &cfg, const KernelDesc &desc)
+{
+    GpuDevice dev(cfg, 9);
+    return dev.launch(desc).timeSec;
+}
+
+} // namespace
+
+TEST(ConfigSensitivity, DramLatencySlowsMemoryBoundKernels)
+{
+    GpuConfig slow = GpuConfig::v100();
+    slow.dramLatency = 900;
+    EXPECT_GT(timeWith(slow, memoryKernel(64)),
+              timeWith(GpuConfig::v100(), memoryKernel(64)) * 1.3);
+}
+
+TEST(ConfigSensitivity, FpPortsBoundComputeKernels)
+{
+    GpuConfig wide = GpuConfig::v100();
+    wide.fp32PortsPerCycle = 4;
+    EXPECT_LT(timeWith(wide, computeKernel(640)),
+              timeWith(GpuConfig::v100(), computeKernel(640)) * 0.75);
+}
+
+TEST(ConfigSensitivity, MoreSmsShortenBigGrids)
+{
+    GpuConfig big = GpuConfig::v100();
+    big.numSms = 160;
+    // 40 waves' worth of blocks on the V100.
+    EXPECT_LT(timeWith(big, computeKernel(80 * 8 * 8)),
+              timeWith(GpuConfig::v100(), computeKernel(80 * 8 * 8)) *
+                  0.7);
+}
+
+TEST(ConfigSensitivity, A100PresetIsFasterOnMemoryBoundWork)
+{
+    EXPECT_LT(timeWith(GpuConfig::a100(), memoryKernel(2048)),
+              timeWith(GpuConfig::v100(), memoryKernel(2048)));
+}
+
+TEST(ConfigSensitivity, ClockScalesComputeTime)
+{
+    GpuConfig fast = GpuConfig::v100();
+    fast.clockGhz = 2.76; // 2x
+    double base = timeWith(GpuConfig::v100(), computeKernel(640));
+    double clocked = timeWith(fast, computeKernel(640));
+    EXPECT_NEAR(clocked, base / 2, base * 0.1);
+}
+
+TEST(ConfigSensitivity, ColdFetchPenaltyAddsIFetchStalls)
+{
+    GpuConfig cheap = GpuConfig::v100();
+    cheap.ifetchColdCycles = 20;
+    GpuConfig costly = GpuConfig::v100();
+    costly.ifetchColdCycles = 400;
+
+    auto ifetch = [&](const GpuConfig &cfg) {
+        GpuDevice dev(cfg, 9);
+        KernelRecord r = dev.launch(computeKernel(8));
+        return r.stallCycles[static_cast<size_t>(
+            StallReason::InstructionFetch)];
+    };
+    EXPECT_GT(ifetch(costly), ifetch(cheap) * 3);
+}
+
+TEST(ConfigSensitivity, LaunchOverheadBoundsWallTimeOfTinyKernels)
+{
+    GpuConfig cfg = GpuConfig::v100();
+    GpuDevice dev(cfg, 9);
+    KernelDesc tiny;
+    tiny.name = "tiny";
+    tiny.blocks = 1;
+    tiny.warpsPerBlock = 1;
+    tiny.trace = [](int64_t, WarpTraceSink &sink) { sink.fp32(4); };
+    for (int i = 0; i < 1000; ++i)
+        dev.launch(tiny);
+    // 1000 dispatches dominate the device time of trivial kernels.
+    EXPECT_GE(dev.wallTimeSec(), 1000 * cfg.launchOverheadSec * 0.99);
+}

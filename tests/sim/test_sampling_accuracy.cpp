@@ -1,0 +1,74 @@
+/** @file Accuracy/cost validation of the device's nvprof-style
+ *  per-kernel-name sampling (DESIGN.md decision #2): replayed
+ *  launches must agree with fully-detailed simulation. */
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.hh"
+#include "core/suite.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+WorkloadProfile
+profileWithLimit(int detail_limit)
+{
+    RunOptions opt;
+    opt.scale = 0.25;
+    opt.iterations = 4;
+    opt.seed = 31;
+    opt.deviceConfig.detailSampleLimit = detail_limit;
+    CharacterizationRunner runner(opt);
+    auto wl = BenchmarkSuite::create("DGCN");
+    return runner.run(*wl);
+}
+
+} // namespace
+
+TEST(SamplingAccuracy, ReplayedMetricsTrackDetailedOnes)
+{
+    // A tiny sampling budget (replaying almost everything) must give
+    // metrics close to a generous budget (simulating almost
+    // everything in detail).
+    WorkloadProfile replayed = profileWithLimit(1);
+    WorkloadProfile detailed = profileWithLimit(1000);
+
+    EXPECT_EQ(replayed.profiler.totalLaunches(),
+              detailed.profiler.totalLaunches());
+    EXPECT_NEAR(replayed.profiler.totalKernelTimeSec(),
+                detailed.profiler.totalKernelTimeSec(),
+                detailed.profiler.totalKernelTimeSec() * 0.25);
+
+    auto rb = replayed.profiler.opTimeBreakdown();
+    auto db = detailed.profiler.opTimeBreakdown();
+    for (size_t c = 0; c < kNumOpClasses; ++c)
+        EXPECT_NEAR(rb[c], db[c], 0.08) << opClassName(
+            static_cast<OpClass>(c));
+
+    auto rmix = replayed.profiler.instructionMix();
+    auto dmix = detailed.profiler.instructionMix();
+    EXPECT_NEAR(rmix.int32Frac, dmix.int32Frac, 0.05);
+    EXPECT_NEAR(rmix.fp32Frac, dmix.fp32Frac, 0.05);
+
+    EXPECT_NEAR(replayed.profiler.divergentLoadFraction(),
+                detailed.profiler.divergentLoadFraction(), 0.08);
+}
+
+TEST(SamplingAccuracy, InstructionTotalsIdenticalUnderReplay)
+{
+    // Instruction counts are exact per-warp rates scaled by geometry:
+    // replay must preserve the totals to within averaging noise.
+    WorkloadProfile replayed = profileWithLimit(1);
+    WorkloadProfile detailed = profileWithLimit(1000);
+    auto total = [](const WorkloadProfile &p) {
+        const auto &mix = p.profiler.instructionMix();
+        (void)mix;
+        double flops = 0;
+        for (OpClass c : allOpClasses())
+            flops += p.profiler.classStats(c).flops;
+        return flops;
+    };
+    EXPECT_NEAR(total(replayed), total(detailed),
+                total(detailed) * 0.05);
+}

@@ -1,0 +1,66 @@
+/** @file Tests for the CSR matrix type. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/csr.hh"
+
+using namespace gnnmark;
+
+TEST(Csr, FromTriplesSortsAndSums)
+{
+    CsrMatrix m = csrFromTriples(
+        3, 3, {{2, 1, 1.0f}, {0, 2, 2.0f}, {0, 2, 3.0f}, {1, 0, 4.0f}});
+    EXPECT_EQ(m.nnz(), 3);
+    // Row 0 has a single merged entry (0,2) with value 5.
+    EXPECT_EQ(m.rowPtr[0], 0);
+    EXPECT_EQ(m.rowPtr[1], 1);
+    EXPECT_EQ(m.colIdx[0], 2);
+    EXPECT_FLOAT_EQ(m.vals[0], 5.0f);
+    EXPECT_EQ(m.colIdx[1], 0);
+    EXPECT_EQ(m.colIdx[2], 1);
+}
+
+TEST(Csr, EmptyMatrixValidates)
+{
+    CsrMatrix m = csrFromTriples(4, 4, {});
+    EXPECT_EQ(m.nnz(), 0);
+    m.validate();
+}
+
+TEST(Csr, RowsWithinBounds)
+{
+    CsrMatrix m =
+        csrFromTriples(2, 5, {{0, 4, 1.0f}, {1, 0, 1.0f}});
+    m.validate();
+    EXPECT_EQ(m.rows, 2);
+    EXPECT_EQ(m.cols, 5);
+}
+
+TEST(CsrDeath, TripleOutOfRangePanics)
+{
+    EXPECT_DEATH(csrFromTriples(2, 2, {{2, 0, 1.0f}}), "out of range");
+}
+
+TEST(CsrDeath, ValidateCatchesBadRowPtr)
+{
+    CsrMatrix m = csrFromTriples(2, 2, {{0, 1, 1.0f}});
+    m.rowPtr[1] = 9;
+    EXPECT_DEATH(m.validate(), "rowPtr");
+}
+
+TEST(CsrDeath, ValidateCatchesBadColumn)
+{
+    CsrMatrix m = csrFromTriples(2, 2, {{0, 1, 1.0f}});
+    m.colIdx[0] = 5;
+    EXPECT_DEATH(m.validate(), "column index");
+}
+
+TEST(Csr, DeviceAddressesStable)
+{
+    CsrMatrix m = csrFromTriples(2, 2, {{0, 1, 1.0f}, {1, 0, 2.0f}});
+    EXPECT_EQ(m.rowPtrAddr(),
+              reinterpret_cast<uint64_t>(m.rowPtr.data()));
+    EXPECT_EQ(m.colIdxAddr(),
+              reinterpret_cast<uint64_t>(m.colIdx.data()));
+    EXPECT_EQ(m.valsAddr(), reinterpret_cast<uint64_t>(m.vals.data()));
+}

@@ -1,0 +1,152 @@
+/** @file Tests for the Tensor value type and its caching allocator. */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "tensor/tensor.hh"
+
+using namespace gnnmark;
+
+TEST(Tensor, ZeroInitialised)
+{
+    Tensor t({3, 4});
+    EXPECT_EQ(t.numel(), 12);
+    for (int64_t i = 0; i < 12; ++i)
+        EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(Tensor, FactoryHelpers)
+{
+    EXPECT_EQ(Tensor::ones({2, 2})(1, 1), 1.0f);
+    EXPECT_EQ(Tensor::full({2}, 3.5f)(0), 3.5f);
+    Tensor v = Tensor::fromVector({2, 2}, {1, 2, 3, 4});
+    EXPECT_EQ(v(1, 0), 3.0f);
+}
+
+TEST(Tensor, IndexingRowMajor)
+{
+    Tensor t({2, 3});
+    t(1, 2) = 7.0f;
+    EXPECT_EQ(t.data()[5], 7.0f);
+    Tensor u({2, 2, 2});
+    u(1, 0, 1) = 4.0f;
+    EXPECT_EQ(u.data()[5], 4.0f);
+    Tensor w({2, 2, 2, 2});
+    w(1, 1, 1, 1) = 9.0f;
+    EXPECT_EQ(w.data()[15], 9.0f);
+}
+
+TEST(TensorDeath, OutOfBoundsPanics)
+{
+    Tensor t({2, 3});
+    EXPECT_DEATH(t(2, 0), "bad 2-d index");
+    EXPECT_DEATH(t(0, 3), "bad 2-d index");
+}
+
+TEST(Tensor, SizeNegativeAxis)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.size(-1), 4);
+    EXPECT_EQ(t.size(-3), 2);
+}
+
+TEST(Tensor, ReshapeSharesStorage)
+{
+    Tensor t({2, 6});
+    Tensor v = t.reshape({3, 4});
+    v(0, 1) = 5.0f;
+    EXPECT_EQ(t(0, 1), 5.0f);
+    EXPECT_EQ(t.deviceAddr(), v.deviceAddr());
+}
+
+TEST(TensorDeath, ReshapeNumelMismatchPanics)
+{
+    Tensor t({2, 3});
+    EXPECT_DEATH(t.reshape({7}), "reshape numel mismatch");
+}
+
+TEST(Tensor, CloneIsDeep)
+{
+    Tensor t = Tensor::full({4}, 1.0f);
+    Tensor c = t.clone();
+    c(0) = 9.0f;
+    EXPECT_EQ(t(0), 1.0f);
+    EXPECT_NE(t.deviceAddr(), c.deviceAddr());
+}
+
+TEST(Tensor, CopyIsShallow)
+{
+    Tensor t({4});
+    Tensor alias = t;
+    alias(1) = 2.0f;
+    EXPECT_EQ(t(1), 2.0f);
+}
+
+TEST(Tensor, ZeroFraction)
+{
+    Tensor t = Tensor::fromVector({4}, {0, 1, 0, 2});
+    EXPECT_FLOAT_EQ(t.zeroFraction(), 0.5);
+    EXPECT_FLOAT_EQ(Tensor({3}).zeroFraction(), 1.0);
+}
+
+TEST(Tensor, RandnStatistics)
+{
+    Rng rng(5);
+    Tensor t = Tensor::randn({100, 100}, rng, 2.0f);
+    double sum = 0, sq = 0;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        sum += t.data()[i];
+        sq += t.data()[i] * t.data()[i];
+    }
+    EXPECT_NEAR(sum / t.numel(), 0.0, 0.05);
+    EXPECT_NEAR(sq / t.numel(), 4.0, 0.15);
+}
+
+TEST(Tensor, UniformBounds)
+{
+    Rng rng(6);
+    Tensor t = Tensor::uniform({1000}, rng, -1.0f, 2.0f);
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        EXPECT_GE(t(i), -1.0f);
+        EXPECT_LT(t(i), 2.0f);
+    }
+}
+
+TEST(Tensor, AllCloseAndMaxAbsDiff)
+{
+    Tensor a = Tensor::fromVector({3}, {1.0f, 2.0f, 3.0f});
+    Tensor b = Tensor::fromVector({3}, {1.0f, 2.00001f, 3.0f});
+    EXPECT_TRUE(allClose(a, b));
+    EXPECT_NEAR(maxAbsDiff(a, b), 1e-5f, 1e-6f);
+    Tensor c = Tensor::fromVector({3}, {1.0f, 2.5f, 3.0f});
+    EXPECT_FALSE(allClose(a, c));
+}
+
+TEST(Tensor, StorageAligned256)
+{
+    for (int i = 0; i < 8; ++i) {
+        Tensor t({17 + i});
+        EXPECT_EQ(t.deviceAddr() % 256, 0u)
+            << "allocation " << i << " not 256-byte aligned";
+    }
+}
+
+TEST(Tensor, AllocatorRecyclesAddresses)
+{
+    // The caching allocator must hand back the same block for a
+    // same-sized allocation (this is what gives iteration-stable
+    // device addresses).
+    uint64_t first;
+    {
+        Tensor t({123, 7});
+        first = t.deviceAddr();
+    }
+    Tensor u({123, 7});
+    EXPECT_EQ(u.deviceAddr(), first);
+}
+
+TEST(Tensor, ShapeString)
+{
+    EXPECT_EQ(Tensor({2, 3}).shapeString(), "[2, 3]");
+    EXPECT_EQ(Tensor({5}).shapeString(), "[5]");
+}

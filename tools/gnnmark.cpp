@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The `gnnmark` command-line driver — the front door a downstream user
+ * runs, mirroring the run scripts of the original suite.
+ *
+ *   gnnmark list
+ *   gnnmark run <workload> [--scale S] [--iters N] [--inference]
+ *   gnnmark characterize [--scale S] [--iters N] [--csv]
+ *   gnnmark scaling [--scale S] [--weak]
+ *   gnnmark ttt [--scale S] [--target F]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "core/characterization.hh"
+#include "core/reports.hh"
+#include "core/suite.hh"
+#include "core/time_to_train.hh"
+#include "multigpu/ddp.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::string workload;
+    double scale = 1.0;
+    int iterations = 6;
+    double target = 0.85;
+    bool inference = false;
+    bool weak = false;
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: gnnmark <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                       print the suite inventory\n"
+        "  run <workload>             train + profile one workload\n"
+        "  characterize               profile the whole suite\n"
+        "  scaling                    DDP strong scaling over 1/2/4 GPUs\n"
+        "  ttt                        MLPerf-style time-to-train\n"
+        "\n"
+        "options:\n"
+        "  --scale S      dataset scale factor (default 1.0)\n"
+        "  --iters N      measured iterations (default 6)\n"
+        "  --target F     time-to-train loss fraction (default 0.85)\n"
+        "  --inference    forward passes only\n"
+        "  --weak         weak instead of strong scaling\n"
+        "  --csv          machine-readable output where supported\n";
+    std::exit(2);
+}
+
+Args
+parse(int argc, char **argv)
+{
+    Args args;
+    if (argc < 2)
+        usage();
+    args.command = argv[1];
+    int i = 2;
+    if (args.command == "run") {
+        if (argc < 3)
+            usage();
+        args.workload = argv[2];
+        i = 3;
+    }
+    for (; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (a == "--scale") {
+            args.scale = std::atof(next());
+        } else if (a == "--iters") {
+            args.iterations = std::atoi(next());
+        } else if (a == "--target") {
+            args.target = std::atof(next());
+        } else if (a == "--inference") {
+            args.inference = true;
+        } else if (a == "--weak") {
+            args.weak = true;
+        } else if (a == "--csv") {
+            args.csv = true;
+        } else {
+            std::cerr << "unknown option: " << a << "\n";
+            usage();
+        }
+    }
+    return args;
+}
+
+RunOptions
+runOptions(const Args &args)
+{
+    RunOptions opt;
+    opt.scale = args.scale;
+    opt.iterations = args.iterations;
+    opt.inferenceOnly = args.inference;
+    return opt;
+}
+
+void
+printWorkloadSummary(const WorkloadProfile &p)
+{
+    auto mix = p.profiler.instructionMix();
+    TablePrinter table(p.name + " summary");
+    table.setHeader({"Metric", "Value"});
+    table.addRow({"loss (first -> last)",
+                  strfmt("%.4f -> %.4f", p.losses.front(),
+                         p.losses.back())});
+    table.addRow({"kernel launches",
+                  strfmt("%lld", static_cast<long long>(
+                                     p.profiler.totalLaunches()))});
+    table.addRow({"kernel time",
+                  strfmt("%.3f ms",
+                         p.profiler.totalKernelTimeSec() * 1e3)});
+    table.addRow({"epoch time (est.)",
+                  strfmt("%.3f ms", p.epochTimeSec * 1e3)});
+    table.addRow({"GFLOPS / GIOPS",
+                  strfmt("%.1f / %.1f", p.profiler.gflops(),
+                         p.profiler.giops())});
+    table.addRow({"IPC", strfmt("%.2f", p.profiler.avgIpc())});
+    table.addRow({"instruction mix",
+                  strfmt("int32 %.1f%% fp32 %.1f%%",
+                         mix.int32Frac * 100, mix.fp32Frac * 100)});
+    table.addRow({"L1 / L2 hit rate",
+                  strfmt("%.1f%% / %.1f%%",
+                         p.profiler.l1HitRate() * 100,
+                         p.profiler.l2HitRate() * 100)});
+    table.addRow({"divergent loads",
+                  strfmt("%.1f%%",
+                         p.profiler.divergentLoadFraction() * 100)});
+    table.addRow({"H2D sparsity",
+                  strfmt("%.1f%%",
+                         p.profiler.avgTransferSparsity() * 100)});
+    table.print(std::cout);
+    std::cout << "\n";
+    reports::printKernelTable(p, std::cout);
+}
+
+int
+cmdRun(const Args &args)
+{
+    CharacterizationRunner runner(runOptions(args));
+    std::cout << (args.inference ? "Profiling (inference mode) "
+                                 : "Training ")
+              << args.workload << " on the simulated V100...\n\n";
+    printWorkloadSummary(runner.run(args.workload));
+    return 0;
+}
+
+int
+cmdCharacterize(const Args &args)
+{
+    CharacterizationRunner runner(runOptions(args));
+    std::vector<WorkloadProfile> profiles;
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        std::cout << "  " << name << "..." << std::flush;
+        profiles.push_back(runner.run(name));
+        std::cout << " done\n";
+    }
+    std::cout << "\n";
+    reports::printFig2OpBreakdown(profiles, std::cout);
+    reports::printFig3InstructionMix(profiles, std::cout);
+    reports::printFig4Throughput(profiles, std::cout);
+    reports::printFig5Stalls(profiles, std::cout);
+    reports::printFig6Cache(profiles, std::cout);
+    reports::printFig7Sparsity(profiles, std::cout);
+    return 0;
+}
+
+int
+cmdScaling(const Args &args)
+{
+    WorkloadConfig base;
+    base.scale = args.scale;
+    DdpTrainer trainer;
+    std::vector<std::pair<std::string, std::vector<ScalingResult>>>
+        curves;
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        auto wl = BenchmarkSuite::create(name);
+        if (!wl->supportsMultiGpu())
+            continue;
+        std::cout << "  " << name << "..." << std::flush;
+        curves.emplace_back(
+            name, args.weak
+                      ? trainer.weakScalingCurve(*wl, base, {1, 2, 4})
+                      : trainer.scalingCurve(*wl, base, {1, 2, 4}));
+        std::cout << " done\n";
+    }
+    std::cout << "\n";
+    reports::printFig9Scaling(curves, std::cout);
+    return 0;
+}
+
+int
+cmdTimeToTrain(const Args &args)
+{
+    TimeToTrainOptions opt;
+    opt.scale = args.scale;
+    opt.lossFraction = args.target;
+    TablePrinter table("Time-to-train");
+    table.setHeader({"Workload", "Converged", "Steps", "Sim time (ms)"});
+    for (const std::string &name : BenchmarkSuite::workloadNames()) {
+        auto wl = BenchmarkSuite::create(name);
+        TimeToTrainResult r = measureTimeToTrain(*wl, opt);
+        table.addRow({r.name, r.converged ? "yes" : "no",
+                      strfmt("%d", r.iterations),
+                      strfmt("%.1f", r.simulatedTimeSec * 1e3)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parse(argc, argv);
+    if (args.command == "list") {
+        reports::printTableOne(std::cout);
+        return 0;
+    }
+    if (args.command == "run")
+        return cmdRun(args);
+    if (args.command == "characterize")
+        return cmdCharacterize(args);
+    if (args.command == "scaling")
+        return cmdScaling(args);
+    if (args.command == "ttt")
+        return cmdTimeToTrain(args);
+    usage();
+}
