@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_time_to_train.dir/bench_ext_time_to_train.cpp.o"
+  "CMakeFiles/bench_ext_time_to_train.dir/bench_ext_time_to_train.cpp.o.d"
+  "bench_ext_time_to_train"
+  "bench_ext_time_to_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_time_to_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/recommender.cpp" "examples/CMakeFiles/recommender.dir/recommender.cpp.o" "gcc" "examples/CMakeFiles/recommender.dir/recommender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gnnmark_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/gnnmark_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/multigpu/CMakeFiles/gnnmark_multigpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gnnmark_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gnnmark_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/gnnmark_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnmark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnmark_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnnmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gnnmark_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark_base.dir/logging.cc.o"
+  "CMakeFiles/gnnmark_base.dir/logging.cc.o.d"
+  "CMakeFiles/gnnmark_base.dir/rng.cc.o"
+  "CMakeFiles/gnnmark_base.dir/rng.cc.o.d"
+  "CMakeFiles/gnnmark_base.dir/string_utils.cc.o"
+  "CMakeFiles/gnnmark_base.dir/string_utils.cc.o.d"
+  "CMakeFiles/gnnmark_base.dir/table.cc.o"
+  "CMakeFiles/gnnmark_base.dir/table.cc.o.d"
+  "libgnnmark_base.a"
+  "libgnnmark_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

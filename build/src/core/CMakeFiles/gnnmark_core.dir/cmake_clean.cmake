@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark_core.dir/characterization.cc.o"
+  "CMakeFiles/gnnmark_core.dir/characterization.cc.o.d"
+  "CMakeFiles/gnnmark_core.dir/reports.cc.o"
+  "CMakeFiles/gnnmark_core.dir/reports.cc.o.d"
+  "CMakeFiles/gnnmark_core.dir/suite.cc.o"
+  "CMakeFiles/gnnmark_core.dir/suite.cc.o.d"
+  "CMakeFiles/gnnmark_core.dir/time_to_train.cc.o"
+  "CMakeFiles/gnnmark_core.dir/time_to_train.cc.o.d"
+  "libgnnmark_core.a"
+  "libgnnmark_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

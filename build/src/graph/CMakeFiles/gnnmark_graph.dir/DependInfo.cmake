@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/batch.cc" "src/graph/CMakeFiles/gnnmark_graph.dir/batch.cc.o" "gcc" "src/graph/CMakeFiles/gnnmark_graph.dir/batch.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/gnnmark_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/gnnmark_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/gnnmark_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/gnnmark_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/hetero_graph.cc" "src/graph/CMakeFiles/gnnmark_graph.dir/hetero_graph.cc.o" "gcc" "src/graph/CMakeFiles/gnnmark_graph.dir/hetero_graph.cc.o.d"
+  "/root/repo/src/graph/samplers.cc" "src/graph/CMakeFiles/gnnmark_graph.dir/samplers.cc.o" "gcc" "src/graph/CMakeFiles/gnnmark_graph.dir/samplers.cc.o.d"
+  "/root/repo/src/graph/tree.cc" "src/graph/CMakeFiles/gnnmark_graph.dir/tree.cc.o" "gcc" "src/graph/CMakeFiles/gnnmark_graph.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/gnnmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gnnmark_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

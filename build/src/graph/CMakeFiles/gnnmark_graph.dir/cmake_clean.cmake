@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark_graph.dir/batch.cc.o"
+  "CMakeFiles/gnnmark_graph.dir/batch.cc.o.d"
+  "CMakeFiles/gnnmark_graph.dir/generators.cc.o"
+  "CMakeFiles/gnnmark_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gnnmark_graph.dir/graph.cc.o"
+  "CMakeFiles/gnnmark_graph.dir/graph.cc.o.d"
+  "CMakeFiles/gnnmark_graph.dir/hetero_graph.cc.o"
+  "CMakeFiles/gnnmark_graph.dir/hetero_graph.cc.o.d"
+  "CMakeFiles/gnnmark_graph.dir/samplers.cc.o"
+  "CMakeFiles/gnnmark_graph.dir/samplers.cc.o.d"
+  "CMakeFiles/gnnmark_graph.dir/tree.cc.o"
+  "CMakeFiles/gnnmark_graph.dir/tree.cc.o.d"
+  "libgnnmark_graph.a"
+  "libgnnmark_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/arga.cc" "src/models/CMakeFiles/gnnmark_models.dir/arga.cc.o" "gcc" "src/models/CMakeFiles/gnnmark_models.dir/arga.cc.o.d"
+  "/root/repo/src/models/deepgcn.cc" "src/models/CMakeFiles/gnnmark_models.dir/deepgcn.cc.o" "gcc" "src/models/CMakeFiles/gnnmark_models.dir/deepgcn.cc.o.d"
+  "/root/repo/src/models/gnn_layers.cc" "src/models/CMakeFiles/gnnmark_models.dir/gnn_layers.cc.o" "gcc" "src/models/CMakeFiles/gnnmark_models.dir/gnn_layers.cc.o.d"
+  "/root/repo/src/models/graphwriter.cc" "src/models/CMakeFiles/gnnmark_models.dir/graphwriter.cc.o" "gcc" "src/models/CMakeFiles/gnnmark_models.dir/graphwriter.cc.o.d"
+  "/root/repo/src/models/kgnn.cc" "src/models/CMakeFiles/gnnmark_models.dir/kgnn.cc.o" "gcc" "src/models/CMakeFiles/gnnmark_models.dir/kgnn.cc.o.d"
+  "/root/repo/src/models/pinsage.cc" "src/models/CMakeFiles/gnnmark_models.dir/pinsage.cc.o" "gcc" "src/models/CMakeFiles/gnnmark_models.dir/pinsage.cc.o.d"
+  "/root/repo/src/models/stgcn.cc" "src/models/CMakeFiles/gnnmark_models.dir/stgcn.cc.o" "gcc" "src/models/CMakeFiles/gnnmark_models.dir/stgcn.cc.o.d"
+  "/root/repo/src/models/treelstm.cc" "src/models/CMakeFiles/gnnmark_models.dir/treelstm.cc.o" "gcc" "src/models/CMakeFiles/gnnmark_models.dir/treelstm.cc.o.d"
+  "/root/repo/src/models/workload.cc" "src/models/CMakeFiles/gnnmark_models.dir/workload.cc.o" "gcc" "src/models/CMakeFiles/gnnmark_models.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/gnnmark_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnmark_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/gnnmark_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnmark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnnmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gnnmark_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

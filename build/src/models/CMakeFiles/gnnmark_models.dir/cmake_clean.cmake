@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark_models.dir/arga.cc.o"
+  "CMakeFiles/gnnmark_models.dir/arga.cc.o.d"
+  "CMakeFiles/gnnmark_models.dir/deepgcn.cc.o"
+  "CMakeFiles/gnnmark_models.dir/deepgcn.cc.o.d"
+  "CMakeFiles/gnnmark_models.dir/gnn_layers.cc.o"
+  "CMakeFiles/gnnmark_models.dir/gnn_layers.cc.o.d"
+  "CMakeFiles/gnnmark_models.dir/graphwriter.cc.o"
+  "CMakeFiles/gnnmark_models.dir/graphwriter.cc.o.d"
+  "CMakeFiles/gnnmark_models.dir/kgnn.cc.o"
+  "CMakeFiles/gnnmark_models.dir/kgnn.cc.o.d"
+  "CMakeFiles/gnnmark_models.dir/pinsage.cc.o"
+  "CMakeFiles/gnnmark_models.dir/pinsage.cc.o.d"
+  "CMakeFiles/gnnmark_models.dir/stgcn.cc.o"
+  "CMakeFiles/gnnmark_models.dir/stgcn.cc.o.d"
+  "CMakeFiles/gnnmark_models.dir/treelstm.cc.o"
+  "CMakeFiles/gnnmark_models.dir/treelstm.cc.o.d"
+  "CMakeFiles/gnnmark_models.dir/workload.cc.o"
+  "CMakeFiles/gnnmark_models.dir/workload.cc.o.d"
+  "libgnnmark_models.a"
+  "libgnnmark_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

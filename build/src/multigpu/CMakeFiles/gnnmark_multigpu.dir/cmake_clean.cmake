@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark_multigpu.dir/ddp.cc.o"
+  "CMakeFiles/gnnmark_multigpu.dir/ddp.cc.o.d"
+  "libgnnmark_multigpu.a"
+  "libgnnmark_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/gnnmark_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/gnnmark_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/gnnmark_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/gnnmark_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/gnnmark_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/gnnmark_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/gnnmark_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/gnnmark_nn.dir/optim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/gnnmark_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnnmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnmark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gnnmark_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

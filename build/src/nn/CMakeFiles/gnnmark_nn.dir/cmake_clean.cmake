@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark_nn.dir/layers.cc.o"
+  "CMakeFiles/gnnmark_nn.dir/layers.cc.o.d"
+  "CMakeFiles/gnnmark_nn.dir/loss.cc.o"
+  "CMakeFiles/gnnmark_nn.dir/loss.cc.o.d"
+  "CMakeFiles/gnnmark_nn.dir/module.cc.o"
+  "CMakeFiles/gnnmark_nn.dir/module.cc.o.d"
+  "CMakeFiles/gnnmark_nn.dir/optim.cc.o"
+  "CMakeFiles/gnnmark_nn.dir/optim.cc.o.d"
+  "libgnnmark_nn.a"
+  "libgnnmark_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

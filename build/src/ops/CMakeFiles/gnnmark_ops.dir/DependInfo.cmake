@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/batchnorm.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/batchnorm.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/batchnorm.cc.o.d"
+  "/root/repo/src/ops/conv2d.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/conv2d.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/conv2d.cc.o.d"
+  "/root/repo/src/ops/elementwise.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/elementwise.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/elementwise.cc.o.d"
+  "/root/repo/src/ops/exec_context.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/exec_context.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/exec_context.cc.o.d"
+  "/root/repo/src/ops/gemm.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/gemm.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/gemm.cc.o.d"
+  "/root/repo/src/ops/index.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/index.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/index.cc.o.d"
+  "/root/repo/src/ops/kernel_common.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/kernel_common.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/kernel_common.cc.o.d"
+  "/root/repo/src/ops/reduce.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/reduce.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/reduce.cc.o.d"
+  "/root/repo/src/ops/softmax.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/softmax.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/softmax.cc.o.d"
+  "/root/repo/src/ops/sort.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/sort.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/sort.cc.o.d"
+  "/root/repo/src/ops/spmm.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/spmm.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/spmm.cc.o.d"
+  "/root/repo/src/ops/var_ops.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/var_ops.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/var_ops.cc.o.d"
+  "/root/repo/src/ops/variable.cc" "src/ops/CMakeFiles/gnnmark_ops.dir/variable.cc.o" "gcc" "src/ops/CMakeFiles/gnnmark_ops.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/gnnmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnmark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gnnmark_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark_ops.dir/batchnorm.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/batchnorm.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/conv2d.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/conv2d.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/elementwise.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/elementwise.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/exec_context.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/exec_context.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/gemm.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/gemm.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/index.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/index.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/kernel_common.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/kernel_common.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/reduce.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/reduce.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/softmax.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/softmax.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/sort.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/sort.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/spmm.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/spmm.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/var_ops.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/var_ops.cc.o.d"
+  "CMakeFiles/gnnmark_ops.dir/variable.cc.o"
+  "CMakeFiles/gnnmark_ops.dir/variable.cc.o.d"
+  "libgnnmark_ops.a"
+  "libgnnmark_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark_profiler.dir/profiler.cc.o"
+  "CMakeFiles/gnnmark_profiler.dir/profiler.cc.o.d"
+  "libgnnmark_profiler.a"
+  "libgnnmark_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cc" "src/sim/CMakeFiles/gnnmark_sim.dir/cache_model.cc.o" "gcc" "src/sim/CMakeFiles/gnnmark_sim.dir/cache_model.cc.o.d"
+  "/root/repo/src/sim/gpu_config.cc" "src/sim/CMakeFiles/gnnmark_sim.dir/gpu_config.cc.o" "gcc" "src/sim/CMakeFiles/gnnmark_sim.dir/gpu_config.cc.o.d"
+  "/root/repo/src/sim/gpu_device.cc" "src/sim/CMakeFiles/gnnmark_sim.dir/gpu_device.cc.o" "gcc" "src/sim/CMakeFiles/gnnmark_sim.dir/gpu_device.cc.o.d"
+  "/root/repo/src/sim/interconnect.cc" "src/sim/CMakeFiles/gnnmark_sim.dir/interconnect.cc.o" "gcc" "src/sim/CMakeFiles/gnnmark_sim.dir/interconnect.cc.o.d"
+  "/root/repo/src/sim/op_class.cc" "src/sim/CMakeFiles/gnnmark_sim.dir/op_class.cc.o" "gcc" "src/sim/CMakeFiles/gnnmark_sim.dir/op_class.cc.o.d"
+  "/root/repo/src/sim/stall.cc" "src/sim/CMakeFiles/gnnmark_sim.dir/stall.cc.o" "gcc" "src/sim/CMakeFiles/gnnmark_sim.dir/stall.cc.o.d"
+  "/root/repo/src/sim/warp_pipeline.cc" "src/sim/CMakeFiles/gnnmark_sim.dir/warp_pipeline.cc.o" "gcc" "src/sim/CMakeFiles/gnnmark_sim.dir/warp_pipeline.cc.o.d"
+  "/root/repo/src/sim/warp_trace.cc" "src/sim/CMakeFiles/gnnmark_sim.dir/warp_trace.cc.o" "gcc" "src/sim/CMakeFiles/gnnmark_sim.dir/warp_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/gnnmark_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark_sim.dir/cache_model.cc.o"
+  "CMakeFiles/gnnmark_sim.dir/cache_model.cc.o.d"
+  "CMakeFiles/gnnmark_sim.dir/gpu_config.cc.o"
+  "CMakeFiles/gnnmark_sim.dir/gpu_config.cc.o.d"
+  "CMakeFiles/gnnmark_sim.dir/gpu_device.cc.o"
+  "CMakeFiles/gnnmark_sim.dir/gpu_device.cc.o.d"
+  "CMakeFiles/gnnmark_sim.dir/interconnect.cc.o"
+  "CMakeFiles/gnnmark_sim.dir/interconnect.cc.o.d"
+  "CMakeFiles/gnnmark_sim.dir/op_class.cc.o"
+  "CMakeFiles/gnnmark_sim.dir/op_class.cc.o.d"
+  "CMakeFiles/gnnmark_sim.dir/stall.cc.o"
+  "CMakeFiles/gnnmark_sim.dir/stall.cc.o.d"
+  "CMakeFiles/gnnmark_sim.dir/warp_pipeline.cc.o"
+  "CMakeFiles/gnnmark_sim.dir/warp_pipeline.cc.o.d"
+  "CMakeFiles/gnnmark_sim.dir/warp_trace.cc.o"
+  "CMakeFiles/gnnmark_sim.dir/warp_trace.cc.o.d"
+  "libgnnmark_sim.a"
+  "libgnnmark_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

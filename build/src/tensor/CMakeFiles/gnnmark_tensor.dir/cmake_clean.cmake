@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark_tensor.dir/csr.cc.o"
+  "CMakeFiles/gnnmark_tensor.dir/csr.cc.o.d"
+  "CMakeFiles/gnnmark_tensor.dir/tensor.cc.o"
+  "CMakeFiles/gnnmark_tensor.dir/tensor.cc.o.d"
+  "libgnnmark_tensor.a"
+  "libgnnmark_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

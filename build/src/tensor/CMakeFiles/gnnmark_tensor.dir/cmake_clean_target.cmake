@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnnmark_tensor.a"
+)

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/base/test_logging.cpp.o"
+  "CMakeFiles/test_base.dir/base/test_logging.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/test_rng.cpp.o"
+  "CMakeFiles/test_base.dir/base/test_rng.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/test_string_utils.cpp.o"
+  "CMakeFiles/test_base.dir/base/test_string_utils.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/test_table.cpp.o"
+  "CMakeFiles/test_base.dir/base/test_table.cpp.o.d"
+  "test_base"
+  "test_base.pdb"
+  "test_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops.dir/ops/test_autograd.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_autograd.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_conv_bn.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_conv_bn.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_elementwise.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_elementwise.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_gemm.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_gemm.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_index_sort.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_index_sort.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_kernel_common.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_kernel_common.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_reduce.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_reduce.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_softmax.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_softmax.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_spmm.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_spmm.cpp.o.d"
+  "test_ops"
+  "test_ops.pdb"
+  "test_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cache_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_cache_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cache_model.cpp.o.d"
+  "/root/repo/tests/sim/test_config_sensitivity.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_config_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_config_sensitivity.cpp.o.d"
+  "/root/repo/tests/sim/test_gpu_device.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_gpu_device.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_gpu_device.cpp.o.d"
+  "/root/repo/tests/sim/test_interconnect.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_interconnect.cpp.o.d"
+  "/root/repo/tests/sim/test_pipeline.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline.cpp.o.d"
+  "/root/repo/tests/sim/test_profiler.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_profiler.cpp.o.d"
+  "/root/repo/tests/sim/test_sampling_accuracy.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sampling_accuracy.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sampling_accuracy.cpp.o.d"
+  "/root/repo/tests/sim/test_warp_trace.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_warp_trace.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_warp_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gnnmark_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/gnnmark_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/multigpu/CMakeFiles/gnnmark_multigpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gnnmark_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gnnmark_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/gnnmark_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnmark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnmark_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnnmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gnnmark_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

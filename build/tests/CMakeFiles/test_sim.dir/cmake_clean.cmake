@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cache_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_cache_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_config_sensitivity.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_config_sensitivity.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_gpu_device.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_gpu_device.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_interconnect.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_interconnect.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_profiler.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_profiler.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sampling_accuracy.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_sampling_accuracy.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_warp_trace.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_warp_trace.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmark.dir/gnnmark.cpp.o"
+  "CMakeFiles/gnnmark.dir/gnnmark.cpp.o.d"
+  "gnnmark"
+  "gnnmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
