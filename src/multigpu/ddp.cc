@@ -134,6 +134,12 @@ DdpTrainer::weakScalingCurve(Workload &workload,
             base_time = r.epochTimeSec;
         out.push_back(r);
     }
+    if (base_time == 0 && !out.empty()) {
+        // No world_size == 1 point was measured; per-GPU work is
+        // constant under weak scaling, so the first measured point is
+        // itself the single-GPU reference.
+        base_time = out.front().epochTimeSec;
+    }
     for (ScalingResult &r : out) {
         // Weak-scaling efficiency: constant per-GPU time is 1.0.
         r.speedup = base_time > 0 && r.epochTimeSec > 0
@@ -153,9 +159,15 @@ DdpTrainer::scalingCurve(Workload &workload, const WorkloadConfig &base,
     for (int w : world_sizes) {
         ScalingResult r =
             measure(workload, base, w, measured_iterations);
-        if (w == 1 || base_time == 0)
-            base_time = w == 1 ? r.epochTimeSec : base_time;
+        if (w == 1)
+            base_time = r.epochTimeSec;
         out.push_back(r);
+    }
+    if (base_time == 0 && !out.empty()) {
+        // No world_size == 1 point was measured; extrapolate the
+        // single-GPU time from the first point assuming ideal linear
+        // scaling, so speedups stay relative to one GPU.
+        base_time = out.front().epochTimeSec * out.front().worldSize;
     }
     for (ScalingResult &r : out) {
         r.speedup =

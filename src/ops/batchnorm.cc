@@ -1,8 +1,10 @@
 #include "ops/batchnorm.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -105,25 +107,32 @@ batchNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     Tensor y({n, f});
 
     const float *px = x.data();
-    for (int64_t j = 0; j < f; ++j) {
-        double sum = 0.0, sq = 0.0;
-        for (int64_t i = 0; i < n; ++i) {
-            const double v = px[i * f + j];
-            sum += v;
-            sq += v * v;
+    // Per-column stats: every column is owned by one chunk.
+    parallel_for(0, f, 16, [&](int64_t j0, int64_t j1) {
+        for (int64_t j = j0; j < j1; ++j) {
+            double sum = 0.0, sq = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+                const double v = px[i * f + j];
+                sum += v;
+                sq += v * v;
+            }
+            const double mean = sum / n;
+            const double var = std::max(0.0, sq / n - mean * mean);
+            state.mean(j) = static_cast<float>(mean);
+            state.invStd(j) =
+                static_cast<float>(1.0 / std::sqrt(var + eps));
         }
-        const double mean = sum / n;
-        const double var = std::max(0.0, sq / n - mean * mean);
-        state.mean(j) = static_cast<float>(mean);
-        state.invStd(j) = static_cast<float>(1.0 / std::sqrt(var + eps));
-    }
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < f; ++j) {
-            const float xh = (x(i, j) - state.mean(j)) * state.invStd(j);
-            state.xhat(i, j) = xh;
-            y(i, j) = gamma(j) * xh + beta(j);
+    });
+    parallel_for(0, n, 64, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            for (int64_t j = 0; j < f; ++j) {
+                const float xh =
+                    (x(i, j) - state.mean(j)) * state.invStd(j);
+                state.xhat(i, j) = xh;
+                y(i, j) = gamma(j) * xh + beta(j);
+            }
         }
-    }
+    });
     emitNormKernels("batchnorm", n, f, x.deviceAddr(), y.deviceAddr());
     return y;
 }
@@ -142,23 +151,25 @@ batchNormBackward(const Tensor &grad_out, const Tensor &gamma,
     grad_gamma = Tensor({f});
     grad_beta = Tensor({f});
 
-    for (int64_t j = 0; j < f; ++j) {
-        double sum_g = 0.0, sum_gx = 0.0;
-        for (int64_t i = 0; i < n; ++i) {
-            sum_g += grad_out(i, j);
-            sum_gx += grad_out(i, j) * state.xhat(i, j);
+    parallel_for(0, f, 8, [&](int64_t j0, int64_t j1) {
+        for (int64_t j = j0; j < j1; ++j) {
+            double sum_g = 0.0, sum_gx = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+                sum_g += grad_out(i, j);
+                sum_gx += grad_out(i, j) * state.xhat(i, j);
+            }
+            grad_beta(j) = static_cast<float>(sum_g);
+            grad_gamma(j) = static_cast<float>(sum_gx);
+            const float inv_n = 1.0f / static_cast<float>(n);
+            for (int64_t i = 0; i < n; ++i) {
+                grad_x(i, j) = gamma(j) * state.invStd(j) *
+                               (grad_out(i, j) -
+                                static_cast<float>(sum_g) * inv_n -
+                                state.xhat(i, j) *
+                                    static_cast<float>(sum_gx) * inv_n);
+            }
         }
-        grad_beta(j) = static_cast<float>(sum_g);
-        grad_gamma(j) = static_cast<float>(sum_gx);
-        const float inv_n = 1.0f / static_cast<float>(n);
-        for (int64_t i = 0; i < n; ++i) {
-            grad_x(i, j) = gamma(j) * state.invStd(j) *
-                           (grad_out(i, j) -
-                            static_cast<float>(sum_g) * inv_n -
-                            state.xhat(i, j) *
-                                static_cast<float>(sum_gx) * inv_n);
-        }
-    }
+    });
     emitNormKernels("batchnorm_bwd", n, f, grad_out.deviceAddr(),
                     grad_x.deviceAddr(), 1);
 }
@@ -177,24 +188,27 @@ layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     state.xhat = Tensor({n, f});
     Tensor y({n, f});
 
-    for (int64_t i = 0; i < n; ++i) {
-        double sum = 0.0, sq = 0.0;
-        for (int64_t j = 0; j < f; ++j) {
-            const double v = x(i, j);
-            sum += v;
-            sq += v * v;
+    parallel_for(0, n, 32, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            double sum = 0.0, sq = 0.0;
+            for (int64_t j = 0; j < f; ++j) {
+                const double v = x(i, j);
+                sum += v;
+                sq += v * v;
+            }
+            const double mean = sum / f;
+            const double var = std::max(0.0, sq / f - mean * mean);
+            state.mean(i) = static_cast<float>(mean);
+            state.invStd(i) =
+                static_cast<float>(1.0 / std::sqrt(var + eps));
+            for (int64_t j = 0; j < f; ++j) {
+                const float xh =
+                    (x(i, j) - state.mean(i)) * state.invStd(i);
+                state.xhat(i, j) = xh;
+                y(i, j) = gamma(j) * xh + beta(j);
+            }
         }
-        const double mean = sum / f;
-        const double var = std::max(0.0, sq / f - mean * mean);
-        state.mean(i) = static_cast<float>(mean);
-        state.invStd(i) = static_cast<float>(1.0 / std::sqrt(var + eps));
-        for (int64_t j = 0; j < f; ++j) {
-            const float xh =
-                (x(i, j) - state.mean(i)) * state.invStd(i);
-            state.xhat(i, j) = xh;
-            y(i, j) = gamma(j) * xh + beta(j);
-        }
-    }
+    });
     emitNormKernels("layernorm", n, f, x.deviceAddr(), y.deviceAddr());
     return y;
 }
@@ -213,23 +227,48 @@ layerNormBackward(const Tensor &grad_out, const Tensor &gamma,
     grad_gamma = Tensor({f});
     grad_beta = Tensor({f});
 
-    for (int64_t i = 0; i < n; ++i) {
-        double sum_g = 0.0, sum_gx = 0.0;
-        for (int64_t j = 0; j < f; ++j) {
-            const float gg = grad_out(i, j) * gamma(j);
-            sum_g += gg;
-            sum_gx += gg * state.xhat(i, j);
-            grad_gamma(j) += grad_out(i, j) * state.xhat(i, j);
-            grad_beta(j) += grad_out(i, j);
-        }
-        const float inv_f = 1.0f / static_cast<float>(f);
-        for (int64_t j = 0; j < f; ++j) {
-            const float gg = grad_out(i, j) * gamma(j);
-            grad_x(i, j) = state.invStd(i) *
-                           (gg - static_cast<float>(sum_g) * inv_f -
-                            state.xhat(i, j) *
-                                static_cast<float>(sum_gx) * inv_f);
-        }
+    // grad_x rows are independent, but grad_gamma/grad_beta accumulate
+    // across rows: give each chunk private accumulators and combine them
+    // in ascending chunk order so the sum order never depends on the
+    // thread count.
+    using Acc = std::pair<std::vector<float>, std::vector<float>>;
+    Acc sums = parallel_reduce(
+        0, n, 32,
+        Acc(std::vector<float>(f, 0.0f), std::vector<float>(f, 0.0f)),
+        [&](int64_t i0, int64_t i1) {
+            Acc local(std::vector<float>(f, 0.0f),
+                      std::vector<float>(f, 0.0f));
+            for (int64_t i = i0; i < i1; ++i) {
+                double sum_g = 0.0, sum_gx = 0.0;
+                for (int64_t j = 0; j < f; ++j) {
+                    const float gg = grad_out(i, j) * gamma(j);
+                    sum_g += gg;
+                    sum_gx += gg * state.xhat(i, j);
+                    local.first[j] += grad_out(i, j) * state.xhat(i, j);
+                    local.second[j] += grad_out(i, j);
+                }
+                const float inv_f = 1.0f / static_cast<float>(f);
+                for (int64_t j = 0; j < f; ++j) {
+                    const float gg = grad_out(i, j) * gamma(j);
+                    grad_x(i, j) =
+                        state.invStd(i) *
+                        (gg - static_cast<float>(sum_g) * inv_f -
+                         state.xhat(i, j) *
+                             static_cast<float>(sum_gx) * inv_f);
+                }
+            }
+            return local;
+        },
+        [f](Acc acc, const Acc &local) {
+            for (int64_t j = 0; j < f; ++j) {
+                acc.first[j] += local.first[j];
+                acc.second[j] += local.second[j];
+            }
+            return acc;
+        });
+    for (int64_t j = 0; j < f; ++j) {
+        grad_gamma(j) = sums.first[j];
+        grad_beta(j) = sums.second[j];
     }
     emitNormKernels("layernorm_bwd", n, f, grad_out.deviceAddr(),
                     grad_x.deviceAddr(), 1);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -197,41 +198,47 @@ im2col(const Tensor &input, const ConvDims &d, int pad)
 {
     const int64_t gemm_m = d.n * d.oh * d.ow;
     const int64_t gemm_k = d.c * d.r * d.s;
+    const int64_t ohow = d.oh * d.ow;
     std::vector<float> patches(gemm_m * gemm_k, 0.0f);
     const float *in = input.data();
-    int64_t m = 0;
-    for (int64_t n = 0; n < d.n; ++n) {
-        for (int64_t oh = 0; oh < d.oh; ++oh) {
-            for (int64_t ow = 0; ow < d.ow; ++ow, ++m) {
-                float *row = patches.data() + m * gemm_k;
-                for (int64_t c = 0; c < d.c; ++c) {
-                    for (int64_t r = 0; r < d.r; ++r) {
-                        const int64_t ih = oh + r - pad;
-                        if (ih < 0 || ih >= d.h)
-                            continue;
-                        const float *src =
-                            in + ((n * d.c + c) * d.h + ih) * d.w;
-                        for (int64_t sx = 0; sx < d.s; ++sx) {
-                            const int64_t iw = ow + sx - pad;
-                            if (iw >= 0 && iw < d.w)
-                                row[(c * d.r + r) * d.s + sx] = src[iw];
-                        }
+    parallel_for(0, gemm_m, 64, [&](int64_t m0, int64_t m1) {
+        for (int64_t m = m0; m < m1; ++m) {
+            const int64_t n = m / ohow;
+            const int64_t oh = (m % ohow) / d.ow;
+            const int64_t ow = m % d.ow;
+            float *row = patches.data() + m * gemm_k;
+            for (int64_t c = 0; c < d.c; ++c) {
+                for (int64_t r = 0; r < d.r; ++r) {
+                    const int64_t ih = oh + r - pad;
+                    if (ih < 0 || ih >= d.h)
+                        continue;
+                    const float *src =
+                        in + ((n * d.c + c) * d.h + ih) * d.w;
+                    for (int64_t sx = 0; sx < d.s; ++sx) {
+                        const int64_t iw = ow + sx - pad;
+                        if (iw >= 0 && iw < d.w)
+                            row[(c * d.r + r) * d.s + sx] = src[iw];
                     }
                 }
             }
         }
-    }
+    });
     return patches;
 }
 
-/** col2im: accumulate patch-space gradients back into input space. */
+/**
+ * col2im: accumulate patch-space gradients back into input space.
+ * Patches of one image overlap in input space, so the parallel grain
+ * is a whole image: chunks own disjoint [n0, n1) batch slices.
+ */
 void
 col2im(const std::vector<float> &dpatches, const ConvDims &d, int pad,
        Tensor &gin)
 {
     float *out = gin.data();
-    int64_t m = 0;
-    for (int64_t n = 0; n < d.n; ++n) {
+    parallel_for(0, d.n, 1, [&](int64_t n0, int64_t n1) {
+    for (int64_t n = n0; n < n1; ++n) {
+        int64_t m = n * d.oh * d.ow;
         for (int64_t oh = 0; oh < d.oh; ++oh) {
             for (int64_t ow = 0; ow < d.ow; ++ow, ++m) {
                 const float *row =
@@ -253,6 +260,7 @@ col2im(const std::vector<float> &dpatches, const ConvDims &d, int pad,
             }
         }
     }
+    });
 }
 
 } // namespace
@@ -276,26 +284,28 @@ conv2d(const Tensor &input, const Tensor &weight, int pad)
     }
 
     // out_mat[m][ko] = sum_k patches[m][k] * wt[k][ko], written back
-    // in NKHW order.
+    // in NKHW order. Each chunk owns its output pixels outright.
     const int64_t ohow = d.oh * d.ow;
-    std::vector<float> out_row(d.k);
     float *po = out.data();
-    for (int64_t m = 0; m < gemm_m; ++m) {
-        std::fill(out_row.begin(), out_row.end(), 0.0f);
-        const float *prow = patches.data() + m * gemm_k;
-        for (int64_t kk = 0; kk < gemm_k; ++kk) {
-            const float p = prow[kk];
-            if (p == 0.0f)
-                continue;
-            const float *wrow = wt.data() + kk * d.k;
+    parallel_for(0, gemm_m, 32, [&](int64_t m0, int64_t m1) {
+        std::vector<float> out_row(d.k);
+        for (int64_t m = m0; m < m1; ++m) {
+            std::fill(out_row.begin(), out_row.end(), 0.0f);
+            const float *prow = patches.data() + m * gemm_k;
+            for (int64_t kk = 0; kk < gemm_k; ++kk) {
+                const float p = prow[kk];
+                if (p == 0.0f)
+                    continue;
+                const float *wrow = wt.data() + kk * d.k;
+                for (int64_t ko = 0; ko < d.k; ++ko)
+                    out_row[ko] += p * wrow[ko];
+            }
+            const int64_t n = m / ohow;
+            const int64_t pix = m % ohow;
             for (int64_t ko = 0; ko < d.k; ++ko)
-                out_row[ko] += p * wrow[ko];
+                po[(n * d.k + ko) * ohow + pix] = out_row[ko];
         }
-        const int64_t n = m / ohow;
-        const int64_t pix = m % ohow;
-        for (int64_t ko = 0; ko < d.k; ++ko)
-            po[(n * d.k + ko) * ohow + pix] = out_row[ko];
-    }
+    });
     emitConvKernel("conv2d_fwd", d, input.deviceAddr(),
                    weight.deviceAddr(), out.deviceAddr());
     return out;
@@ -321,19 +331,21 @@ conv2dGradInput(const Tensor &grad_out, const Tensor &weight,
     std::vector<float> dpatches(gemm_m * gemm_k, 0.0f);
     const float *go = grad_out.data();
     const float *w = weight.data();
-    for (int64_t m = 0; m < gemm_m; ++m) {
-        const int64_t n = m / ohow;
-        const int64_t pix = m % ohow;
-        float *drow = dpatches.data() + m * gemm_k;
-        for (int64_t ko = 0; ko < d.k; ++ko) {
-            const float g = go[(n * d.k + ko) * ohow + pix];
-            if (g == 0.0f)
-                continue;
-            const float *wrow = w + ko * gemm_k;
-            for (int64_t kk = 0; kk < gemm_k; ++kk)
-                drow[kk] += g * wrow[kk];
+    parallel_for(0, gemm_m, 32, [&](int64_t m0, int64_t m1) {
+        for (int64_t m = m0; m < m1; ++m) {
+            const int64_t n = m / ohow;
+            const int64_t pix = m % ohow;
+            float *drow = dpatches.data() + m * gemm_k;
+            for (int64_t ko = 0; ko < d.k; ++ko) {
+                const float g = go[(n * d.k + ko) * ohow + pix];
+                if (g == 0.0f)
+                    continue;
+                const float *wrow = w + ko * gemm_k;
+                for (int64_t kk = 0; kk < gemm_k; ++kk)
+                    drow[kk] += g * wrow[kk];
+            }
         }
-    }
+    });
     col2im(dpatches, d, pad, gin);
     emitConvKernel("conv2d_bwd_data", d, grad_out.deviceAddr(),
                    weight.deviceAddr(), gin.deviceAddr());
@@ -350,23 +362,40 @@ conv2dGradWeight(const Tensor &grad_out, const Tensor &input,
     const int64_t gemm_k = d.c * d.r * d.s;
     const int64_t ohow = d.oh * d.ow;
 
-    // dW[ko][k] = sum_m gout[m][ko] * P[m][k].
+    // dW[ko][k] = sum_m gout[m][ko] * P[m][k]. The filter gradient is
+    // shared across all m, so chunks accumulate private copies that
+    // are combined in fixed chunk order (thread-count independent; a
+    // single chunk reproduces the serial order exactly).
     std::vector<float> patches = im2col(input, d, pad);
     const float *go = grad_out.data();
     float *pw = gw.data();
-    for (int64_t m = 0; m < gemm_m; ++m) {
-        const int64_t n = m / ohow;
-        const int64_t pix = m % ohow;
-        const float *prow = patches.data() + m * gemm_k;
-        for (int64_t ko = 0; ko < d.k; ++ko) {
-            const float g = go[(n * d.k + ko) * ohow + pix];
-            if (g == 0.0f)
-                continue;
-            float *wrow = pw + ko * gemm_k;
-            for (int64_t kk = 0; kk < gemm_k; ++kk)
-                wrow[kk] += g * prow[kk];
-        }
-    }
+    const int64_t wg_elems = d.k * gemm_k;
+    using Acc = std::vector<float>;
+    Acc dw = parallel_reduce(
+        0, gemm_m, 512, Acc(wg_elems, 0.0f),
+        [&](int64_t m0, int64_t m1) {
+            Acc local(wg_elems, 0.0f);
+            for (int64_t m = m0; m < m1; ++m) {
+                const int64_t n = m / ohow;
+                const int64_t pix = m % ohow;
+                const float *prow = patches.data() + m * gemm_k;
+                for (int64_t ko = 0; ko < d.k; ++ko) {
+                    const float g = go[(n * d.k + ko) * ohow + pix];
+                    if (g == 0.0f)
+                        continue;
+                    float *wrow = local.data() + ko * gemm_k;
+                    for (int64_t kk = 0; kk < gemm_k; ++kk)
+                        wrow[kk] += g * prow[kk];
+                }
+            }
+            return local;
+        },
+        [&](Acc acc, const Acc &local) {
+            for (int64_t i = 0; i < wg_elems; ++i)
+                acc[i] += local[i];
+            return acc;
+        });
+    std::copy(dw.begin(), dw.end(), pw);
     emitConvKernel("conv2d_bwd_filter", d, grad_out.deviceAddr(),
                    input.deviceAddr(), gw.deviceAddr());
     return gw;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "ops/kernel_common.hh"
 
 namespace gnnmark {
@@ -36,6 +37,9 @@ checkSameShape(const Tensor &a, const Tensor &b, const char *op)
                a.shapeString().c_str(), b.shapeString().c_str());
 }
 
+/** Flat-loop grain: streaming maps only fan out on sizable arrays. */
+constexpr int64_t kMapGrain = 4096;
+
 template <typename F>
 Tensor
 binaryMap(const Tensor &a, const Tensor &b, const char *name, F f, int fp)
@@ -45,8 +49,10 @@ binaryMap(const Tensor &a, const Tensor &b, const char *name, F f, int fp)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    for (int64_t i = 0; i < a.numel(); ++i)
-        pc[i] = f(pa[i], pb[i]);
+    parallel_for(0, a.numel(), kMapGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            pc[i] = f(pa[i], pb[i]);
+    });
     emitMap(name, {&a, &b}, {&c}, fp, 0, 16);
     return c;
 }
@@ -58,8 +64,10 @@ unaryMap(const Tensor &a, const char *name, F f, int fp, int sfu)
     Tensor c(a.shape());
     const float *pa = a.data();
     float *pc = c.data();
-    for (int64_t i = 0; i < a.numel(); ++i)
-        pc[i] = f(pa[i]);
+    parallel_for(0, a.numel(), kMapGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            pc[i] = f(pa[i]);
+    });
     emitMap(name, {&a}, {&c}, fp, sfu, 16);
     return c;
 }
@@ -122,8 +130,10 @@ addInto(Tensor &dst, const Tensor &src)
     checkSameShape(dst, src, "ew_acc");
     float *pd = dst.data();
     const float *ps = src.data();
-    for (int64_t i = 0; i < dst.numel(); ++i)
-        pd[i] += ps[i];
+    parallel_for(0, dst.numel(), kMapGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            pd[i] += ps[i];
+    });
     emitMap("ew_acc", {&dst, &src}, {&dst}, 1, 0, 8);
 }
 
@@ -166,11 +176,17 @@ preluGradSlope(const Tensor &grad_out, const Tensor &a)
     checkSameShape(grad_out, a, "ew_prelu_bwd_slope");
     const float *pg = grad_out.data();
     const float *pa = a.data();
-    float sum = 0.0f;
-    for (int64_t i = 0; i < a.numel(); ++i) {
-        if (pa[i] < 0)
-            sum += pg[i] * pa[i];
-    }
+    const float sum = parallel_reduce(
+        0, a.numel(), kMapGrain, 0.0f,
+        [&](int64_t i0, int64_t i1) {
+            float s = 0.0f;
+            for (int64_t i = i0; i < i1; ++i) {
+                if (pa[i] < 0)
+                    s += pg[i] * pa[i];
+            }
+            return s;
+        },
+        [](float acc, float s) { return acc + s; });
     Tensor dummy({1});
     emitMap("ew_prelu_bwd_slope", {&grad_out, &a}, {&dummy}, 2, 0, 2);
     return sum;
@@ -258,10 +274,12 @@ addBiasRows(const Tensor &a, const Tensor &bias)
     const float *pa = a.data();
     const float *pb = bias.data();
     float *pc = c.data();
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < f; ++j)
-            pc[i * f + j] = pa[i * f + j] + pb[j];
-    }
+    parallel_for(0, n, 64, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            for (int64_t j = 0; j < f; ++j)
+                pc[i * f + j] = pa[i * f + j] + pb[j];
+        }
+    });
     emitMap("ew_bias", {&a, &bias}, {&c}, 1, 0, 10);
     return c;
 }
@@ -319,12 +337,14 @@ concatCols(const Tensor &a, const Tensor &b)
     const int64_t fa = a.size(1);
     const int64_t fb = b.size(1);
     Tensor c({n, fa + fb});
-    for (int64_t i = 0; i < n; ++i) {
-        std::copy(a.data() + i * fa, a.data() + (i + 1) * fa,
-                  c.data() + i * (fa + fb));
-        std::copy(b.data() + i * fb, b.data() + (i + 1) * fb,
-                  c.data() + i * (fa + fb) + fa);
-    }
+    parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            std::copy(a.data() + i * fa, a.data() + (i + 1) * fa,
+                      c.data() + i * (fa + fb));
+            std::copy(b.data() + i * fb, b.data() + (i + 1) * fb,
+                      c.data() + i * (fa + fb) + fa);
+        }
+    });
     emitMap("ew_concat", {&a, &b}, {&c}, 0, 0, 3);
     return c;
 }
@@ -339,10 +359,12 @@ transpose2d(const Tensor &a)
     Tensor c({m, n});
     const float *pa = a.data();
     float *pc = c.data();
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < m; ++j)
-            pc[j * n + i] = pa[i * m + j];
-    }
+    parallel_for(0, m, 64, [&](int64_t j0, int64_t j1) {
+        for (int64_t i = 0; i < n; ++i) {
+            for (int64_t j = j0; j < j1; ++j)
+                pc[j * n + i] = pa[i * m + j];
+        }
+    });
     emitMap("ew_transpose", {&a}, {&c}, 0, 0, 4);
     return c;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -18,10 +19,12 @@ std::vector<float>
 hostTranspose(const float *src, int64_t rows, int64_t cols)
 {
     std::vector<float> out(static_cast<size_t>(rows * cols));
-    for (int64_t i = 0; i < rows; ++i) {
-        for (int64_t j = 0; j < cols; ++j)
-            out[j * rows + i] = src[i * cols + j];
-    }
+    parallel_for(0, rows, 64, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+            for (int64_t j = 0; j < cols; ++j)
+                out[j * rows + i] = src[i * cols + j];
+        }
+    });
     return out;
 }
 
@@ -62,9 +65,9 @@ emitGemmKernel(const std::string &base, int64_t m, int64_t n, int64_t k,
     desc.loadDepFraction = 0.35;
     desc.outputRanges.emplace_back(
         c_addr, static_cast<uint64_t>(m) * n * eb);
-    desc.outputRanges.emplace_back(
+    desc.inputRanges.emplace_back(
         a_addr, static_cast<uint64_t>(m) * k * eb);
-    desc.outputRanges.emplace_back(
+    desc.inputRanges.emplace_back(
         b_addr, static_cast<uint64_t>(k) * n * eb);
     desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
         const int64_t block = (warp_id / 8) / split_k;
@@ -171,20 +174,24 @@ gemm(const Tensor &a, const Tensor &b, bool transpose_a, bool transpose_b)
         pb = bt.data();
     }
 
+    // Each output row is owned by exactly one chunk, so the result is
+    // bitwise identical for any thread count.
     Tensor c({m, n});
     float *pc = c.data();
-    for (int64_t i = 0; i < m; ++i) {
-        const float *arow = pa + i * k;
-        float *crow = pc + i * n;
-        for (int64_t kk = 0; kk < k; ++kk) {
-            const float aik = arow[kk];
-            if (aik == 0.0f)
-                continue;
-            const float *brow = pb + kk * n;
-            for (int64_t j = 0; j < n; ++j)
-                crow[j] += aik * brow[j];
+    parallel_for(0, m, 16, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const float *arow = pa + i * k;
+            float *crow = pc + i * n;
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float aik = arow[kk];
+                if (aik == 0.0f)
+                    continue;
+                const float *brow = pb + kk * n;
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += aik * brow[j];
+            }
         }
-    }
+    });
 
     emitGemmKernel("gemm", m, n, k,
                    reinterpret_cast<uint64_t>(pa),
@@ -205,12 +212,14 @@ gemv(const Tensor &a, const Tensor &x)
     const float *pa = a.data();
     const float *px = x.data();
     float *py = y.data();
-    for (int64_t i = 0; i < m; ++i) {
-        float acc = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk)
-            acc += pa[i * k + kk] * px[kk];
-        py[i] = acc;
-    }
+    parallel_for(0, m, 64, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            float acc = 0.0f;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += pa[i * k + kk] * px[kk];
+            py[i] = acc;
+        }
+    });
 
     if (ExecContext::device() != nullptr) {
         const int eb = deviceElemBytes();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -38,12 +39,21 @@ emitRowLookup(const char *base, OpClass cls, int64_t f, uint64_t tbl_addr,
     desc.aluIlp = 2.0;
     desc.loadDepFraction = 0.7; // loaded row goes (mostly) to the store
     desc.irregular = true;
-    desc.outputRanges.emplace_back(
-        out_addr, static_cast<uint64_t>(elems) * eb);
-    // The gathered table is touched across the whole grid.
-    desc.outputRanges.emplace_back(
-        tbl_addr, static_cast<uint64_t>(m) * f * eb);
     const bool is_scatter = cls == OpClass::Scatter;
+    // For gather-style lookups `out_addr` is the written array and the
+    // table is read; scatter-add flips the roles (atomic adds into the
+    // table, contiguous reads of the source).
+    if (is_scatter) {
+        desc.outputRanges.emplace_back(
+            tbl_addr, static_cast<uint64_t>(m) * f * eb);
+        desc.inputRanges.emplace_back(
+            out_addr, static_cast<uint64_t>(elems) * eb);
+    } else {
+        desc.outputRanges.emplace_back(
+            out_addr, static_cast<uint64_t>(elems) * eb);
+        desc.inputRanges.emplace_back(
+            tbl_addr, static_cast<uint64_t>(m) * f * eb);
+    }
     desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
         const int64_t first = warp_id * 32;
         if (first >= elems)
@@ -90,13 +100,16 @@ rowLookup(const Tensor &a, const std::vector<int32_t> &idx,
     Tensor out({m, f});
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t i = 0; i < m; ++i) {
-        const int32_t r = idx[i];
-        GNN_ASSERT(r >= 0 && r < n, "%s: index %d out of range [0, %lld)",
-                   base, r, static_cast<long long>(n));
-        std::copy(pa + static_cast<int64_t>(r) * f,
-                  pa + static_cast<int64_t>(r + 1) * f, po + i * f);
-    }
+    parallel_for(0, m, 256, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const int32_t r = idx[i];
+            GNN_ASSERT(r >= 0 && r < n,
+                       "%s: index %d out of range [0, %lld)", base, r,
+                       static_cast<long long>(n));
+            std::copy(pa + static_cast<int64_t>(r) * f,
+                      pa + static_cast<int64_t>(r + 1) * f, po + i * f);
+        }
+    });
     emitRowLookup(base, cls, f, a.deviceAddr(), out.deviceAddr(),
                   reinterpret_cast<uint64_t>(idx.data()), idx);
     return out;

@@ -90,7 +90,7 @@ emitElementwise(const ElementwiseSpec &spec)
     }
     // Input footprints land in the L2 too (read by the whole grid).
     for (uint64_t a : in_addrs) {
-        desc.outputRanges.emplace_back(
+        desc.inputRanges.emplace_back(
             a, static_cast<uint64_t>(spec.elems) * elem_bytes);
     }
     desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -11,6 +12,14 @@ namespace gnnmark {
 namespace ops {
 
 namespace {
+
+/**
+ * Flat-reduction grain: inputs below this stay in one chunk and keep
+ * the exact serial accumulation order; larger inputs combine
+ * fixed-boundary chunk partials in chunk order, which is bitwise
+ * stable across thread counts.
+ */
+constexpr int64_t kReduceGrain = 1 << 16;
 
 /**
  * Emit a row-reduction kernel: one warp per row, coalesced 32-wide
@@ -135,10 +144,12 @@ rowBroadcast(const Tensor &a, const Tensor &v, const char *name, F f)
     const float *pa = a.data();
     const float *pv = v.data();
     float *pc = c.data();
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < cols; ++j)
-            pc[i * cols + j] = f(pa[i * cols + j], pv[i]);
-    }
+    parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            for (int64_t j = 0; j < cols; ++j)
+                pc[i * cols + j] = f(pa[i * cols + j], pv[i]);
+        }
+    });
     ElementwiseSpec spec;
     spec.name = name;
     spec.elems = a.numel();
@@ -157,9 +168,15 @@ float
 reduceSumAll(const Tensor &a)
 {
     const float *p = a.data();
-    double sum = 0.0;
-    for (int64_t i = 0; i < a.numel(); ++i)
-        sum += p[i];
+    const double sum = parallel_reduce(
+        0, a.numel(), kReduceGrain, 0.0,
+        [&](int64_t i0, int64_t i1) {
+            double s = 0.0;
+            for (int64_t i = i0; i < i1; ++i)
+                s += p[i];
+            return s;
+        },
+        [](double acc, double s) { return acc + s; });
     // Device side: a grid-wide tree reduction over the flat array.
     Tensor result({1});
     emitRowReduce("reduce_all", 1, a.numel(), a.deviceAddr(),
@@ -184,12 +201,14 @@ reduceSumRows(const Tensor &a)
     Tensor out({n});
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        double s = 0.0;
-        for (int64_t j = 0; j < f; ++j)
-            s += pa[i * f + j];
-        po[i] = static_cast<float>(s);
-    }
+    parallel_for(0, n, 64, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            double s = 0.0;
+            for (int64_t j = 0; j < f; ++j)
+                s += pa[i * f + j];
+            po[i] = static_cast<float>(s);
+        }
+    });
     emitRowReduce("reduce_rows", n, f, a.deviceAddr(), out.deviceAddr());
     return out;
 }
@@ -204,12 +223,14 @@ reduceMaxRows(const Tensor &a)
     Tensor out({n});
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        float best = -std::numeric_limits<float>::infinity();
-        for (int64_t j = 0; j < f; ++j)
-            best = std::max(best, pa[i * f + j]);
-        po[i] = best;
-    }
+    parallel_for(0, n, 64, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            float best = -std::numeric_limits<float>::infinity();
+            for (int64_t j = 0; j < f; ++j)
+                best = std::max(best, pa[i * f + j]);
+            po[i] = best;
+        }
+    });
     emitRowReduce("reduce_max_rows", n, f, a.deviceAddr(),
                   out.deviceAddr());
     return out;
@@ -224,14 +245,16 @@ argmaxRows(const Tensor &a)
     const int64_t f = a.size(1);
     std::vector<int32_t> out(n);
     const float *pa = a.data();
-    for (int64_t i = 0; i < n; ++i) {
-        int32_t best = 0;
-        for (int64_t j = 1; j < f; ++j) {
-            if (pa[i * f + j] > pa[i * f + best])
-                best = static_cast<int32_t>(j);
+    parallel_for(0, n, 64, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            int32_t best = 0;
+            for (int64_t j = 1; j < f; ++j) {
+                if (pa[i * f + j] > pa[i * f + best])
+                    best = static_cast<int32_t>(j);
+            }
+            out[i] = best;
         }
-        out[i] = best;
-    }
+    });
     Tensor dummy({n});
     emitRowReduce("reduce_argmax_rows", n, f, a.deviceAddr(),
                   dummy.deviceAddr());
@@ -248,10 +271,27 @@ reduceSumCols(const Tensor &a)
     Tensor out({f});
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < f; ++j)
-            po[j] += pa[i * f + j];
-    }
+    // Row-chunk partial columns, combined in chunk order (exact serial
+    // order whenever n fits one chunk).
+    const int64_t row_grain = std::max<int64_t>(
+        1, kReduceGrain / std::max<int64_t>(1, f));
+    using Cols = std::vector<float>;
+    Cols sums = parallel_reduce(
+        0, n, row_grain, Cols(f, 0.0f),
+        [&](int64_t i0, int64_t i1) {
+            Cols s(f, 0.0f);
+            for (int64_t i = i0; i < i1; ++i) {
+                for (int64_t j = 0; j < f; ++j)
+                    s[j] += pa[i * f + j];
+            }
+            return s;
+        },
+        [&](Cols acc, const Cols &s) {
+            for (int64_t j = 0; j < f; ++j)
+                acc[j] += s[j];
+            return acc;
+        });
+    std::copy(sums.begin(), sums.end(), po);
     emitColReduce("reduce_cols", n, f, a.deviceAddr(), out.deviceAddr());
     return out;
 }
@@ -276,24 +316,27 @@ segmentReduce(const Tensor &src, const std::vector<int32_t> &offsets,
     Tensor out({segs, f});
     const float *ps = src.data();
     float *po = out.data();
-    for (int64_t s = 0; s < segs; ++s) {
-        GNN_ASSERT(offsets[s] <= offsets[s + 1],
-                   "%s: offsets not monotone at %lld", name,
-                   static_cast<long long>(s));
-        if (offsets[s] == offsets[s + 1]) {
-            if (!zero_empty) {
-                for (int64_t j = 0; j < f; ++j)
-                    po[s * f + j] = 0.0f;
+    parallel_for(0, segs, 32, [&](int64_t s0, int64_t s1) {
+        for (int64_t s = s0; s < s1; ++s) {
+            GNN_ASSERT(offsets[s] <= offsets[s + 1],
+                       "%s: offsets not monotone at %lld", name,
+                       static_cast<long long>(s));
+            if (offsets[s] == offsets[s + 1]) {
+                if (!zero_empty) {
+                    for (int64_t j = 0; j < f; ++j)
+                        po[s * f + j] = 0.0f;
+                }
+                continue;
             }
-            continue;
+            for (int64_t j = 0; j < f; ++j) {
+                float acc = init;
+                for (int32_t r = offsets[s]; r < offsets[s + 1]; ++r)
+                    acc = combine(acc,
+                                  ps[static_cast<int64_t>(r) * f + j]);
+                po[s * f + j] = acc;
+            }
         }
-        for (int64_t j = 0; j < f; ++j) {
-            float acc = init;
-            for (int32_t r = offsets[s]; r < offsets[s + 1]; ++r)
-                acc = combine(acc, ps[static_cast<int64_t>(r) * f + j]);
-            po[s * f + j] = acc;
-        }
-    }
+    });
 
     if (ExecContext::device() != nullptr) {
         const int eb = deviceElemBytes();

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <vector>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -120,33 +122,72 @@ radixSort(std::vector<int32_t> &keys, std::vector<int32_t> *values)
     std::vector<int32_t> key_buf(n), val_buf(values != nullptr ? n : 0);
     std::vector<int32_t> dest(n);
 
+    // Chunk layout is a pure function of n, so every pass below is an
+    // exact integer computation independent of the worker count.
+    constexpr int64_t kGrain = 1 << 14;
+    const int64_t chunks = (n + kGrain - 1) / kGrain;
+    std::vector<std::array<int64_t, kBuckets>> chunk_counts(
+        static_cast<size_t>(chunks));
+
     for (int pass = 0; pass < kPasses; ++pass) {
         const int shift = pass * kRadixBits;
-        std::array<int64_t, kBuckets> counts{};
-        for (int64_t i = 0; i < n; ++i)
-            ++counts[(keys[i] >> shift) & (kBuckets - 1)];
-        std::array<int64_t, kBuckets> offsets{};
+
+        // Per-chunk histograms.
+        parallel_for(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            auto &c = chunk_counts[static_cast<size_t>(i0 / kGrain)];
+            c.fill(0);
+            for (int64_t i = i0; i < i1; ++i)
+                ++c[(keys[i] >> shift) & (kBuckets - 1)];
+        });
+
+        // Serial scan: bucket bases across all chunks, then the running
+        // per-bucket cursor each chunk starts from. Scanning chunks in
+        // ascending order keeps the partition stable.
+        std::array<int64_t, kBuckets> totals{};
+        for (const auto &c : chunk_counts) {
+            for (int b = 0; b < kBuckets; ++b)
+                totals[b] += c[b];
+        }
+        std::vector<std::array<int64_t, kBuckets>> chunk_offsets(
+            static_cast<size_t>(chunks));
+        std::array<int64_t, kBuckets> next{};
         int64_t running = 0;
         for (int b = 0; b < kBuckets; ++b) {
-            offsets[b] = running;
-            running += counts[b];
+            next[b] = running;
+            running += totals[b];
         }
-        for (int64_t i = 0; i < n; ++i) {
-            const int b = (keys[i] >> shift) & (kBuckets - 1);
-            dest[i] = static_cast<int32_t>(offsets[b]++);
+        for (int64_t c = 0; c < chunks; ++c) {
+            chunk_offsets[static_cast<size_t>(c)] = next;
+            for (int b = 0; b < kBuckets; ++b)
+                next[b] += chunk_counts[static_cast<size_t>(c)][b];
         }
+
+        // Parallel rank assignment: each chunk walks its own cursor copy.
+        parallel_for(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            std::array<int64_t, kBuckets> offs =
+                chunk_offsets[static_cast<size_t>(i0 / kGrain)];
+            for (int64_t i = i0; i < i1; ++i) {
+                const int b = (keys[i] >> shift) & (kBuckets - 1);
+                dest[i] = static_cast<int32_t>(offs[b]++);
+            }
+        });
 
         emitHistogram(n, reinterpret_cast<uint64_t>(keys.data()), pass);
         emitScatter(n, reinterpret_cast<uint64_t>(keys.data()),
                     reinterpret_cast<uint64_t>(key_buf.data()), dest,
                     values != nullptr);
 
-        for (int64_t i = 0; i < n; ++i)
-            key_buf[dest[i]] = keys[i];
+        // dest is a permutation, so the scatter writes never collide.
+        parallel_for(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                key_buf[dest[i]] = keys[i];
+        });
         keys.swap(key_buf);
         if (values != nullptr) {
-            for (int64_t i = 0; i < n; ++i)
-                val_buf[dest[i]] = (*values)[i];
+            parallel_for(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i)
+                    val_buf[dest[i]] = (*values)[i];
+            });
             values->swap(val_buf);
         }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -19,19 +20,23 @@ spmm(const CsrMatrix &a, const Tensor &b)
     const int64_t m = a.rows;
     const int64_t f = b.size(1);
 
+    // One owner chunk per output row: bitwise identical results for
+    // any thread count.
     Tensor c({m, f});
     const float *pb = b.data();
     float *pc = c.data();
-    for (int64_t r = 0; r < m; ++r) {
-        float *crow = pc + r * f;
-        for (int32_t e = a.rowPtr[r]; e < a.rowPtr[r + 1]; ++e) {
-            const float v = a.vals[e];
-            const float *brow =
-                pb + static_cast<int64_t>(a.colIdx[e]) * f;
-            for (int64_t j = 0; j < f; ++j)
-                crow[j] += v * brow[j];
+    parallel_for(0, m, 64, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            float *crow = pc + r * f;
+            for (int32_t e = a.rowPtr[r]; e < a.rowPtr[r + 1]; ++e) {
+                const float v = a.vals[e];
+                const float *brow =
+                    pb + static_cast<int64_t>(a.colIdx[e]) * f;
+                for (int64_t j = 0; j < f; ++j)
+                    crow[j] += v * brow[j];
+            }
         }
-    }
+    });
 
     if (ExecContext::device() != nullptr) {
         const int eb = deviceElemBytes();
@@ -56,7 +61,7 @@ spmm(const CsrMatrix &a, const Tensor &b)
         desc.irregular = true;
         desc.outputRanges.emplace_back(
             c_addr, static_cast<uint64_t>(m) * f * eb);
-        desc.outputRanges.emplace_back(
+        desc.inputRanges.emplace_back(
             b_addr, static_cast<uint64_t>(b.size(0)) * f * eb);
         desc.trace = [=](int64_t warp_id, WarpTraceSink &sink) {
             const int64_t row = warp_id / fchunks;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "ops/batchnorm.hh"
 #include "ops/conv2d.hh"
 #include "ops/elementwise.hh"
@@ -376,10 +377,13 @@ concatCols(const Variable &a, const Variable &b)
             const float *pg = self.grad.data();
             if (wantsGrad(self, 0)) {
                 Tensor ga({n, fa});
-                for (int64_t i = 0; i < n; ++i) {
-                    std::copy(pg + i * (fa + fb), pg + i * (fa + fb) + fa,
-                              ga.data() + i * fa);
-                }
+                float *pa = ga.data();
+                parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i) {
+                        std::copy(pg + i * (fa + fb),
+                                  pg + i * (fa + fb) + fa, pa + i * fa);
+                    }
+                });
                 // Split is another strided copy on the device.
                 ElementwiseSpec spec;
                 spec.name = "ew_split";
@@ -393,11 +397,13 @@ concatCols(const Variable &a, const Variable &b)
             }
             if (wantsGrad(self, 1)) {
                 Tensor gb({n, fb});
-                for (int64_t i = 0; i < n; ++i) {
-                    std::copy(pg + i * (fa + fb) + fa,
-                              pg + (i + 1) * (fa + fb),
-                              gb.data() + i * fb);
-                }
+                float *pb = gb.data();
+                parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i) {
+                        std::copy(pg + i * (fa + fb) + fa,
+                                  pg + (i + 1) * (fa + fb), pb + i * fb);
+                    }
+                });
                 ElementwiseSpec spec;
                 spec.name = "ew_split";
                 spec.elems = n * fb;
@@ -450,10 +456,13 @@ sliceCols(const Variable &a, int64_t begin, int64_t end)
     const int64_t w = end - begin;
 
     Tensor out({n, w});
-    for (int64_t i = 0; i < n; ++i) {
-        std::copy(av.data() + i * f + begin, av.data() + i * f + end,
-                  out.data() + i * w);
-    }
+    const float *pa = av.data();
+    float *po = out.data();
+    parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            std::copy(pa + i * f + begin, pa + i * f + end, po + i * w);
+        }
+    });
     ElementwiseSpec spec;
     spec.name = "ew_slice_cols";
     spec.elems = out.numel();
@@ -468,11 +477,14 @@ sliceCols(const Variable &a, int64_t begin, int64_t end)
             if (!wantsGrad(self, 0))
                 return;
             Tensor ga({n, f});
-            for (int64_t i = 0; i < n; ++i) {
-                std::copy(self.grad.data() + i * w,
-                          self.grad.data() + (i + 1) * w,
-                          ga.data() + i * f + begin);
-            }
+            const float *pg = self.grad.data();
+            float *pga = ga.data();
+            parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i) {
+                    std::copy(pg + i * w, pg + (i + 1) * w,
+                              pga + i * f + begin);
+                }
+            });
             ElementwiseSpec bwd;
             bwd.name = "ew_slice_cols_bwd";
             bwd.elems = self.grad.numel();
@@ -550,10 +562,12 @@ meanRows(const Variable &a)
             return;
         Tensor ga(shape);
         const float inv = 1.0f / static_cast<float>(f);
-        for (int64_t i = 0; i < shape[0]; ++i) {
-            for (int64_t j = 0; j < f; ++j)
-                ga(i, j) = self.grad(i) * inv;
-        }
+        parallel_for(0, shape[0], 128, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+                for (int64_t j = 0; j < f; ++j)
+                    ga(i, j) = self.grad(i) * inv;
+            }
+        });
         ElementwiseSpec spec;
         spec.name = "ew_bcast_rows";
         spec.elems = ga.numel();
@@ -577,12 +591,18 @@ nllLoss(const Variable &log_probs, const std::vector<int32_t> &labels)
     const int64_t n = lp.size(0);
     const int64_t f = lp.size(1);
 
-    double sum = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-        GNN_ASSERT(labels[i] >= 0 && labels[i] < f,
-                   "nllLoss: label %d out of range", labels[i]);
-        sum -= lp(i, labels[i]);
-    }
+    const double sum = parallel_reduce(
+        0, n, int64_t{1} << 15, 0.0,
+        [&](int64_t i0, int64_t i1) {
+            double s = 0.0;
+            for (int64_t i = i0; i < i1; ++i) {
+                GNN_ASSERT(labels[i] >= 0 && labels[i] < f,
+                           "nllLoss: label %d out of range", labels[i]);
+                s -= lp(i, labels[i]);
+            }
+            return s;
+        },
+        [](double acc, double s) { return acc + s; });
     Tensor out({1});
     out(0) = static_cast<float>(sum / static_cast<double>(n));
 
@@ -605,8 +625,10 @@ nllLoss(const Variable &log_probs, const std::vector<int32_t> &labels)
                 return;
             const float g = self.grad(0) / static_cast<float>(n);
             Tensor ga({n, f});
-            for (int64_t i = 0; i < n; ++i)
-                ga(i, labels_copy[i]) = -g;
+            parallel_for(0, n, 256, [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i)
+                    ga(i, labels_copy[i]) = -g;
+            });
             ElementwiseSpec bwd;
             bwd.name = "nll_bwd";
             bwd.elems = n;
@@ -635,14 +657,20 @@ bceWithLogits(const Variable &logits, const Tensor &targets)
     const int64_t n = x.numel();
 
     // loss_i = max(x,0) - x*y + log1p(exp(-|x|))
-    double sum = 0.0;
     const float *px = x.data();
     const float *py = targets.data();
-    for (int64_t i = 0; i < n; ++i) {
-        const double xv = px[i];
-        sum += std::max(xv, 0.0) - xv * py[i] +
-               std::log1p(std::exp(-std::abs(xv)));
-    }
+    const double sum = parallel_reduce(
+        0, n, int64_t{1} << 15, 0.0,
+        [&](int64_t i0, int64_t i1) {
+            double s = 0.0;
+            for (int64_t i = i0; i < i1; ++i) {
+                const double xv = px[i];
+                s += std::max(xv, 0.0) - xv * py[i] +
+                     std::log1p(std::exp(-std::abs(xv)));
+            }
+            return s;
+        },
+        [](double acc, double s) { return acc + s; });
     Tensor out({1});
     out(0) = static_cast<float>(sum / static_cast<double>(n));
 

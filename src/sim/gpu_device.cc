@@ -213,14 +213,18 @@ GpuDevice::launch(const KernelDesc &desc)
     rec.invocation = state.invocations++;
     finishRecord(rec, geo);
 
-    // Install the kernel's full write footprint into the L2 (the
-    // sampled warps covered only a slice of it).
+    // Install the kernel's full data footprint into the L2 (the
+    // sampled warps covered only a slice of it): the write-allocate
+    // output spans first, then the grid-wide read spans with whatever
+    // is left of the line budget.
     int64_t line_budget = 32768;
-    for (const auto &[addr, bytes] : desc.outputRanges) {
-        const uint64_t line = cfg_.cacheLineBytes;
-        for (uint64_t a = addr; a < addr + bytes && line_budget > 0;
-             a += line, --line_budget) {
-            l2_.access(a);
+    for (const auto *ranges : {&desc.outputRanges, &desc.inputRanges}) {
+        for (const auto &[addr, bytes] : *ranges) {
+            const uint64_t line = cfg_.cacheLineBytes;
+            for (uint64_t a = addr; a < addr + bytes && line_budget > 0;
+                 a += line, --line_budget) {
+                l2_.access(a);
+            }
         }
     }
 

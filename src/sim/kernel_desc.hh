@@ -60,12 +60,20 @@ struct KernelDesc
     std::function<void(int64_t warp_id, WarpTraceSink &sink)> trace;
 
     /**
-     * (address, bytes) spans the full grid writes. The detailed sim
+     * (address, bytes) spans the full grid *writes*. The detailed sim
      * only replays a sample of warps, so the device installs these
      * spans into the L2 after the launch to model the write-allocate
      * footprint of the whole kernel (producer -> consumer locality).
      */
     std::vector<std::pair<uint64_t, uint64_t>> outputRanges;
+
+    /**
+     * (address, bytes) spans the full grid *reads*. Reads allocate in
+     * the L2 as well, but only after the write footprint has claimed
+     * its share of the post-launch install budget — inputs must never
+     * masquerade as the kernel's write footprint.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>> inputRanges;
 
     int64_t totalWarps() const { return blocks * warpsPerBlock; }
 };

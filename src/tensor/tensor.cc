@@ -7,10 +7,14 @@
 
 #include "base/logging.hh"
 #include "base/string_utils.hh"
+#include "base/thread_pool.hh"
 
 namespace gnnmark {
 
 namespace {
+
+/** Flat-loop grain for fills/copies/reductions over tensor storage. */
+constexpr int64_t kFlatGrain = 1 << 15;
 
 int64_t
 shapeNumel(const std::vector<int64_t> &shape)
@@ -86,7 +90,10 @@ Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)), numel_(shapeNumel(shape_)),
       storage_(pooledStorage(numel_))
 {
-    std::fill(storage_.get(), storage_.get() + numel_, 0.0f);
+    float *p = storage_.get();
+    parallel_for(0, numel_, kFlatGrain, [&](int64_t i0, int64_t i1) {
+        std::fill(p + i0, p + i1, 0.0f);
+    });
 }
 
 Tensor
@@ -125,6 +132,7 @@ Tensor::randn(std::vector<int64_t> shape, Rng &rng, float stddev)
 {
     Tensor t(std::move(shape));
     float *p = t.data();
+    // Serial: consumes the shared RNG stream in element order.
     for (int64_t i = 0; i < t.numel(); ++i)
         p[i] = static_cast<float>(rng.normal(0.0, stddev));
     return t;
@@ -248,14 +256,21 @@ Tensor
 Tensor::clone() const
 {
     Tensor t(shape_);
-    std::copy(data(), data() + numel_, t.data());
+    const float *src = data();
+    float *dst = t.data();
+    parallel_for(0, numel_, kFlatGrain, [&](int64_t i0, int64_t i1) {
+        std::copy(src + i0, src + i1, dst + i0);
+    });
     return t;
 }
 
 void
 Tensor::fill(float value)
 {
-    std::fill(data(), data() + numel_, value);
+    float *p = data();
+    parallel_for(0, numel_, kFlatGrain, [&](int64_t i0, int64_t i1) {
+        std::fill(p + i0, p + i1, value);
+    });
 }
 
 void
@@ -275,12 +290,18 @@ Tensor::zeroFraction() const
 {
     if (numel_ == 0)
         return 0.0;
-    int64_t zeros = 0;
     const float *p = data();
-    for (int64_t i = 0; i < numel_; ++i) {
-        if (p[i] == 0.0f)
-            ++zeros;
-    }
+    const int64_t zeros = parallel_reduce(
+        0, numel_, kFlatGrain, static_cast<int64_t>(0),
+        [&](int64_t i0, int64_t i1) {
+            int64_t z = 0;
+            for (int64_t i = i0; i < i1; ++i) {
+                if (p[i] == 0.0f)
+                    ++z;
+            }
+            return z;
+        },
+        [](int64_t acc, int64_t z) { return acc + z; });
     return static_cast<double>(zeros) / static_cast<double>(numel_);
 }
 
@@ -299,12 +320,18 @@ maxAbsDiff(const Tensor &a, const Tensor &b)
 {
     GNN_ASSERT(a.sameShape(b), "shape mismatch: %s vs %s",
                a.shapeString().c_str(), b.shapeString().c_str());
-    float worst = 0.0f;
     const float *pa = a.data();
     const float *pb = b.data();
-    for (int64_t i = 0; i < a.numel(); ++i)
-        worst = std::max(worst, std::abs(pa[i] - pb[i]));
-    return worst;
+    // max() is order-insensitive, so chunking cannot change the result.
+    return parallel_reduce(
+        0, a.numel(), kFlatGrain, 0.0f,
+        [&](int64_t i0, int64_t i1) {
+            float worst = 0.0f;
+            for (int64_t i = i0; i < i1; ++i)
+                worst = std::max(worst, std::abs(pa[i] - pb[i]));
+            return worst;
+        },
+        [](float acc, float w) { return std::max(acc, w); });
 }
 
 bool

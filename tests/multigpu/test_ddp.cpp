@@ -89,6 +89,35 @@ TEST(Ddp, SpeedupRelativeToOneGpu)
     EXPECT_NEAR(points[0].speedup, 1.0, 1e-9);
 }
 
+TEST(Ddp, ScalingCurveWithoutSingleGpuPoint)
+{
+    // Regression: with no world_size == 1 entry the old code never set
+    // base_time and reported speedup == 0 for every point. The fallback
+    // extrapolates the single-GPU time from the first measured point
+    // assuming linear scaling, so that point's speedup is exactly its
+    // world size.
+    auto wl = BenchmarkSuite::create("DGCN");
+    DdpTrainer trainer;
+    auto points = trainer.scalingCurve(*wl, benchConfig(), {2, 4}, 2);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_NEAR(points[0].speedup, 2.0, 1e-9);
+    EXPECT_GT(points[1].speedup, 0.0);
+}
+
+TEST(Ddp, WeakScalingCurveWithoutSingleGpuPoint)
+{
+    // Same regression for the weak-scaling curve: per-GPU work is
+    // constant, so the first measured point is its own reference and
+    // gets efficiency exactly 1.
+    auto wl = BenchmarkSuite::create("DGCN");
+    DdpTrainer trainer;
+    auto points =
+        trainer.weakScalingCurve(*wl, benchConfig(), {2, 4}, 2);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_NEAR(points[0].speedup, 1.0, 1e-9);
+    EXPECT_GT(points[1].speedup, 0.0);
+}
+
 TEST(DdpDeath, InvalidWorldPanics)
 {
     auto wl = BenchmarkSuite::create("DGCN");
