@@ -1,13 +1,39 @@
 #include "base/logging.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace gnnmark {
 
 namespace {
 
 bool informEnabled = true;
+
+bool logLevelResolved = false;
+LogLevel currentLogLevel = LogLevel::Info;
+
+std::function<void(const std::string &)> warnSink;
+
+LogLevel
+parseLogLevel(const char *value)
+{
+    std::string v;
+    for (const char *p = value; *p != '\0'; ++p)
+        v += static_cast<char>(std::tolower(*p));
+    if (v == "info")
+        return LogLevel::Info;
+    if (v == "warn")
+        return LogLevel::Warn;
+    if (v == "silent" || v == "error")
+        return LogLevel::Silent;
+    std::fprintf(stderr,
+                 "warn: GNNMARK_LOG_LEVEL '%s' not recognised "
+                 "(use info|warn|silent); defaulting to info\n",
+                 value);
+    return LogLevel::Info;
+}
 
 void
 vreport(FILE *out, const char *tag, const char *file, int line,
@@ -63,8 +89,17 @@ assertFailImpl(const char *file, int line, const char *cond,
 void
 warn(const char *fmt, ...)
 {
+    if (logLevel() > LogLevel::Warn)
+        return;
     va_list args;
     va_start(args, fmt);
+    if (warnSink) {
+        char buf[1024];
+        std::vsnprintf(buf, sizeof(buf), fmt, args);
+        va_end(args);
+        warnSink(buf);
+        return;
+    }
     vreport(stderr, "warn", nullptr, 0, fmt, args);
     va_end(args);
 }
@@ -72,7 +107,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!informEnabled || logLevel() > LogLevel::Info)
         return;
     va_list args;
     va_start(args, fmt);
@@ -84,6 +119,30 @@ void
 setInformEnabled(bool enabled)
 {
     informEnabled = enabled;
+}
+
+LogLevel
+logLevel()
+{
+    if (!logLevelResolved) {
+        logLevelResolved = true;
+        if (const char *env = std::getenv("GNNMARK_LOG_LEVEL"))
+            currentLogLevel = parseLogLevel(env);
+    }
+    return currentLogLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    logLevelResolved = true;
+    currentLogLevel = level;
+}
+
+void
+setWarnSink(std::function<void(const std::string &)> sink)
+{
+    warnSink = std::move(sink);
 }
 
 } // namespace gnnmark

@@ -14,9 +14,36 @@
 #define GNNMARK_BASE_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace gnnmark {
+
+/**
+ * Minimum severity that is emitted. Selected programmatically via
+ * setLogLevel() or through the GNNMARK_LOG_LEVEL environment variable
+ * ("info", "warn" or "silent", case-insensitive); the env var is read
+ * once at first use. fatal/panic output is never suppressed.
+ */
+enum class LogLevel
+{
+    Info,   ///< inform() and warn() both emitted (default)
+    Warn,   ///< inform() silenced
+    Silent, ///< inform() and warn() silenced
+};
+
+/** Current minimum severity (resolves GNNMARK_LOG_LEVEL on first call). */
+LogLevel logLevel();
+
+/** Override the log level (takes precedence over the env var). */
+void setLogLevel(LogLevel level);
+
+/**
+ * Redirect warn() output: every non-silenced warning is formatted and
+ * handed to `sink` instead of stderr (tests capture warnings this
+ * way). Pass nullptr to restore the default stderr sink.
+ */
+void setWarnSink(std::function<void(const std::string &)> sink);
 
 /** Print a formatted message tagged "panic:" and abort. */
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)

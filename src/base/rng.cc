@@ -143,4 +143,24 @@ Rng::fork()
     return Rng(next() ^ 0xd2b74407b1ce6e93ULL);
 }
 
+RngState
+Rng::state() const
+{
+    RngState st;
+    for (size_t i = 0; i < st.s.size(); ++i)
+        st.s[i] = s_[i];
+    st.hasSpareNormal = hasSpareNormal_;
+    st.spareNormal = spareNormal_;
+    return st;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (size_t i = 0; i < state.s.size(); ++i)
+        s_[i] = state.s[i];
+    hasSpareNormal_ = state.hasSpareNormal;
+    spareNormal_ = state.spareNormal;
+}
+
 } // namespace gnnmark

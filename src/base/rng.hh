@@ -10,12 +10,32 @@
 #ifndef GNNMARK_BASE_RNG_HH
 #define GNNMARK_BASE_RNG_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 namespace gnnmark {
+
+/**
+ * Complete serialisable state of an Rng: the xoshiro256** words plus
+ * the cached Box-Muller spare, so a restored generator reproduces the
+ * exact stream — including a pending normal() value.
+ */
+struct RngState
+{
+    std::array<uint64_t, 4> s{};
+    bool hasSpareNormal = false;
+    double spareNormal = 0.0;
+
+    bool
+    operator==(const RngState &o) const
+    {
+        return s == o.s && hasSpareNormal == o.hasSpareNormal &&
+               spareNormal == o.spareNormal;
+    }
+};
 
 /**
  * xoshiro256** generator with convenience distributions.
@@ -72,6 +92,12 @@ class Rng
 
     /** Derive an independent child generator (for parallel streams). */
     Rng fork();
+
+    /** Snapshot the full generator state (checkpoint/resume). */
+    RngState state() const;
+
+    /** Restore a snapshot; the stream continues exactly from it. */
+    void setState(const RngState &state);
 
   private:
     uint64_t s_[4];

@@ -1,0 +1,311 @@
+#include "core/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace gnnmark {
+
+namespace {
+
+/** On-disk layout version; bump on any format change. */
+constexpr uint32_t kFormatVersion = 1;
+
+/** File magic ("GNMKCKPT"). */
+constexpr char kMagic[8] = {'G', 'N', 'M', 'K', 'C', 'K', 'P', 'T'};
+
+/** Record tags inside the state image (checks traversal symmetry). */
+enum class Tag : uint8_t
+{
+    TensorRec = 0x54, // 'T'
+    ScalarRec = 0x53, // 'S'
+    RngRec = 0x52,    // 'R'
+};
+
+/** FNV-1a over the payload, the header's integrity check. */
+uint64_t
+fnv1a(const uint8_t *data, size_t n)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** StateVisitor that appends every visited item to a byte image. */
+class SaveVisitor : public StateVisitor
+{
+  public:
+    explicit SaveVisitor(std::vector<uint8_t> &out) : out_(out) {}
+
+    void
+    tensor(Tensor &t) override
+    {
+        put(Tag::TensorRec);
+        putU64(static_cast<uint64_t>(t.numel()));
+        putBytes(t.data(), static_cast<size_t>(t.numel()) *
+                               sizeof(float));
+    }
+
+    void
+    scalar(int64_t &v) override
+    {
+        put(Tag::ScalarRec);
+        putBytes(&v, sizeof(v));
+    }
+
+    void
+    rng(Rng &r) override
+    {
+        put(Tag::RngRec);
+        const RngState st = r.state();
+        for (uint64_t word : st.s)
+            putU64(word);
+        putU64(st.hasSpareNormal ? 1 : 0);
+        putBytes(&st.spareNormal, sizeof(st.spareNormal));
+    }
+
+  private:
+    void
+    put(Tag tag)
+    {
+        out_.push_back(static_cast<uint8_t>(tag));
+    }
+
+    void
+    putU64(uint64_t v)
+    {
+        putBytes(&v, sizeof(v));
+    }
+
+    void
+    putBytes(const void *p, size_t n)
+    {
+        const uint8_t *b = static_cast<const uint8_t *>(p);
+        out_.insert(out_.end(), b, b + n);
+    }
+
+    std::vector<uint8_t> &out_;
+};
+
+/**
+ * StateVisitor that replays a byte image into the visited items. The
+ * traversal must match the one that produced the image; the tags and
+ * sizes catch any divergence.
+ */
+class RestoreVisitor : public StateVisitor
+{
+  public:
+    explicit RestoreVisitor(const std::vector<uint8_t> &in) : in_(in) {}
+
+    void
+    tensor(Tensor &t) override
+    {
+        expect(Tag::TensorRec);
+        const uint64_t numel = takeU64();
+        GNN_ASSERT(numel == static_cast<uint64_t>(t.numel()),
+                   "checkpoint tensor has %llu elements, workload "
+                   "expects %lld — state layout mismatch",
+                   static_cast<unsigned long long>(numel),
+                   static_cast<long long>(t.numel()));
+        takeBytes(t.data(), static_cast<size_t>(numel) * sizeof(float));
+    }
+
+    void
+    scalar(int64_t &v) override
+    {
+        expect(Tag::ScalarRec);
+        takeBytes(&v, sizeof(v));
+    }
+
+    void
+    rng(Rng &r) override
+    {
+        expect(Tag::RngRec);
+        RngState st;
+        for (uint64_t &word : st.s)
+            word = takeU64();
+        st.hasSpareNormal = takeU64() != 0;
+        takeBytes(&st.spareNormal, sizeof(st.spareNormal));
+        r.setState(st);
+    }
+
+    /** True once the whole image has been consumed. */
+    bool
+    exhausted() const
+    {
+        return pos_ == in_.size();
+    }
+
+  private:
+    void
+    expect(Tag tag)
+    {
+        GNN_ASSERT(pos_ < in_.size(),
+                   "checkpoint image truncated at offset %zu", pos_);
+        const uint8_t got = in_[pos_++];
+        GNN_ASSERT(got == static_cast<uint8_t>(tag),
+                   "checkpoint record tag 0x%02x at offset %zu, "
+                   "expected 0x%02x — state layout mismatch",
+                   got, pos_ - 1, static_cast<uint8_t>(tag));
+    }
+
+    uint64_t
+    takeU64()
+    {
+        uint64_t v = 0;
+        takeBytes(&v, sizeof(v));
+        return v;
+    }
+
+    void
+    takeBytes(void *p, size_t n)
+    {
+        GNN_ASSERT(pos_ + n <= in_.size(),
+                   "checkpoint image truncated at offset %zu", pos_);
+        std::memcpy(p, in_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    const std::vector<uint8_t> &in_;
+    size_t pos_ = 0;
+};
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    const uint8_t *b = reinterpret_cast<const uint8_t *>(&v);
+    out.insert(out.end(), b, b + sizeof(v));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    const uint8_t *b = reinterpret_cast<const uint8_t *>(&v);
+    out.insert(out.end(), b, b + sizeof(v));
+}
+
+} // namespace
+
+Checkpoint
+captureCheckpoint(Workload &workload, uint64_t step)
+{
+    GNN_ASSERT(workload.supportsCheckpoint(),
+               "workload %s does not support checkpointing",
+               workload.name().c_str());
+    Checkpoint ckpt;
+    ckpt.workload = workload.name();
+    ckpt.step = step;
+    SaveVisitor v(ckpt.state);
+    workload.visitState(v);
+    return ckpt;
+}
+
+uint64_t
+restoreCheckpoint(Workload &workload, const Checkpoint &ckpt)
+{
+    GNN_ASSERT(workload.supportsCheckpoint(),
+               "workload %s does not support checkpointing",
+               workload.name().c_str());
+    if (ckpt.workload != workload.name()) {
+        GNN_FATAL("checkpoint was written by workload '%s', cannot "
+                  "restore into '%s'",
+                  ckpt.workload.c_str(), workload.name().c_str());
+    }
+    RestoreVisitor v(ckpt.state);
+    workload.visitState(v);
+    GNN_ASSERT(v.exhausted(),
+               "checkpoint image has trailing bytes — state layout "
+               "mismatch for workload %s",
+               workload.name().c_str());
+    return ckpt.step;
+}
+
+void
+writeCheckpointFile(const std::string &path, const Checkpoint &ckpt)
+{
+    std::vector<uint8_t> header;
+    header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+    putU32(header, kFormatVersion);
+    putU32(header, static_cast<uint32_t>(ckpt.workload.size()));
+    putU64(header, ckpt.step);
+    putU64(header, static_cast<uint64_t>(ckpt.state.size()));
+    putU64(header, fnv1a(ckpt.state.data(), ckpt.state.size()));
+
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        GNN_FATAL("cannot open checkpoint file '%s' for writing",
+                  path.c_str());
+    bool ok = std::fwrite(header.data(), 1, header.size(), f) ==
+              header.size();
+    ok = ok && std::fwrite(ckpt.workload.data(), 1,
+                           ckpt.workload.size(),
+                           f) == ckpt.workload.size();
+    ok = ok && std::fwrite(ckpt.state.data(), 1, ckpt.state.size(),
+                           f) == ckpt.state.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok)
+        GNN_FATAL("short write to checkpoint file '%s'", path.c_str());
+}
+
+Checkpoint
+readCheckpointFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        GNN_FATAL("cannot open checkpoint file '%s'", path.c_str());
+
+    auto take = [&](void *p, size_t n, const char *what) {
+        if (std::fread(p, 1, n, f) != n) {
+            std::fclose(f);
+            GNN_FATAL("checkpoint file '%s' truncated reading %s",
+                      path.c_str(), what);
+        }
+    };
+
+    char magic[sizeof(kMagic)];
+    take(magic, sizeof(magic), "magic");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        std::fclose(f);
+        GNN_FATAL("'%s' is not a GNNMark checkpoint file",
+                  path.c_str());
+    }
+    uint32_t version = 0, name_len = 0;
+    take(&version, sizeof(version), "version");
+    if (version != kFormatVersion) {
+        std::fclose(f);
+        GNN_FATAL("checkpoint file '%s' has format version %u, this "
+                  "build reads version %u",
+                  path.c_str(), version, kFormatVersion);
+    }
+    take(&name_len, sizeof(name_len), "name length");
+    Checkpoint ckpt;
+    uint64_t state_size = 0, checksum = 0;
+    take(&ckpt.step, sizeof(ckpt.step), "step");
+    take(&state_size, sizeof(state_size), "state size");
+    take(&checksum, sizeof(checksum), "checksum");
+    ckpt.workload.resize(name_len);
+    if (name_len > 0)
+        take(ckpt.workload.data(), name_len, "workload name");
+    ckpt.state.resize(state_size);
+    if (state_size > 0)
+        take(ckpt.state.data(), state_size, "state image");
+    // Reject trailing garbage as corruption too.
+    uint8_t extra;
+    const bool at_eof = std::fread(&extra, 1, 1, f) == 0;
+    std::fclose(f);
+    if (!at_eof)
+        GNN_FATAL("checkpoint file '%s' has trailing bytes",
+                  path.c_str());
+    if (fnv1a(ckpt.state.data(), ckpt.state.size()) != checksum)
+        GNN_FATAL("checkpoint file '%s' failed its checksum — the "
+                  "state image is corrupt",
+                  path.c_str());
+    return ckpt;
+}
+
+} // namespace gnnmark

@@ -303,6 +303,65 @@ printFig9Scaling(
 }
 
 void
+printFaultTolerance(const FaultToleranceResult &result, std::ostream &os)
+{
+    TablePrinter table(strfmt(
+        "Fault-tolerant DDP run: %s (%d -> %d GPUs)",
+        result.workload.c_str(), result.worldStart, result.worldEnd));
+    table.setHeader({"Fault", "At (ms)", "Replica", "Detect (ms)",
+                     "Rollback (ms)", "Re-shard (ms)", "Drag (ms)",
+                     "Lost iters", "World"});
+    for (const FaultRecord &e : result.events) {
+        table.addRow({faultKindName(e.kind),
+                      fixed(e.simTimeSec * 1e3, 2),
+                      strfmt("%d", e.replica),
+                      fixed(e.detectionSec * 1e3, 2),
+                      fixed(e.rollbackSec * 1e3, 2),
+                      fixed(e.reshardSec * 1e3, 2),
+                      fixed(e.slowdownSec * 1e3, 2),
+                      strfmt("%d", e.lostIterations),
+                      strfmt("%d->%d", e.worldBefore, e.worldAfter)});
+    }
+    table.print(os);
+
+    os << strfmt("Iterations: %d target, %d executed (%d replayed)\n",
+                 result.targetIterations, result.executedIterations,
+                 result.replayedIterations);
+    os << strfmt("Time: %.2f ms total vs %.2f ms ideal "
+                 "(checkpointing %.2f ms, recovery %.2f ms)\n",
+                 result.totalTimeSec * 1e3, result.idealTimeSec * 1e3,
+                 result.checkpointTimeSec * 1e3,
+                 result.recoveryTimeSec * 1e3);
+    os << strfmt("Goodput vs ideal: %.1f%%\n\n",
+                 result.goodput * 100.0);
+}
+
+void
+printCheckpointSweep(
+    const std::vector<std::pair<int, FaultToleranceResult>> &sweep,
+    std::ostream &os)
+{
+    if (sweep.empty())
+        return;
+    TablePrinter table(strfmt(
+        "Checkpoint-interval sweep: %s (%d GPUs, same fault plan)",
+        sweep.front().second.workload.c_str(),
+        sweep.front().second.worldStart));
+    table.setHeader({"Interval", "Total (ms)", "Ckpt (ms)",
+                     "Recovery (ms)", "Replayed", "Goodput"});
+    for (const auto &[interval, r] : sweep) {
+        table.addRow({interval > 0 ? strfmt("%d", interval) : "off",
+                      fixed(r.totalTimeSec * 1e3, 2),
+                      fixed(r.checkpointTimeSec * 1e3, 2),
+                      fixed(r.recoveryTimeSec * 1e3, 2),
+                      strfmt("%d", r.replayedIterations),
+                      fixed(r.goodput, 3)});
+    }
+    table.print(os);
+    os << "\n";
+}
+
+void
 printKernelTable(const WorkloadProfile &profile, std::ostream &os,
                  int top_n)
 {

@@ -55,6 +55,22 @@ void printFig9Scaling(
         &curves,
     std::ostream &os);
 
+/**
+ * Fault-tolerance report for one fault-injected DDP run: the itemised
+ * recovery overhead of every fault plus the goodput summary.
+ */
+void printFaultTolerance(const FaultToleranceResult &result,
+                         std::ostream &os);
+
+/**
+ * Checkpoint-interval sweep: for each (interval, result) point, the
+ * time split between checkpointing and recovery and the resulting
+ * goodput, exposing the classic write-often/replay-little trade-off.
+ */
+void printCheckpointSweep(
+    const std::vector<std::pair<int, FaultToleranceResult>> &sweep,
+    std::ostream &os);
+
 /** nvprof-style top-kernel table for one workload. */
 void printKernelTable(const WorkloadProfile &profile, std::ostream &os,
                       int top_n = 12);

@@ -123,4 +123,12 @@ Arga::parameterBytes() const
     return optimEnc_->parameterBytes() + optimDisc_->parameterBytes();
 }
 
+void
+Arga::visitState(StateVisitor &visitor)
+{
+    visitor.rng(*rng_);
+    visitor.optimizer(*optimEnc_);
+    visitor.optimizer(*optimDisc_);
+}
+
 } // namespace gnnmark

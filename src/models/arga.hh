@@ -44,6 +44,8 @@ class Arga : public Workload
     float trainIteration() override;
     int64_t iterationsPerEpoch() const override;
     double parameterBytes() const override;
+    bool supportsCheckpoint() const override { return true; }
+    void visitState(StateVisitor &visitor) override;
 
     /** Whole-graph training cannot be data-parallelised (Fig. 9). */
     bool supportsMultiGpu() const override { return false; }

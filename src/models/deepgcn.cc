@@ -122,4 +122,12 @@ DeepGcn::parameterBytes() const
     return optim_->parameterBytes();
 }
 
+void
+DeepGcn::visitState(StateVisitor &visitor)
+{
+    visitor.rng(*rng_);
+    visitor.scalar(cursor_);
+    visitor.optimizer(*optim_);
+}
+
 } // namespace gnnmark

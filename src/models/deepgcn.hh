@@ -68,6 +68,8 @@ class DeepGcn : public Workload
     float trainIteration() override;
     int64_t iterationsPerEpoch() const override;
     double parameterBytes() const override;
+    bool supportsCheckpoint() const override { return true; }
+    void visitState(StateVisitor &visitor) override;
 
   private:
     WorkloadConfig cfg_;

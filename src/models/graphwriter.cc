@@ -177,4 +177,12 @@ GraphWriter::parameterBytes() const
     return optim_->parameterBytes();
 }
 
+void
+GraphWriter::visitState(StateVisitor &visitor)
+{
+    visitor.rng(*rng_);
+    visitor.scalar(cursor_);
+    visitor.optimizer(*optim_);
+}
+
 } // namespace gnnmark

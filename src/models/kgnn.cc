@@ -242,4 +242,12 @@ KGnn::parameterBytes() const
     return optim_->parameterBytes();
 }
 
+void
+KGnn::visitState(StateVisitor &visitor)
+{
+    visitor.rng(*rng_);
+    visitor.scalar(cursor_);
+    visitor.optimizer(*optim_);
+}
+
 } // namespace gnnmark

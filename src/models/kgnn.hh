@@ -73,6 +73,8 @@ class KGnn : public Workload
     float trainIteration() override;
     int64_t iterationsPerEpoch() const override;
     double parameterBytes() const override;
+    bool supportsCheckpoint() const override { return true; }
+    void visitState(StateVisitor &visitor) override;
 
   private:
     int k_;

@@ -221,4 +221,12 @@ PinSage::parameterBytes() const
     return optim_->parameterBytes();
 }
 
+void
+PinSage::visitState(StateVisitor &visitor)
+{
+    visitor.rng(*rng_);
+    visitor.scalar(cursor_);
+    visitor.optimizer(*optim_);
+}
+
 } // namespace gnnmark

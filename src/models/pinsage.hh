@@ -45,6 +45,8 @@ class PinSage : public Workload
     float trainIteration() override;
     int64_t iterationsPerEpoch() const override;
     double parameterBytes() const override;
+    bool supportsCheckpoint() const override { return true; }
+    void visitState(StateVisitor &visitor) override;
 
     /** The DGL batch sampler replicates under DDP (paper Fig. 9). */
     bool samplerDdpCompatible() const override { return false; }

@@ -145,4 +145,11 @@ Stgcn::parameterBytes() const
     return optim_->parameterBytes();
 }
 
+void
+Stgcn::visitState(StateVisitor &visitor)
+{
+    visitor.rng(*rng_);
+    visitor.optimizer(*optim_);
+}
+
 } // namespace gnnmark

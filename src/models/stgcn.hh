@@ -63,6 +63,8 @@ class Stgcn : public Workload
     float trainIteration() override;
     int64_t iterationsPerEpoch() const override;
     double parameterBytes() const override;
+    bool supportsCheckpoint() const override { return true; }
+    void visitState(StateVisitor &visitor) override;
 
   private:
     WorkloadConfig cfg_;

@@ -132,4 +132,12 @@ TreeLstm::parameterBytes() const
     return optim_->parameterBytes();
 }
 
+void
+TreeLstm::visitState(StateVisitor &visitor)
+{
+    visitor.rng(*rng_);
+    visitor.scalar(cursor_);
+    visitor.optimizer(*optim_);
+}
+
 } // namespace gnnmark

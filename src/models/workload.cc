@@ -1,8 +1,23 @@
 #include "models/workload.hh"
 
+#include "nn/optim.hh"
 #include "ops/exec_context.hh"
 
 namespace gnnmark {
+
+void
+StateVisitor::optimizer(nn::Optimizer &opt)
+{
+    // Parameter tensors first (fixed registration order), then the
+    // optimiser's own slots and counters.
+    for (const Variable &p : opt.params()) {
+        // Variables share storage with the model's parameters, so
+        // writing through them updates the model in place.
+        tensor(const_cast<Variable &>(p).value());
+    }
+    opt.visitState([this](Tensor &t) { tensor(t); },
+                   [this](int64_t &v) { scalar(v); });
+}
 
 void
 uploadInput(const Tensor &t, const std::string &tag)

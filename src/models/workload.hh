@@ -19,6 +19,39 @@
 
 namespace gnnmark {
 
+class Rng;
+
+namespace nn {
+class Optimizer;
+} // namespace nn
+
+/**
+ * Visitor over a workload's mutable training state, used by the
+ * checkpoint subsystem. A workload's visitState() must enumerate
+ * every piece of state that changes across trainIteration() calls —
+ * its Rng stream, batch cursors, and optimisers (which cover the
+ * parameter tensors and slot buffers) — in a fixed order. The same
+ * traversal serves both save (visitor reads) and restore (visitor
+ * writes), which is what makes resume bitwise-exact.
+ */
+class StateVisitor
+{
+  public:
+    virtual ~StateVisitor() = default;
+
+    /** A tensor whose contents are training state (copied in place). */
+    virtual void tensor(Tensor &t) = 0;
+
+    /** An integer scalar (batch cursor, step counter). */
+    virtual void scalar(int64_t &v) = 0;
+
+    /** An Rng whose stream position is training state. */
+    virtual void rng(Rng &r) = 0;
+
+    /** An optimiser: its parameters, slots and step counter. */
+    void optimizer(nn::Optimizer &opt);
+};
+
 /** Scale and sharding knobs shared by all workloads. */
 struct WorkloadConfig
 {
@@ -77,6 +110,21 @@ class Workload
      * once (ARGA), which the paper excludes from the scaling study.
      */
     virtual bool supportsMultiGpu() const { return true; }
+
+    /**
+     * True if visitState() enumerates the complete mutable training
+     * state, i.e. checkpoint/restore round-trips bitwise. All suite
+     * workloads support this; external Workload subclasses opt in by
+     * overriding both members.
+     */
+    virtual bool supportsCheckpoint() const { return false; }
+
+    /**
+     * Enumerate mutable training state (see StateVisitor). Must only
+     * be called after setup(); the traversal order must be identical
+     * between the save and the restore of one checkpoint.
+     */
+    virtual void visitState(StateVisitor &visitor) { (void)visitor; }
 };
 
 /** Upload a tensor to the bound device, if any (sparsity-tracked). */

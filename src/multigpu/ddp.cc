@@ -1,8 +1,10 @@
 #include "multigpu/ddp.hh"
 
 #include <algorithm>
+#include <map>
 
 #include "base/logging.hh"
+#include "core/checkpoint.hh"
 #include "ops/exec_context.hh"
 
 namespace gnnmark {
@@ -14,6 +16,23 @@ constexpr double kBucketBytes = 25.0 * 1024 * 1024;
 
 /** Fixed per-iteration DDP bookkeeping (hooks, bucket ready checks). */
 constexpr double kDdpOverheadSec = 40e-6;
+
+/** Device-side detection latency for a failed (transient) kernel. */
+constexpr double kTransientDetectSec = 0.5e-3;
+
+/** Per-iteration gradient-sync cost on `world` replicas. */
+double
+allReduceCost(const Interconnect &interconnect, double bytes, int world)
+{
+    if (world <= 1)
+        return 0;
+    const int buckets = std::max(
+        1,
+        static_cast<int>((bytes + kBucketBytes - 1) / kBucketBytes));
+    return interconnect.allReduceTime(bytes, world) +
+           buckets * interconnect.config().messageLatencySec +
+           kDdpOverheadSec;
+}
 
 } // namespace
 
@@ -175,6 +194,298 @@ DdpTrainer::scalingCurve(Workload &workload, const WorkloadConfig &base,
                 ? base_time / r.epochTimeSec : 0;
     }
     return out;
+}
+
+/** Accumulators for one fault-injected engine run. */
+struct DdpTrainer::EngineOutcome
+{
+    double totalTimeSec = 0;
+    double checkpointTimeSec = 0;
+    double recoveryTimeSec = 0;
+    int executedIterations = 0;
+    int replayedIterations = 0;
+    int worldEnd = 0;
+    std::vector<FaultRecord> events;
+};
+
+DdpTrainer::EngineOutcome
+DdpTrainer::runEngine(Workload &workload, const WorkloadConfig &base,
+                      int world, const FaultInjector &injector,
+                      const FaultRecoveryOptions &options,
+                      bool with_checkpoints)
+{
+    GNN_ASSERT(world >= 1, "world size must be >= 1");
+    GNN_ASSERT(options.iterations >= 1, "need at least one iteration");
+    GNN_ASSERT(options.checkpointInterval >= 0,
+               "checkpoint interval must be >= 0");
+
+    EngineOutcome out;
+
+    WorkloadConfig cfg = base;
+    cfg.rank = 0;
+    cfg.worldSize = world;
+
+    // Both the ideal and the faulty pass seed the device identically,
+    // so idealTimeSec and totalTimeSec share the same compute model.
+    GpuDevice device(deviceConfig_, base.seed + 1000 + world);
+    workload.setup(cfg);
+    DeviceGuard guard(&device);
+
+    const std::vector<FaultEvent> &events = injector.plan().events();
+    std::vector<char> consumed(events.size(), 0);
+    std::map<size_t, size_t> record_of_event;
+
+    std::vector<char> alive(static_cast<size_t>(world), 1);
+    int alive_count = world;
+    double sim_time = 0;
+
+    auto activeAt = [](const FaultEvent &e, double t) {
+        if (t < e.timeSec)
+            return false;
+        return e.durationSec <= 0 || t < e.timeSec + e.durationSec;
+    };
+    auto recordFor = [&](size_t idx) -> FaultRecord & {
+        auto it = record_of_event.find(idx);
+        if (it == record_of_event.end()) {
+            FaultRecord rec;
+            rec.kind = events[idx].kind;
+            rec.simTimeSec = sim_time;
+            rec.replica = events[idx].replica;
+            rec.worldBefore = alive_count;
+            rec.worldAfter = alive_count;
+            out.events.push_back(rec);
+            it = record_of_event
+                     .emplace(idx, out.events.size() - 1)
+                     .first;
+        }
+        return out.events[it->second];
+    };
+
+    const bool can_restore =
+        with_checkpoints && workload.supportsCheckpoint();
+    Checkpoint ckpt;
+    bool have_ckpt = false;
+    if (can_restore) {
+        // Step-0 image: a crash before the first periodic checkpoint
+        // rolls back to the exact initial state. Captured before the
+        // simulated clock starts, so it costs nothing.
+        ckpt = captureCheckpoint(workload, 0);
+        have_ckpt = true;
+    }
+    auto ckptIoSec = [&]() {
+        return ckpt.sizeBytes() / options.checkpointBandwidth +
+               options.checkpointLatencySec;
+    };
+
+    int completed = 0;
+    while (completed < options.iterations && alive_count > 0) {
+        const double t0 = sim_time;
+
+        const double wall_before = device.wallTimeSec();
+        const double xfer_before = device.transferTimeSec();
+        workload.trainIteration();
+        const double compute = device.wallTimeSec() - wall_before;
+        const double transfer =
+            device.transferTimeSec() - xfer_before;
+        ++out.executedIterations;
+
+        // The iteration finishes when the slowest alive replica does.
+        double strag_factor = 1.0;
+        size_t strag_event = events.size();
+        for (size_t i = 0; i < events.size(); ++i) {
+            const FaultEvent &e = events[i];
+            if (e.kind != FaultKind::Straggler || !activeAt(e, t0))
+                continue;
+            if (e.replica < 0 || e.replica >= world ||
+                !alive[static_cast<size_t>(e.replica)]) {
+                continue;
+            }
+            if (e.magnitude > strag_factor) {
+                strag_factor = e.magnitude;
+                strag_event = i;
+            }
+        }
+        const double iter_compute = compute * strag_factor;
+        if (strag_event != events.size()) {
+            FaultRecord &rec = recordFor(strag_event);
+            rec.slowdownSec += compute * (strag_factor - 1.0);
+        }
+
+        // Gradient sync, with any active link degradation applied.
+        double comm = 0;
+        if (alive_count > 1) {
+            const double bytes = workload.parameterBytes();
+            double healthy =
+                allReduceCost(interconnect_, bytes, alive_count);
+            comm = healthy;
+            const double link = injector.linkFactor(t0);
+            if (link < 1.0) {
+                InterconnectConfig slow_cfg = interconnect_.config();
+                slow_cfg.degradedHopFactor =
+                    std::min(slow_cfg.degradedHopFactor, link);
+                Interconnect slow(slow_cfg);
+                comm = allReduceCost(slow, bytes, alive_count);
+                for (size_t i = 0; i < events.size(); ++i) {
+                    const FaultEvent &e = events[i];
+                    if (e.kind == FaultKind::DegradedLink &&
+                        activeAt(e, t0) && e.magnitude <= link) {
+                        recordFor(i).slowdownSec += comm - healthy;
+                        break;
+                    }
+                }
+            }
+            if (!workload.samplerDdpCompatible()) {
+                // Replicated batches serialise their host copies.
+                comm += transfer * (alive_count - 1);
+            }
+        }
+
+        sim_time += iter_compute + comm;
+
+        // Transient kernel failures due by now (a failure that lands
+        // in a checkpoint/recovery gap surfaces in the next
+        // iteration): detected on the device, the iteration is
+        // recomputed.
+        for (size_t i = 0; i < events.size(); ++i) {
+            const FaultEvent &e = events[i];
+            if (e.kind != FaultKind::TransientKernel || consumed[i])
+                continue;
+            if (e.timeSec <= sim_time) {
+                consumed[i] = 1;
+                FaultRecord &rec = recordFor(i);
+                rec.detectionSec += kTransientDetectSec;
+                rec.rollbackSec += iter_compute;
+                out.recoveryTimeSec +=
+                    kTransientDetectSec + iter_compute;
+                sim_time += kTransientDetectSec + iter_compute;
+            }
+        }
+
+        // Earliest unhandled crash of a live replica: the all-reduce
+        // times out, is retried with exponential backoff, then the
+        // world shrinks and training rolls back to the last durable
+        // checkpoint. One incident per loop pass; detection requires a
+        // peer, so a sole survivor cannot observe further crashes.
+        size_t crash = events.size();
+        if (alive_count > 1) {
+            for (size_t i = 0; i < events.size(); ++i) {
+                const FaultEvent &e = events[i];
+                if (e.kind != FaultKind::ReplicaCrash || consumed[i] ||
+                    e.timeSec > sim_time) {
+                    continue;
+                }
+                consumed[i] = 1;
+                if (e.replica < 0 || e.replica >= world ||
+                    !alive[static_cast<size_t>(e.replica)]) {
+                    continue; // stale target: nothing to recover
+                }
+                crash = i;
+                break;
+            }
+        }
+        if (crash == events.size()) {
+            ++completed;
+            if (with_checkpoints && workload.supportsCheckpoint() &&
+                options.checkpointInterval > 0 &&
+                completed % options.checkpointInterval == 0 &&
+                completed < options.iterations) {
+                ckpt = captureCheckpoint(
+                    workload, static_cast<uint64_t>(completed));
+                have_ckpt = true;
+                const double io = ckptIoSec();
+                out.checkpointTimeSec += io;
+                sim_time += io;
+            }
+            continue;
+        }
+
+        // The in-flight iteration never syncs; it is not counted.
+        const FaultEvent &e = events[crash];
+        FaultRecord &rec = recordFor(crash);
+
+        double detection = options.allReduceTimeoutSec;
+        double backoff = options.backoffBaseSec;
+        for (int r = 0; r < options.maxRetries; ++r) {
+            detection += backoff + options.allReduceTimeoutSec;
+            backoff *= 2;
+        }
+
+        alive[static_cast<size_t>(e.replica)] = 0;
+        --alive_count;
+        rec.worldBefore = alive_count + 1;
+        rec.worldAfter = alive_count;
+        rec.simTimeSec = sim_time;
+        rec.detectionSec += detection;
+
+        const int rollback_to =
+            have_ckpt ? static_cast<int>(ckpt.step) : 0;
+        rec.lostIterations = completed - rollback_to;
+        out.replayedIterations += rec.lostIterations;
+
+        double rollback = 0;
+        double reshard = 0;
+        if (alive_count > 0) {
+            // Survivors re-shard the batch over the shrunken world and
+            // reload parameters from stable storage.
+            cfg.worldSize = alive_count;
+            workload.setup(cfg);
+            if (have_ckpt) {
+                rollback = ckptIoSec();
+                restoreCheckpoint(workload, ckpt);
+            }
+            completed = rollback_to;
+            reshard = options.commReinitSec;
+            if (alive_count > 1) {
+                reshard += interconnect_.broadcastTime(
+                    workload.parameterBytes(), alive_count);
+            }
+        }
+        rec.rollbackSec += rollback;
+        rec.reshardSec += reshard;
+        const double overhead = detection + rollback + reshard;
+        out.recoveryTimeSec += overhead;
+        sim_time += overhead;
+    }
+
+    if (alive_count == 0) {
+        warn("fault plan killed every replica; run stopped after %d "
+             "of %d iterations",
+             completed, options.iterations);
+    }
+
+    out.totalTimeSec = sim_time;
+    out.worldEnd = alive_count;
+    return out;
+}
+
+FaultToleranceResult
+DdpTrainer::runWithFaults(Workload &workload, const WorkloadConfig &base,
+                          int world, const FaultPlan &plan,
+                          const FaultRecoveryOptions &options)
+{
+    // Fault-free, checkpoint-free pass first: same device seed and
+    // initial workload state, so the two clocks are comparable.
+    EngineOutcome ideal = runEngine(workload, base, world,
+                                    FaultInjector{}, options, false);
+    EngineOutcome faulty = runEngine(workload, base, world,
+                                     FaultInjector(plan), options, true);
+
+    FaultToleranceResult res;
+    res.workload = workload.name();
+    res.worldStart = world;
+    res.worldEnd = faulty.worldEnd;
+    res.targetIterations = options.iterations;
+    res.executedIterations = faulty.executedIterations;
+    res.replayedIterations = faulty.replayedIterations;
+    res.idealTimeSec = ideal.totalTimeSec;
+    res.totalTimeSec = faulty.totalTimeSec;
+    res.checkpointTimeSec = faulty.checkpointTimeSec;
+    res.recoveryTimeSec = faulty.recoveryTimeSec;
+    res.goodput = faulty.totalTimeSec > 0
+                      ? ideal.totalTimeSec / faulty.totalTimeSec
+                      : 0;
+    res.events = std::move(faulty.events);
+    return res;
 }
 
 } // namespace gnnmark

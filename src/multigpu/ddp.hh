@@ -12,7 +12,11 @@
 #ifndef GNNMARK_MULTIGPU_DDP_HH
 #define GNNMARK_MULTIGPU_DDP_HH
 
+#include <string>
+#include <vector>
+
 #include "models/workload.hh"
+#include "sim/fault_injector.hh"
 #include "sim/gpu_config.hh"
 #include "sim/interconnect.hh"
 
@@ -26,6 +30,71 @@ struct ScalingResult
     double computeTimeSec = 0; ///< per-epoch on-GPU compute share
     double commTimeSec = 0;    ///< per-epoch all-reduce + replication
     double speedup = 0;        ///< vs. the 1-GPU epoch time
+};
+
+/** Knobs for a fault-tolerant DDP training run. */
+struct FaultRecoveryOptions
+{
+    /** Training iterations the run must complete. */
+    int iterations = 48;
+    /**
+     * Iterations between durable checkpoints; 0 disables periodic
+     * checkpoints, in which case a crash rolls back to iteration 0.
+     */
+    int checkpointInterval = 12;
+    /** All-reduce timeout that flags a dead/stuck replica. */
+    double allReduceTimeoutSec = 30e-3;
+    /** Failed-all-reduce retries before the world is shrunk. */
+    int maxRetries = 2;
+    /** First retry backoff; doubles per retry (exponential). */
+    double backoffBaseSec = 10e-3;
+    /** Bandwidth to stable checkpoint storage. */
+    double checkpointBandwidth = 4e9;
+    /** Fixed per-checkpoint-write (and read) latency. */
+    double checkpointLatencySec = 1e-3;
+    /** Process-group re-initialisation cost after a world change. */
+    double commReinitSec = 200e-3;
+};
+
+/** Simulated-time accounting for one recovered fault. */
+struct FaultRecord
+{
+    FaultKind kind = FaultKind::ReplicaCrash;
+    /** Simulated time at which the run noticed the fault. */
+    double simTimeSec = 0;
+    int replica = 0;
+    /** @{ Overhead breakdown, in simulated seconds. */
+    double detectionSec = 0; ///< timeout + retry backoff
+    double rollbackSec = 0;  ///< checkpoint read / retried compute
+    double reshardSec = 0;   ///< re-init + re-broadcast + re-shard
+    double slowdownSec = 0;  ///< straggler/degraded-link drag
+    /** @} */
+    /** Iterations discarded by the rollback (replayed afterwards). */
+    int lostIterations = 0;
+    int worldBefore = 0;
+    int worldAfter = 0;
+};
+
+/** Outcome of a fault-injected training run (one per workload). */
+struct FaultToleranceResult
+{
+    std::string workload;
+    int worldStart = 0;
+    int worldEnd = 0; ///< surviving replicas at completion
+    int targetIterations = 0;
+    /** Iterations actually computed, including replays. */
+    int executedIterations = 0;
+    /** Of those, iterations re-run after a rollback. */
+    int replayedIterations = 0;
+    /** Fault-free, checkpoint-free time for the same work. */
+    double idealTimeSec = 0;
+    /** Simulated wall time of the faulty run. */
+    double totalTimeSec = 0;
+    double checkpointTimeSec = 0; ///< spent writing checkpoints
+    double recoveryTimeSec = 0;   ///< detection + rollback + re-shard
+    /** idealTimeSec / totalTimeSec; 1.0 = no overhead. */
+    double goodput = 0;
+    std::vector<FaultRecord> events;
 };
 
 /** Strong-scaling measurement harness. */
@@ -68,7 +137,35 @@ class DdpTrainer
                      const std::vector<int> &world_sizes,
                      int measured_iterations = 4);
 
+    /**
+     * Train `workload` on `world` replicas under an injected fault
+     * plan, recovering elastically: an all-reduce that times out on a
+     * crashed replica is retried with exponential backoff, then the
+     * world shrinks to the survivors, the global batch is re-sharded,
+     * and training rolls back to the last durable checkpoint. Each
+     * recovery's detection / rollback / re-shard overheads are
+     * itemised in simulated seconds. Deterministic: the same seed and
+     * plan produce an identical result.
+     *
+     * The fault-free, checkpoint-free baseline (idealTimeSec) is
+     * measured internally on a fresh workload state, so goodput is
+     * directly comparable.
+     */
+    FaultToleranceResult
+    runWithFaults(Workload &workload, const WorkloadConfig &base,
+                  int world, const FaultPlan &plan,
+                  const FaultRecoveryOptions &options =
+                      FaultRecoveryOptions{});
+
   private:
+    struct EngineOutcome;
+
+    EngineOutcome runEngine(Workload &workload,
+                            const WorkloadConfig &base, int world,
+                            const FaultInjector &injector,
+                            const FaultRecoveryOptions &options,
+                            bool with_checkpoints);
+
     GpuConfig deviceConfig_;
     Interconnect interconnect_;
 };

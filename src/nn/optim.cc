@@ -88,6 +88,15 @@ Sgd::step()
     }
 }
 
+void
+Sgd::visitState(const std::function<void(Tensor &)> &slot,
+                const std::function<void(int64_t &)> &scalar)
+{
+    (void)scalar;
+    for (Tensor &v : velocity_)
+        slot(v);
+}
+
 Adam::Adam(std::vector<Variable> params, float lr, float beta1,
            float beta2, float eps)
     : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
@@ -127,6 +136,17 @@ Adam::step()
         }
         emitUpdate("optim_adam", p.value(), 8, 1);
     }
+}
+
+void
+Adam::visitState(const std::function<void(Tensor &)> &slot,
+                 const std::function<void(int64_t &)> &scalar)
+{
+    scalar(t_);
+    for (Tensor &t : m_)
+        slot(t);
+    for (Tensor &t : v_)
+        slot(t);
 }
 
 } // namespace nn

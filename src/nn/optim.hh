@@ -8,6 +8,7 @@
 #ifndef GNNMARK_NN_OPTIM_HH
 #define GNNMARK_NN_OPTIM_HH
 
+#include <functional>
 #include <vector>
 
 #include "ops/variable.hh"
@@ -33,6 +34,20 @@ class Optimizer
     /** Total parameter bytes (the DDP all-reduce payload). */
     double parameterBytes() const;
 
+    /**
+     * Enumerate the optimiser's internal state for checkpointing, in a
+     * fixed order: every slot tensor (momentum/moment buffers) through
+     * `slot`, every integer scalar (step counters) through `scalar`.
+     * The base optimiser has none; subclasses override.
+     */
+    virtual void
+    visitState(const std::function<void(Tensor &)> &slot,
+               const std::function<void(int64_t &)> &scalar)
+    {
+        (void)slot;
+        (void)scalar;
+    }
+
   protected:
     std::vector<Variable> params_;
 };
@@ -43,6 +58,8 @@ class Sgd : public Optimizer
   public:
     Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
     void step() override;
+    void visitState(const std::function<void(Tensor &)> &slot,
+                    const std::function<void(int64_t &)> &scalar) override;
 
   private:
     float lr_;
@@ -57,6 +74,8 @@ class Adam : public Optimizer
     Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
          float beta2 = 0.999f, float eps = 1e-8f);
     void step() override;
+    void visitState(const std::function<void(Tensor &)> &slot,
+                    const std::function<void(int64_t &)> &scalar) override;
 
   private:
     float lr_, beta1_, beta2_, eps_;

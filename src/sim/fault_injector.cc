@@ -1,0 +1,186 @@
+#include "sim/fault_injector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+namespace {
+
+/** True if an event with a duration is active at time t. */
+bool
+activeAt(const FaultEvent &e, double t)
+{
+    if (t < e.timeSec)
+        return false;
+    return e.durationSec <= 0 || t < e.timeSec + e.durationSec;
+}
+
+/** Next arrival of a Poisson process with the given rate. */
+double
+nextArrival(Rng &rng, double rate)
+{
+    double u = 0;
+    while (u == 0.0)
+        u = rng.uniform();
+    return -std::log(u) / rate;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::ReplicaCrash:
+        return "crash";
+      case FaultKind::Straggler:
+        return "straggler";
+      case FaultKind::DegradedLink:
+        return "degraded-link";
+      case FaultKind::TransientKernel:
+        return "transient";
+    }
+    return "unknown";
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events))
+{
+    for (const FaultEvent &e : events_) {
+        GNN_ASSERT(e.timeSec >= 0, "fault events need timeSec >= 0");
+        if (e.kind == FaultKind::Straggler) {
+            GNN_ASSERT(e.magnitude >= 1.0,
+                       "straggler magnitude is a slowdown multiplier, "
+                       "got %f",
+                       e.magnitude);
+        } else if (e.kind == FaultKind::DegradedLink) {
+            GNN_ASSERT(e.magnitude > 0 && e.magnitude <= 1.0,
+                       "degraded-link magnitude is a bandwidth "
+                       "fraction in (0, 1], got %f",
+                       e.magnitude);
+        }
+    }
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.timeSec < b.timeSec;
+                     });
+}
+
+FaultPlan
+FaultPlan::generate(Rng &rng, const FaultRates &rates, double horizonSec,
+                    int world)
+{
+    GNN_ASSERT(horizonSec > 0, "fault horizon must be positive");
+    GNN_ASSERT(world >= 1, "fault plan needs world >= 1");
+
+    std::vector<FaultEvent> events;
+    auto drawArrivals = [&](double rate, auto &&make) {
+        if (rate <= 0)
+            return;
+        for (double t = nextArrival(rng, rate); t < horizonSec;
+             t += nextArrival(rng, rate)) {
+            events.push_back(make(t));
+        }
+    };
+
+    drawArrivals(rates.crashPerSec, [&](double t) {
+        FaultEvent e;
+        e.kind = FaultKind::ReplicaCrash;
+        e.timeSec = t;
+        e.replica = static_cast<int>(
+            rng.randint(static_cast<uint64_t>(world)));
+        return e;
+    });
+    drawArrivals(rates.stragglerPerSec, [&](double t) {
+        FaultEvent e;
+        e.kind = FaultKind::Straggler;
+        e.timeSec = t;
+        e.replica = static_cast<int>(
+            rng.randint(static_cast<uint64_t>(world)));
+        e.durationSec = rates.stragglerDurationSec;
+        e.magnitude = rates.stragglerSlowdown;
+        return e;
+    });
+    drawArrivals(rates.degradedLinkPerSec, [&](double t) {
+        FaultEvent e;
+        e.kind = FaultKind::DegradedLink;
+        e.timeSec = t;
+        e.durationSec = rates.linkDurationSec;
+        e.magnitude = rates.linkFactor;
+        return e;
+    });
+    drawArrivals(rates.transientPerSec, [&](double t) {
+        FaultEvent e;
+        e.kind = FaultKind::TransientKernel;
+        e.timeSec = t;
+        return e;
+    });
+    return FaultPlan(std::move(events));
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+double
+FaultInjector::stragglerFactor(int replica, double t) const
+{
+    double factor = 1.0;
+    for (const FaultEvent &e : plan_.events()) {
+        if (e.kind == FaultKind::Straggler && e.replica == replica &&
+            activeAt(e, t)) {
+            factor = std::max(factor, e.magnitude);
+        }
+    }
+    return factor;
+}
+
+double
+FaultInjector::linkFactor(double t) const
+{
+    double factor = 1.0;
+    for (const FaultEvent &e : plan_.events()) {
+        if (e.kind == FaultKind::DegradedLink && activeAt(e, t))
+            factor = std::min(factor, e.magnitude);
+    }
+    return factor;
+}
+
+bool
+FaultInjector::crashed(int replica, double t) const
+{
+    for (const FaultEvent &e : plan_.events()) {
+        if (e.kind == FaultKind::ReplicaCrash && e.replica == replica &&
+            e.timeSec <= t) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<FaultEvent>
+FaultInjector::crashesUpTo(double t) const
+{
+    std::vector<FaultEvent> out;
+    for (const FaultEvent &e : plan_.events()) {
+        if (e.kind == FaultKind::ReplicaCrash && e.timeSec <= t)
+            out.push_back(e);
+    }
+    return out;
+}
+
+int
+FaultInjector::transientFailures(double t0, double t1) const
+{
+    int n = 0;
+    for (const FaultEvent &e : plan_.events()) {
+        if (e.kind == FaultKind::TransientKernel && e.timeSec > t0 &&
+            e.timeSec <= t1) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace gnnmark

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic fault injection against simulated time.
+ *
+ * A FaultPlan is an explicit list of fault events — replica crashes,
+ * straggler slowdowns, degraded interconnect links, transient kernel
+ * failures — each pinned to a simulated timestamp. Plans are either
+ * written out by hand (reproducible scenarios) or generated from
+ * Poisson rates by a seeded Rng. The FaultInjector answers stateless
+ * queries about the fault environment at a given simulated time, so a
+ * training harness that advances a simulated clock sees exactly the
+ * same failures on every run with the same plan.
+ */
+
+#ifndef GNNMARK_SIM_FAULT_INJECTOR_HH
+#define GNNMARK_SIM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace gnnmark {
+
+/** The fault kinds the injector models. */
+enum class FaultKind : uint8_t
+{
+    ReplicaCrash,    ///< a replica stops responding permanently
+    Straggler,       ///< a replica computes slower for a while
+    DegradedLink,    ///< one ring hop loses bandwidth for a while
+    TransientKernel, ///< one kernel/iteration fails and is retried
+};
+
+/** Human-readable fault kind, e.g. "crash". */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::ReplicaCrash;
+    /** Simulated time at which the fault begins. */
+    double timeSec = 0;
+    /** Target replica (crash/straggler; ignored for link faults). */
+    int replica = 0;
+    /** How long the fault lasts; 0 means permanent. */
+    double durationSec = 0;
+    /**
+     * Fault severity: straggler compute-time multiplier (> 1), or
+     * remaining bandwidth fraction of the degraded hop (in (0, 1]).
+     * Unused for crashes and transient kernel failures.
+     */
+    double magnitude = 1.0;
+};
+
+/** Poisson rates (events per simulated second) for plan generation. */
+struct FaultRates
+{
+    double crashPerSec = 0;
+    double stragglerPerSec = 0;
+    double degradedLinkPerSec = 0;
+    double transientPerSec = 0;
+
+    /** @{ Severity/duration knobs for the generated events. */
+    double stragglerSlowdown = 3.0;
+    double stragglerDurationSec = 0.2;
+    double linkFactor = 0.25;
+    double linkDurationSec = 0.5;
+    /** @} */
+};
+
+/** An ordered fault schedule. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Explicit event list (sorted by time on construction). */
+    explicit FaultPlan(std::vector<FaultEvent> events);
+
+    /**
+     * Draw a plan from Poisson processes, one per fault kind, over
+     * [0, horizonSec). Crash/straggler targets are uniform over
+     * [0, world). Deterministic in (rng state, rates, horizon, world).
+     */
+    static FaultPlan generate(Rng &rng, const FaultRates &rates,
+                              double horizonSec, int world);
+
+    const std::vector<FaultEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+  private:
+    std::vector<FaultEvent> events_; ///< sorted by timeSec
+};
+
+/** Read-only oracle over a FaultPlan, queried by simulated time. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan = FaultPlan{});
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /**
+     * Compute-time multiplier for `replica` at time `t`: the largest
+     * magnitude among its active straggler events, or 1 if healthy.
+     */
+    double stragglerFactor(int replica, double t) const;
+
+    /**
+     * Remaining bandwidth fraction of the worst degraded ring hop at
+     * time `t`, or 1 if all links are healthy.
+     */
+    double linkFactor(double t) const;
+
+    /** True if a crash of `replica` is scheduled at or before `t`. */
+    bool crashed(int replica, double t) const;
+
+    /**
+     * Crash events with timeSec <= t, in schedule order (the harness
+     * tracks which it has already recovered from).
+     */
+    std::vector<FaultEvent> crashesUpTo(double t) const;
+
+    /** Transient kernel failures with timeSec in (t0, t1]. */
+    int transientFailures(double t0, double t1) const;
+
+  private:
+    FaultPlan plan_;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_SIM_FAULT_INJECTOR_HH

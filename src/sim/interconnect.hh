@@ -15,6 +15,13 @@ struct InterconnectConfig
     int linksPerGpu = 6;
     double perLinkBandwidth = 25e9; ///< bytes/s per link per direction
     double messageLatencySec = 5e-6;
+    /**
+     * Fault model: remaining bandwidth fraction of the slowest ring
+     * hop, in (0, 1]. A ring collective is a pipeline over every hop,
+     * so one degraded link gates the whole collective; 1.0 = healthy.
+     * Point-to-point copies are assumed to route around the bad link.
+     */
+    double degradedHopFactor = 1.0;
 };
 
 /**

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "base/logging.hh"
 
 using namespace gnnmark;
@@ -28,4 +31,59 @@ TEST(Logging, AssertPassesQuietly)
 {
     GNN_ASSERT(1 + 1 == 2, "arithmetic is broken");
     SUCCEED();
+}
+
+namespace {
+
+/** RAII log-level override so tests cannot leak state. */
+struct ScopedLogLevel
+{
+    explicit ScopedLogLevel(LogLevel level) : saved(logLevel())
+    {
+        setLogLevel(level);
+    }
+    ~ScopedLogLevel() { setLogLevel(saved); }
+    LogLevel saved;
+};
+
+} // namespace
+
+TEST(LogLevel, WarnSinkCapturesFormattedMessage)
+{
+    ScopedLogLevel lvl(LogLevel::Info);
+    std::vector<std::string> captured;
+    setWarnSink([&](const std::string &msg) { captured.push_back(msg); });
+    warn("disk %s at %d%%", "sda", 93);
+    setWarnSink(nullptr);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0], "disk sda at 93%");
+}
+
+TEST(LogLevel, SilentSuppressesWarn)
+{
+    ScopedLogLevel lvl(LogLevel::Silent);
+    std::vector<std::string> captured;
+    setWarnSink([&](const std::string &msg) { captured.push_back(msg); });
+    warn("should never arrive");
+    setWarnSink(nullptr);
+    EXPECT_TRUE(captured.empty());
+}
+
+TEST(LogLevel, WarnLevelStillEmitsWarnings)
+{
+    ScopedLogLevel lvl(LogLevel::Warn);
+    std::vector<std::string> captured;
+    setWarnSink([&](const std::string &msg) { captured.push_back(msg); });
+    warn("still visible");
+    setWarnSink(nullptr);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0], "still visible");
+}
+
+TEST(LogLevel, FatalIgnoresSilence)
+{
+    // fatal/panic always report, whatever the level.
+    ScopedLogLevel lvl(LogLevel::Silent);
+    EXPECT_EXIT(GNN_FATAL("fatal beats silence"),
+                ::testing::ExitedWithCode(1), "fatal beats silence");
 }

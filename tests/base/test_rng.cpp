@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "base/rng.hh"
 
@@ -186,3 +187,45 @@ TEST_P(RngBoundSweep, RandintRoughlyUniform)
 
 INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
                          ::testing::Values(2, 3, 7, 10, 16, 33, 100));
+
+TEST(RngState, RoundTripResumesStream)
+{
+    Rng rng(99);
+    for (int i = 0; i < 57; ++i)
+        rng.next();
+
+    RngState snap = rng.state();
+    std::vector<uint64_t> expect;
+    for (int i = 0; i < 100; ++i)
+        expect.push_back(rng.next());
+
+    rng.setState(snap);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.next(), expect[static_cast<size_t>(i)]);
+}
+
+TEST(RngState, CapturesBoxMullerSpare)
+{
+    // normal() caches a spare normal on every other call; a snapshot
+    // taken between the pair must restore the cached value too.
+    Rng rng(7);
+    rng.normal(); // generates a pair, caches the spare
+
+    RngState snap = rng.state();
+    EXPECT_TRUE(snap.hasSpareNormal);
+    const double next_normal = rng.normal(); // consumes the spare
+    const uint64_t next_word = rng.next();
+
+    Rng other(12345);
+    other.setState(snap);
+    EXPECT_DOUBLE_EQ(other.normal(), next_normal);
+    EXPECT_EQ(other.next(), next_word);
+}
+
+TEST(RngState, StateEqualityDetectsDrift)
+{
+    Rng a(3), b(3);
+    EXPECT_TRUE(a.state() == b.state());
+    a.next();
+    EXPECT_FALSE(a.state() == b.state());
+}

@@ -125,3 +125,57 @@ TEST(DdpDeath, InvalidWorldPanics)
     EXPECT_DEATH(trainer.measure(*wl, benchConfig(), 0, 1),
                  "world size");
 }
+
+TEST(Ddp, SingleGpuPinSagePaysNoReplication)
+{
+    // The replication penalty for DDP-incompatible samplers only
+    // exists when there are peers to replicate for.
+    auto wl = BenchmarkSuite::create("PSAGE-MVL");
+    ASSERT_FALSE(wl->samplerDdpCompatible());
+    DdpTrainer trainer;
+    ScalingResult r = trainer.measure(*wl, benchConfig(), 1, 2);
+    EXPECT_EQ(r.commTimeSec, 0);
+    EXPECT_DOUBLE_EQ(r.epochTimeSec, r.computeTimeSec);
+}
+
+TEST(Ddp, ReplicationPathExceedsAllReduceLowerBound)
+{
+    // For a DDP-incompatible sampler the per-iteration comm must carry
+    // strictly more than the pure gradient all-reduce, because every
+    // peer re-pulls the full input batch.
+    auto wl = BenchmarkSuite::create("PSAGE-MVL");
+    DdpTrainer trainer;
+    const int world = 4;
+    ScalingResult r = trainer.measure(*wl, benchConfig(), world, 2);
+
+    Interconnect link{InterconnectConfig{}};
+    const double all_reduce_floor =
+        link.allReduceTime(wl->parameterBytes(), world);
+    const double iters =
+        static_cast<double>(wl->iterationsPerEpoch());
+    EXPECT_GT(r.commTimeSec, all_reduce_floor * iters);
+}
+
+TEST(Ddp, DegradedLinkSlowsCollectives)
+{
+    auto wl = BenchmarkSuite::create("DGCN");
+    InterconnectConfig slow;
+    slow.degradedHopFactor = 0.25;
+    DdpTrainer healthy(GpuConfig::v100(), InterconnectConfig{});
+    DdpTrainer degraded(GpuConfig::v100(), slow);
+
+    ScalingResult h = healthy.measure(*wl, benchConfig(), 4, 2);
+    ScalingResult d = degraded.measure(*wl, benchConfig(), 4, 2);
+    EXPECT_GT(d.commTimeSec, h.commTimeSec);
+    // Compute is untouched by the link (small jitter from the
+    // host-address-sensitive cache model aside).
+    EXPECT_NEAR(d.computeTimeSec, h.computeTimeSec,
+                0.03 * h.computeTimeSec);
+
+    // A degraded hop gates the ring but not single-GPU training.
+    ScalingResult solo_h = healthy.measure(*wl, benchConfig(), 1, 2);
+    ScalingResult solo_d = degraded.measure(*wl, benchConfig(), 1, 2);
+    EXPECT_EQ(solo_d.commTimeSec, 0);
+    EXPECT_NEAR(solo_d.epochTimeSec, solo_h.epochTimeSec,
+                0.03 * solo_h.epochTimeSec);
+}

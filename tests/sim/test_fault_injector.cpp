@@ -1,0 +1,137 @@
+/** @file Tests for the deterministic fault injector. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault_injector.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+FaultEvent
+event(FaultKind kind, double t, int replica = 0, double duration = 0,
+      double magnitude = 1.0)
+{
+    FaultEvent e;
+    e.kind = kind;
+    e.timeSec = t;
+    e.replica = replica;
+    e.durationSec = duration;
+    e.magnitude = magnitude;
+    return e;
+}
+
+} // namespace
+
+TEST(FaultPlan, SortsEventsByTime)
+{
+    FaultPlan plan({event(FaultKind::ReplicaCrash, 3.0, 1),
+                    event(FaultKind::Straggler, 1.0, 0, 0.5, 2.0),
+                    event(FaultKind::TransientKernel, 2.0)});
+    ASSERT_EQ(plan.events().size(), 3u);
+    EXPECT_DOUBLE_EQ(plan.events()[0].timeSec, 1.0);
+    EXPECT_DOUBLE_EQ(plan.events()[1].timeSec, 2.0);
+    EXPECT_DOUBLE_EQ(plan.events()[2].timeSec, 3.0);
+}
+
+TEST(FaultPlanDeath, RejectsInvalidMagnitudes)
+{
+    EXPECT_DEATH(
+        FaultPlan({event(FaultKind::Straggler, 0.0, 0, 1.0, 0.5)}),
+        "straggler magnitude");
+    EXPECT_DEATH(
+        FaultPlan({event(FaultKind::DegradedLink, 0.0, 0, 1.0, 1.5)}),
+        "degraded-link magnitude");
+    EXPECT_DEATH(
+        FaultPlan({event(FaultKind::ReplicaCrash, -1.0)}),
+        "timeSec >= 0");
+}
+
+TEST(FaultPlan, GenerateIsDeterministic)
+{
+    FaultRates rates;
+    rates.crashPerSec = 0.5;
+    rates.stragglerPerSec = 2.0;
+    rates.degradedLinkPerSec = 1.0;
+    rates.transientPerSec = 3.0;
+
+    Rng a(42), b(42);
+    FaultPlan pa = FaultPlan::generate(a, rates, 10.0, 4);
+    FaultPlan pb = FaultPlan::generate(b, rates, 10.0, 4);
+    ASSERT_EQ(pa.events().size(), pb.events().size());
+    EXPECT_FALSE(pa.empty());
+    for (size_t i = 0; i < pa.events().size(); ++i) {
+        EXPECT_EQ(static_cast<int>(pa.events()[i].kind),
+                  static_cast<int>(pb.events()[i].kind));
+        EXPECT_DOUBLE_EQ(pa.events()[i].timeSec,
+                         pb.events()[i].timeSec);
+        EXPECT_EQ(pa.events()[i].replica, pb.events()[i].replica);
+    }
+    for (const FaultEvent &e : pa.events()) {
+        EXPECT_GE(e.timeSec, 0.0);
+        EXPECT_LT(e.timeSec, 10.0);
+        EXPECT_GE(e.replica, 0);
+        EXPECT_LT(e.replica, 4);
+    }
+}
+
+TEST(FaultPlan, ZeroRatesGenerateNothing)
+{
+    Rng rng(1);
+    FaultPlan plan = FaultPlan::generate(rng, FaultRates{}, 100.0, 2);
+    EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultInjector, StragglerFactorWindowed)
+{
+    FaultInjector inj(FaultPlan(
+        {event(FaultKind::Straggler, 1.0, 2, 0.5, 3.0)}));
+    EXPECT_DOUBLE_EQ(inj.stragglerFactor(2, 0.5), 1.0); // before
+    EXPECT_DOUBLE_EQ(inj.stragglerFactor(2, 1.2), 3.0); // during
+    EXPECT_DOUBLE_EQ(inj.stragglerFactor(2, 1.6), 1.0); // after
+    EXPECT_DOUBLE_EQ(inj.stragglerFactor(0, 1.2), 1.0); // other replica
+}
+
+TEST(FaultInjector, OverlappingStragglersTakeWorst)
+{
+    FaultInjector inj(FaultPlan(
+        {event(FaultKind::Straggler, 0.0, 1, 2.0, 2.0),
+         event(FaultKind::Straggler, 0.5, 1, 1.0, 4.0)}));
+    EXPECT_DOUBLE_EQ(inj.stragglerFactor(1, 0.2), 2.0);
+    EXPECT_DOUBLE_EQ(inj.stragglerFactor(1, 0.8), 4.0);
+}
+
+TEST(FaultInjector, LinkFactorTakesWorstActiveHop)
+{
+    FaultInjector inj(FaultPlan(
+        {event(FaultKind::DegradedLink, 0.0, 0, 2.0, 0.5),
+         event(FaultKind::DegradedLink, 0.5, 0, 1.0, 0.25)}));
+    EXPECT_DOUBLE_EQ(inj.linkFactor(0.2), 0.5);
+    EXPECT_DOUBLE_EQ(inj.linkFactor(0.8), 0.25);
+    EXPECT_DOUBLE_EQ(inj.linkFactor(3.0), 1.0);
+}
+
+TEST(FaultInjector, PermanentCrashNeverHeals)
+{
+    FaultInjector inj(FaultPlan(
+        {event(FaultKind::ReplicaCrash, 2.0, 1)}));
+    EXPECT_FALSE(inj.crashed(1, 1.9));
+    EXPECT_TRUE(inj.crashed(1, 2.0));
+    EXPECT_TRUE(inj.crashed(1, 1e9));
+    EXPECT_FALSE(inj.crashed(0, 1e9));
+    EXPECT_EQ(inj.crashesUpTo(1.9).size(), 0u);
+    EXPECT_EQ(inj.crashesUpTo(2.5).size(), 1u);
+}
+
+TEST(FaultInjector, TransientFailuresCountedInWindow)
+{
+    FaultInjector inj(FaultPlan(
+        {event(FaultKind::TransientKernel, 1.0),
+         event(FaultKind::TransientKernel, 2.0),
+         event(FaultKind::TransientKernel, 3.0)}));
+    EXPECT_EQ(inj.transientFailures(0.0, 0.9), 0);
+    EXPECT_EQ(inj.transientFailures(0.0, 2.0), 2); // (t0, t1]
+    EXPECT_EQ(inj.transientFailures(2.0, 3.0), 1);
+}

@@ -1,0 +1,27 @@
+# CLI contract smoke test, run under ctest: bad invocations must exit
+# with the usage status (2) and good ones with 0. Invoke as
+#   cmake -DGNNMARK_BIN=<path-to-gnnmark> -P cli_smoke.cmake
+
+if(NOT DEFINED GNNMARK_BIN)
+    message(FATAL_ERROR "pass -DGNNMARK_BIN=<gnnmark binary>")
+endif()
+
+function(expect_exit code)
+    execute_process(
+        COMMAND ${GNNMARK_BIN} ${ARGN}
+        RESULT_VARIABLE rv
+        OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rv EQUAL ${code})
+        message(FATAL_ERROR
+            "gnnmark ${ARGN}: expected exit ${code}, got '${rv}'")
+    endif()
+endfunction()
+
+expect_exit(2)                        # no command
+expect_exit(2 frobnicate)             # unknown command
+expect_exit(2 run)                    # run without a workload
+expect_exit(2 run NO-SUCH-WORKLOAD)   # unknown workload name
+expect_exit(2 faults NO-SUCH-WORKLOAD)
+expect_exit(2 run STGCN --bogus)      # unknown option
+expect_exit(2 list --scale)           # option missing its value
+expect_exit(0 list)                   # healthy baseline

@@ -8,8 +8,10 @@
  *   gnnmark characterize [--scale S] [--iters N] [--csv]
  *   gnnmark scaling [--scale S] [--weak]
  *   gnnmark ttt [--scale S] [--target F]
+ *   gnnmark faults <workload> [--scale S] [--iters N] [--interval K]
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -34,6 +36,8 @@ struct Args
     std::string workload;
     double scale = 1.0;
     int iterations = 6;
+    bool iterationsSet = false;
+    int interval = 12;
     double target = 0.85;
     bool inference = false;
     bool weak = false;
@@ -52,10 +56,14 @@ usage()
         "  characterize               profile the whole suite\n"
         "  scaling                    DDP strong scaling over 1/2/4 GPUs\n"
         "  ttt                        MLPerf-style time-to-train\n"
+        "  faults <workload>          fault-injected DDP run with\n"
+        "                             checkpoint/resume + elastic recovery\n"
         "\n"
         "options:\n"
         "  --scale S      dataset scale factor (default 1.0)\n"
-        "  --iters N      measured iterations (default 6)\n"
+        "  --iters N      measured iterations (default 6; faults: 48)\n"
+        "  --interval K   iterations between checkpoints (default 12,\n"
+        "                 0 disables; faults only)\n"
         "  --target F     time-to-train loss fraction (default 0.85)\n"
         "  --inference    forward passes only\n"
         "  --weak         weak instead of strong scaling\n"
@@ -71,7 +79,7 @@ parse(int argc, char **argv)
         usage();
     args.command = argv[1];
     int i = 2;
-    if (args.command == "run") {
+    if (args.command == "run" || args.command == "faults") {
         if (argc < 3)
             usage();
         args.workload = argv[2];
@@ -88,6 +96,9 @@ parse(int argc, char **argv)
             args.scale = std::atof(next());
         } else if (a == "--iters") {
             args.iterations = std::atoi(next());
+            args.iterationsSet = true;
+        } else if (a == "--interval") {
+            args.interval = std::atoi(next());
         } else if (a == "--target") {
             args.target = std::atof(next());
         } else if (a == "--inference") {
@@ -102,6 +113,21 @@ parse(int argc, char **argv)
         }
     }
     return args;
+}
+
+/** Exit through usage() when `name` is not a suite workload. */
+void
+requireWorkload(const std::string &name)
+{
+    const std::vector<std::string> names =
+        BenchmarkSuite::workloadNames();
+    if (std::find(names.begin(), names.end(), name) != names.end())
+        return;
+    std::cerr << "unknown workload: " << name << "\nknown workloads:";
+    for (const std::string &n : names)
+        std::cerr << " " << n;
+    std::cerr << "\n";
+    usage();
 }
 
 RunOptions
@@ -156,6 +182,7 @@ printWorkloadSummary(const WorkloadProfile &p)
 int
 cmdRun(const Args &args)
 {
+    requireWorkload(args.workload);
     CharacterizationRunner runner(runOptions(args));
     std::cout << (args.inference ? "Profiling (inference mode) "
                                  : "Training ")
@@ -227,6 +254,67 @@ cmdTimeToTrain(const Args &args)
     return 0;
 }
 
+int
+cmdFaults(const Args &args)
+{
+    requireWorkload(args.workload);
+    auto wl = BenchmarkSuite::create(args.workload);
+
+    WorkloadConfig base;
+    base.scale = args.scale;
+    DdpTrainer trainer;
+    const int world = wl->supportsMultiGpu() ? 4 : 1;
+
+    // Probe the healthy per-iteration time so the injected faults land
+    // at fixed fractions of the run regardless of workload or scale.
+    ScalingResult probe = trainer.measure(*wl, base, world, 2);
+    const double iter_sec =
+        probe.epochTimeSec /
+        static_cast<double>(wl->iterationsPerEpoch());
+
+    FaultRecoveryOptions opt;
+    opt.iterations = args.iterationsSet ? args.iterations : 48;
+    opt.checkpointInterval = args.interval;
+    const double horizon = iter_sec * opt.iterations;
+
+    std::vector<FaultEvent> events;
+    {
+        FaultEvent e;
+        e.kind = FaultKind::Straggler;
+        e.timeSec = 0.20 * horizon;
+        e.durationSec = 0.12 * horizon;
+        e.replica = world > 1 ? 1 : 0;
+        e.magnitude = 2.5;
+        events.push_back(e);
+    }
+    {
+        FaultEvent e;
+        e.kind = FaultKind::TransientKernel;
+        e.timeSec = 0.50 * horizon;
+        events.push_back(e);
+    }
+    if (world > 1) {
+        FaultEvent e;
+        e.kind = FaultKind::DegradedLink;
+        e.timeSec = 0.40 * horizon;
+        e.durationSec = 0.12 * horizon;
+        e.magnitude = 0.25;
+        events.push_back(e);
+        FaultEvent c;
+        c.kind = FaultKind::ReplicaCrash;
+        c.timeSec = 0.65 * horizon;
+        c.replica = world - 1;
+        events.push_back(c);
+    }
+
+    std::cout << "Fault-injected training of " << args.workload
+              << " on " << world << " simulated GPU(s)...\n\n";
+    FaultToleranceResult result = trainer.runWithFaults(
+        *wl, base, world, FaultPlan(std::move(events)), opt);
+    reports::printFaultTolerance(result, std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -245,5 +333,8 @@ main(int argc, char **argv)
         return cmdScaling(args);
     if (args.command == "ttt")
         return cmdTimeToTrain(args);
+    if (args.command == "faults")
+        return cmdFaults(args);
+    std::cerr << "unknown command: " << args.command << "\n";
     usage();
 }
