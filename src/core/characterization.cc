@@ -3,6 +3,7 @@
 #include "base/logging.hh"
 #include "core/suite.hh"
 #include "ops/exec_context.hh"
+#include "sim/trace_hook.hh"
 
 namespace gnnmark {
 
@@ -19,6 +20,9 @@ CharacterizationRunner::run(Workload &workload) const
 
     GpuDevice device(options_.deviceConfig, options_.seed);
     device.addObserver(&profile.profiler);
+    if (options_.extraObserver != nullptr)
+        device.addObserver(options_.extraObserver);
+    device.setTraceHook(options_.traceHook);
 
     WorkloadConfig cfg;
     cfg.seed = options_.seed;
@@ -35,6 +39,8 @@ CharacterizationRunner::run(Workload &workload) const
 
     for (int i = 0; i < options_.iterations; ++i) {
         profile.profiler.beginIteration();
+        if (options_.traceHook != nullptr)
+            options_.traceHook->onMarker(TraceMarker::IterationBegin);
         profile.losses.push_back(workload.trainIteration());
     }
 

@@ -17,6 +17,8 @@
 
 namespace gnnmark {
 
+class DeviceTraceHook;
+
 /** Knobs for one characterization run. */
 struct RunOptions
 {
@@ -26,6 +28,16 @@ struct RunOptions
     int warmupIterations = 1; ///< untimed steps before measuring
     bool inferenceOnly = false; ///< forward passes only
     GpuConfig deviceConfig = GpuConfig::v100();
+
+    /**
+     * Optional capture hook (e.g. trace::TraceRecorder): receives
+     * every launch, transfer, and timeline marker of the run so the
+     * whole characterization can be replayed offline. Not owned.
+     */
+    DeviceTraceHook *traceHook = nullptr;
+
+    /** Optional extra observer (e.g. a chrome-trace exporter). */
+    KernelObserver *extraObserver = nullptr;
 };
 
 /** Everything measured while training one workload. */

@@ -1,8 +1,8 @@
 #include "core/checkpoint.hh"
 
-#include <cstdio>
 #include <cstring>
 
+#include "base/io.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 
@@ -23,18 +23,6 @@ enum class Tag : uint8_t
     ScalarRec = 0x53, // 'S'
     RngRec = 0x52,    // 'R'
 };
-
-/** FNV-1a over the payload, the header's integrity check. */
-uint64_t
-fnv1a(const uint8_t *data, size_t n)
-{
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (size_t i = 0; i < n; ++i) {
-        h ^= data[i];
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
 
 /** StateVisitor that appends every visited item to a byte image. */
 class SaveVisitor : public StateVisitor
@@ -175,20 +163,6 @@ class RestoreVisitor : public StateVisitor
     size_t pos_ = 0;
 };
 
-void
-putU32(std::vector<uint8_t> &out, uint32_t v)
-{
-    const uint8_t *b = reinterpret_cast<const uint8_t *>(&v);
-    out.insert(out.end(), b, b + sizeof(v));
-}
-
-void
-putU64(std::vector<uint8_t> &out, uint64_t v)
-{
-    const uint8_t *b = reinterpret_cast<const uint8_t *>(&v);
-    out.insert(out.end(), b, b + sizeof(v));
-}
-
 } // namespace
 
 Checkpoint
@@ -228,83 +202,65 @@ restoreCheckpoint(Workload &workload, const Checkpoint &ckpt)
 void
 writeCheckpointFile(const std::string &path, const Checkpoint &ckpt)
 {
-    std::vector<uint8_t> header;
-    header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
-    putU32(header, kFormatVersion);
-    putU32(header, static_cast<uint32_t>(ckpt.workload.size()));
-    putU64(header, ckpt.step);
-    putU64(header, static_cast<uint64_t>(ckpt.state.size()));
-    putU64(header, fnv1a(ckpt.state.data(), ckpt.state.size()));
-
-    FILE *f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr)
-        GNN_FATAL("cannot open checkpoint file '%s' for writing",
-                  path.c_str());
-    bool ok = std::fwrite(header.data(), 1, header.size(), f) ==
-              header.size();
-    ok = ok && std::fwrite(ckpt.workload.data(), 1,
-                           ckpt.workload.size(),
-                           f) == ckpt.workload.size();
-    ok = ok && std::fwrite(ckpt.state.data(), 1, ckpt.state.size(),
-                           f) == ckpt.state.size();
-    ok = std::fclose(f) == 0 && ok;
-    if (!ok)
-        GNN_FATAL("short write to checkpoint file '%s'", path.c_str());
+    ByteBuilder file;
+    file.bytes(kMagic, sizeof(kMagic));
+    file.u32(kFormatVersion);
+    file.u32(static_cast<uint32_t>(ckpt.workload.size()));
+    file.u64(ckpt.step);
+    file.u64(static_cast<uint64_t>(ckpt.state.size()));
+    file.u64(fnv1a(ckpt.state.data(), ckpt.state.size()));
+    file.bytes(ckpt.workload.data(), ckpt.workload.size());
+    file.bytes(ckpt.state.data(), ckpt.state.size());
+    writeFileBytes(path, file.buffer());
 }
 
 Checkpoint
 readCheckpointFile(const std::string &path)
 {
-    FILE *f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr)
-        GNN_FATAL("cannot open checkpoint file '%s'", path.c_str());
-
-    auto take = [&](void *p, size_t n, const char *what) {
-        if (std::fread(p, 1, n, f) != n) {
-            std::fclose(f);
-            GNN_FATAL("checkpoint file '%s' truncated reading %s",
-                      path.c_str(), what);
-        }
-    };
+    const std::vector<uint8_t> bytes = readFileBytes(path);
+    const std::string context = "checkpoint file '" + path + "'";
+    ByteCursor file(bytes.data(), bytes.size(), context);
 
     char magic[sizeof(kMagic)];
-    take(magic, sizeof(magic), "magic");
+    file.bytes(magic, sizeof(magic));
     if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-        std::fclose(f);
-        GNN_FATAL("'%s' is not a GNNMark checkpoint file",
-                  path.c_str());
+        throw IoError(IoError::Kind::BadMagic,
+                      context + ": not a GNNMark checkpoint");
     }
-    uint32_t version = 0, name_len = 0;
-    take(&version, sizeof(version), "version");
+    const uint32_t version = file.u32();
     if (version != kFormatVersion) {
-        std::fclose(f);
-        GNN_FATAL("checkpoint file '%s' has format version %u, this "
-                  "build reads version %u",
-                  path.c_str(), version, kFormatVersion);
+        throw IoError(IoError::Kind::BadVersion,
+                      context + ": format version " +
+                          std::to_string(version) +
+                          ", this build reads version " +
+                          std::to_string(kFormatVersion));
     }
-    take(&name_len, sizeof(name_len), "name length");
+    const uint32_t name_len = file.u32();
     Checkpoint ckpt;
-    uint64_t state_size = 0, checksum = 0;
-    take(&ckpt.step, sizeof(ckpt.step), "step");
-    take(&state_size, sizeof(state_size), "state size");
-    take(&checksum, sizeof(checksum), "checksum");
+    ckpt.step = file.u64();
+    const uint64_t state_size = file.u64();
+    const uint64_t checksum = file.u64();
+    if (name_len > file.remaining())
+        file.fail(IoError::Kind::ShortRead,
+                  "workload name overruns the file");
     ckpt.workload.resize(name_len);
     if (name_len > 0)
-        take(ckpt.workload.data(), name_len, "workload name");
-    ckpt.state.resize(state_size);
+        file.bytes(ckpt.workload.data(), name_len);
+    if (state_size > file.remaining())
+        file.fail(IoError::Kind::ShortRead,
+                  "state image overruns the file");
+    ckpt.state.resize(static_cast<size_t>(state_size));
     if (state_size > 0)
-        take(ckpt.state.data(), state_size, "state image");
-    // Reject trailing garbage as corruption too.
-    uint8_t extra;
-    const bool at_eof = std::fread(&extra, 1, 1, f) == 0;
-    std::fclose(f);
-    if (!at_eof)
-        GNN_FATAL("checkpoint file '%s' has trailing bytes",
-                  path.c_str());
-    if (fnv1a(ckpt.state.data(), ckpt.state.size()) != checksum)
-        GNN_FATAL("checkpoint file '%s' failed its checksum — the "
-                  "state image is corrupt",
-                  path.c_str());
+        file.bytes(ckpt.state.data(), ckpt.state.size());
+    if (!file.exhausted()) {
+        throw IoError(IoError::Kind::TrailingBytes,
+                      context + ": trailing bytes after the state image");
+    }
+    if (fnv1a(ckpt.state.data(), ckpt.state.size()) != checksum) {
+        throw IoError(IoError::Kind::Corrupt,
+                      context + ": checksum mismatch — the state image "
+                                "is corrupt");
+    }
     return ckpt;
 }
 

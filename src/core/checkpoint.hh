@@ -52,10 +52,17 @@ Checkpoint captureCheckpoint(Workload &workload, uint64_t step);
  */
 uint64_t restoreCheckpoint(Workload &workload, const Checkpoint &ckpt);
 
-/** Write a checkpoint to `path` (versioned header + checksum). */
+/**
+ * Write a checkpoint to `path` (versioned header + checksum); throws
+ * IoError when the file cannot be created or fully written.
+ */
 void writeCheckpointFile(const std::string &path, const Checkpoint &ckpt);
 
-/** Read and validate a checkpoint file; fatal on corruption. */
+/**
+ * Read and validate a checkpoint file. Malformed input — wrong magic,
+ * unknown version, truncation, checksum mismatch, trailing bytes —
+ * throws a typed IoError (never asserts: the file is external input).
+ */
 Checkpoint readCheckpointFile(const std::string &path);
 
 } // namespace gnnmark

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Glue between the characterization driver and the trace subsystem:
+ * capture a workload run into a RecordedTrace, and convert a
+ * ReplayResult back into the WorkloadProfile shape the report
+ * printers consume. This is the only place core and src/trace meet —
+ * the trace library itself never links the tensor/op/model stack.
+ */
+
+#ifndef GNNMARK_CORE_TRACE_CAPTURE_HH
+#define GNNMARK_CORE_TRACE_CAPTURE_HH
+
+#include <string>
+
+#include "core/characterization.hh"
+#include "trace/replayer.hh"
+#include "trace/trace.hh"
+#include "trace/writer.hh"
+
+namespace gnnmark {
+
+/**
+ * Train `workload_name` once under `options` with a TraceRecorder
+ * attached, and return the captured trace (header fully stamped from
+ * the run). The live profile of the recording run is returned through
+ * `profile_out` when non-null, so callers can compare live vs. replay
+ * without running twice.
+ */
+trace::RecordedTrace
+recordWorkloadTrace(const std::string &workload_name,
+                    const RunOptions &options,
+                    WorkloadProfile *profile_out = nullptr);
+
+/** Reshape a replay result into the report printers' input type. */
+WorkloadProfile toWorkloadProfile(const trace::ReplayResult &result);
+
+} // namespace gnnmark
+
+#endif // GNNMARK_CORE_TRACE_CAPTURE_HH

@@ -1,0 +1,139 @@
+#include "profiler/chrome_trace.hh"
+
+#include <sstream>
+
+#include "base/io.hh"
+#include "base/string_utils.hh"
+
+namespace gnnmark {
+
+namespace {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+ChromeTraceWriter::onKernel(const KernelRecord &record)
+{
+    Event event;
+    event.name = record.name;
+    event.category = opClassName(record.opClass);
+    event.tid = 0;
+    event.startUs = kernelClockUs_;
+    event.durationUs = record.timeSec * 1e6;
+    kernelClockUs_ += event.durationUs;
+    event.args = {
+        {"op_class", opClassName(record.opClass)},
+        {"invocation", strfmt("%lld",
+                              static_cast<long long>(record.invocation))},
+        {"detailed", record.detailed ? "true" : "false"},
+        {"ipc", strfmt("%.3f", record.ipc)},
+        {"instrs", strfmt("%.0f", record.totalInstrs())},
+        {"l1_hit_rate",
+         strfmt("%.4f", record.l1Accesses > 0
+                            ? record.l1Hits / record.l1Accesses
+                            : 0.0)},
+        {"l2_hit_rate",
+         strfmt("%.4f", record.l2Accesses > 0
+                            ? record.l2Hits / record.l2Accesses
+                            : 0.0)},
+        {"dram_bytes", strfmt("%.0f", record.dramBytes)},
+    };
+    events_.push_back(std::move(event));
+}
+
+void
+ChromeTraceWriter::onTransfer(const TransferRecord &record)
+{
+    Event event;
+    event.name = "H2D " + record.tag;
+    event.category = "transfer";
+    event.tid = 1;
+    event.startUs = transferClockUs_;
+    event.durationUs = record.timeSec * 1e6;
+    transferClockUs_ += event.durationUs;
+    event.args = {
+        {"bytes", strfmt("%.0f", record.bytes)},
+        {"zero_fraction", strfmt("%.4f", record.zeroFraction)},
+    };
+    events_.push_back(std::move(event));
+}
+
+std::string
+ChromeTraceWriter::json() const
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    auto thread_name = [&](int tid, const char *name) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name
+           << "\"}}";
+    };
+    thread_name(0, "kernels");
+    thread_name(1, "h2d copies");
+    for (const Event &event : events_) {
+        os << ",\n";
+        os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid
+           << ",\"name\":\"" << jsonEscape(event.name) << "\",\"cat\":\""
+           << jsonEscape(event.category) << "\""
+           << strfmt(",\"ts\":%.4f,\"dur\":%.4f", event.startUs,
+                     event.durationUs)
+           << ",\"args\":{";
+        bool first_arg = true;
+        for (const auto &[key, value] : event.args) {
+            if (!first_arg)
+                os << ",";
+            first_arg = false;
+            os << "\"" << jsonEscape(key) << "\":\"" << jsonEscape(value)
+               << "\"";
+        }
+        os << "}}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+void
+ChromeTraceWriter::write(const std::string &path) const
+{
+    const std::string doc = json();
+    writeFileBytes(path, std::vector<uint8_t>(doc.begin(), doc.end()));
+}
+
+} // namespace gnnmark

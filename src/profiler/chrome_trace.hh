@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Chrome-trace exporter: turns the kernel/transfer stream of a run
+ * into the Trace Event JSON format that chrome://tracing, Perfetto and
+ * speedscope load directly — the visual timeline companion to the
+ * aggregate tables, and the model's stand-in for nvprof's timeline
+ * export.
+ *
+ * Events are complete ("ph":"X") events on a single process: kernels
+ * on tid 0, host-to-device transfers on tid 1. The simulated clock has
+ * no epoch, so timestamps are the running sum of event durations per
+ * lane — the visual ordering and widths are what matter.
+ */
+
+#ifndef GNNMARK_PROFILER_CHROME_TRACE_HH
+#define GNNMARK_PROFILER_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/kernel_record.hh"
+
+namespace gnnmark {
+
+/**
+ * KernelObserver that accumulates Trace Event JSON. Attach alongside
+ * the Profiler (RunOptions::extraObserver or trace replay's extra
+ * observers), then call write() once the run finishes.
+ */
+class ChromeTraceWriter : public KernelObserver
+{
+  public:
+    void onKernel(const KernelRecord &record) override;
+    void onTransfer(const TransferRecord &record) override;
+
+    /** Number of events collected so far. */
+    size_t eventCount() const { return events_.size(); }
+
+    /** Render the collected events as a Trace Event JSON document. */
+    std::string json() const;
+
+    /** Write the JSON document to `path`; throws IoError on failure. */
+    void write(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        std::string category;
+        int tid = 0;
+        double startUs = 0;
+        double durationUs = 0;
+        std::vector<std::pair<std::string, std::string>> args;
+    };
+
+    std::vector<Event> events_;
+    double kernelClockUs_ = 0;   ///< running end of the kernel lane
+    double transferClockUs_ = 0; ///< running end of the copy lane
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_PROFILER_CHROME_TRACE_HH

@@ -1,5 +1,6 @@
 #include "sim/cache_model.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "base/logging.hh"
@@ -9,7 +10,8 @@ namespace gnnmark {
 CacheModel::CacheModel(uint64_t size_bytes, int assoc, int line_bytes)
     : assoc_(assoc), lineBytes_(line_bytes)
 {
-    GNN_ASSERT(assoc > 0, "cache associativity must be positive");
+    GNN_ASSERT(assoc > 0 && assoc <= 64,
+               "cache associativity must be in [1, 64]");
     GNN_ASSERT(line_bytes > 0 && std::has_single_bit(
                    static_cast<uint64_t>(line_bytes)),
                "line size must be a power of two");
@@ -18,48 +20,50 @@ CacheModel::CacheModel(uint64_t size_bytes, int assoc, int line_bytes)
     lineShift_ = std::countr_zero(static_cast<uint64_t>(line_bytes));
     numSets_ = size_bytes / (static_cast<uint64_t>(line_bytes) * assoc);
     GNN_ASSERT(numSets_ > 0, "cache must have at least one set");
-    ways_.resize(numSets_ * assoc_);
+    if (std::has_single_bit(numSets_))
+        setMask_ = numSets_ - 1;
+    tags_.assign(numSets_ * assoc_, kInvalidTag);
+    lastUse_.assign(numSets_ * assoc_, 0);
 }
 
-bool
-CacheModel::access(uint64_t addr)
+int64_t
+CacheModel::accessLines(uint64_t addr, uint64_t bytes, int64_t max_lines)
 {
-    ++clock_;
-    const uint64_t line = addr >> lineShift_;
-    const uint64_t set = line % numSets_;
-    Way *base = &ways_[set * assoc_];
-
-    int victim = 0;
-    uint64_t victim_use = ~0ULL;
-    for (int w = 0; w < assoc_; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == line) {
-            way.lastUse = clock_;
+    uint64_t line = addr >> lineShift_;
+    const int64_t span = static_cast<int64_t>(
+        (bytes + static_cast<uint64_t>(lineBytes_) - 1) >> lineShift_);
+    const int64_t count = std::min<int64_t>(span, max_lines);
+    // Consecutive lines map to consecutive sets, so one reduction
+    // seeds an increment-and-wrap walk; each step is exactly access().
+    // Adjacent sets tend to hold a range's tags at the same way index
+    // (they were filled during the same pass), so the previous line's
+    // way is probed first — a pure scan-order shortcut (see scanFill).
+    uint64_t set = setIndex(line);
+    int hint = 0;
+    for (int64_t i = 0; i < count; ++i) {
+        const size_t base = static_cast<size_t>(set) * assoc_;
+        ++clock_;
+        if (tags_[base + hint] == line) {
+            lastUse_[base + hint] = clock_;
             ++hits_;
-            return true;
+        } else {
+            const int r = scanFill(line, base);
+            hint = r >= 0 ? r : ~r;
         }
-        uint64_t use = way.valid ? way.lastUse : 0;
-        if (use < victim_use) {
-            victim_use = use;
-            victim = w;
-        }
+        ++line;
+        if (++set == numSets_)
+            set = 0;
     }
-    Way &way = base[victim];
-    way.valid = true;
-    way.tag = line;
-    way.lastUse = clock_;
-    ++misses_;
-    return false;
+    return count;
 }
 
 bool
 CacheModel::probe(uint64_t addr) const
 {
     const uint64_t line = addr >> lineShift_;
-    const uint64_t set = line % numSets_;
-    const Way *base = &ways_[set * assoc_];
+    const size_t base = static_cast<size_t>(setIndex(line)) * assoc_;
     for (int w = 0; w < assoc_; ++w) {
-        if (base[w].valid && base[w].tag == line)
+        if (tags_[base + w] == line)
             return true;
     }
     return false;
@@ -68,8 +72,8 @@ CacheModel::probe(uint64_t addr) const
 void
 CacheModel::flush()
 {
-    for (auto &w : ways_)
-        w = Way{};
+    tags_.assign(tags_.size(), kInvalidTag);
+    lastUse_.assign(lastUse_.size(), 0);
 }
 
 void

@@ -7,6 +7,7 @@
 #ifndef GNNMARK_SIM_CACHE_MODEL_HH
 #define GNNMARK_SIM_CACHE_MODEL_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -33,7 +34,21 @@ class CacheModel
      * Look up (and on miss, fill) the line containing addr.
      * @return true on hit.
      */
-    bool access(uint64_t addr);
+    bool access(uint64_t addr)
+    {
+        const uint64_t line = addr >> lineShift_;
+        return accessLine(line, setIndex(line));
+    }
+
+    /**
+     * access() every line of [addr, addr+bytes), at most max_lines of
+     * them — the bulk footprint-install path. State and statistics
+     * end up identical to the equivalent per-line access() loop; the
+     * sequential walk just pays the set-index reduction once.
+     * @return lines touched.
+     */
+    int64_t accessLines(uint64_t addr, uint64_t bytes,
+                        int64_t max_lines);
 
     /** Look up without filling on miss (used for bypass modelling). */
     bool probe(uint64_t addr) const;
@@ -56,18 +71,100 @@ class CacheModel
     int assoc() const { return assoc_; }
 
   private:
-    struct Way
+    /**
+     * Reduce a line index to its set. Power-of-two set counts (every
+     * L1/L0I/L1I geometry, most L2 points) take the mask path; the
+     * general modulo produces the same index when they coincide, so
+     * the choice never changes behaviour — only the cost of the
+     * per-access hardware divide.
+     */
+    uint64_t setIndex(uint64_t line) const
     {
-        uint64_t tag = ~0ULL;
-        uint64_t lastUse = 0;
-        bool valid = false;
-    };
+        return setMask_ != 0 ? (line & setMask_) : (line % numSets_);
+    }
+
+    /** One lookup with the set index already reduced. */
+    bool accessLine(uint64_t line, uint64_t set)
+    {
+        ++clock_;
+        return scanFill(line, static_cast<size_t>(set) * assoc_) >= 0;
+    }
+
+    /**
+     * Scan/fill one set with clock_ already advanced. Returns the way
+     * hit (>= 0) or ~way filled (< 0). The scan order over ways is
+     * unobservable — a line appears in a set at most once — so
+     * callers may probe a likely way first without changing results.
+     */
+    int scanFill(uint64_t line, size_t base)
+    {
+        const uint64_t *tags = tags_.data() + base;
+
+        // Branchless tag scan (a line appears at most once per set, so
+        // scanning past a match is harmless). Two select chains keep
+        // the cmov dependency half as deep as one; at most one chain
+        // ever holds a real way, so max() merges them.
+        int h0 = -1;
+        int h1 = -1;
+        int w = 0;
+        for (; w + 1 < assoc_; w += 2) {
+            h0 = tags[w] == line ? w : h0;
+            h1 = tags[w + 1] == line ? w + 1 : h1;
+        }
+        if (w < assoc_)
+            h0 = tags[w] == line ? w : h0;
+        const int hit_w = h0 > h1 ? h0 : h1;
+        if (hit_w >= 0) {
+            lastUse_[base + hit_w] = clock_;
+            ++hits_;
+            return hit_w;
+        }
+
+        // Miss: evict the lowest-indexed way with the smallest
+        // lastUse. Packing the way index into the low bits turns the
+        // LRU scan into a pure u64 min reduction (ties resolve to the
+        // lower way, exactly like a first-strictly-smaller scan), and
+        // two independent chains halve its latency. Invalid ways
+        // carry lastUse 0, so they win exactly as a valid bit would;
+        // the shift cannot overflow (the ctor caps assoc at 64 and a
+        // clock of 2^58 accesses is unreachable).
+        const uint64_t *use = lastUse_.data() + base;
+        uint64_t m0 = ~0ULL;
+        uint64_t m1 = ~0ULL;
+        w = 0;
+        for (; w + 1 < assoc_; w += 2) {
+            const uint64_t k0 = (use[w] << 6) | static_cast<uint64_t>(w);
+            const uint64_t k1 =
+                (use[w + 1] << 6) | static_cast<uint64_t>(w + 1);
+            m0 = k0 < m0 ? k0 : m0;
+            m1 = k1 < m1 ? k1 : m1;
+        }
+        if (w < assoc_) {
+            const uint64_t k0 = (use[w] << 6) | static_cast<uint64_t>(w);
+            m0 = k0 < m0 ? k0 : m0;
+        }
+        const int victim = static_cast<int>((m0 < m1 ? m0 : m1) & 63U);
+        tags_[base + victim] = line;
+        lastUse_[base + victim] = clock_;
+        ++misses_;
+        return ~victim;
+    }
+
+    // Structure-of-arrays way storage (set-major): the tag scan is the
+    // hottest loop in the simulator and contiguous u64 tags keep it in
+    // as few host cache lines as possible. A line index never equals
+    // kInvalidTag (addresses are shifted right by lineShift_), and
+    // valid ways always carry lastUse >= 1, so the sentinel tag plus a
+    // zero lastUse reproduce a valid bit exactly.
+    static constexpr uint64_t kInvalidTag = ~0ULL;
 
     int assoc_;
     int lineBytes_;
     int lineShift_;
     uint64_t numSets_;
-    std::vector<Way> ways_; // numSets_ * assoc_, set-major
+    uint64_t setMask_ = 0; ///< numSets_ - 1 when pow2, else 0 (modulo)
+    std::vector<uint64_t> tags_;    // numSets_ * assoc_
+    std::vector<uint64_t> lastUse_; // numSets_ * assoc_
     uint64_t clock_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;

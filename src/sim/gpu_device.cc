@@ -45,31 +45,51 @@ GpuDevice::computeGeometry(const KernelDesc &desc) const
 }
 
 KernelRecord
-GpuDevice::simulateDetailed(const KernelDesc &desc, const Geometry &geo,
-                            SampleState &state)
+GpuDevice::simulateDetailed(
+    const KernelDesc &desc, const Geometry &geo, SampleState &state,
+    std::vector<std::pair<int64_t, WarpTrace>> *captured)
 {
-    GNN_ASSERT(desc.trace != nullptr, "kernel '%s' has no trace generator",
-               desc.name.c_str());
+    GNN_ASSERT(desc.trace != nullptr || desc.replay != nullptr,
+               "kernel '%s' has no trace generator", desc.name.c_str());
 
     KernelRecord rec;
     double sim_warps = 0;
     double cycles_per_wave = 0;
 
+    // Generated traces are owned here; replayed traces are borrowed
+    // from the recording. Reserve up front so pointers into `generated`
+    // survive the push_backs.
+    std::vector<WarpTrace> generated;
+    if (!desc.replay) {
+        generated.reserve(static_cast<size_t>(geo.residentBlocks) *
+                          desc.warpsPerBlock);
+    }
+
     for (int s = 0; s < cfg_.simSmCount; ++s) {
         // Blocks are distributed to SMs round-robin; simulate the first
         // resident wave of SM `s`.
-        std::vector<WarpTrace> traces;
+        std::vector<const WarpTrace *> traces;
+        generated.clear();
         for (int rb = 0; rb < geo.residentBlocks; ++rb) {
             int64_t block = s + static_cast<int64_t>(rb) * cfg_.numSms;
             if (block >= desc.blocks)
                 break;
             for (int w = 0; w < desc.warpsPerBlock; ++w) {
                 int64_t warp_id = block * desc.warpsPerBlock + w;
-                WarpTrace trace;
-                WarpTraceSink sink(trace, cfg_.maxTraceInstrs,
-                                   cfg_.cacheLineBytes);
-                desc.trace(warp_id, sink);
-                traces.push_back(std::move(trace));
+                const WarpTrace *trace;
+                if (desc.replay) {
+                    trace = &desc.replay(warp_id);
+                } else {
+                    generated.emplace_back();
+                    WarpTraceSink sink(generated.back(),
+                                       cfg_.maxTraceInstrs,
+                                       cfg_.cacheLineBytes);
+                    desc.trace(warp_id, sink);
+                    trace = &generated.back();
+                }
+                if (captured != nullptr)
+                    captured->emplace_back(warp_id, *trace);
+                traces.push_back(trace);
             }
         }
         if (traces.empty())
@@ -203,8 +223,10 @@ GpuDevice::launch(const KernelDesc &desc)
     SampleState &state = samples_[desc.name];
 
     KernelRecord rec;
+    std::vector<std::pair<int64_t, WarpTrace>> captured;
     if (state.detailedRuns < cfg_.detailSampleLimit) {
-        rec = simulateDetailed(desc, geo, state);
+        rec = simulateDetailed(desc, geo, state,
+                               hook_ != nullptr ? &captured : nullptr);
     } else {
         rec = replayFromSample(desc, geo, state);
     }
@@ -220,11 +242,9 @@ GpuDevice::launch(const KernelDesc &desc)
     int64_t line_budget = 32768;
     for (const auto *ranges : {&desc.outputRanges, &desc.inputRanges}) {
         for (const auto &[addr, bytes] : *ranges) {
-            const uint64_t line = cfg_.cacheLineBytes;
-            for (uint64_t a = addr; a < addr + bytes && line_budget > 0;
-                 a += line, --line_budget) {
-                l2_.access(a);
-            }
+            if (line_budget <= 0)
+                break;
+            line_budget -= l2_.accessLines(addr, bytes, line_budget);
         }
     }
 
@@ -232,6 +252,8 @@ GpuDevice::launch(const KernelDesc &desc)
     ++kernelCount_;
 
     notify(rec);
+    if (hook_ != nullptr)
+        hook_->onLaunch(desc, std::move(captured));
     return rec;
 }
 
@@ -267,10 +289,13 @@ GpuDevice::copyHostToDevice(const float *data, size_t count,
     double zf = count == 0 ? 0.0
                            : static_cast<double>(zeros) /
                                  static_cast<double>(count);
-    installInL2(reinterpret_cast<uint64_t>(data),
-                count * static_cast<size_t>(cfg_.elemBytes));
-    return recordTransfer(static_cast<double>(count) * cfg_.elemBytes, zf,
+    const size_t bytes = count * static_cast<size_t>(cfg_.elemBytes);
+    installInL2(reinterpret_cast<uint64_t>(data), bytes);
+    if (hook_ != nullptr) {
+        hook_->onTransfer(reinterpret_cast<uint64_t>(data), bytes, zf,
                           tag);
+    }
+    return recordTransfer(static_cast<double>(bytes), zf, tag);
 }
 
 TransferRecord
@@ -285,22 +310,30 @@ GpuDevice::copyHostToDevice(const int32_t *data, size_t count,
     double zf = count == 0 ? 0.0
                            : static_cast<double>(zeros) /
                                  static_cast<double>(count);
-    installInL2(reinterpret_cast<uint64_t>(data),
-                count * sizeof(int32_t));
-    return recordTransfer(static_cast<double>(count) * sizeof(int32_t), zf,
+    const size_t bytes = count * sizeof(int32_t);
+    installInL2(reinterpret_cast<uint64_t>(data), bytes);
+    if (hook_ != nullptr) {
+        hook_->onTransfer(reinterpret_cast<uint64_t>(data), bytes, zf,
                           tag);
+    }
+    return recordTransfer(static_cast<double>(bytes), zf, tag);
+}
+
+TransferRecord
+GpuDevice::replayHostToDevice(uint64_t addr, uint64_t bytes,
+                              double zero_fraction, const std::string &tag)
+{
+    installInL2(addr, static_cast<size_t>(bytes));
+    if (hook_ != nullptr)
+        hook_->onTransfer(addr, bytes, zero_fraction, tag);
+    return recordTransfer(static_cast<double>(bytes), zero_fraction, tag);
 }
 
 void
 GpuDevice::installInL2(uint64_t addr, size_t bytes)
 {
     // Host-to-device DMA writes allocate in the L2 on Volta.
-    int64_t budget = 32768;
-    const uint64_t line = cfg_.cacheLineBytes;
-    for (uint64_t a = addr; a < addr + bytes && budget > 0;
-         a += line, --budget) {
-        l2_.access(a);
-    }
+    l2_.accessLines(addr, bytes, 32768);
 }
 
 void
@@ -328,6 +361,8 @@ GpuDevice::resetTimers()
     kernelTime_ = 0;
     transferTime_ = 0;
     kernelCount_ = 0;
+    if (hook_ != nullptr)
+        hook_->onMarker(TraceMarker::TimersReset);
 }
 
 void
@@ -336,12 +371,16 @@ GpuDevice::flushCaches()
     l2_.flush();
     for (auto &l1 : l1s_)
         l1.flush();
+    if (hook_ != nullptr)
+        hook_->onMarker(TraceMarker::CachesFlushed);
 }
 
 void
 GpuDevice::resetSampling()
 {
     samples_.clear();
+    if (hook_ != nullptr)
+        hook_->onMarker(TraceMarker::SamplingReset);
 }
 
 } // namespace gnnmark

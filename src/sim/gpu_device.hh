@@ -31,6 +31,7 @@
 #include "sim/gpu_config.hh"
 #include "sim/kernel_desc.hh"
 #include "sim/kernel_record.hh"
+#include "sim/trace_hook.hh"
 
 namespace gnnmark {
 
@@ -58,6 +59,25 @@ class GpuDevice
 
     /** Remove all observers. */
     void clearObservers();
+
+    /**
+     * Attach (or detach, with nullptr) a capture hook that receives
+     * the raw emission stream — launches with their detail-simulated
+     * warp traces, transfer footprints, timeline markers. At most one
+     * hook is active; recording costs one WarpTrace copy per sampled
+     * warp and nothing when detached.
+     */
+    void setTraceHook(DeviceTraceHook *hook) { hook_ = hook; }
+
+    /**
+     * Re-issue a recorded host-to-device copy: the data itself is
+     * gone, only its device address span and zero-value fraction
+     * remain. Performs the same L2 install and PCIe timing as the
+     * live copyHostToDevice paths.
+     */
+    TransferRecord replayHostToDevice(uint64_t addr, uint64_t bytes,
+                                      double zero_fraction,
+                                      const std::string &tag);
 
     /** Sum of simulated kernel durations. */
     double kernelTimeSec() const { return kernelTime_; }
@@ -113,8 +133,9 @@ class GpuDevice
     };
 
     Geometry computeGeometry(const KernelDesc &desc) const;
-    KernelRecord simulateDetailed(const KernelDesc &desc,
-                                  const Geometry &geo, SampleState &state);
+    KernelRecord simulateDetailed(
+        const KernelDesc &desc, const Geometry &geo, SampleState &state,
+        std::vector<std::pair<int64_t, WarpTrace>> *captured);
     KernelRecord replayFromSample(const KernelDesc &desc,
                                   const Geometry &geo,
                                   const SampleState &state);
@@ -130,6 +151,7 @@ class GpuDevice
     std::vector<CacheModel> l1s_; ///< one per simulated SM
     std::unordered_map<std::string, SampleState> samples_;
     std::vector<KernelObserver *> observers_;
+    DeviceTraceHook *hook_ = nullptr;
 
     double kernelTime_ = 0;
     double transferTime_ = 0;

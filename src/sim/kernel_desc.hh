@@ -60,6 +60,17 @@ struct KernelDesc
     std::function<void(int64_t warp_id, WarpTraceSink &sink)> trace;
 
     /**
+     * Replay-mode alternative to `trace`: returns a pre-recorded warp
+     * trace instead of generating one through a WarpTraceSink. Takes
+     * precedence over `trace` when set; used by the trace replayer
+     * (src/trace) to feed captured streams back through the
+     * cache/pipeline models. Must be a pure function of the warp id,
+     * like `trace`, and the returned reference must stay valid for
+     * the duration of the launch (the device borrows it — no copy).
+     */
+    std::function<const WarpTrace &(int64_t warp_id)> replay;
+
+    /**
      * (address, bytes) spans the full grid *writes*. The detailed sim
      * only replays a sample of warps, so the device installs these
      * spans into the L2 after the launch to model the write-allocate

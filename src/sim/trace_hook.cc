@@ -1,0 +1,23 @@
+#include "sim/trace_hook.hh"
+
+namespace gnnmark {
+
+const char *
+traceMarkerName(TraceMarker marker)
+{
+    switch (marker) {
+      case TraceMarker::IterationBegin:
+        return "iteration-begin";
+      case TraceMarker::TimersReset:
+        return "timers-reset";
+      case TraceMarker::CachesFlushed:
+        return "caches-flushed";
+      case TraceMarker::SamplingReset:
+        return "sampling-reset";
+      case TraceMarker::NumMarkers:
+        break;
+    }
+    return "unknown";
+}
+
+} // namespace gnnmark

@@ -1,6 +1,7 @@
 #include "sim/warp_pipeline.hh"
 
 #include <algorithm>
+#include <bit>
 #include <queue>
 
 #include "base/logging.hh"
@@ -32,7 +33,7 @@ WarpPipeline::WarpPipeline(const GpuConfig &config, CacheModel &l1,
 }
 
 WaveResult
-WarpPipeline::run(const std::vector<WarpTrace> &warps,
+WarpPipeline::run(const std::vector<const WarpTrace *> &warps,
                   const KernelDesc &desc)
 {
     WaveResult res;
@@ -40,15 +41,15 @@ WarpPipeline::run(const std::vector<WarpTrace> &warps,
     // Full instruction counts come straight from the traces; the timed
     // replay below covers the recorded prefix and is extrapolated.
     uint64_t recorded_total = 0;
-    for (const auto &w : warps) {
-        res.fp32Instrs += static_cast<double>(w.counts.fp32);
-        res.int32Instrs += static_cast<double>(w.counts.int32);
+    for (const WarpTrace *w : warps) {
+        res.fp32Instrs += static_cast<double>(w->counts.fp32);
+        res.int32Instrs += static_cast<double>(w->counts.int32);
         res.memInstrs +=
-            static_cast<double>(w.counts.loads + w.counts.stores);
-        res.miscInstrs += static_cast<double>(w.counts.misc);
-        res.flops += w.counts.flops;
-        res.intOps += w.counts.intOps;
-        recorded_total += w.recordedInstrs;
+            static_cast<double>(w->counts.loads + w->counts.stores);
+        res.miscInstrs += static_cast<double>(w->counts.misc);
+        res.flops += w->counts.flops;
+        res.intOps += w->counts.intOps;
+        recorded_total += w->recordedInstrs;
     }
     res.issued = res.fp32Instrs + res.int32Instrs + res.memInstrs +
                  res.miscInstrs;
@@ -65,6 +66,10 @@ WarpPipeline::run(const std::vector<WarpTrace> &warps,
     CacheModel l1i(cfg_.l1ISizeBytes, 4, cfg_.cacheLineBytes);
     const uint64_t code_bytes = std::max<uint64_t>(
         static_cast<uint64_t>(desc.codeBytes), cfg_.cacheLineBytes);
+    // Kernel code sizes are almost always powers of two; mask instead
+    // of dividing on the per-instruction fetch path when they are.
+    const uint64_t code_mask =
+        std::has_single_bit(code_bytes) ? code_bytes - 1 : 0;
 
     const double alu_ilp = desc.aluIlp > 0 ? desc.aluIlp : cfg_.aluIlp;
     const double load_dep = desc.loadDepFraction > 0 ? desc.loadDepFraction
@@ -76,12 +81,14 @@ WarpPipeline::run(const std::vector<WarpTrace> &warps,
     std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                         std::greater<HeapEntry>> pending;
     for (size_t i = 0; i < warps.size(); ++i) {
-        state[i].trace = &warps[i];
-        if (!warps[i].ops.empty())
+        state[i].trace = warps[i];
+        if (!warps[i]->ops.empty())
             pending.push(HeapEntry{0, static_cast<int>(i)});
     }
 
     std::vector<int> ready; // FIFO of issuable warps
+    std::vector<int> kept;  // port-blocked this cycle (reused buffer)
+    std::vector<int> rebuilt; // scratch for the re-queue (reused)
     size_t ready_head = 0;
     uint64_t now = 0;
 
@@ -157,7 +164,7 @@ WarpPipeline::run(const std::vector<WarpTrace> &warps,
         int int_ports = cfg_.int32PortsPerCycle;
         int lsu_ports = cfg_.lsuPortsPerCycle;
         int sfu_ports = cfg_.sfuPortsPerCycle;
-        std::vector<int> kept;
+        kept.clear();
         while (slots > 0 && ready_head < ready.size()) {
             int wi = ready[ready_head++];
             switch (state[wi].trace->ops[state[wi].pc].kind) {
@@ -205,8 +212,10 @@ WarpPipeline::run(const std::vector<WarpTrace> &warps,
 
             // Instruction fetch through the L0 / L1 I-caches.
             uint64_t fetch_delay = 0;
-            uint64_t iaddr = (static_cast<uint64_t>(ws.pc) *
-                              cfg_.instrBytes) % code_bytes;
+            const uint64_t ibyte =
+                static_cast<uint64_t>(ws.pc) * cfg_.instrBytes;
+            const uint64_t iaddr =
+                code_mask != 0 ? (ibyte & code_mask) : ibyte % code_bytes;
             if (!l0i.access(iaddr)) {
                 fetch_delay = l1i.access(iaddr)
                                   ? static_cast<uint64_t>(
@@ -291,7 +300,7 @@ WarpPipeline::run(const std::vector<WarpTrace> &warps,
         }
         if (!kept.empty()) {
             // Re-queue port-blocked warps ahead of the unscanned ones.
-            std::vector<int> rebuilt;
+            rebuilt.clear();
             rebuilt.reserve(kept.size() + ready.size() - ready_head);
             rebuilt.insert(rebuilt.end(), kept.begin(), kept.end());
             rebuilt.insert(rebuilt.end(),

@@ -62,11 +62,24 @@ class WarpPipeline
 
     /**
      * Simulate one wave.
-     * @param warps Recorded traces of the resident warps.
+     * @param warps Recorded traces of the resident warps (borrowed;
+     *              pointers let the replay path feed stored traces
+     *              without copying them).
      * @param desc  The launch (for code size, ILP, bypass hints).
      */
-    WaveResult run(const std::vector<WarpTrace> &warps,
+    WaveResult run(const std::vector<const WarpTrace *> &warps,
                    const KernelDesc &desc);
+
+    /** Convenience overload over owned traces (tests, ad-hoc waves). */
+    WaveResult
+    run(const std::vector<WarpTrace> &warps, const KernelDesc &desc)
+    {
+        std::vector<const WarpTrace *> ptrs;
+        ptrs.reserve(warps.size());
+        for (const WarpTrace &w : warps)
+            ptrs.push_back(&w);
+        return run(ptrs, desc);
+    }
 
   private:
     const GpuConfig &cfg_;

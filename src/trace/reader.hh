@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Trace loading and validation. Malformed input of any shape —
+ * truncation, bit flips, wrong magic, future versions, trailing
+ * garbage — surfaces as a typed IoError, never an assert: a trace
+ * file is external input, not internal state.
+ */
+
+#ifndef GNNMARK_TRACE_READER_HH
+#define GNNMARK_TRACE_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace gnnmark {
+namespace trace {
+
+/** Parse a serialized byte image; throws IoError on any defect. */
+RecordedTrace parseTrace(const std::vector<uint8_t> &bytes,
+                         const std::string &context);
+
+/** Read and validate a trace file; throws IoError. */
+RecordedTrace readTraceFile(const std::string &path);
+
+} // namespace trace
+} // namespace gnnmark
+
+#endif // GNNMARK_TRACE_READER_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Trace replay: drives a recorded stream straight through a fresh
+ * GpuDevice (cache models, warp pipeline, stall attribution, PCIe
+ * timing) without touching the tensor/op/nn/model stack.
+ *
+ * On the recording GpuConfig the replay is bitwise-identical to the
+ * live run: the same warps are requested in the same order, the same
+ * footprints install into the L2, the device RNG is reseeded from the
+ * header, so every profiler aggregate matches exactly. On a different
+ * config the replay prices the what-if: cache models, pipeline and
+ * bandwidth bounds all resize, while warp selection falls back to the
+ * recorded sample when the new geometry asks for warps the recording
+ * never simulated (exact id first, then the kernel's warp archive by
+ * id, then by index modulo — the standard sampled-trace approximation).
+ */
+
+#ifndef GNNMARK_TRACE_REPLAYER_HH
+#define GNNMARK_TRACE_REPLAYER_HH
+
+#include <string>
+#include <vector>
+
+#include "profiler/profiler.hh"
+#include "sim/gpu_config.hh"
+#include "trace/trace.hh"
+
+namespace gnnmark {
+namespace trace {
+
+/** Everything a characterization report needs, rebuilt from a trace. */
+struct ReplayResult
+{
+    std::string workload;
+    Profiler profiler;
+    std::vector<float> losses; ///< carried over from the header
+    double wallTimeSec = 0;
+    double epochTimeSec = 0;
+    int64_t iterationsPerEpoch = 0;
+    double parameterBytes = 0;
+    int64_t kernelLaunches = 0; ///< device launches after the reset
+};
+
+/**
+ * Replay `trace` on `config`. Extra observers (e.g. a chrome-trace
+ * exporter) receive every kernel/transfer alongside the profiler.
+ */
+ReplayResult
+replayTrace(const RecordedTrace &trace, const GpuConfig &config,
+            const std::vector<KernelObserver *> &extra_observers = {});
+
+/** Replay on the recording configuration (the fidelity case). */
+ReplayResult replayTrace(const RecordedTrace &trace);
+
+/**
+ * One replay per config, results in config order — the what-if sweep
+ * primitive. Points replay concurrently on the process thread pool
+ * (each owns its device; the trace is shared read-only), which is
+ * where the bulk of the sweep speedup over live re-training comes
+ * from: a live run serialises on the tensor math, a sweep of replays
+ * saturates the cores with cache-model work.
+ */
+std::vector<ReplayResult>
+sweepTrace(const RecordedTrace &trace,
+           const std::vector<GpuConfig> &configs);
+
+} // namespace trace
+} // namespace gnnmark
+
+#endif // GNNMARK_TRACE_REPLAYER_HH

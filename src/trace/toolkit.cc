@@ -1,0 +1,260 @@
+#include "trace/toolkit.hh"
+
+#include <unordered_set>
+
+#include "base/string_utils.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+#include "trace/format.hh"
+#include "trace/writer.hh"
+
+namespace gnnmark {
+namespace trace {
+
+namespace {
+
+uint64_t
+rangeBytes(const std::vector<std::pair<uint64_t, uint64_t>> &ranges)
+{
+    uint64_t total = 0;
+    for (const auto &[addr, bytes] : ranges)
+        total += bytes;
+    return total;
+}
+
+} // namespace
+
+TraceStats
+computeTraceStats(const RecordedTrace &trace)
+{
+    TraceStats stats;
+    std::array<std::unordered_set<uint64_t>, kNumOpClasses> class_lines;
+    std::unordered_set<uint64_t> all_lines;
+
+    for (const TraceEvent &event : trace.events) {
+        if (const auto *launch = std::get_if<LaunchEvent>(&event)) {
+            auto &cls =
+                stats.perClass[static_cast<size_t>(launch->opClass)];
+            auto &lines =
+                class_lines[static_cast<size_t>(launch->opClass)];
+            cls.launches += 1;
+            stats.launches += 1;
+            cls.footprintBytes += rangeBytes(launch->outputRanges) +
+                                  rangeBytes(launch->inputRanges);
+            for (const TracedWarp &warp : launch->warps) {
+                cls.tracedWarps += 1;
+                stats.tracedWarps += 1;
+                cls.recordedInstrs += warp.trace.recordedInstrs;
+                stats.recordedInstrs += warp.trace.recordedInstrs;
+                cls.totalInstrs +=
+                    static_cast<double>(warp.trace.counts.total());
+                cls.memLineRefs += warp.trace.lines.size();
+                stats.memLineRefs += warp.trace.lines.size();
+                for (uint64_t line : warp.trace.lines) {
+                    lines.insert(line);
+                    all_lines.insert(line);
+                }
+            }
+        } else if (const auto *transfer =
+                       std::get_if<TransferEvent>(&event)) {
+            stats.transfers += 1;
+            stats.transferBytes += transfer->bytes;
+        } else {
+            stats.markers += 1;
+        }
+    }
+
+    for (size_t c = 0; c < kNumOpClasses; ++c)
+        stats.perClass[c].uniqueLines = class_lines[c].size();
+    stats.uniqueLines = all_lines.size();
+    return stats;
+}
+
+uint64_t
+naiveSizeBytes(const RecordedTrace &trace)
+{
+    // What a straightforward recorder would fwrite: the structs as
+    // laid out in memory, strings and vectors length-prefixed with a
+    // u64. No varints, no deltas, no run-length coding, no interning.
+    auto str_bytes = [](const std::string &s) {
+        return sizeof(uint64_t) + s.size();
+    };
+    uint64_t total = sizeof(kTraceMagic) + sizeof(uint32_t); // magic+ver
+    total += str_bytes(trace.header.workload);
+    total += sizeof(TraceHeader::seed) + sizeof(TraceHeader::scale) +
+             sizeof(TraceHeader::iterations) +
+             sizeof(TraceHeader::warmupIterations) +
+             sizeof(TraceHeader::inferenceOnly) +
+             sizeof(TraceHeader::iterationsPerEpoch) +
+             sizeof(TraceHeader::parameterBytes);
+    total += sizeof(uint64_t) + trace.header.losses.size() * sizeof(float);
+    total += sizeof(GpuConfig);
+
+    total += sizeof(uint64_t); // event count
+    for (const TraceEvent &event : trace.events) {
+        total += 1; // event tag
+        if (const auto *launch = std::get_if<LaunchEvent>(&event)) {
+            total += str_bytes(launch->name);
+            total += sizeof(launch->opClass) + sizeof(launch->blocks) +
+                     sizeof(launch->warpsPerBlock) +
+                     sizeof(launch->codeBytes) + sizeof(launch->aluIlp) +
+                     sizeof(launch->loadDepFraction) +
+                     sizeof(launch->irregular);
+            total += sizeof(uint64_t) +
+                     launch->outputRanges.size() * 2 * sizeof(uint64_t);
+            total += sizeof(uint64_t) +
+                     launch->inputRanges.size() * 2 * sizeof(uint64_t);
+            total += sizeof(uint64_t); // warp count
+            for (const TracedWarp &warp : launch->warps) {
+                total += sizeof(warp.warpId);
+                total += sizeof(TraceCounts);
+                total += sizeof(warp.trace.recordedInstrs);
+                total += sizeof(uint64_t) +
+                         warp.trace.ops.size() * sizeof(TraceOp);
+                total += sizeof(uint64_t) +
+                         warp.trace.lines.size() * sizeof(uint64_t);
+            }
+        } else if (const auto *transfer =
+                       std::get_if<TransferEvent>(&event)) {
+            total += str_bytes(transfer->tag);
+            total += sizeof(transfer->addr) + sizeof(transfer->bytes) +
+                     sizeof(transfer->zeroFraction);
+        }
+        // Markers: the tag byte already counted.
+    }
+    total += sizeof(uint64_t); // checksum
+    return total;
+}
+
+void
+printTraceInfo(const RecordedTrace &trace, uint64_t file_size_bytes,
+               std::ostream &os)
+{
+    const TraceStats stats = computeTraceStats(trace);
+    const TraceHeader &h = trace.header;
+
+    os << "trace: " << h.workload << " (seed " << h.seed << ", scale "
+       << strfmt("%g", h.scale) << ")\n";
+    os << strfmt("run: %d measured + %d warmup iterations%s, "
+                 "%lld iterations/epoch\n",
+                 h.iterations, h.warmupIterations,
+                 h.inferenceOnly ? " (inference only)" : "",
+                 static_cast<long long>(h.iterationsPerEpoch));
+    os << strfmt("recorded on: %d SMs, L1 %s/SM, L2 %s, %d B lines, "
+                 "detail limit %d\n",
+                 h.config.numSms,
+                 formatBytes(
+                     static_cast<double>(h.config.l1SizeBytes)).c_str(),
+                 formatBytes(
+                     static_cast<double>(h.config.l2SizeBytes)).c_str(),
+                 h.config.cacheLineBytes, h.config.detailSampleLimit);
+
+    if (trace.events.empty()) {
+        os << "warning: trace holds no events\n";
+        return;
+    }
+    if (stats.launches == 0)
+        os << "warning: trace holds no kernel launches\n";
+
+    os << strfmt("events: %lld launches, %lld transfers (%s), "
+                 "%lld markers\n",
+                 static_cast<long long>(stats.launches),
+                 static_cast<long long>(stats.transfers),
+                 formatBytes(
+                     static_cast<double>(stats.transferBytes)).c_str(),
+                 static_cast<long long>(stats.markers));
+    os << strfmt("warps: %lld traced in detail, %llu recorded instrs, "
+                 "%llu line refs (%llu unique lines, %s touched)\n",
+                 static_cast<long long>(stats.tracedWarps),
+                 static_cast<unsigned long long>(stats.recordedInstrs),
+                 static_cast<unsigned long long>(stats.memLineRefs),
+                 static_cast<unsigned long long>(stats.uniqueLines),
+                 formatBytes(static_cast<double>(
+                     stats.uniqueLines *
+                     static_cast<uint64_t>(
+                         h.config.cacheLineBytes))).c_str());
+
+    uint64_t encoded = file_size_bytes;
+    if (encoded == 0)
+        encoded = serializeTrace(trace).size();
+    const uint64_t naive = naiveSizeBytes(trace);
+    os << strfmt("size: %s encoded, %s as raw structs (%.1fx smaller)\n",
+                 formatBytes(static_cast<double>(encoded)).c_str(),
+                 formatBytes(static_cast<double>(naive)).c_str(),
+                 encoded > 0
+                     ? static_cast<double>(naive) /
+                           static_cast<double>(encoded)
+                     : 0.0);
+
+    if (stats.launches == 0)
+        return;
+    os << "\n";
+    TablePrinter table("Per-op-class streams");
+    table.setHeader({"op class", "kernels", "warps", "rec instrs",
+                     "line refs", "uniq lines", "footprint"});
+    for (OpClass c : allOpClasses()) {
+        const auto &cls = stats.perClass[static_cast<size_t>(c)];
+        if (cls.launches == 0)
+            continue;
+        table.addRow(
+            {opClassName(c),
+             strfmt("%lld", static_cast<long long>(cls.launches)),
+             strfmt("%lld", static_cast<long long>(cls.tracedWarps)),
+             formatSi(static_cast<double>(cls.recordedInstrs)),
+             formatSi(static_cast<double>(cls.memLineRefs)),
+             formatSi(static_cast<double>(cls.uniqueLines)),
+             formatBytes(static_cast<double>(cls.footprintBytes))});
+    }
+    table.print(os);
+}
+
+void
+printTraceDiff(const RecordedTrace &a, const RecordedTrace &b,
+               std::ostream &os)
+{
+    const TraceStats sa = computeTraceStats(a);
+    const TraceStats sb = computeTraceStats(b);
+
+    os << "A: " << a.header.workload
+       << strfmt(" (seed %llu, scale %g, %lld launches)\n",
+                 static_cast<unsigned long long>(a.header.seed),
+                 a.header.scale, static_cast<long long>(sa.launches));
+    os << "B: " << b.header.workload
+       << strfmt(" (seed %llu, scale %g, %lld launches)\n",
+                 static_cast<unsigned long long>(b.header.seed),
+                 b.header.scale, static_cast<long long>(sb.launches));
+    os << "\n";
+
+    TablePrinter table("Per-op-class stream diff (A vs B)");
+    table.setHeader({"op class", "kernels A", "kernels B", "instrs A",
+                     "instrs B", "uniq lines A", "uniq lines B",
+                     "footprint A", "footprint B"});
+    for (OpClass c : allOpClasses()) {
+        const auto &ca = sa.perClass[static_cast<size_t>(c)];
+        const auto &cb = sb.perClass[static_cast<size_t>(c)];
+        if (ca.launches == 0 && cb.launches == 0)
+            continue;
+        table.addRow(
+            {opClassName(c),
+             strfmt("%lld", static_cast<long long>(ca.launches)),
+             strfmt("%lld", static_cast<long long>(cb.launches)),
+             formatSi(ca.totalInstrs), formatSi(cb.totalInstrs),
+             formatSi(static_cast<double>(ca.uniqueLines)),
+             formatSi(static_cast<double>(cb.uniqueLines)),
+             formatBytes(static_cast<double>(ca.footprintBytes)),
+             formatBytes(static_cast<double>(cb.footprintBytes))});
+    }
+    table.print(os);
+
+    os << "\n";
+    os << strfmt("transfers: %lld (%s) vs %lld (%s)\n",
+                 static_cast<long long>(sa.transfers),
+                 formatBytes(
+                     static_cast<double>(sa.transferBytes)).c_str(),
+                 static_cast<long long>(sb.transfers),
+                 formatBytes(
+                     static_cast<double>(sb.transferBytes)).c_str());
+}
+
+} // namespace trace
+} // namespace gnnmark

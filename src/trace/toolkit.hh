@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace inspection toolkit backing `gnnmark trace info` and
+ * `gnnmark trace diff`: per-op-class stream statistics, the honest
+ * struct-dump size baseline the compression ratio is measured against,
+ * and the report printers.
+ */
+
+#ifndef GNNMARK_TRACE_TOOLKIT_HH
+#define GNNMARK_TRACE_TOOLKIT_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+#include "sim/op_class.hh"
+#include "trace/trace.hh"
+
+namespace gnnmark {
+namespace trace {
+
+/** Stream statistics for one op class across a whole trace. */
+struct OpClassTraceStats
+{
+    int64_t launches = 0;       ///< kernel launches of this class
+    int64_t tracedWarps = 0;    ///< warps captured in detail
+    uint64_t recordedInstrs = 0; ///< instructions in the recorded prefixes
+    double totalInstrs = 0;     ///< with per-warp extrapolation applied
+    uint64_t memLineRefs = 0;   ///< cache-line transactions referenced
+    uint64_t uniqueLines = 0;   ///< distinct cache-line addresses touched
+    uint64_t footprintBytes = 0; ///< sum of declared input+output ranges
+};
+
+/** Whole-trace statistics, split by op class. */
+struct TraceStats
+{
+    std::array<OpClassTraceStats, kNumOpClasses> perClass;
+    int64_t launches = 0;
+    int64_t tracedWarps = 0;
+    int64_t transfers = 0;
+    int64_t markers = 0;
+    uint64_t transferBytes = 0;
+    uint64_t recordedInstrs = 0;
+    uint64_t memLineRefs = 0;
+    uint64_t uniqueLines = 0; ///< distinct lines across ALL classes
+};
+
+/** Walk the event stream once and aggregate per-class statistics. */
+TraceStats computeTraceStats(const RecordedTrace &trace);
+
+/**
+ * Bytes a naive recorder would write for this trace: raw structs
+ * (fixed-width fields, full 8-byte line addresses, uncompressed op
+ * arrays) plus length-prefixed strings. This is the denominator of the
+ * compression ratio `trace info` reports — an fwrite-the-structs dump,
+ * not a strawman.
+ */
+uint64_t naiveSizeBytes(const RecordedTrace &trace);
+
+/**
+ * Print the `gnnmark trace info` report: header metadata, event
+ * totals, encoded-vs-naive size, and the per-op-class stream table.
+ * Pass the on-disk size as `file_size_bytes` (0 = unknown, e.g. an
+ * in-memory trace; the ratio line is then computed from a fresh
+ * serialization).
+ */
+void printTraceInfo(const RecordedTrace &trace, uint64_t file_size_bytes,
+                    std::ostream &os);
+
+/**
+ * Print a side-by-side comparison of two traces' per-op-class streams
+ * (launch counts, instruction volume, unique lines, footprints) — the
+ * cross-workload "what does KGNNL do that STGCN doesn't" view.
+ */
+void printTraceDiff(const RecordedTrace &a, const RecordedTrace &b,
+                    std::ostream &os);
+
+} // namespace trace
+} // namespace gnnmark
+
+#endif // GNNMARK_TRACE_TOOLKIT_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trace capture: a DeviceTraceHook that accumulates the emission
+ * stream in memory, and the serializer that turns a RecordedTrace
+ * into the on-disk format (see format.hh for the layout).
+ *
+ * Typical capture session:
+ *
+ *   trace::TraceRecorder recorder;
+ *   RunOptions opt;
+ *   opt.traceHook = &recorder;
+ *   CharacterizationRunner runner(opt);
+ *   WorkloadProfile profile = runner.run("STGCN");
+ *   trace::RecordedTrace t =
+ *       recorder.finish(trace::headerFor(opt, profile));
+ *   trace::writeTraceFile("stgcn.trace", t);
+ */
+
+#ifndef GNNMARK_TRACE_WRITER_HH
+#define GNNMARK_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/trace_hook.hh"
+#include "trace/trace.hh"
+
+namespace gnnmark {
+namespace trace {
+
+/** Accumulates a device's emission stream into a RecordedTrace. */
+class TraceRecorder : public DeviceTraceHook
+{
+  public:
+    void onLaunch(const KernelDesc &desc,
+                  std::vector<std::pair<int64_t, WarpTrace>> traced)
+        override;
+    void onTransfer(uint64_t addr, uint64_t bytes, double zero_fraction,
+                    const std::string &tag) override;
+    void onMarker(TraceMarker marker) override;
+
+    size_t eventCount() const { return events_.size(); }
+
+    /**
+     * Stamp the run metadata and hand over the recorded stream; the
+     * recorder is left empty and may record another run.
+     */
+    RecordedTrace finish(TraceHeader header);
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/** Serialize to the on-disk byte image (magic..checksum). */
+std::vector<uint8_t> serializeTrace(const RecordedTrace &trace);
+
+/** Serialize and write to `path`; throws IoError on write failure. */
+void writeTraceFile(const std::string &path, const RecordedTrace &trace);
+
+} // namespace trace
+} // namespace gnnmark
+
+#endif // GNNMARK_TRACE_WRITER_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared file-corruption helpers for on-disk format regression tests
+ * (checkpoints, kernel traces): flip bytes, truncate, append garbage.
+ * Each helper asserts (gtest) that the mutation itself succeeded so a
+ * test failure always points at the reader under test.
+ */
+
+#ifndef GNNMARK_TESTS_COMMON_FILE_CORRUPTION_HH
+#define GNNMARK_TESTS_COMMON_FILE_CORRUPTION_HH
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+namespace gnnmark {
+namespace test {
+
+/** Size of `path` in bytes; fails the test if the file is missing. */
+inline long
+fileSize(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    if (f == nullptr)
+        return 0;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    return size;
+}
+
+/** XOR the byte at `offset` (negative = from the end) with 0xff. */
+inline void
+flipByteAt(const std::string &path, long offset)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr) << path;
+    std::fseek(f, offset, offset < 0 ? SEEK_END : SEEK_SET);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF) << path;
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(c ^ 0xff, f);
+    ASSERT_EQ(std::fclose(f), 0) << path;
+}
+
+/** Cut the file down to `fraction` of its current size. */
+inline void
+truncateToFraction(const std::string &path, double fraction)
+{
+    const long full = fileSize(path);
+    ASSERT_GT(full, 0) << path;
+    ASSERT_EQ(truncate(path.c_str(),
+                       static_cast<long>(full * fraction)),
+              0)
+        << path;
+}
+
+/** Append `n` garbage bytes after a well-formed image. */
+inline void
+appendGarbage(const std::string &path, int n)
+{
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr) << path;
+    for (int i = 0; i < n; ++i)
+        std::fputc(0x5a, f);
+    ASSERT_EQ(std::fclose(f), 0) << path;
+}
+
+} // namespace test
+} // namespace gnnmark
+
+#endif // GNNMARK_TESTS_COMMON_FILE_CORRUPTION_HH

@@ -3,12 +3,12 @@
 
 #include <gtest/gtest.h>
 
-#include <unistd.h>
-
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "base/io.hh"
+#include "common/file_corruption.hh"
 #include "core/checkpoint.hh"
 #include "core/suite.hh"
 #include "ops/exec_context.hh"
@@ -129,48 +129,69 @@ TEST(CheckpointDeath, WorkloadNameMismatchIsFatal)
                 ::testing::ExitedWithCode(1), "KGNNL");
 }
 
-TEST(CheckpointDeath, CorruptedFileIsFatal)
+/** Writes one checkpoint file per test and cleans it up. */
+class CheckpointFile : public ::testing::Test
 {
-    auto wl = BenchmarkSuite::create("STGCN");
-    wl->setup(smallConfig());
-    Checkpoint ckpt = captureCheckpoint(*wl, 0);
-
-    const std::string path =
-        ::testing::TempDir() + "gnnmark_ckpt_corrupt.bin";
-    writeCheckpointFile(path, ckpt);
+  protected:
+    void
+    SetUp() override
     {
-        std::FILE *f = std::fopen(path.c_str(), "r+b");
-        ASSERT_NE(f, nullptr);
-        // Flip one byte near the end of the payload.
-        std::fseek(f, -3, SEEK_END);
-        int c = std::fgetc(f);
-        std::fseek(f, -1, SEEK_CUR);
-        std::fputc(c ^ 0xff, f);
-        std::fclose(f);
+        auto wl = BenchmarkSuite::create("STGCN");
+        wl->setup(smallConfig());
+        path_ = ::testing::TempDir() + "gnnmark_ckpt_io.bin";
+        writeCheckpointFile(path_, captureCheckpoint(*wl, 0));
     }
-    EXPECT_EXIT(readCheckpointFile(path),
-                ::testing::ExitedWithCode(1), "checksum");
-    std::remove(path.c_str());
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    /** Read expecting a typed failure; returns the error's kind. */
+    IoError::Kind
+    readKind()
+    {
+        try {
+            readCheckpointFile(path_);
+        } catch (const IoError &e) {
+            return e.kind();
+        }
+        ADD_FAILURE() << "readCheckpointFile accepted a corrupt file";
+        return IoError::Kind::OpenFailed;
+    }
+
+    std::string path_;
+};
+
+TEST_F(CheckpointFile, CorruptedPayloadIsTypedError)
+{
+    test::flipByteAt(path_, -3);
+    EXPECT_EQ(readKind(), IoError::Kind::Corrupt);
 }
 
-TEST(CheckpointDeath, TruncatedFileIsFatal)
+TEST_F(CheckpointFile, TruncatedFileIsTypedError)
 {
-    auto wl = BenchmarkSuite::create("STGCN");
-    wl->setup(smallConfig());
-    Checkpoint ckpt = captureCheckpoint(*wl, 0);
+    test::truncateToFraction(path_, 0.5);
+    EXPECT_EQ(readKind(), IoError::Kind::ShortRead);
+}
 
-    const std::string path =
-        ::testing::TempDir() + "gnnmark_ckpt_trunc.bin";
-    writeCheckpointFile(path, ckpt);
-    {
-        std::FILE *f = std::fopen(path.c_str(), "r+b");
-        ASSERT_NE(f, nullptr);
-        std::fseek(f, 0, SEEK_END);
-        const long full = std::ftell(f);
-        std::fclose(f);
-        ASSERT_EQ(truncate(path.c_str(), full / 2), 0);
-    }
-    EXPECT_EXIT(readCheckpointFile(path),
-                ::testing::ExitedWithCode(1), "");
-    std::remove(path.c_str());
+TEST_F(CheckpointFile, WrongMagicIsTypedError)
+{
+    test::flipByteAt(path_, 0);
+    EXPECT_EQ(readKind(), IoError::Kind::BadMagic);
+}
+
+TEST_F(CheckpointFile, FutureVersionIsTypedError)
+{
+    test::flipByteAt(path_, 8); // first byte of the version word
+    EXPECT_EQ(readKind(), IoError::Kind::BadVersion);
+}
+
+TEST_F(CheckpointFile, TrailingBytesAreTypedError)
+{
+    test::appendGarbage(path_, 7);
+    EXPECT_EQ(readKind(), IoError::Kind::TrailingBytes);
+}
+
+TEST_F(CheckpointFile, MissingFileIsTypedError)
+{
+    std::remove(path_.c_str());
+    EXPECT_EQ(readKind(), IoError::Kind::OpenFailed);
 }

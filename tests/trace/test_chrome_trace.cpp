@@ -1,0 +1,119 @@
+/** @file Chrome-trace exporter tests: well-formed Trace Event JSON
+ *  from synthetic records and from a real (tiny) workload run. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "base/io.hh"
+#include "core/characterization.hh"
+#include "profiler/chrome_trace.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+KernelRecord
+kernel(const std::string &name, double time_sec)
+{
+    KernelRecord record;
+    record.name = name;
+    record.opClass = OpClass::Gemm;
+    record.timeSec = time_sec;
+    record.ipc = 1.5;
+    record.l1Accesses = 100;
+    record.l1Hits = 80;
+    return record;
+}
+
+} // namespace
+
+TEST(ChromeTrace, EmitsCompleteEventsWithRunningClock)
+{
+    ChromeTraceWriter writer;
+    writer.onKernel(kernel("gemm_a", 10e-6));
+    writer.onKernel(kernel("gemm_b", 5e-6));
+    TransferRecord copy;
+    copy.tag = "features";
+    copy.bytes = 4096;
+    copy.zeroFraction = 0.5;
+    copy.timeSec = 2e-6;
+    writer.onTransfer(copy);
+    EXPECT_EQ(writer.eventCount(), 3u);
+
+    const std::string doc = writer.json();
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"gemm_a\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"H2D features\""), std::string::npos);
+    // Kernels run on tid 0, transfers on tid 1.
+    EXPECT_NE(doc.find("\"tid\":0,\"name\":\"gemm_a\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"tid\":1,\"name\":\"H2D features\""),
+              std::string::npos);
+    // gemm_b starts where gemm_a ended (10 us).
+    EXPECT_NE(doc.find("\"ts\":10.0000,\"dur\":5.0000"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"l1_hit_rate\":\"0.8000\""), std::string::npos);
+    EXPECT_NE(doc.find("\"zero_fraction\":\"0.5000\""),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesJsonMetacharacters)
+{
+    ChromeTraceWriter writer;
+    writer.onKernel(kernel("evil\"name\\with\nnoise", 1e-6));
+    const std::string doc = writer.json();
+    EXPECT_NE(doc.find("evil\\\"name\\\\with\\nnoise"),
+              std::string::npos);
+    EXPECT_EQ(doc.find("evil\"name"), std::string::npos);
+}
+
+TEST(ChromeTrace, BalancedBracesAndQuotes)
+{
+    ChromeTraceWriter writer;
+    for (int i = 0; i < 5; ++i)
+        writer.onKernel(kernel("k" + std::to_string(i), 1e-6));
+    const std::string doc = writer.json();
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : doc) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (c == '\\') {
+            escaped = true;
+        } else if (c == '"') {
+            in_string = !in_string;
+        } else if (!in_string && (c == '{' || c == '[')) {
+            ++depth;
+        } else if (!in_string && (c == '}' || c == ']')) {
+            --depth;
+            EXPECT_GE(depth, 0);
+        }
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(ChromeTrace, CapturesARealRunThroughRunOptions)
+{
+    ChromeTraceWriter writer;
+    RunOptions opt;
+    opt.scale = 0.25;
+    opt.iterations = 1;
+    opt.extraObserver = &writer;
+    CharacterizationRunner runner(opt);
+    const WorkloadProfile profile = runner.run("STGCN");
+    EXPECT_GE(static_cast<int64_t>(writer.eventCount()),
+              profile.profiler.totalLaunches());
+
+    const std::string path =
+        ::testing::TempDir() + "gnnmark_chrome_trace.json";
+    writer.write(path);
+    const std::vector<uint8_t> bytes = readFileBytes(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(bytes.size(), writer.json().size());
+}

@@ -1,0 +1,212 @@
+/** @file Record→replay fidelity: on the recording configuration, a
+ *  replayed trace must reproduce the live characterization bitwise —
+ *  every profiler aggregate and every printed report. On other
+ *  configurations it must price the what-if sensibly. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/reports.hh"
+#include "core/suite.hh"
+#include "core/trace_capture.hh"
+#include "trace/reader.hh"
+#include "trace/replayer.hh"
+#include "trace/writer.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+RunOptions
+smallRun()
+{
+    RunOptions opt;
+    opt.seed = 7;
+    opt.scale = 0.25;
+    opt.iterations = 2;
+    opt.warmupIterations = 1;
+    return opt;
+}
+
+/** Assert every aggregate the paper reports matches exactly. */
+void
+expectProfilesIdentical(const WorkloadProfile &live,
+                        const WorkloadProfile &replayed)
+{
+    EXPECT_EQ(live.profiler.totalLaunches(),
+              replayed.profiler.totalLaunches());
+    EXPECT_EQ(live.profiler.totalKernelTimeSec(),
+              replayed.profiler.totalKernelTimeSec());
+    EXPECT_EQ(live.profiler.l1HitRate(), replayed.profiler.l1HitRate());
+    EXPECT_EQ(live.profiler.l2HitRate(), replayed.profiler.l2HitRate());
+    EXPECT_EQ(live.profiler.divergentLoadFraction(),
+              replayed.profiler.divergentLoadFraction());
+    EXPECT_EQ(live.profiler.gflops(), replayed.profiler.gflops());
+    EXPECT_EQ(live.profiler.giops(), replayed.profiler.giops());
+    EXPECT_EQ(live.profiler.avgIpc(), replayed.profiler.avgIpc());
+
+    const auto live_mix = live.profiler.instructionMix();
+    const auto replay_mix = replayed.profiler.instructionMix();
+    EXPECT_EQ(live_mix.int32Frac, replay_mix.int32Frac);
+    EXPECT_EQ(live_mix.fp32Frac, replay_mix.fp32Frac);
+    EXPECT_EQ(live_mix.otherFrac, replay_mix.otherFrac);
+
+    EXPECT_EQ(live.profiler.stallBreakdown(),
+              replayed.profiler.stallBreakdown());
+    EXPECT_EQ(live.profiler.opTimeBreakdown(),
+              replayed.profiler.opTimeBreakdown());
+    EXPECT_EQ(live.profiler.avgTransferSparsity(),
+              replayed.profiler.avgTransferSparsity());
+    EXPECT_EQ(live.profiler.totalTransferBytes(),
+              replayed.profiler.totalTransferBytes());
+
+    EXPECT_EQ(live.wallTimeSec, replayed.wallTimeSec);
+    EXPECT_EQ(live.epochTimeSec, replayed.epochTimeSec);
+    EXPECT_EQ(live.iterationsPerEpoch, replayed.iterationsPerEpoch);
+    EXPECT_EQ(live.parameterBytes, replayed.parameterBytes);
+    EXPECT_EQ(live.losses, replayed.losses);
+}
+
+/** Render every report the paper derives from one profile. */
+std::string
+renderReports(const WorkloadProfile &profile)
+{
+    std::ostringstream os;
+    const std::vector<WorkloadProfile> profiles = {profile};
+    reports::printFig2OpBreakdown(profiles, os);
+    reports::printFig3InstructionMix(profiles, os);
+    reports::printFig4Throughput(profiles, os);
+    reports::printFig5Stalls(profiles, os);
+    reports::printFig6Cache(profiles, os);
+    reports::printFig7Sparsity(profiles, os);
+    reports::printKernelTable(profile, os);
+    return os.str();
+}
+
+} // namespace
+
+/** Per-ISSUE acceptance: every suite workload round-trips. */
+class TraceReplayFidelity : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TraceReplayFidelity, ReplayMatchesLiveRunExactly)
+{
+    WorkloadProfile live;
+    const trace::RecordedTrace trace =
+        recordWorkloadTrace(GetParam(), smallRun(), &live);
+    ASSERT_FALSE(trace.events.empty());
+
+    const WorkloadProfile replayed =
+        toWorkloadProfile(trace::replayTrace(trace));
+    EXPECT_EQ(replayed.name, live.name);
+    expectProfilesIdentical(live, replayed);
+}
+
+TEST_P(TraceReplayFidelity, SerializedReplayMatchesToo)
+{
+    // The fidelity must survive the disk format, not just the
+    // in-memory event list.
+    WorkloadProfile live;
+    const trace::RecordedTrace trace =
+        recordWorkloadTrace(GetParam(), smallRun(), &live);
+    const std::vector<uint8_t> bytes = trace::serializeTrace(trace);
+    const trace::RecordedTrace loaded =
+        trace::parseTrace(bytes, "in-memory trace");
+
+    expectProfilesIdentical(
+        live, toWorkloadProfile(trace::replayTrace(loaded)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, TraceReplayFidelity,
+    ::testing::ValuesIn(BenchmarkSuite::workloadNames()),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+/** Bitwise-identical *printed reports* for three workloads. */
+class TraceReplayReports : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TraceReplayReports, PrintedReportsAreBitwiseIdentical)
+{
+    WorkloadProfile live;
+    const trace::RecordedTrace trace =
+        recordWorkloadTrace(GetParam(), smallRun(), &live);
+    const WorkloadProfile replayed =
+        toWorkloadProfile(trace::replayTrace(trace));
+    EXPECT_EQ(renderReports(live), renderReports(replayed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, TraceReplayReports,
+                         ::testing::Values("STGCN", "KGNNL", "ARGA"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(TraceReplay, ReplayIsRepeatable)
+{
+    const trace::RecordedTrace trace =
+        recordWorkloadTrace("STGCN", smallRun());
+    const WorkloadProfile a =
+        toWorkloadProfile(trace::replayTrace(trace));
+    const WorkloadProfile b =
+        toWorkloadProfile(trace::replayTrace(trace));
+    expectProfilesIdentical(a, b);
+}
+
+TEST(TraceReplay, LargerL2ImprovesHitRate)
+{
+    const trace::RecordedTrace trace =
+        recordWorkloadTrace("STGCN", smallRun());
+
+    GpuConfig small = trace.header.config;
+    small.l2SizeBytes = 1 * MiB;
+    GpuConfig large = trace.header.config;
+    large.l2SizeBytes = 48 * MiB;
+
+    const auto results = trace::sweepTrace(trace, {small, large});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_LT(results[0].profiler.l2HitRate(),
+              results[1].profiler.l2HitRate());
+    // More cache never hurts the modeled epoch time.
+    EXPECT_GE(results[0].wallTimeSec, results[1].wallTimeSec);
+}
+
+TEST(TraceReplay, SmCountSweepStillRuns)
+{
+    // Changing the SM count changes which warps the device wants to
+    // simulate; the archive fallback must cover the difference.
+    const trace::RecordedTrace trace =
+        recordWorkloadTrace("KGNNL", smallRun());
+    GpuConfig fewer = trace.header.config;
+    fewer.numSms = 40;
+    const trace::ReplayResult result = trace::replayTrace(trace, fewer);
+    EXPECT_GT(result.kernelLaunches, 0);
+    EXPECT_GT(result.wallTimeSec, 0);
+}
+
+TEST(TraceReplay, ReplayCountsMatchTraceStream)
+{
+    const trace::RecordedTrace trace =
+        recordWorkloadTrace("ARGA", smallRun());
+    int64_t launches_in_stream = 0;
+    for (const auto &event : trace.events)
+        if (std::holds_alternative<trace::LaunchEvent>(event))
+            ++launches_in_stream;
+    const trace::ReplayResult result = trace::replayTrace(trace);
+    EXPECT_EQ(result.profiler.totalLaunches(), launches_in_stream);
+}

@@ -24,4 +24,21 @@ expect_exit(2 run NO-SUCH-WORKLOAD)   # unknown workload name
 expect_exit(2 faults NO-SUCH-WORKLOAD)
 expect_exit(2 run STGCN --bogus)      # unknown option
 expect_exit(2 list --scale)           # option missing its value
+expect_exit(2 trace)                  # trace without a verb
+expect_exit(2 trace frobnicate)       # unknown trace verb
+expect_exit(2 trace record)           # record without a workload
+expect_exit(2 trace diff one.gnntrace) # diff needs two traces
+expect_exit(2 sweep)                  # sweep without a workload
+expect_exit(2 sweep STGCN --param bogus)
+expect_exit(1 trace info no-such.gnntrace)  # IoError, not a crash
 expect_exit(0 list)                   # healthy baseline
+
+# The full trace-once/analyze-many pipeline at a tiny scale: record,
+# inspect, replay on the recording config, self-diff, sweep the L2.
+set(trc ${CMAKE_CURRENT_BINARY_DIR}/cli_smoke_stgcn.gnntrace)
+expect_exit(0 trace record STGCN --scale 0.25 --iters 2 --out ${trc})
+expect_exit(0 trace info ${trc})
+expect_exit(0 trace replay ${trc})
+expect_exit(0 trace diff ${trc} ${trc})
+expect_exit(0 sweep --trace ${trc} --param l2 --points 2,6)
+file(REMOVE ${trc})

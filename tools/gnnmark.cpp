@@ -5,26 +5,41 @@
  *
  *   gnnmark list
  *   gnnmark run <workload> [--scale S] [--iters N] [--inference]
+ *                          [--chrome-trace PATH]
  *   gnnmark characterize [--scale S] [--iters N] [--csv]
  *   gnnmark scaling [--scale S] [--weak]
  *   gnnmark ttt [--scale S] [--target F]
  *   gnnmark faults <workload> [--scale S] [--iters N] [--interval K]
+ *   gnnmark trace record <workload> [--out PATH] [--scale S] [--iters N]
+ *   gnnmark trace replay <file> [--l2 MIB] [--l1 KIB] [--sms N]
+ *                               [--chrome-trace PATH]
+ *   gnnmark trace info <file>
+ *   gnnmark trace diff <a> <b>
+ *   gnnmark sweep (<workload> | --trace FILE) [--param l2|l1|sms]
+ *                 [--points V,V,...]
  */
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "base/io.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "base/units.hh"
 #include "core/characterization.hh"
 #include "core/reports.hh"
 #include "core/suite.hh"
 #include "core/time_to_train.hh"
+#include "core/trace_capture.hh"
 #include "multigpu/ddp.hh"
+#include "profiler/chrome_trace.hh"
+#include "trace/reader.hh"
+#include "trace/toolkit.hh"
 
 using namespace gnnmark;
 
@@ -33,7 +48,9 @@ namespace {
 struct Args
 {
     std::string command;
+    std::string sub;      ///< trace subcommand (record/replay/info/diff)
     std::string workload;
+    std::vector<std::string> files; ///< positional paths (trace cmds)
     double scale = 1.0;
     int iterations = 6;
     bool iterationsSet = false;
@@ -42,6 +59,14 @@ struct Args
     bool inference = false;
     bool weak = false;
     bool csv = false;
+    std::string out;         ///< --out (trace record)
+    std::string tracePath;   ///< --trace (sweep)
+    std::string chromePath;  ///< --chrome-trace
+    std::string param = "l2"; ///< --param (sweep)
+    std::string points;      ///< --points (sweep)
+    double l2Mib = 0;        ///< --l2 replay override (0 = recorded)
+    double l1Kib = 0;        ///< --l1 replay override (0 = recorded)
+    int sms = 0;             ///< --sms replay override (0 = recorded)
 };
 
 [[noreturn]] void
@@ -58,6 +83,13 @@ usage()
         "  ttt                        MLPerf-style time-to-train\n"
         "  faults <workload>          fault-injected DDP run with\n"
         "                             checkpoint/resume + elastic recovery\n"
+        "  trace record <workload>    capture a run into a trace file\n"
+        "  trace replay <file>        re-characterize from a trace\n"
+        "  trace info <file>          per-op-class trace statistics\n"
+        "  trace diff <a> <b>         compare two traces' streams\n"
+        "  sweep                      L1/L2/SM sensitivity sweep, live\n"
+        "                             (<workload>) or trace-driven\n"
+        "                             (--trace FILE)\n"
         "\n"
         "options:\n"
         "  --scale S      dataset scale factor (default 1.0)\n"
@@ -67,7 +99,15 @@ usage()
         "  --target F     time-to-train loss fraction (default 0.85)\n"
         "  --inference    forward passes only\n"
         "  --weak         weak instead of strong scaling\n"
-        "  --csv          machine-readable output where supported\n";
+        "  --csv          machine-readable output where supported\n"
+        "  --chrome-trace PATH  write a chrome://tracing timeline JSON\n"
+        "                 (run, trace replay)\n"
+        "  --out PATH     trace record output (default <workload>.gnntrace)\n"
+        "  --trace FILE   drive the sweep from a recorded trace\n"
+        "  --param P      sweep parameter: l2 (MiB), l1 (KiB), sms\n"
+        "  --points V,V   sweep points (default l2: 2,4,6,12 MiB;\n"
+        "                 l1: 64,128,192,256 KiB; sms: 40,60,80,108)\n"
+        "  --l2 MIB / --l1 KIB / --sms N   replay config overrides\n";
     std::exit(2);
 }
 
@@ -85,6 +125,18 @@ parse(int argc, char **argv)
         args.workload = argv[2];
         i = 3;
     }
+    if (args.command == "trace") {
+        if (argc < 3)
+            usage();
+        args.sub = argv[2];
+        if (args.sub != "record" && args.sub != "replay" &&
+            args.sub != "info" && args.sub != "diff") {
+            std::cerr << "unknown trace subcommand: " << args.sub
+                      << "\n";
+            usage();
+        }
+        i = 3;
+    }
     for (; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> const char * {
@@ -92,6 +144,11 @@ parse(int argc, char **argv)
                 usage();
             return argv[++i];
         };
+        if (a.rfind("--", 0) != 0) {
+            // Positional: trace files / the sweep or record workload.
+            args.files.push_back(a);
+            continue;
+        }
         if (a == "--scale") {
             args.scale = std::atof(next());
         } else if (a == "--iters") {
@@ -107,6 +164,22 @@ parse(int argc, char **argv)
             args.weak = true;
         } else if (a == "--csv") {
             args.csv = true;
+        } else if (a == "--out") {
+            args.out = next();
+        } else if (a == "--trace") {
+            args.tracePath = next();
+        } else if (a == "--chrome-trace") {
+            args.chromePath = next();
+        } else if (a == "--param") {
+            args.param = next();
+        } else if (a == "--points") {
+            args.points = next();
+        } else if (a == "--l2") {
+            args.l2Mib = std::atof(next());
+        } else if (a == "--l1") {
+            args.l1Kib = std::atof(next());
+        } else if (a == "--sms") {
+            args.sms = std::atoi(next());
         } else {
             std::cerr << "unknown option: " << a << "\n";
             usage();
@@ -183,11 +256,180 @@ int
 cmdRun(const Args &args)
 {
     requireWorkload(args.workload);
-    CharacterizationRunner runner(runOptions(args));
+    RunOptions opt = runOptions(args);
+    ChromeTraceWriter chrome;
+    if (!args.chromePath.empty())
+        opt.extraObserver = &chrome;
+    CharacterizationRunner runner(opt);
     std::cout << (args.inference ? "Profiling (inference mode) "
                                  : "Training ")
               << args.workload << " on the simulated V100...\n\n";
     printWorkloadSummary(runner.run(args.workload));
+    if (!args.chromePath.empty()) {
+        chrome.write(args.chromePath);
+        std::cout << "\nchrome trace (" << chrome.eventCount()
+                  << " events) written to " << args.chromePath
+                  << " — load it in chrome://tracing or Perfetto\n";
+    }
+    return 0;
+}
+
+/** Parse "2,4,6,12"-style sweep points. */
+std::vector<double>
+parsePoints(const std::string &points)
+{
+    std::vector<double> out;
+    std::stringstream ss(points);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(std::atof(item.c_str()));
+    if (out.empty())
+        usage();
+    return out;
+}
+
+/** Apply one sweep point to a config; returns a printable label. */
+std::string
+applySweepPoint(GpuConfig &cfg, const std::string &param, double value)
+{
+    if (param == "l2") {
+        cfg.l2SizeBytes = static_cast<uint64_t>(value * MiB);
+        return strfmt("L2 %g MiB", value);
+    }
+    if (param == "l1") {
+        cfg.l1SizeBytes = static_cast<uint64_t>(value * KiB);
+        return strfmt("L1 %g KiB", value);
+    }
+    if (param == "sms") {
+        cfg.numSms = static_cast<int>(value);
+        return strfmt("%d SMs", cfg.numSms);
+    }
+    std::cerr << "unknown sweep parameter: " << param << "\n";
+    usage();
+}
+
+void
+printSweepRow(TablePrinter &table, const std::string &label,
+              const WorkloadProfile &p)
+{
+    table.addRow({label, strfmt("%.3f", p.epochTimeSec * 1e3),
+                  strfmt("%.1f%%", p.profiler.l1HitRate() * 100),
+                  strfmt("%.1f%%", p.profiler.l2HitRate() * 100),
+                  strfmt("%.2f", p.profiler.avgIpc())});
+}
+
+int
+cmdSweep(const Args &args)
+{
+    const std::string defaults = args.param == "l1" ? "64,128,192,256"
+                                 : args.param == "sms" ? "40,60,80,108"
+                                                       : "2,4,6,12";
+    const std::vector<double> points =
+        parsePoints(args.points.empty() ? defaults : args.points);
+
+    TablePrinter table(strfmt("%s sensitivity", args.param.c_str()));
+    table.setHeader({"config", "epoch (ms)", "L1 hit", "L2 hit", "IPC"});
+
+    if (!args.tracePath.empty()) {
+        // Trace-driven: one recorded run, N cache-model replays.
+        const trace::RecordedTrace trace =
+            trace::readTraceFile(args.tracePath);
+        std::cout << "Sweeping " << args.param << " over the recorded "
+                  << trace.header.workload << " trace...\n\n";
+        for (double value : points) {
+            GpuConfig cfg = trace.header.config;
+            const std::string label =
+                applySweepPoint(cfg, args.param, value);
+            printSweepRow(table, label,
+                          toWorkloadProfile(trace::replayTrace(trace, cfg)));
+        }
+    } else {
+        // Live: re-train the workload once per point.
+        if (args.files.empty())
+            usage();
+        const std::string workload = args.files.front();
+        requireWorkload(workload);
+        std::cout << "Sweeping " << args.param << " with live "
+                  << workload << " runs...\n\n";
+        for (double value : points) {
+            RunOptions opt = runOptions(args);
+            const std::string label =
+                applySweepPoint(opt.deviceConfig, args.param, value);
+            CharacterizationRunner runner(opt);
+            printSweepRow(table, label, runner.run(workload));
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    if (args.sub == "record") {
+        if (args.files.empty())
+            usage();
+        const std::string workload = args.files.front();
+        requireWorkload(workload);
+        const std::string out =
+            args.out.empty() ? workload + ".gnntrace" : args.out;
+        std::cout << "Recording " << workload << "...\n";
+        const trace::RecordedTrace trace =
+            recordWorkloadTrace(workload, runOptions(args));
+        trace::writeTraceFile(out, trace);
+        const uint64_t encoded = trace::serializeTrace(trace).size();
+        const uint64_t naive = trace::naiveSizeBytes(trace);
+        std::cout << strfmt(
+            "%zu events -> %s (%s, %.1fx smaller than raw structs)\n",
+            trace.events.size(), out.c_str(),
+            formatBytes(static_cast<double>(encoded)).c_str(),
+            static_cast<double>(naive) / static_cast<double>(encoded));
+        return 0;
+    }
+    if (args.sub == "info") {
+        if (args.files.empty())
+            usage();
+        const std::vector<uint8_t> bytes =
+            readFileBytes(args.files.front());
+        const trace::RecordedTrace trace = trace::parseTrace(
+            bytes, "trace file '" + args.files.front() + "'");
+        trace::printTraceInfo(trace, bytes.size(), std::cout);
+        return 0;
+    }
+    if (args.sub == "replay") {
+        if (args.files.empty())
+            usage();
+        const trace::RecordedTrace trace =
+            trace::readTraceFile(args.files.front());
+        GpuConfig cfg = trace.header.config;
+        if (args.l2Mib > 0)
+            cfg.l2SizeBytes = static_cast<uint64_t>(args.l2Mib * MiB);
+        if (args.l1Kib > 0)
+            cfg.l1SizeBytes = static_cast<uint64_t>(args.l1Kib * KiB);
+        if (args.sms > 0)
+            cfg.numSms = args.sms;
+        ChromeTraceWriter chrome;
+        std::vector<KernelObserver *> observers;
+        if (!args.chromePath.empty())
+            observers.push_back(&chrome);
+        std::cout << "Replaying the recorded " << trace.header.workload
+                  << " stream...\n\n";
+        printWorkloadSummary(
+            toWorkloadProfile(trace::replayTrace(trace, cfg, observers)));
+        if (!args.chromePath.empty()) {
+            chrome.write(args.chromePath);
+            std::cout << "\nchrome trace written to " << args.chromePath
+                      << "\n";
+        }
+        return 0;
+    }
+    // diff
+    if (args.files.size() < 2)
+        usage();
+    const trace::RecordedTrace a = trace::readTraceFile(args.files[0]);
+    const trace::RecordedTrace b = trace::readTraceFile(args.files[1]);
+    trace::printTraceDiff(a, b, std::cout);
     return 0;
 }
 
@@ -321,20 +563,29 @@ int
 main(int argc, char **argv)
 {
     Args args = parse(argc, argv);
-    if (args.command == "list") {
-        reports::printTableOne(std::cout);
-        return 0;
+    try {
+        if (args.command == "list") {
+            reports::printTableOne(std::cout);
+            return 0;
+        }
+        if (args.command == "run")
+            return cmdRun(args);
+        if (args.command == "characterize")
+            return cmdCharacterize(args);
+        if (args.command == "scaling")
+            return cmdScaling(args);
+        if (args.command == "ttt")
+            return cmdTimeToTrain(args);
+        if (args.command == "faults")
+            return cmdFaults(args);
+        if (args.command == "trace")
+            return cmdTrace(args);
+        if (args.command == "sweep")
+            return cmdSweep(args);
+    } catch (const IoError &e) {
+        std::cerr << "gnnmark: fatal: " << e.what() << "\n";
+        return 1;
     }
-    if (args.command == "run")
-        return cmdRun(args);
-    if (args.command == "characterize")
-        return cmdCharacterize(args);
-    if (args.command == "scaling")
-        return cmdScaling(args);
-    if (args.command == "ttt")
-        return cmdTimeToTrain(args);
-    if (args.command == "faults")
-        return cmdFaults(args);
     std::cerr << "unknown command: " << args.command << "\n";
     usage();
 }
