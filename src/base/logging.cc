@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <string>
 
 namespace gnnmark {
@@ -15,6 +17,27 @@ bool logLevelResolved = false;
 LogLevel currentLogLevel = LogLevel::Info;
 
 std::function<void(const std::string &)> warnSink;
+
+// One lock serialises every warn/inform emission and guards the sink,
+// level and rate-limiter state: workloads warn from pool workers, so
+// interleaved half-lines are otherwise possible. fatal/panic stay
+// lock-free — they must report even with the lock poisoned mid-abort.
+std::mutex logMutex;
+
+int warnRateLimit = 5;
+std::map<std::string, int64_t> warnCounts;
+
+/** Emit one already-formatted warning line (logMutex held). */
+void
+emitWarnLocked(const std::string &msg)
+{
+    if (warnSink) {
+        warnSink(msg);
+        return;
+    }
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::fflush(stderr);
+}
 
 LogLevel
 parseLogLevel(const char *value)
@@ -91,17 +114,50 @@ warn(const char *fmt, ...)
 {
     if (logLevel() > LogLevel::Warn)
         return;
+    char buf[1024];
     va_list args;
     va_start(args, fmt);
-    if (warnSink) {
-        char buf[1024];
-        std::vsnprintf(buf, sizeof(buf), fmt, args);
-        va_end(args);
-        warnSink(buf);
-        return;
-    }
-    vreport(stderr, "warn", nullptr, 0, fmt, args);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
     va_end(args);
+
+    std::string msg(buf);
+    std::lock_guard<std::mutex> lock(logMutex);
+    if (warnRateLimit > 0) {
+        const int64_t count = ++warnCounts[msg];
+        if (count > warnRateLimit)
+            return; // counted, reported by flushSuppressedWarnings()
+        if (count == warnRateLimit)
+            msg += " (further duplicates suppressed)";
+    }
+    emitWarnLocked(msg);
+}
+
+void
+setWarnRateLimit(int max_repeats)
+{
+    std::lock_guard<std::mutex> lock(logMutex);
+    warnRateLimit = max_repeats;
+    warnCounts.clear();
+}
+
+int64_t
+flushSuppressedWarnings()
+{
+    std::lock_guard<std::mutex> lock(logMutex);
+    int64_t total = 0;
+    for (const auto &[msg, count] : warnCounts) {
+        if (warnRateLimit <= 0 || count <= warnRateLimit)
+            continue;
+        const int64_t suppressed = count - warnRateLimit;
+        total += suppressed;
+        char line[1200];
+        std::snprintf(line, sizeof(line),
+                      "suppressed %lld duplicates of: %s",
+                      static_cast<long long>(suppressed), msg.c_str());
+        emitWarnLocked(line);
+    }
+    warnCounts.clear();
+    return total;
 }
 
 void
@@ -111,6 +167,7 @@ inform(const char *fmt, ...)
         return;
     va_list args;
     va_start(args, fmt);
+    std::lock_guard<std::mutex> lock(logMutex);
     vreport(stdout, "info", nullptr, 0, fmt, args);
     va_end(args);
 }
@@ -124,6 +181,7 @@ setInformEnabled(bool enabled)
 LogLevel
 logLevel()
 {
+    std::lock_guard<std::mutex> lock(logMutex);
     if (!logLevelResolved) {
         logLevelResolved = true;
         if (const char *env = std::getenv("GNNMARK_LOG_LEVEL"))
@@ -135,6 +193,7 @@ logLevel()
 void
 setLogLevel(LogLevel level)
 {
+    std::lock_guard<std::mutex> lock(logMutex);
     logLevelResolved = true;
     currentLogLevel = level;
 }
@@ -142,6 +201,7 @@ setLogLevel(LogLevel level)
 void
 setWarnSink(std::function<void(const std::string &)> sink)
 {
+    std::lock_guard<std::mutex> lock(logMutex);
     warnSink = std::move(sink);
 }
 

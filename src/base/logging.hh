@@ -14,6 +14,7 @@
 #define GNNMARK_BASE_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -53,8 +54,28 @@ void setWarnSink(std::function<void(const std::string &)> sink);
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
-/** Print a formatted message tagged "warn:" to stderr. */
+/**
+ * Print a formatted message tagged "warn:" to stderr (or the warn
+ * sink). Thread-safe; identical messages are rate-limited (see
+ * setWarnRateLimit).
+ */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Cap duplicate warnings: each distinct formatted message is emitted
+ * at most `max_repeats` times (default 5); the final emission is
+ * tagged so readers know the stream is truncated, and later
+ * duplicates are only counted. Pass 0 to disable the limiter.
+ * Changing the limit resets the duplicate counters.
+ */
+void setWarnRateLimit(int max_repeats);
+
+/**
+ * Emit one "suppressed N duplicates of: <message>" line per capped
+ * message, reset every duplicate counter, and return the total number
+ * of suppressed warnings (0 when nothing was capped).
+ */
+int64_t flushSuppressedWarnings();
 
 /** Print a formatted status message to stdout. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

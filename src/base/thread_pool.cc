@@ -9,6 +9,9 @@ namespace {
 
 thread_local bool onWorker = false;
 
+/** Spawn-order index of this pool worker; -1 on non-pool threads. */
+thread_local int workerIndex = -1;
+
 /** True while the calling thread is executing its own job's chunks;
  *  nested parallelFor calls from a chunk body must stay serial. */
 thread_local bool inParallelRegion = false;
@@ -49,6 +52,12 @@ ThreadPool::onWorkerThread()
     return onWorker;
 }
 
+int
+ThreadPool::currentWorkerIndex()
+{
+    return workerIndex;
+}
+
 void
 ThreadPool::setThreadCount(int threads)
 {
@@ -60,8 +69,12 @@ void
 ThreadPool::spawnWorkers()
 {
     workers_.reserve(threads_ - 1);
-    for (int t = 1; t < threads_; ++t)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (int t = 1; t < threads_; ++t) {
+        workers_.emplace_back([this, t] {
+            workerIndex = t - 1;
+            workerLoop();
+        });
+    }
 }
 
 void

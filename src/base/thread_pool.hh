@@ -68,6 +68,13 @@ class ThreadPool
     /** True when the current thread is a pool worker. */
     static bool onWorkerThread();
 
+    /**
+     * Stable index of the calling pool worker (0-based, assigned at
+     * spawn), or -1 on any non-pool thread. Observability layers use
+     * it to name per-thread timeline lanes.
+     */
+    static int currentWorkerIndex();
+
   private:
     ThreadPool();
 

@@ -2,6 +2,10 @@
 
 #include "base/logging.hh"
 #include "core/suite.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "obs/telemetry.hh"
 #include "ops/exec_context.hh"
 #include "sim/trace_hook.hh"
 
@@ -15,8 +19,14 @@ CharacterizationRunner::CharacterizationRunner(RunOptions options)
 WorkloadProfile
 CharacterizationRunner::run(Workload &workload) const
 {
+    GNN_SPAN("run.workload");
     WorkloadProfile profile;
     profile.name = workload.name();
+
+    // A fresh run means fresh counters, so each iteration record's
+    // snapshot is the cumulative view of this run only.
+    if (options_.telemetry != nullptr)
+        obs::Metrics::instance().reset();
 
     GpuDevice device(options_.deviceConfig, options_.seed);
     device.addObserver(&profile.profiler);
@@ -38,10 +48,43 @@ CharacterizationRunner::run(Workload &workload) const
     device.resetTimers();
 
     for (int i = 0; i < options_.iterations; ++i) {
+        GNN_SPAN("train.iteration");
         profile.profiler.beginIteration();
         if (options_.traceHook != nullptr)
             options_.traceHook->onMarker(TraceMarker::IterationBegin);
-        profile.losses.push_back(workload.trainIteration());
+
+        const double sim_before = device.wallTimeSec();
+        const int64_t kernels_before = device.kernelCount();
+        const double host_before = obs::SpanTracer::instance().nowUs();
+
+        const float loss = workload.trainIteration();
+        profile.losses.push_back(loss);
+
+        if (options_.telemetry != nullptr) {
+            const double iter_sim_us =
+                (device.wallTimeSec() - sim_before) * 1e6;
+            obs::Metrics &metrics = obs::Metrics::instance();
+            metrics.setGauge("train.loss", loss);
+            metrics.setGauge("train.iter_sim_us", iter_sim_us);
+
+            obs::JsonWriter w;
+            w.beginObject();
+            w.key("type").value("iteration");
+            w.key("workload").value(profile.name);
+            w.key("iteration").value(i);
+            w.key("loss").value(static_cast<double>(loss));
+            w.key("sim_time_us").value(iter_sim_us);
+            w.key("kernels").value(device.kernelCount() -
+                                   kernels_before);
+            // host_* fields are wall clock and excluded from diffs.
+            w.key("host_time_us")
+                .value(obs::SpanTracer::instance().nowUs() -
+                       host_before);
+            w.key("metrics");
+            obs::writeMetricsSnapshot(w, metrics.snapshot());
+            w.endObject();
+            options_.telemetry->writeRecord(w.str());
+        }
     }
 
     profile.wallTimeSec = device.wallTimeSec();

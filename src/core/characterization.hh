@@ -17,6 +17,10 @@
 
 namespace gnnmark {
 
+namespace obs {
+class TelemetrySink;
+} // namespace obs
+
 class DeviceTraceHook;
 
 /** Knobs for one characterization run. */
@@ -38,6 +42,14 @@ struct RunOptions
 
     /** Optional extra observer (e.g. a chrome-trace exporter). */
     KernelObserver *extraObserver = nullptr;
+
+    /**
+     * Optional telemetry sink: when set, the runner resets the metrics
+     * registry at run start and appends one "iteration" JSONL record
+     * per measured step (loss, simulated time, kernel count, a full
+     * metrics snapshot). Not owned. Record schema in obs/telemetry.hh.
+     */
+    obs::TelemetrySink *telemetry = nullptr;
 };
 
 /** Everything measured while training one workload. */

@@ -5,6 +5,8 @@
 #include "base/io.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace gnnmark {
 
@@ -168,6 +170,9 @@ class RestoreVisitor : public StateVisitor
 Checkpoint
 captureCheckpoint(Workload &workload, uint64_t step)
 {
+    GNN_SPAN("checkpoint.capture");
+    static obs::Counter captures("checkpoint.captures");
+    captures.add();
     GNN_ASSERT(workload.supportsCheckpoint(),
                "workload %s does not support checkpointing",
                workload.name().c_str());
@@ -182,6 +187,9 @@ captureCheckpoint(Workload &workload, uint64_t step)
 uint64_t
 restoreCheckpoint(Workload &workload, const Checkpoint &ckpt)
 {
+    GNN_SPAN("checkpoint.restore");
+    static obs::Counter restores("checkpoint.restores");
+    restores.add();
     GNN_ASSERT(workload.supportsCheckpoint(),
                "workload %s does not support checkpointing",
                workload.name().c_str());
@@ -202,6 +210,7 @@ restoreCheckpoint(Workload &workload, const Checkpoint &ckpt)
 void
 writeCheckpointFile(const std::string &path, const Checkpoint &ckpt)
 {
+    GNN_SPAN("checkpoint.write_file");
     ByteBuilder file;
     file.bytes(kMagic, sizeof(kMagic));
     file.u32(kFormatVersion);
@@ -217,6 +226,7 @@ writeCheckpointFile(const std::string &path, const Checkpoint &ckpt)
 Checkpoint
 readCheckpointFile(const std::string &path)
 {
+    GNN_SPAN("checkpoint.read_file");
     const std::vector<uint8_t> bytes = readFileBytes(path);
     const std::string context = "checkpoint file '" + path + "'";
     ByteCursor file(bytes.data(), bytes.size(), context);

@@ -1,0 +1,176 @@
+#include "core/reports_json.hh"
+
+namespace gnnmark {
+namespace reports {
+
+void
+profileJson(obs::JsonWriter &w, const WorkloadProfile &profile)
+{
+    const Profiler &prof = profile.profiler;
+
+    w.beginObject();
+    w.key("total_kernel_time_sec").value(prof.totalKernelTimeSec());
+    w.key("total_launches").value(prof.totalLaunches());
+    w.key("wall_sim_time_sec").value(profile.wallTimeSec);
+    w.key("epoch_time_sec").value(profile.epochTimeSec);
+    w.key("iterations_per_epoch").value(profile.iterationsPerEpoch);
+    w.key("parameter_bytes").value(profile.parameterBytes);
+
+    // Fig. 2: execution-time breakdown by op class.
+    const auto breakdown = prof.opTimeBreakdown();
+    w.key("fig2_op_time_breakdown").beginObject();
+    for (OpClass c : allOpClasses()) {
+        w.key(opClassName(c))
+            .value(breakdown[static_cast<size_t>(c)]);
+    }
+    w.endObject();
+
+    // Fig. 3: dynamic instruction mix.
+    const auto mix = prof.instructionMix();
+    w.key("fig3_instruction_mix").beginObject();
+    w.key("int32").value(mix.int32Frac);
+    w.key("fp32").value(mix.fp32Frac);
+    w.key("other").value(mix.otherFrac);
+    w.endObject();
+
+    // Fig. 4: arithmetic throughput.
+    w.key("fig4_throughput").beginObject();
+    w.key("gflops").value(prof.gflops());
+    w.key("giops").value(prof.giops());
+    w.key("avg_ipc").value(prof.avgIpc());
+    w.endObject();
+
+    // Fig. 5: stall distribution.
+    const StallVector stalls = prof.stallBreakdown();
+    w.key("fig5_stall_breakdown").beginObject();
+    for (size_t r = 0; r < kNumStallReasons; ++r) {
+        w.key(stallReasonName(static_cast<StallReason>(r)))
+            .value(stalls[r]);
+    }
+    w.endObject();
+
+    // Fig. 6: caches and divergence.
+    w.key("fig6_cache").beginObject();
+    w.key("l1_hit_rate").value(prof.l1HitRate());
+    w.key("l2_hit_rate").value(prof.l2HitRate());
+    w.key("divergent_load_fraction")
+        .value(prof.divergentLoadFraction());
+    w.endObject();
+
+    // Figs. 7-8: transfer sparsity.
+    w.key("fig7_sparsity").beginObject();
+    w.key("avg_transfer_sparsity").value(prof.avgTransferSparsity());
+    w.key("total_transfer_bytes").value(prof.totalTransferBytes());
+    w.key("total_transfer_time_sec")
+        .value(prof.totalTransferTimeSec());
+    w.endObject();
+
+    w.key("losses").beginArray();
+    for (float loss : profile.losses)
+        w.value(static_cast<double>(loss));
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+figuresJson(const std::vector<WorkloadProfile> &profiles)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("workloads").beginObject();
+    for (const WorkloadProfile &profile : profiles) {
+        w.key(profile.name);
+        profileJson(w, profile);
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+scalingJson(
+    const std::vector<std::pair<std::string, std::vector<ScalingResult>>>
+        &curves)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("fig9_scaling").beginObject();
+    for (const auto &[name, curve] : curves) {
+        w.key(name).beginArray();
+        for (const ScalingResult &point : curve) {
+            w.beginObject();
+            w.key("world_size").value(point.worldSize);
+            w.key("epoch_time_sec").value(point.epochTimeSec);
+            w.key("compute_time_sec").value(point.computeTimeSec);
+            w.key("comm_time_sec").value(point.commTimeSec);
+            w.key("speedup").value(point.speedup);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+faultJson(const FaultToleranceResult &result)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("fault_tolerance").beginObject();
+    w.key("workload").value(result.workload);
+    w.key("world_start").value(result.worldStart);
+    w.key("world_end").value(result.worldEnd);
+    w.key("target_iterations").value(result.targetIterations);
+    w.key("executed_iterations").value(result.executedIterations);
+    w.key("replayed_iterations").value(result.replayedIterations);
+    w.key("ideal_time_sec").value(result.idealTimeSec);
+    w.key("total_time_sec").value(result.totalTimeSec);
+    w.key("checkpoint_time_sec").value(result.checkpointTimeSec);
+    w.key("recovery_time_sec").value(result.recoveryTimeSec);
+    w.key("goodput").value(result.goodput);
+    w.key("events").beginArray();
+    for (const FaultRecord &event : result.events) {
+        w.beginObject();
+        w.key("kind").value(static_cast<int>(event.kind));
+        w.key("sim_time_sec").value(event.simTimeSec);
+        w.key("replica").value(event.replica);
+        w.key("detection_sec").value(event.detectionSec);
+        w.key("rollback_sec").value(event.rollbackSec);
+        w.key("reshard_sec").value(event.reshardSec);
+        w.key("slowdown_sec").value(event.slowdownSec);
+        w.key("lost_iterations").value(event.lostIterations);
+        w.key("world_before").value(event.worldBefore);
+        w.key("world_after").value(event.worldAfter);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+runManifestJson(const WorkloadProfile &profile, const RunOptions &options,
+                int threads, double host_wall_us)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("manifest");
+    w.key("workload").value(profile.name);
+    w.key("seed").value(static_cast<int64_t>(options.seed));
+    w.key("scale").value(options.scale);
+    w.key("iterations").value(options.iterations);
+    w.key("warmup_iterations").value(options.warmupIterations);
+    w.key("inference_only").value(options.inferenceOnly);
+    w.key("threads").value(threads);
+    w.key("host_wall_us").value(host_wall_us);
+    w.key("profile");
+    profileJson(w, profile);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace reports
+} // namespace gnnmark

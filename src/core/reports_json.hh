@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Machine-readable twins of the reports in core/reports.hh: the same
+ * Fig. 2-9 aggregates, emitted as deterministic JSON instead of
+ * fixed-width tables. The `gnnmark --json` output mode and the
+ * telemetry manifest records are built from these, and bench_diff
+ * consumes them as regression baselines.
+ */
+
+#ifndef GNNMARK_CORE_REPORTS_JSON_HH
+#define GNNMARK_CORE_REPORTS_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/characterization.hh"
+#include "multigpu/ddp.hh"
+#include "obs/json.hh"
+
+namespace gnnmark {
+namespace reports {
+
+/**
+ * Append one workload's full Fig. 2-8 aggregate object at the writer's
+ * current position: op-time breakdown, instruction mix, throughput,
+ * stalls, cache behaviour, transfer sparsity, epoch extrapolation and
+ * the loss curve.
+ */
+void profileJson(obs::JsonWriter &w, const WorkloadProfile &profile);
+
+/** Whole-suite document: {"workloads":{"GCN":{...},...}}. */
+std::string figuresJson(const std::vector<WorkloadProfile> &profiles);
+
+/** Fig. 9 document: scaling curves per workload. */
+std::string scalingJson(
+    const std::vector<std::pair<std::string, std::vector<ScalingResult>>>
+        &curves);
+
+/** Fault-tolerance document for one fault-injected run. */
+std::string faultJson(const FaultToleranceResult &result);
+
+/**
+ * One "manifest" telemetry record (a single JSONL line): run config,
+ * seed, thread count, simulated + host wall time, and the profile's
+ * figure aggregates. `host_wall_us` is excluded from diffs by name.
+ */
+std::string runManifestJson(const WorkloadProfile &profile,
+                            const RunOptions &options, int threads,
+                            double host_wall_us);
+
+} // namespace reports
+} // namespace gnnmark
+
+#endif // GNNMARK_CORE_REPORTS_JSON_HH

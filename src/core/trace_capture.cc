@@ -1,5 +1,7 @@
 #include "core/trace_capture.hh"
 
+#include "obs/span.hh"
+
 namespace gnnmark {
 
 trace::RecordedTrace
@@ -7,6 +9,7 @@ recordWorkloadTrace(const std::string &workload_name,
                     const RunOptions &options,
                     WorkloadProfile *profile_out)
 {
+    GNN_SPAN("trace.record");
     trace::TraceRecorder recorder;
     RunOptions recording = options;
     recording.traceHook = &recorder;

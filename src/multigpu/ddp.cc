@@ -5,6 +5,8 @@
 
 #include "base/logging.hh"
 #include "core/checkpoint.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "ops/exec_context.hh"
 
 namespace gnnmark {
@@ -46,6 +48,7 @@ ScalingResult
 DdpTrainer::measure(Workload &workload, const WorkloadConfig &base,
                     int world, int measured_iterations)
 {
+    GNN_SPAN("ddp.measure");
     GNN_ASSERT(world >= 1, "world size must be >= 1");
     GNN_ASSERT(measured_iterations >= 1, "need at least one iteration");
 
@@ -54,6 +57,8 @@ DdpTrainer::measure(Workload &workload, const WorkloadConfig &base,
     cfg.worldSize = world;
 
     GpuDevice device(deviceConfig_, base.seed + world);
+    if (extraObserver_ != nullptr)
+        device.addObserver(extraObserver_);
     workload.setup(cfg);
 
     DeviceGuard guard(&device);
@@ -99,6 +104,7 @@ ScalingResult
 DdpTrainer::measureWeak(Workload &workload, const WorkloadConfig &base,
                         int world, int measured_iterations)
 {
+    GNN_SPAN("ddp.measure_weak");
     GNN_ASSERT(world >= 1, "world size must be >= 1");
 
     // Per-GPU work is the full single-GPU batch: run with worldSize 1
@@ -108,6 +114,8 @@ DdpTrainer::measureWeak(Workload &workload, const WorkloadConfig &base,
     cfg.worldSize = 1;
 
     GpuDevice device(deviceConfig_, base.seed + 100 + world);
+    if (extraObserver_ != nullptr)
+        device.addObserver(extraObserver_);
     workload.setup(cfg);
     DeviceGuard guard(&device);
     workload.trainIteration();
@@ -214,6 +222,7 @@ DdpTrainer::runEngine(Workload &workload, const WorkloadConfig &base,
                       const FaultRecoveryOptions &options,
                       bool with_checkpoints)
 {
+    GNN_SPAN("ddp.run_engine");
     GNN_ASSERT(world >= 1, "world size must be >= 1");
     GNN_ASSERT(options.iterations >= 1, "need at least one iteration");
     GNN_ASSERT(options.checkpointInterval >= 0,
@@ -228,6 +237,8 @@ DdpTrainer::runEngine(Workload &workload, const WorkloadConfig &base,
     // Both the ideal and the faulty pass seed the device identically,
     // so idealTimeSec and totalTimeSec share the same compute model.
     GpuDevice device(deviceConfig_, base.seed + 1000 + world);
+    if (extraObserver_ != nullptr)
+        device.addObserver(extraObserver_);
     workload.setup(cfg);
     DeviceGuard guard(&device);
 
@@ -358,6 +369,9 @@ DdpTrainer::runEngine(Workload &workload, const WorkloadConfig &base,
                 out.recoveryTimeSec +=
                     kTransientDetectSec + iter_compute;
                 sim_time += kTransientDetectSec + iter_compute;
+                static obs::Counter transients(
+                    "fault.transient_recovered");
+                transients.add();
             }
         }
 
@@ -395,6 +409,9 @@ DdpTrainer::runEngine(Workload &workload, const WorkloadConfig &base,
                 const double io = ckptIoSec();
                 out.checkpointTimeSec += io;
                 sim_time += io;
+                static obs::Counter ckpts(
+                    "fault.checkpoints_written");
+                ckpts.add();
             }
             continue;
         }
@@ -445,6 +462,10 @@ DdpTrainer::runEngine(Workload &workload, const WorkloadConfig &base,
         const double overhead = detection + rollback + reshard;
         out.recoveryTimeSec += overhead;
         sim_time += overhead;
+        static obs::Counter crashes("fault.crash_recovered");
+        static obs::Counter lost("fault.rollback_iterations");
+        crashes.add();
+        lost.add(rec.lostIterations);
     }
 
     if (alive_count == 0) {

@@ -22,6 +22,8 @@
 
 namespace gnnmark {
 
+class KernelObserver;
+
 /** One point of the strong-scaling curve. */
 struct ScalingResult
 {
@@ -157,6 +159,17 @@ class DdpTrainer
                   const FaultRecoveryOptions &options =
                       FaultRecoveryOptions{});
 
+    /**
+     * Attach an extra observer (e.g. a ChromeTraceWriter) to every
+     * device this trainer creates, so rank-0's kernel stream is
+     * captured alongside the scaling/fault measurements. Not owned;
+     * must outlive the trainer's measurement calls.
+     */
+    void setExtraObserver(KernelObserver *observer)
+    {
+        extraObserver_ = observer;
+    }
+
   private:
     struct EngineOutcome;
 
@@ -168,6 +181,7 @@ class DdpTrainer
 
     GpuConfig deviceConfig_;
     Interconnect interconnect_;
+    KernelObserver *extraObserver_ = nullptr;
 };
 
 } // namespace gnnmark

@@ -1,6 +1,7 @@
 #include "nn/loss.hh"
 
 #include "base/logging.hh"
+#include "obs/span.hh"
 #include "ops/reduce.hh"
 
 namespace gnnmark {
@@ -9,6 +10,7 @@ namespace nn {
 Variable
 crossEntropy(const Variable &logits, const std::vector<int32_t> &labels)
 {
+    GNN_SPAN("loss.cross_entropy");
     return ag::nllLoss(ag::logSoftmaxRows(logits), labels);
 }
 
@@ -16,6 +18,7 @@ Variable
 maxMarginLoss(const Variable &pos_scores, const Variable &neg_scores,
               float margin)
 {
+    GNN_SPAN("loss.max_margin");
     Variable diff = ag::sub(neg_scores, pos_scores);
     return ag::meanAll(ag::relu(ag::addScalar(diff, margin)));
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "obs/span.hh"
 #include "ops/kernel_common.hh"
 
 namespace gnnmark {
@@ -67,6 +68,7 @@ Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
 void
 Sgd::step()
 {
+    GNN_SPAN("optim.sgd.step");
     for (size_t i = 0; i < params_.size(); ++i) {
         Variable &p = params_[i];
         if (!p.hasGrad())
@@ -113,6 +115,7 @@ Adam::Adam(std::vector<Variable> params, float lr, float beta1,
 void
 Adam::step()
 {
+    GNN_SPAN("optim.adam.step");
     ++t_;
     const float bc1 =
         1.0f - std::pow(beta1_, static_cast<float>(t_));

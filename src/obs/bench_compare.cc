@@ -1,0 +1,164 @@
+#include "obs/bench_compare.hh"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "base/io.hh"
+#include "base/string_utils.hh"
+#include "obs/json.hh"
+
+namespace gnnmark {
+namespace obs {
+
+namespace {
+
+bool
+containsAny(const std::string &key, const std::vector<std::string> &subs)
+{
+    for (const auto &s : subs) {
+        if (!s.empty() && key.find(s) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+std::string
+readFileText(const std::string &path)
+{
+    std::vector<uint8_t> bytes = readFileBytes(path);
+    return std::string(bytes.begin(), bytes.end());
+}
+
+/** Prefix for one JSONL record, from its type/workload/iteration. */
+std::string
+recordPrefix(const JsonValue &record, int line_number)
+{
+    std::string type = "record";
+    if (const JsonValue *t = record.find("type"); t && t->isString())
+        type = t->string;
+    std::string scope;
+    if (const JsonValue *w = record.find("workload"); w && w->isString())
+        scope = w->string;
+    std::string prefix = type;
+    if (!scope.empty())
+        prefix += "." + scope;
+    if (const JsonValue *it = record.find("iteration");
+        it && it->isNumber()) {
+        prefix += strfmt(".%lld",
+                         static_cast<long long>(it->number));
+    } else if (scope.empty()) {
+        prefix += strfmt(".%d", line_number);
+    }
+    return prefix;
+}
+
+} // namespace
+
+double
+toleranceForKey(const CompareOptions &opts, const std::string &key)
+{
+    double tol = opts.defaultTolerance;
+    size_t best = 0;
+    for (const auto &[prefix, t] : opts.tolerances) {
+        if (key.compare(0, prefix.size(), prefix) == 0 &&
+            prefix.size() >= best) {
+            best = prefix.size();
+            tol = t;
+        }
+    }
+    return tol;
+}
+
+CompareResult
+compareMetricMaps(const std::map<std::string, double> &baseline,
+                  const std::map<std::string, double> &candidate,
+                  const CompareOptions &opts)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    CompareResult result;
+
+    for (const auto &[key, base] : baseline) {
+        if (containsAny(key, opts.ignoreSubstrings)) {
+            ++result.ignoredKeys;
+            continue;
+        }
+        auto it = candidate.find(key);
+        if (it == candidate.end()) {
+            if (!opts.allowMissing)
+                result.failures.push_back(
+                    {key, base, nan, 0, 0, "missing"});
+            continue;
+        }
+        ++result.comparedKeys;
+        const double cand = it->second;
+        const double tol = toleranceForKey(opts, key);
+        const double scale = std::max(std::fabs(base), std::fabs(cand));
+        const double rel =
+            scale == 0 ? 0 : std::fabs(cand - base) / scale;
+        // NaN on either side never satisfies <=, so it always fails.
+        const bool ok = std::isfinite(base) && std::isfinite(cand)
+            ? rel <= tol ||
+                  std::fabs(cand - base) <= opts.absoluteFloor
+            : (std::isnan(base) && std::isnan(cand)) || base == cand;
+        if (!ok)
+            result.failures.push_back(
+                {key, base, cand, rel, tol, "regression"});
+    }
+
+    for (const auto &[key, cand] : candidate) {
+        if (containsAny(key, opts.ignoreSubstrings)) {
+            ++result.ignoredKeys;
+            continue;
+        }
+        if (baseline.find(key) == baseline.end() && !opts.allowMissing)
+            result.failures.push_back({key, nan, cand, 0, 0, "extra"});
+    }
+    return result;
+}
+
+std::map<std::string, double>
+flattenTelemetryFile(const std::string &path)
+{
+    const std::string text = readFileText(path);
+    std::map<std::string, double> out;
+
+    // Try whole-document JSON first (report files); fall back to JSONL.
+    try {
+        JsonValue doc = parseJson(text);
+        flattenNumbers(doc, "", out);
+        return out;
+    } catch (const JsonError &) {
+    }
+
+    std::istringstream in(text);
+    std::string line;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonValue record = parseJson(line); // throws with offset info
+        flattenNumbers(record, recordPrefix(record, line_number), out);
+    }
+    return out;
+}
+
+std::string
+describeFailure(const CompareFailure &f)
+{
+    if (f.reason == "missing")
+        return strfmt("MISSING  %s (baseline %s, absent in candidate)",
+                      f.key.c_str(), jsonNumber(f.baseline).c_str());
+    if (f.reason == "extra")
+        return strfmt("EXTRA    %s (candidate %s, absent in baseline)",
+                      f.key.c_str(), jsonNumber(f.candidate).c_str());
+    return strfmt("REGRESS  %s  baseline=%s candidate=%s "
+                  "rel_err=%.4g tol=%.4g",
+                  f.key.c_str(), jsonNumber(f.baseline).c_str(),
+                  jsonNumber(f.candidate).c_str(), f.relativeError,
+                  f.tolerance);
+}
+
+} // namespace obs
+} // namespace gnnmark

@@ -1,0 +1,417 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "base/string_utils.hh"
+
+namespace gnnmark {
+namespace obs {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    if (value == std::floor(value) && std::fabs(value) < 9.007199e15)
+        return strfmt("%lld", static_cast<long long>(value));
+    return strfmt("%.12g", value);
+}
+
+// --- JsonWriter ---
+
+void
+JsonWriter::comma()
+{
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            out_ += ',';
+        needComma_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += '{';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += '}';
+    if (!needComma_.empty())
+        needComma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    comma();
+    out_ += '[';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += ']';
+    if (!needComma_.empty())
+        needComma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+    // The value after a key must not emit another comma.
+    if (!needComma_.empty())
+        needComma_.back() = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    comma();
+    out_ += jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    comma();
+    out_ += strfmt("%lld", static_cast<long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+// --- Parser ---
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text)
+    {
+    }
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw JsonError("JSON parse error at offset " +
+                        std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectLiteral(const char *lit)
+    {
+        for (const char *p = lit; *p != '\0'; ++p, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("bad literal (expected ") + lit + ")");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // Our writer only emits \u00xx; decode BMP points as
+                // UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        const std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0')
+            fail("malformed number '" + tok + "'");
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.number = d;
+        return v;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        char c = peek();
+        JsonValue v;
+        switch (c) {
+          case '{': {
+            v.type = JsonValue::Type::Object;
+            ++pos_;
+            if (consumeIf('}'))
+                return v;
+            while (true) {
+                std::string k = (skipWs(), parseString());
+                expect(':');
+                v.object.emplace_back(std::move(k), parseValue());
+                if (consumeIf('}'))
+                    return v;
+                expect(',');
+            }
+          }
+          case '[': {
+            v.type = JsonValue::Type::Array;
+            ++pos_;
+            if (consumeIf(']'))
+                return v;
+            while (true) {
+                v.array.push_back(parseValue());
+                if (consumeIf(']'))
+                    return v;
+                expect(',');
+            }
+          }
+          case '"':
+            v.type = JsonValue::Type::String;
+            v.string = parseString();
+            return v;
+          case 't':
+            expectLiteral("true");
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return v;
+          case 'f':
+            expectLiteral("false");
+            v.type = JsonValue::Type::Bool;
+            return v;
+          case 'n':
+            expectLiteral("null");
+            return v;
+          default:
+            if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+                return parseNumber();
+            fail("unexpected character");
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+void
+flattenNumbers(const JsonValue &v, const std::string &prefix,
+               std::map<std::string, double> &out)
+{
+    switch (v.type) {
+      case JsonValue::Type::Number:
+        out[prefix] = v.number;
+        break;
+      case JsonValue::Type::Bool:
+        out[prefix] = v.boolean ? 1.0 : 0.0;
+        break;
+      case JsonValue::Type::Array:
+        for (size_t i = 0; i < v.array.size(); ++i)
+            flattenNumbers(v.array[i],
+                           prefix + "." + std::to_string(i), out);
+        break;
+      case JsonValue::Type::Object:
+        for (const auto &[k, child] : v.object)
+            flattenNumbers(child, prefix.empty() ? k : prefix + "." + k,
+                           out);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace obs
+} // namespace gnnmark

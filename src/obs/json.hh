@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * with deterministic number formatting (telemetry snapshots must be
+ * byte-stable across runs), and a small recursive-descent parser used
+ * by bench_diff and the trace schema tests. No third-party deps.
+ */
+
+#ifndef GNNMARK_OBS_JSON_HH
+#define GNNMARK_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gnnmark {
+namespace obs {
+
+/** Escape `s` for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Format a double deterministically: integral values below 2^53 print
+ * without a fraction, everything else as %.12g; NaN/Inf (invalid in
+ * JSON) print as null.
+ */
+std::string jsonNumber(double value);
+
+/**
+ * Streaming JSON writer. Call sequence is validated only by JSON
+ * syntax being context-free here: the writer tracks whether a comma
+ * is due per nesting level; mismatched begin/end pairs are the
+ * caller's bug and surface as malformed output in tests.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    JsonWriter &key(const std::string &k);
+    JsonWriter &value(double v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+    JsonWriter &value(bool v);
+
+    const std::string &str() const { return out_; }
+
+  private:
+    void comma();
+
+    std::string out_;
+    std::vector<bool> needComma_; ///< one flag per open container
+};
+
+/** Error thrown by parseJson on malformed input. */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** A parsed JSON document node (object keys keep insertion order). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    bool isNumber() const { return type == Type::Number; }
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isString() const { return type == Type::String; }
+};
+
+/** Parse one JSON document; throws JsonError on malformed input. */
+JsonValue parseJson(const std::string &text);
+
+/**
+ * Flatten every numeric leaf of `v` into dotted paths under `prefix`
+ * ("a.b.3.c" for arrays), appending into `out`. Booleans count as 0/1;
+ * strings and nulls are skipped.
+ */
+void flattenNumbers(const JsonValue &v, const std::string &prefix,
+                    std::map<std::string, double> &out);
+
+} // namespace obs
+} // namespace gnnmark
+
+#endif // GNNMARK_OBS_JSON_HH

@@ -1,0 +1,171 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+namespace gnnmark {
+namespace obs {
+
+struct Metrics::Impl
+{
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::vector<double> counters;
+        std::vector<std::array<int64_t, kHistogramBuckets>> histograms;
+    };
+
+    mutable std::mutex registry;
+    std::vector<std::string> counterNames;
+    std::map<std::string, size_t> counterIds;
+    std::vector<std::string> histogramNames;
+    std::map<std::string, size_t> histogramIds;
+    std::map<std::string, double> gauges;
+    std::vector<std::unique_ptr<Shard>> shards;
+
+    Shard &
+    threadShard()
+    {
+        thread_local Shard *tls = nullptr;
+        if (tls == nullptr) {
+            auto shard = std::make_unique<Shard>();
+            std::lock_guard<std::mutex> lock(registry);
+            tls = shard.get();
+            shards.push_back(std::move(shard));
+        }
+        return *tls;
+    }
+};
+
+Metrics::Metrics() : impl_(new Impl)
+{
+}
+
+Metrics &
+Metrics::instance()
+{
+    static Metrics metrics;
+    return metrics;
+}
+
+size_t
+Metrics::counterId(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(impl_->registry);
+    auto it = impl_->counterIds.find(name);
+    if (it != impl_->counterIds.end())
+        return it->second;
+    const size_t id = impl_->counterNames.size();
+    impl_->counterNames.push_back(name);
+    impl_->counterIds.emplace(name, id);
+    return id;
+}
+
+size_t
+Metrics::histogramId(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(impl_->registry);
+    auto it = impl_->histogramIds.find(name);
+    if (it != impl_->histogramIds.end())
+        return it->second;
+    const size_t id = impl_->histogramNames.size();
+    impl_->histogramNames.push_back(name);
+    impl_->histogramIds.emplace(name, id);
+    return id;
+}
+
+void
+Metrics::addById(size_t id, double delta)
+{
+    Impl::Shard &shard = impl_->threadShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.counters.size() <= id)
+        shard.counters.resize(id + 1, 0.0);
+    shard.counters[id] += delta;
+}
+
+void
+Metrics::observeById(size_t id, double value)
+{
+    Impl::Shard &shard = impl_->threadShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.histograms.size() <= id)
+        shard.histograms.resize(id + 1);
+    ++shard.histograms[id][static_cast<size_t>(histogramBucket(value))];
+}
+
+void
+Metrics::add(const std::string &name, double delta)
+{
+    addById(counterId(name), delta);
+}
+
+void
+Metrics::observe(const std::string &name, double value)
+{
+    observeById(histogramId(name), value);
+}
+
+void
+Metrics::setGauge(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(impl_->registry);
+    impl_->gauges[name] = value;
+}
+
+int
+Metrics::histogramBucket(double value)
+{
+    if (!(value > 0))
+        return 0;
+    const int bucket = 32 + static_cast<int>(std::floor(std::log2(value)));
+    return std::clamp(bucket, 1, static_cast<int>(kHistogramBuckets) - 1);
+}
+
+MetricsSnapshot
+Metrics::snapshot() const
+{
+    std::lock_guard<std::mutex> registry(impl_->registry);
+    MetricsSnapshot snap;
+    snap.gauges = impl_->gauges;
+
+    std::vector<double> counters(impl_->counterNames.size(), 0.0);
+    std::vector<std::array<int64_t, kHistogramBuckets>> histograms(
+        impl_->histogramNames.size());
+    for (auto &h : histograms)
+        h.fill(0);
+
+    for (const auto &shard : impl_->shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (size_t i = 0; i < shard->counters.size(); ++i)
+            counters[i] += shard->counters[i];
+        for (size_t i = 0; i < shard->histograms.size(); ++i) {
+            for (size_t b = 0; b < kHistogramBuckets; ++b)
+                histograms[i][b] += shard->histograms[i][b];
+        }
+    }
+
+    for (size_t i = 0; i < counters.size(); ++i)
+        snap.counters[impl_->counterNames[i]] = counters[i];
+    for (size_t i = 0; i < histograms.size(); ++i)
+        snap.histograms[impl_->histogramNames[i]] = histograms[i];
+    return snap;
+}
+
+void
+Metrics::reset()
+{
+    std::lock_guard<std::mutex> registry(impl_->registry);
+    impl_->gauges.clear();
+    for (const auto &shard : impl_->shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        std::fill(shard->counters.begin(), shard->counters.end(), 0.0);
+        for (auto &h : shard->histograms)
+            h.fill(0);
+    }
+}
+
+} // namespace obs
+} // namespace gnnmark

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and log2-bucket
+ * histograms, fed by the sim (cache hits, stalls, transfers), the
+ * trainer (loss, iteration time) and the fault layer (injections,
+ * recoveries, rollbacks).
+ *
+ * Counters and histograms are sharded per thread: each thread owns a
+ * dense slot array indexed by a metric id, guarded only by its own
+ * uncontended mutex, and shards are summed at snapshot time. Metric
+ * ids are interned once per call site (the Counter/Histogram handle
+ * classes cache the id in a function-local static), so the hot path is
+ * one lock + one indexed add.
+ *
+ * Determinism contract: summing shards is unordered, so metrics that
+ * feed telemetry must either be recorded from a single thread (the
+ * sim/trainer layers are — kernel emission never leaves the launching
+ * thread) or carry integer-valued increments, for which floating-point
+ * addition is exact and order-independent below 2^53.
+ */
+
+#ifndef GNNMARK_OBS_METRICS_HH
+#define GNNMARK_OBS_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gnnmark {
+namespace obs {
+
+/** Number of log2 buckets per histogram (see histogramBucket()). */
+constexpr size_t kHistogramBuckets = 64;
+
+/** Aggregated view of every registered metric at one moment. */
+struct MetricsSnapshot
+{
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    /** Bucket counts; index semantics in Metrics::histogramBucket. */
+    std::map<std::string, std::array<int64_t, kHistogramBuckets>>
+        histograms;
+};
+
+class Metrics
+{
+  public:
+    static Metrics &instance();
+
+    /** Add `delta` to the named counter (interns the id per call). */
+    void add(const std::string &name, double delta = 1.0);
+
+    /** Set the named gauge (last write wins). */
+    void setGauge(const std::string &name, double value);
+
+    /** Record one observation into the named log2 histogram. */
+    void observe(const std::string &name, double value);
+
+    /** Aggregate all shards + gauges into one snapshot. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every counter, gauge and histogram (ids survive). */
+    void reset();
+
+    /**
+     * Bucket index for a histogram observation: bucket 0 collects
+     * v <= 0; otherwise floor(log2(v)) + 32 clamped to [1, 63], so
+     * bucket 32 holds [1, 2), bucket 22 holds ~[1e-3, 2e-3), etc.
+     */
+    static int histogramBucket(double value);
+
+    /** @{ Id interning for the handle classes (registry-locked). */
+    size_t counterId(const std::string &name);
+    size_t histogramId(const std::string &name);
+    /** @} */
+
+    /** @{ Hot-path slot updates by interned id. */
+    void addById(size_t id, double delta);
+    void observeById(size_t id, double value);
+    /** @} */
+
+  private:
+    Metrics();
+
+    struct Impl;
+    Impl *impl_; ///< leaked on purpose: threads may outlive statics
+};
+
+/** Cached-id counter handle: `static obs::Counter c("x"); c.add();` */
+class Counter
+{
+  public:
+    explicit Counter(const char *name)
+        : id_(Metrics::instance().counterId(name))
+    {
+    }
+
+    void add(double delta = 1.0) { Metrics::instance().addById(id_, delta); }
+
+  private:
+    size_t id_;
+};
+
+/** Cached-id histogram handle. */
+class Histogram
+{
+  public:
+    explicit Histogram(const char *name)
+        : id_(Metrics::instance().histogramId(name))
+    {
+    }
+
+    void
+    observe(double value)
+    {
+        Metrics::instance().observeById(id_, value);
+    }
+
+  private:
+    size_t id_;
+};
+
+} // namespace obs
+} // namespace gnnmark
+
+#endif // GNNMARK_OBS_METRICS_HH

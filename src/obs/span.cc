@@ -1,0 +1,153 @@
+#include "obs/span.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "base/thread_pool.hh"
+
+namespace gnnmark {
+namespace obs {
+
+namespace {
+
+/** Per-thread buffers are bounded so a forgotten enabled tracer can't
+ *  grow without limit; the overflow is counted, not silently lost. */
+constexpr size_t kMaxSpansPerThread = size_t(1) << 21;
+
+using Clock = std::chrono::steady_clock;
+
+} // namespace
+
+std::atomic<bool> SpanTracer::enabledFlag_{false};
+
+struct SpanTracer::Buffer
+{
+    std::string threadName;
+    int lane = 0;
+    int64_t dropped = 0;
+    std::vector<SpanEvent> spans;
+    mutable std::mutex mutex; ///< recording thread vs. collect()/clear()
+};
+
+struct SpanTracer::Impl
+{
+    Clock::time_point epoch = Clock::now();
+    mutable std::mutex registry;
+    std::vector<std::unique_ptr<Buffer>> buffers;
+    int hostThreads = 0; ///< non-pool threads registered so far
+};
+
+SpanTracer::SpanTracer() : impl_(new Impl)
+{
+}
+
+SpanTracer &
+SpanTracer::instance()
+{
+    static SpanTracer tracer;
+    return tracer;
+}
+
+void
+SpanTracer::setEnabled(bool enabled)
+{
+    enabledFlag_.store(enabled, std::memory_order_relaxed);
+}
+
+double
+SpanTracer::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     impl_->epoch)
+        .count();
+}
+
+SpanTracer::Buffer &
+SpanTracer::threadBuffer()
+{
+    thread_local Buffer *tls = nullptr;
+    if (tls == nullptr) {
+        auto buf = std::make_unique<Buffer>();
+        std::lock_guard<std::mutex> lock(impl_->registry);
+        const int worker = ThreadPool::currentWorkerIndex();
+        if (worker >= 0) {
+            // Pool workers sit on lanes 1..N so the primary host
+            // thread keeps lane 0 at the top of the timeline.
+            buf->threadName = "worker-" + std::to_string(worker);
+            buf->lane = 1 + worker;
+        } else {
+            const int k = impl_->hostThreads++;
+            buf->threadName =
+                k == 0 ? "host" : "host-" + std::to_string(k + 1);
+            buf->lane = k == 0 ? 0 : 1000 + k;
+        }
+        tls = buf.get();
+        impl_->buffers.push_back(std::move(buf));
+    }
+    return *tls;
+}
+
+void
+SpanTracer::record(const char *name, double start_us, double end_us)
+{
+    Buffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    if (buf.spans.size() >= kMaxSpansPerThread) {
+        ++buf.dropped;
+        return;
+    }
+    buf.spans.push_back(SpanEvent{name, start_us, end_us - start_us});
+}
+
+void
+SpanTracer::clear()
+{
+    std::lock_guard<std::mutex> registry(impl_->registry);
+    for (auto &buf : impl_->buffers) {
+        std::lock_guard<std::mutex> lock(buf->mutex);
+        buf->spans.clear();
+        buf->dropped = 0;
+    }
+}
+
+std::vector<ThreadSpans>
+SpanTracer::collect() const
+{
+    std::lock_guard<std::mutex> registry(impl_->registry);
+    std::vector<ThreadSpans> out;
+    out.reserve(impl_->buffers.size());
+    for (const auto &buf : impl_->buffers) {
+        std::lock_guard<std::mutex> lock(buf->mutex);
+        ThreadSpans t;
+        t.threadName = buf->threadName;
+        t.lane = buf->lane;
+        t.dropped = buf->dropped;
+        t.spans = buf->spans;
+        out.push_back(std::move(t));
+    }
+    // Buffers register in first-record order, which depends on thread
+    // scheduling; lanes are stable, so sort on them to keep the
+    // documented host-first, deterministic ordering.
+    std::sort(out.begin(), out.end(),
+              [](const ThreadSpans &a, const ThreadSpans &b) {
+                  return a.lane < b.lane;
+              });
+    return out;
+}
+
+size_t
+SpanTracer::spanCount() const
+{
+    std::lock_guard<std::mutex> registry(impl_->registry);
+    size_t n = 0;
+    for (const auto &buf : impl_->buffers) {
+        std::lock_guard<std::mutex> lock(buf->mutex);
+        n += buf->spans.size();
+    }
+    return n;
+}
+
+} // namespace obs
+} // namespace gnnmark

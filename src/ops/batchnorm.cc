@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "obs/span.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -96,6 +97,7 @@ Tensor
 batchNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
           float eps, BatchNormState &state)
 {
+    GNN_SPAN("op.batchnorm");
     const int64_t n = x.size(0);
     const int64_t f = x.dim() == 2 ? x.size(1) : 0;
     checkNormArgs(x, gamma, beta, f, "batchNorm");
@@ -142,6 +144,7 @@ batchNormBackward(const Tensor &grad_out, const Tensor &gamma,
                   const BatchNormState &state, Tensor &grad_x,
                   Tensor &grad_gamma, Tensor &grad_beta)
 {
+    GNN_SPAN("op.batchnorm.backward");
     const int64_t n = state.xhat.size(0);
     const int64_t f = state.xhat.size(1);
     GNN_ASSERT(grad_out.dim() == 2 && grad_out.size(0) == n &&
@@ -178,6 +181,7 @@ Tensor
 layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
           float eps, LayerNormState &state)
 {
+    GNN_SPAN("op.layernorm");
     const int64_t n = x.size(0);
     const int64_t f = x.dim() == 2 ? x.size(1) : 0;
     checkNormArgs(x, gamma, beta, f, "layerNorm");

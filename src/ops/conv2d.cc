@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "obs/span.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -268,6 +269,7 @@ col2im(const std::vector<float> &dpatches, const ConvDims &d, int pad,
 Tensor
 conv2d(const Tensor &input, const Tensor &weight, int pad)
 {
+    GNN_SPAN("op.conv2d");
     ConvDims d = checkDims(input, weight, pad);
     Tensor out({d.n, d.k, d.oh, d.ow});
 
@@ -315,6 +317,7 @@ Tensor
 conv2dGradInput(const Tensor &grad_out, const Tensor &weight,
                 const Tensor &input, int pad)
 {
+    GNN_SPAN("op.conv2d.grad_input");
     ConvDims d = checkDims(input, weight, pad);
     GNN_ASSERT(grad_out.dim() == 4 && grad_out.size(0) == d.n &&
                grad_out.size(1) == d.k && grad_out.size(2) == d.oh &&
@@ -356,6 +359,7 @@ Tensor
 conv2dGradWeight(const Tensor &grad_out, const Tensor &input,
                  const Tensor &weight, int pad)
 {
+    GNN_SPAN("op.conv2d.grad_weight");
     ConvDims d = checkDims(input, weight, pad);
     Tensor gw({d.k, d.c, d.r, d.s});
     const int64_t gemm_m = d.n * d.oh * d.ow;

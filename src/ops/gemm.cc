@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "obs/span.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -150,6 +151,7 @@ emitGemmKernel(const std::string &base, int64_t m, int64_t n, int64_t k,
 Tensor
 gemm(const Tensor &a, const Tensor &b, bool transpose_a, bool transpose_b)
 {
+    GNN_SPAN("op.gemm");
     GNN_ASSERT(a.dim() == 2 && b.dim() == 2,
                "gemm needs 2-d operands, got %s and %s",
                a.shapeString().c_str(), b.shapeString().c_str());
@@ -179,6 +181,7 @@ gemm(const Tensor &a, const Tensor &b, bool transpose_a, bool transpose_b)
     Tensor c({m, n});
     float *pc = c.data();
     parallel_for(0, m, 16, [&](int64_t i0, int64_t i1) {
+        GNN_SPAN("op.gemm.chunk");
         for (int64_t i = i0; i < i1; ++i) {
             const float *arow = pa + i * k;
             float *crow = pc + i * n;
@@ -202,6 +205,7 @@ gemm(const Tensor &a, const Tensor &b, bool transpose_a, bool transpose_b)
 Tensor
 gemv(const Tensor &a, const Tensor &x)
 {
+    GNN_SPAN("op.gemv");
     GNN_ASSERT(a.dim() == 2 && x.dim() == 1 && a.size(1) == x.size(0),
                "gemv: bad shapes %s, %s", a.shapeString().c_str(),
                x.shapeString().c_str());

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "obs/span.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -91,6 +92,7 @@ Tensor
 rowLookup(const Tensor &a, const std::vector<int32_t> &idx,
           const char *base, OpClass cls)
 {
+    GNN_SPAN("op.row_lookup");
     GNN_ASSERT(a.dim() == 2, "%s needs a 2-d table, got %s", base,
                a.shapeString().c_str());
     const int64_t n = a.size(0);
@@ -133,6 +135,7 @@ void
 scatterAddRows(Tensor &out, const std::vector<int32_t> &idx,
                const Tensor &src)
 {
+    GNN_SPAN("op.scatter_add");
     GNN_ASSERT(out.dim() == 2 && src.dim() == 2 &&
                out.size(1) == src.size(1),
                "scatterAddRows: bad shapes %s, %s",

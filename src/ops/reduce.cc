@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "obs/span.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -194,6 +195,7 @@ reduceMeanAll(const Tensor &a)
 Tensor
 reduceSumRows(const Tensor &a)
 {
+    GNN_SPAN("op.reduce.sum_rows");
     GNN_ASSERT(a.dim() == 2, "reduceSumRows needs 2-d, got %s",
                a.shapeString().c_str());
     const int64_t n = a.size(0);
@@ -216,6 +218,7 @@ reduceSumRows(const Tensor &a)
 Tensor
 reduceMaxRows(const Tensor &a)
 {
+    GNN_SPAN("op.reduce.max_rows");
     GNN_ASSERT(a.dim() == 2, "reduceMaxRows needs 2-d, got %s",
                a.shapeString().c_str());
     const int64_t n = a.size(0);
@@ -264,6 +267,7 @@ argmaxRows(const Tensor &a)
 Tensor
 reduceSumCols(const Tensor &a)
 {
+    GNN_SPAN("op.reduce.sum_cols");
     GNN_ASSERT(a.dim() == 2, "reduceSumCols needs 2-d, got %s",
                a.shapeString().c_str());
     const int64_t n = a.size(0);
@@ -304,6 +308,7 @@ segmentReduce(const Tensor &src, const std::vector<int32_t> &offsets,
               const char *name, Combine combine, float init,
               bool zero_empty)
 {
+    GNN_SPAN("op.segment_reduce");
     GNN_ASSERT(src.dim() == 2, "%s needs 2-d src, got %s", name,
                src.shapeString().c_str());
     GNN_ASSERT(!offsets.empty(), "%s: empty offsets", name);

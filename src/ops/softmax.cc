@@ -1,6 +1,7 @@
 #include "ops/softmax.hh"
 
 #include "base/logging.hh"
+#include "obs/span.hh"
 #include "ops/elementwise.hh"
 #include "ops/reduce.hh"
 
@@ -10,6 +11,7 @@ namespace ops {
 Tensor
 softmaxRows(const Tensor &a)
 {
+    GNN_SPAN("op.softmax");
     GNN_ASSERT(a.dim() == 2, "softmaxRows needs 2-d, got %s",
                a.shapeString().c_str());
     Tensor shifted = subRowsBy(a, reduceMaxRows(a));
@@ -20,6 +22,7 @@ softmaxRows(const Tensor &a)
 Tensor
 logSoftmaxRows(const Tensor &a)
 {
+    GNN_SPAN("op.log_softmax");
     GNN_ASSERT(a.dim() == 2, "logSoftmaxRows needs 2-d, got %s",
                a.shapeString().c_str());
     Tensor shifted = subRowsBy(a, reduceMaxRows(a));
@@ -31,6 +34,7 @@ logSoftmaxRows(const Tensor &a)
 Tensor
 softmaxRowsBackward(const Tensor &grad_out, const Tensor &y)
 {
+    GNN_SPAN("op.softmax.backward");
     Tensor gy = mul(grad_out, y);
     Tensor dot = reduceSumRows(gy);
     return mul(y, subRowsBy(grad_out, dot));
@@ -39,6 +43,7 @@ softmaxRowsBackward(const Tensor &grad_out, const Tensor &y)
 Tensor
 logSoftmaxRowsBackward(const Tensor &grad_out, const Tensor &log_y)
 {
+    GNN_SPAN("op.log_softmax.backward");
     Tensor y = exp(log_y);
     Tensor sum_g = reduceSumRows(grad_out);
     return sub(grad_out, mulRowsBy(y, sum_g));

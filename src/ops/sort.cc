@@ -6,6 +6,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "obs/span.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -111,6 +112,7 @@ emitScatter(int64_t n, uint64_t in_addr, uint64_t out_addr,
 void
 radixSort(std::vector<int32_t> &keys, std::vector<int32_t> *values)
 {
+    GNN_SPAN("op.radix_sort");
     const int64_t n = static_cast<int64_t>(keys.size());
     if (n <= 1)
         return;

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "obs/span.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -13,6 +14,7 @@ namespace ops {
 Tensor
 spmm(const CsrMatrix &a, const Tensor &b)
 {
+    GNN_SPAN("op.spmm");
     GNN_ASSERT(b.dim() == 2 && b.size(0) == a.cols,
                "spmm: A is %lldx%lld but B is %s",
                static_cast<long long>(a.rows),
@@ -26,6 +28,7 @@ spmm(const CsrMatrix &a, const Tensor &b)
     const float *pb = b.data();
     float *pc = c.data();
     parallel_for(0, m, 64, [&](int64_t r0, int64_t r1) {
+        GNN_SPAN("op.spmm.chunk");
         for (int64_t r = r0; r < r1; ++r) {
             float *crow = pc + r * f;
             for (int32_t e = a.rowPtr[r]; e < a.rowPtr[r + 1]; ++e) {

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "base/logging.hh"
+#include "obs/span.hh"
 #include "ops/elementwise.hh"
 
 namespace gnnmark {
@@ -110,6 +111,7 @@ Variable::backward()
 void
 Variable::backward(const Tensor &seed)
 {
+    GNN_SPAN("autograd.backward");
     GNN_ASSERT(defined(), "backward() on undefined Variable");
     GNN_ASSERT(requiresGrad(), "backward() on a non-grad Variable");
 

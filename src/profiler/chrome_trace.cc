@@ -1,48 +1,43 @@
 #include "profiler/chrome_trace.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/io.hh"
 #include "base/string_utils.hh"
+#include "obs/json.hh"
 
 namespace gnnmark {
 
+using obs::jsonEscape;
+
 namespace {
 
-/** Escape a string for embedding in a JSON string literal. */
-std::string
-jsonEscape(const std::string &s)
+/** Kernel lane tid of `rank` (rank 0 keeps the historical tid 0). */
+int
+kernelTid(int rank)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += strfmt("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
+    return 2 * rank;
+}
+
+/** Transfer lane tid of `rank`. */
+int
+transferTid(int rank)
+{
+    return 2 * rank + 1;
 }
 
 } // namespace
+
+void
+ChromeTraceWriter::setRank(int rank)
+{
+    rank_ = rank;
+    if (std::find(ranks_.begin(), ranks_.end(), rank) == ranks_.end()) {
+        ranks_.push_back(rank);
+        std::sort(ranks_.begin(), ranks_.end());
+    }
+}
 
 void
 ChromeTraceWriter::onKernel(const KernelRecord &record)
@@ -50,10 +45,10 @@ ChromeTraceWriter::onKernel(const KernelRecord &record)
     Event event;
     event.name = record.name;
     event.category = opClassName(record.opClass);
-    event.tid = 0;
-    event.startUs = kernelClockUs_;
+    event.tid = kernelTid(rank_);
+    event.startUs = kernelClockUs_[rank_];
     event.durationUs = record.timeSec * 1e6;
-    kernelClockUs_ += event.durationUs;
+    kernelClockUs_[rank_] += event.durationUs;
     event.args = {
         {"op_class", opClassName(record.opClass)},
         {"invocation", strfmt("%lld",
@@ -80,15 +75,67 @@ ChromeTraceWriter::onTransfer(const TransferRecord &record)
     Event event;
     event.name = "H2D " + record.tag;
     event.category = "transfer";
-    event.tid = 1;
-    event.startUs = transferClockUs_;
+    event.tid = transferTid(rank_);
+    event.startUs = transferClockUs_[rank_];
     event.durationUs = record.timeSec * 1e6;
-    transferClockUs_ += event.durationUs;
+    transferClockUs_[rank_] += event.durationUs;
     event.args = {
         {"bytes", strfmt("%.0f", record.bytes)},
         {"zero_fraction", strfmt("%.4f", record.zeroFraction)},
     };
     events_.push_back(std::move(event));
+}
+
+void
+ChromeTraceWriter::mirrorDeviceLanes(int world)
+{
+    const size_t original = events_.size();
+    for (int rank = 1; rank < world; ++rank) {
+        if (std::find(ranks_.begin(), ranks_.end(), rank) ==
+            ranks_.end()) {
+            ranks_.push_back(rank);
+        }
+        for (size_t i = 0; i < original; ++i) {
+            if (events_[i].tid != kernelTid(0) &&
+                events_[i].tid != transferTid(0)) {
+                continue;
+            }
+            Event copy = events_[i];
+            copy.tid = events_[i].tid == kernelTid(0)
+                           ? kernelTid(rank)
+                           : transferTid(rank);
+            copy.args.emplace_back("mirrored", "true");
+            events_.push_back(std::move(copy));
+        }
+    }
+    std::sort(ranks_.begin(), ranks_.end());
+}
+
+void
+ChromeTraceWriter::addHostSpans(const std::vector<obs::ThreadSpans> &threads)
+{
+    for (const obs::ThreadSpans &thread : threads) {
+        hostLaneNames_[thread.lane] = thread.threadName;
+        for (const obs::SpanEvent &span : thread.spans) {
+            Event event;
+            event.name = span.name;
+            event.category = "host";
+            event.tid = thread.lane;
+            event.startUs = span.startUs;
+            event.durationUs = span.durUs;
+            hostEvents_.push_back(std::move(event));
+        }
+        if (thread.dropped > 0) {
+            Event note;
+            note.name = strfmt("spans dropped: %lld",
+                               static_cast<long long>(thread.dropped));
+            note.category = "host";
+            note.tid = thread.lane;
+            note.startUs = 0;
+            note.durationUs = 0;
+            hostEvents_.push_back(std::move(note));
+        }
+    }
 }
 
 std::string
@@ -97,19 +144,18 @@ ChromeTraceWriter::json() const
     std::ostringstream os;
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     bool first = true;
-    auto thread_name = [&](int tid, const char *name) {
+    auto meta = [&](int pid, int tid, const char *what,
+                    const std::string &name) {
         if (!first)
             os << ",\n";
         first = false;
-        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name
-           << "\"}}";
+        os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+           << ",\"name\":\"" << what << "\",\"args\":{\"name\":\""
+           << jsonEscape(name) << "\"}}";
     };
-    thread_name(0, "kernels");
-    thread_name(1, "h2d copies");
-    for (const Event &event : events_) {
+    auto emit = [&](int pid, const Event &event) {
         os << ",\n";
-        os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid
+        os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << event.tid
            << ",\"name\":\"" << jsonEscape(event.name) << "\",\"cat\":\""
            << jsonEscape(event.category) << "\""
            << strfmt(",\"ts\":%.4f,\"dur\":%.4f", event.startUs,
@@ -124,6 +170,27 @@ ChromeTraceWriter::json() const
                << "\"";
         }
         os << "}}";
+    };
+
+    // The two pids carry different clock domains: pid 1 runs on
+    // simulated device time, pid 2 on the host monotonic clock.
+    meta(1, 0, "process_name", "device (sim time)");
+    for (int rank : ranks_) {
+        const std::string suffix =
+            rank == 0 ? "" : strfmt(" rank %d", rank);
+        meta(1, kernelTid(rank), "thread_name", "kernels" + suffix);
+        meta(1, transferTid(rank), "thread_name",
+             "h2d copies" + suffix);
+    }
+    for (const Event &event : events_)
+        emit(1, event);
+
+    if (!hostEvents_.empty()) {
+        meta(2, 0, "process_name", "host (wall clock)");
+        for (const auto &[lane, name] : hostLaneNames_)
+            meta(2, lane, "thread_name", name);
+        for (const Event &event : hostEvents_)
+            emit(2, event);
     }
     os << "\n]}\n";
     return os.str();

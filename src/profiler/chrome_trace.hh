@@ -6,19 +6,27 @@
  * aggregate tables, and the model's stand-in for nvprof's timeline
  * export.
  *
- * Events are complete ("ph":"X") events on a single process: kernels
- * on tid 0, host-to-device transfers on tid 1. The simulated clock has
- * no epoch, so timestamps are the running sum of event durations per
- * lane — the visual ordering and widths are what matter.
+ * Events are complete ("ph":"X") events. Device-side events live on
+ * pid 1: kernels on tid 2*rank, host-to-device transfers on tid
+ * 2*rank+1 (rank 0 keeps the historical tids 0/1). The simulated clock
+ * has no epoch, so device timestamps are the running sum of event
+ * durations per lane — the visual ordering and widths are what matter.
+ *
+ * Host-side spans (see obs/span.hh) are merged onto pid 2, one lane
+ * per recording thread, timestamped on the host monotonic clock. The
+ * two pids carry different clock domains on purpose; process_name
+ * metadata labels each.
  */
 
 #ifndef GNNMARK_PROFILER_CHROME_TRACE_HH
 #define GNNMARK_PROFILER_CHROME_TRACE_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/span.hh"
 #include "sim/kernel_record.hh"
 
 namespace gnnmark {
@@ -34,8 +42,28 @@ class ChromeTraceWriter : public KernelObserver
     void onKernel(const KernelRecord &record) override;
     void onTransfer(const TransferRecord &record) override;
 
+    /**
+     * Attribute subsequent device events to DDP rank `rank` (own lane
+     * pair, own running clocks). Rank 0 is the default.
+     */
+    void setRank(int rank);
+
+    /**
+     * Mirror rank 0's device lanes onto ranks 1..world-1. The DDP
+     * model simulates one real device and treats replicas as lockstep
+     * mirrors of rank 0's stream, so the mirrored lanes are the
+     * honest visualisation of that model (args carry mirrored=true).
+     */
+    void mirrorDeviceLanes(int world);
+
+    /**
+     * Merge host-side spans (from SpanTracer::collect()) into the
+     * trace as pid-2 lanes, one per recording thread.
+     */
+    void addHostSpans(const std::vector<obs::ThreadSpans> &threads);
+
     /** Number of events collected so far. */
-    size_t eventCount() const { return events_.size(); }
+    size_t eventCount() const { return events_.size() + hostEvents_.size(); }
 
     /** Render the collected events as a Trace Event JSON document. */
     std::string json() const;
@@ -55,8 +83,12 @@ class ChromeTraceWriter : public KernelObserver
     };
 
     std::vector<Event> events_;
-    double kernelClockUs_ = 0;   ///< running end of the kernel lane
-    double transferClockUs_ = 0; ///< running end of the copy lane
+    std::vector<Event> hostEvents_;
+    std::map<int, std::string> hostLaneNames_; ///< tid -> thread name
+    int rank_ = 0;
+    std::map<int, double> kernelClockUs_;   ///< per-rank kernel lane end
+    std::map<int, double> transferClockUs_; ///< per-rank copy lane end
+    std::vector<int> ranks_ = {0};          ///< ranks with lanes, sorted
 };
 
 } // namespace gnnmark

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "obs/span.hh"
 #include "sim/gpu_device.hh"
 
 namespace gnnmark {
@@ -29,6 +30,7 @@ ReplayResult
 replayTrace(const RecordedTrace &trace, const GpuConfig &config,
             const std::vector<KernelObserver *> &extra_observers)
 {
+    GNN_SPAN("trace.replay");
     GpuDevice device(config, trace.header.seed);
     ReplayResult result;
     result.workload = trace.header.workload;

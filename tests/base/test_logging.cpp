@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/logging.hh"
@@ -86,4 +87,105 @@ TEST(LogLevel, FatalIgnoresSilence)
     ScopedLogLevel lvl(LogLevel::Silent);
     EXPECT_EXIT(GNN_FATAL("fatal beats silence"),
                 ::testing::ExitedWithCode(1), "fatal beats silence");
+}
+
+namespace {
+
+/** RAII rate-limit override; restoring also clears duplicate counts. */
+struct ScopedWarnLimit
+{
+    explicit ScopedWarnLimit(int limit) { setWarnRateLimit(limit); }
+    ~ScopedWarnLimit()
+    {
+        flushSuppressedWarnings();
+        setWarnRateLimit(5);
+    }
+};
+
+} // namespace
+
+TEST(WarnRateLimit, DuplicatesAreCappedAndTagged)
+{
+    ScopedLogLevel lvl(LogLevel::Info);
+    ScopedWarnLimit limit(3);
+    std::vector<std::string> captured;
+    setWarnSink([&](const std::string &msg) { captured.push_back(msg); });
+    for (int i = 0; i < 10; ++i)
+        warn("same thing happened");
+    const int64_t suppressed = flushSuppressedWarnings();
+    setWarnSink(nullptr);
+
+    EXPECT_EQ(suppressed, 7);
+    ASSERT_EQ(captured.size(), 4u); // 3 emissions + 1 flush summary
+    EXPECT_EQ(captured[0], "same thing happened");
+    EXPECT_EQ(captured[1], "same thing happened");
+    EXPECT_EQ(captured[2],
+              "same thing happened (further duplicates suppressed)");
+    EXPECT_EQ(captured[3],
+              "suppressed 7 duplicates of: same thing happened");
+}
+
+TEST(WarnRateLimit, DistinctMessagesAreNotThrottled)
+{
+    ScopedLogLevel lvl(LogLevel::Info);
+    ScopedWarnLimit limit(2);
+    std::vector<std::string> captured;
+    setWarnSink([&](const std::string &msg) { captured.push_back(msg); });
+    for (int i = 0; i < 8; ++i)
+        warn("event %d", i);
+    const int64_t suppressed = flushSuppressedWarnings();
+    setWarnSink(nullptr);
+
+    EXPECT_EQ(suppressed, 0);
+    EXPECT_EQ(captured.size(), 8u);
+}
+
+TEST(WarnRateLimit, ZeroDisablesTheLimiter)
+{
+    ScopedLogLevel lvl(LogLevel::Info);
+    ScopedWarnLimit limit(0);
+    std::vector<std::string> captured;
+    setWarnSink([&](const std::string &msg) { captured.push_back(msg); });
+    for (int i = 0; i < 20; ++i)
+        warn("unlimited");
+    setWarnSink(nullptr);
+    EXPECT_EQ(captured.size(), 20u);
+    EXPECT_EQ(flushSuppressedWarnings(), 0);
+}
+
+TEST(WarnRateLimit, FlushWithNothingSuppressedIsQuiet)
+{
+    ScopedLogLevel lvl(LogLevel::Info);
+    ScopedWarnLimit limit(5);
+    std::vector<std::string> captured;
+    setWarnSink([&](const std::string &msg) { captured.push_back(msg); });
+    warn("once");
+    const int64_t suppressed = flushSuppressedWarnings();
+    setWarnSink(nullptr);
+    EXPECT_EQ(suppressed, 0);
+    EXPECT_EQ(captured.size(), 1u);
+}
+
+TEST(WarnRateLimit, ConcurrentWarnsNeitherTearNorOvercount)
+{
+    ScopedLogLevel lvl(LogLevel::Info);
+    ScopedWarnLimit limit(4);
+    std::vector<std::string> captured;
+    setWarnSink([&](const std::string &msg) { captured.push_back(msg); });
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 25; ++i)
+                warn("racy duplicate");
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    const int64_t suppressed = flushSuppressedWarnings();
+    setWarnSink(nullptr);
+
+    // 100 total warns: 4 emitted, 96 suppressed, 1 summary line; the
+    // sink runs under the log lock so pushes cannot interleave.
+    EXPECT_EQ(suppressed, 96);
+    EXPECT_EQ(captured.size(), 5u);
 }

@@ -1,0 +1,178 @@
+/** @file Tests for the JSON report twins and end-to-end telemetry. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/characterization.hh"
+#include "core/reports_json.hh"
+#include "obs/bench_compare.hh"
+#include "obs/json.hh"
+#include "obs/telemetry.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+WorkloadProfile
+tinyRun(obs::TelemetrySink *telemetry = nullptr)
+{
+    RunOptions opt;
+    opt.scale = 0.25;
+    opt.iterations = 2;
+    opt.telemetry = telemetry;
+    CharacterizationRunner runner(opt);
+    return runner.run("STGCN");
+}
+
+} // namespace
+
+TEST(ReportsJson, FiguresDocumentCoversEveryPaperFigure)
+{
+    const WorkloadProfile profile = tinyRun();
+    const std::string doc = reports::figuresJson({profile});
+    const obs::JsonValue root = obs::parseJson(doc);
+    const obs::JsonValue *wl = root.find("workloads")->find("STGCN");
+    ASSERT_NE(wl, nullptr);
+    for (const char *key :
+         {"fig2_op_time_breakdown", "fig3_instruction_mix",
+          "fig4_throughput", "fig5_stall_breakdown", "fig6_cache",
+          "fig7_sparsity", "losses", "epoch_time_sec",
+          "parameter_bytes"}) {
+        EXPECT_NE(wl->find(key), nullptr) << "missing " << key;
+    }
+    EXPECT_EQ(wl->find("losses")->array.size(), 2u);
+    // Op-time shares are a distribution.
+    double share_sum = 0;
+    for (const auto &[name, v] :
+         wl->find("fig2_op_time_breakdown")->object)
+        share_sum += v.number;
+    EXPECT_NEAR(share_sum, 1.0, 1e-9);
+}
+
+TEST(ReportsJson, ManifestRecordCarriesConfigAndProfile)
+{
+    const WorkloadProfile profile = tinyRun();
+    RunOptions opt;
+    opt.scale = 0.25;
+    opt.iterations = 2;
+    const std::string line =
+        reports::runManifestJson(profile, opt, /*threads=*/3,
+                                 /*host_wall_us=*/123.0);
+    const obs::JsonValue m = obs::parseJson(line);
+    EXPECT_EQ(m.find("type")->string, "manifest");
+    EXPECT_EQ(m.find("workload")->string, "STGCN");
+    EXPECT_DOUBLE_EQ(m.find("seed")->number, 42);
+    EXPECT_DOUBLE_EQ(m.find("scale")->number, 0.25);
+    EXPECT_DOUBLE_EQ(m.find("threads")->number, 3);
+    EXPECT_DOUBLE_EQ(m.find("host_wall_us")->number, 123);
+    ASSERT_NE(m.find("profile"), nullptr);
+    EXPECT_NE(m.find("profile")->find("fig4_throughput"), nullptr);
+}
+
+TEST(Telemetry, RunnerWritesOneRecordPerIterationPlusNothingElse)
+{
+    const std::string path =
+        ::testing::TempDir() + "gnnmark_reports_json_tele.jsonl";
+    {
+        obs::TelemetrySink sink(path);
+        tinyRun(&sink);
+        EXPECT_EQ(sink.recordCount(), 2); // iterations only; the CLI
+                                          // appends the manifest
+    }
+    std::ifstream in(path);
+    std::string line;
+    int iterations = 0;
+    while (std::getline(in, line)) {
+        const obs::JsonValue rec = obs::parseJson(line);
+        EXPECT_EQ(rec.find("type")->string, "iteration");
+        EXPECT_EQ(rec.find("workload")->string, "STGCN");
+        EXPECT_DOUBLE_EQ(rec.find("iteration")->number, iterations);
+        EXPECT_GT(rec.find("sim_time_us")->number, 0);
+        EXPECT_GT(rec.find("kernels")->number, 0);
+        ASSERT_NE(rec.find("metrics"), nullptr);
+        EXPECT_GT(rec.find("metrics")
+                      ->find("counters")
+                      ->find("sim.kernel_launches")
+                      ->number,
+                  0);
+        ++iterations;
+    }
+    std::remove(path.c_str());
+    EXPECT_EQ(iterations, 2);
+}
+
+TEST(Telemetry, SameSeedSameProcessIsDeterministic)
+{
+    const std::string base = ::testing::TempDir();
+    const std::string path_a = base + "gnnmark_tele_det_a.jsonl";
+    const std::string path_b = base + "gnnmark_tele_det_b.jsonl";
+    {
+        obs::TelemetrySink a(path_a);
+        tinyRun(&a);
+    }
+    {
+        obs::TelemetrySink b(path_b);
+        tinyRun(&b);
+    }
+    // The determinism contract: the numeric stream (losses, kernel
+    // and transfer counts, bytes moved) is exactly reproducible for a
+    // fixed seed; cache/timing metrics hash real heap addresses, so
+    // they drift by a few percent between runs and the regression
+    // gate covers them with a tolerance.
+    const auto flat_a = obs::flattenTelemetryFile(path_a);
+    const auto flat_b = obs::flattenTelemetryFile(path_b);
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+    for (const char *key :
+         {"iteration.STGCN.0.loss", "iteration.STGCN.1.loss",
+          "iteration.STGCN.0.kernels", "iteration.STGCN.1.kernels",
+          "iteration.STGCN.1.metrics.counters.sim.kernel_launches",
+          "iteration.STGCN.1.metrics.counters.sim.transfer_bytes"}) {
+        ASSERT_EQ(flat_a.count(key), 1u) << key;
+        EXPECT_DOUBLE_EQ(flat_a.at(key), flat_b.at(key)) << key;
+    }
+    obs::CompareOptions opts;
+    opts.defaultTolerance = 0.05;
+    opts.absoluteFloor = 1e-4;
+    // Kernel-time histogram buckets sit on log2 boundaries, so the
+    // few-percent timing jitter can move whole kernels between
+    // buckets; the per-bucket counts are not gate material.
+    opts.ignoreSubstrings.push_back(".metrics.histograms.");
+    const obs::CompareResult r =
+        compareMetricMaps(flat_a, flat_b, opts);
+    for (const obs::CompareFailure &f : r.failures)
+        ADD_FAILURE() << describeFailure(f);
+    EXPECT_GT(r.comparedKeys, 20);
+}
+
+TEST(ReportsJson, ScalingDocumentShapesFig9)
+{
+    std::vector<std::pair<std::string, std::vector<ScalingResult>>>
+        curves(1);
+    curves[0].first = "STGCN";
+    ScalingResult one;
+    one.worldSize = 1;
+    one.epochTimeSec = 2.0;
+    one.speedup = 1.0;
+    ScalingResult two;
+    two.worldSize = 2;
+    two.epochTimeSec = 1.2;
+    two.speedup = 2.0 / 1.2;
+    curves[0].second = {one, two};
+
+    const obs::JsonValue doc =
+        obs::parseJson(reports::scalingJson(curves));
+    const obs::JsonValue *curve =
+        doc.find("fig9_scaling")->find("STGCN");
+    ASSERT_NE(curve, nullptr);
+    ASSERT_EQ(curve->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(curve->array[1].find("world_size")->number, 2);
+    // JSON numbers round-trip through %.12g, so allow that much slack.
+    EXPECT_NEAR(curve->array[1].find("speedup")->number, 2.0 / 1.2,
+                1e-9);
+}

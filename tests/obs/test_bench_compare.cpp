@@ -1,0 +1,157 @@
+/** @file Tests for the bench_diff comparison engine. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "obs/bench_compare.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+using MetricMap = std::map<std::string, double>;
+
+std::string
+writeTemp(const std::string &name, const std::string &content)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    return path;
+}
+
+} // namespace
+
+TEST(BenchCompare, IdenticalMapsPassAtZeroTolerance)
+{
+    const MetricMap m = {{"a", 1.0}, {"b", -2.5}, {"c", 0.0}};
+    const obs::CompareResult r =
+        compareMetricMaps(m, m, obs::CompareOptions{});
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.comparedKeys, 3);
+}
+
+TEST(BenchCompare, DriftBeyondToleranceFails)
+{
+    const MetricMap base = {{"a", 100.0}};
+    const MetricMap cand = {{"a", 103.0}};
+    obs::CompareOptions opts;
+    opts.defaultTolerance = 0.02;
+    const obs::CompareResult r = compareMetricMaps(base, cand, opts);
+    ASSERT_EQ(r.failures.size(), 1u);
+    EXPECT_EQ(r.failures[0].reason, "regression");
+    EXPECT_NEAR(r.failures[0].relativeError, 3.0 / 103.0, 1e-12);
+
+    opts.defaultTolerance = 0.05;
+    EXPECT_TRUE(compareMetricMaps(base, cand, opts).ok());
+}
+
+TEST(BenchCompare, LongestPrefixToleranceWins)
+{
+    obs::CompareOptions opts;
+    opts.defaultTolerance = 0.0;
+    opts.tolerances = {{"iter.", 0.5}, {"iter.fine.", 0.01}};
+    EXPECT_DOUBLE_EQ(toleranceForKey(opts, "iter.loss"), 0.5);
+    EXPECT_DOUBLE_EQ(toleranceForKey(opts, "iter.fine.ipc"), 0.01);
+    EXPECT_DOUBLE_EQ(toleranceForKey(opts, "manifest.ipc"), 0.0);
+}
+
+TEST(BenchCompare, AbsoluteFloorForgivesTinyDrift)
+{
+    const MetricMap base = {{"stall.frac", 3e-5}};
+    const MetricMap cand = {{"stall.frac", 4e-5}}; // 25% relative
+    obs::CompareOptions opts;
+    EXPECT_FALSE(compareMetricMaps(base, cand, opts).ok());
+    opts.absoluteFloor = 1e-4;
+    EXPECT_TRUE(compareMetricMaps(base, cand, opts).ok());
+}
+
+TEST(BenchCompare, WallClockKeysAreIgnoredByDefault)
+{
+    const MetricMap base = {{"iter.host_time_us", 10.0},
+                            {"manifest.wall_time_sec", 1.0},
+                            {"iter.loss", 0.5}};
+    const MetricMap cand = {{"iter.host_time_us", 900.0},
+                            {"manifest.wall_time_sec", 77.0},
+                            {"iter.loss", 0.5}};
+    const obs::CompareResult r =
+        compareMetricMaps(base, cand, obs::CompareOptions{});
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.comparedKeys, 1);
+    EXPECT_EQ(r.ignoredKeys, 4); // both sides count their skips
+}
+
+TEST(BenchCompare, MissingAndExtraKeysFailUnlessAllowed)
+{
+    const MetricMap base = {{"a", 1.0}, {"gone", 2.0}};
+    const MetricMap cand = {{"a", 1.0}, {"new", 3.0}};
+    obs::CompareOptions opts;
+    const obs::CompareResult r = compareMetricMaps(base, cand, opts);
+    ASSERT_EQ(r.failures.size(), 2u);
+    EXPECT_EQ(r.failures[0].reason, "missing");
+    EXPECT_EQ(r.failures[1].reason, "extra");
+
+    opts.allowMissing = true;
+    EXPECT_TRUE(compareMetricMaps(base, cand, opts).ok());
+}
+
+TEST(BenchCompare, DescribeFailureNamesTheKeyAndValues)
+{
+    obs::CompareFailure f;
+    f.key = "iter.loss";
+    f.baseline = 0.5;
+    f.candidate = 0.75;
+    f.relativeError = 1.0 / 3.0;
+    f.tolerance = 0.01;
+    f.reason = "regression";
+    const std::string line = describeFailure(f);
+    EXPECT_NE(line.find("REGRESS"), std::string::npos);
+    EXPECT_NE(line.find("iter.loss"), std::string::npos);
+    EXPECT_NE(line.find("0.5"), std::string::npos);
+    EXPECT_NE(line.find("0.75"), std::string::npos);
+}
+
+TEST(BenchCompare, FlattensJsonlWithRecordPrefixes)
+{
+    const std::string path = writeTemp(
+        "gnnmark_bench_compare.jsonl",
+        "{\"type\":\"iteration\",\"workload\":\"GCN\",\"iteration\":0,"
+        "\"loss\":0.5}\n"
+        "{\"type\":\"iteration\",\"workload\":\"GCN\",\"iteration\":1,"
+        "\"loss\":0.4}\n"
+        "{\"type\":\"manifest\",\"workload\":\"GCN\",\"seed\":42}\n");
+    const MetricMap flat = obs::flattenTelemetryFile(path);
+    std::remove(path.c_str());
+    EXPECT_DOUBLE_EQ(flat.at("iteration.GCN.0.loss"), 0.5);
+    EXPECT_DOUBLE_EQ(flat.at("iteration.GCN.1.loss"), 0.4);
+    EXPECT_DOUBLE_EQ(flat.at("manifest.GCN.seed"), 42);
+}
+
+TEST(BenchCompare, FlattensWholeDocumentReports)
+{
+    const std::string path = writeTemp(
+        "gnnmark_bench_compare_doc.json",
+        "{\"workloads\":{\"GCN\":{\"gflops\":12.5}}}");
+    const MetricMap flat = obs::flattenTelemetryFile(path);
+    std::remove(path.c_str());
+    EXPECT_DOUBLE_EQ(flat.at("workloads.GCN.gflops"), 12.5);
+}
+
+TEST(BenchCompare, SelfDiffOfARealTelemetryFileIsExact)
+{
+    const std::string path = writeTemp(
+        "gnnmark_bench_compare_self.jsonl",
+        "{\"type\":\"iteration\",\"workload\":\"X\",\"iteration\":0,"
+        "\"sim_time_us\":123.25,\"host_time_us\":9.0}\n");
+    const MetricMap flat = obs::flattenTelemetryFile(path);
+    std::remove(path.c_str());
+    const obs::CompareResult r =
+        compareMetricMaps(flat, flat, obs::CompareOptions{});
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.comparedKeys, 2); // iteration index + sim time
+    EXPECT_EQ(r.ignoredKeys, 2);  // host_time_us on both sides
+}

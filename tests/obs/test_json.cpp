@@ -1,0 +1,89 @@
+/** @file Tests for the observability layer's JSON writer/parser. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "obs/json.hh"
+
+using namespace gnnmark;
+
+TEST(JsonEscape, MetacharactersAndControlBytes)
+{
+    EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+    EXPECT_EQ(obs::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(obs::jsonEscape("line\nbreak\ttab"),
+              "line\\nbreak\\ttab");
+    EXPECT_EQ(obs::jsonEscape(std::string("nul\x01", 4)), "nul\\u0001");
+}
+
+TEST(JsonNumber, IntegralValuesPrintWithoutFraction)
+{
+    EXPECT_EQ(obs::jsonNumber(0), "0");
+    EXPECT_EQ(obs::jsonNumber(-17), "-17");
+    EXPECT_EQ(obs::jsonNumber(4096), "4096");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(obs::jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(obs::jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(JsonWriter, NestedContainersGetCommasRight)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("a").value(1);
+    w.key("b").beginArray();
+    w.value(1).value(2.5).value("three").value(true);
+    w.endArray();
+    w.key("c").beginObject().endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"a\":1,\"b\":[1,2.5,\"three\",true],\"c\":{}}");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("name").value("run \"x\"");
+    w.key("vals").beginArray().value(1).value(-2.25).endArray();
+    w.key("flag").value(false);
+    w.endObject();
+
+    const obs::JsonValue doc = obs::parseJson(w.str());
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.find("name")->string, "run \"x\"");
+    ASSERT_TRUE(doc.find("vals")->isArray());
+    EXPECT_DOUBLE_EQ(doc.find("vals")->array[1].number, -2.25);
+    EXPECT_FALSE(doc.find("flag")->boolean);
+}
+
+TEST(JsonParse, MalformedInputThrows)
+{
+    EXPECT_THROW(obs::parseJson("{"), obs::JsonError);
+    EXPECT_THROW(obs::parseJson("{\"a\":}"), obs::JsonError);
+    EXPECT_THROW(obs::parseJson("[1,2,]"), obs::JsonError);
+    EXPECT_THROW(obs::parseJson("{} trailing"), obs::JsonError);
+    EXPECT_THROW(obs::parseJson(""), obs::JsonError);
+}
+
+TEST(JsonFlatten, NumericLeavesBecomeDottedPaths)
+{
+    const obs::JsonValue doc = obs::parseJson(
+        "{\"a\":{\"b\":2,\"skip\":\"str\"},\"arr\":[5,{\"x\":7}],"
+        "\"flag\":true}");
+    std::map<std::string, double> flat;
+    obs::flattenNumbers(doc, "", flat);
+    ASSERT_EQ(flat.size(), 4u);
+    EXPECT_DOUBLE_EQ(flat.at("a.b"), 2);
+    EXPECT_DOUBLE_EQ(flat.at("arr.0"), 5);
+    EXPECT_DOUBLE_EQ(flat.at("arr.1.x"), 7);
+    EXPECT_DOUBLE_EQ(flat.at("flag"), 1);
+}

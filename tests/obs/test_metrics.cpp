@@ -1,0 +1,101 @@
+/** @file Tests for the sharded metrics registry. */
+
+#include <gtest/gtest.h>
+
+#include "base/thread_pool.hh"
+#include "obs/metrics.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+/** Metrics is a process-wide singleton; every test starts clean. */
+struct MetricsTest : ::testing::Test
+{
+    void SetUp() override { obs::Metrics::instance().reset(); }
+    void TearDown() override { obs::Metrics::instance().reset(); }
+};
+
+} // namespace
+
+TEST_F(MetricsTest, CountersAccumulate)
+{
+    obs::Metrics &m = obs::Metrics::instance();
+    m.add("test.hits");
+    m.add("test.hits", 4);
+    m.add("test.bytes", 1024);
+    const obs::MetricsSnapshot snap = m.snapshot();
+    EXPECT_DOUBLE_EQ(snap.counters.at("test.hits"), 5);
+    EXPECT_DOUBLE_EQ(snap.counters.at("test.bytes"), 1024);
+}
+
+TEST_F(MetricsTest, GaugesLastWriteWins)
+{
+    obs::Metrics &m = obs::Metrics::instance();
+    m.setGauge("test.loss", 0.9);
+    m.setGauge("test.loss", 0.5);
+    EXPECT_DOUBLE_EQ(m.snapshot().gauges.at("test.loss"), 0.5);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAreLog2)
+{
+    EXPECT_EQ(obs::Metrics::histogramBucket(0), 0);
+    EXPECT_EQ(obs::Metrics::histogramBucket(-3), 0);
+    EXPECT_EQ(obs::Metrics::histogramBucket(1.0), 32);
+    EXPECT_EQ(obs::Metrics::histogramBucket(1.5), 32);
+    EXPECT_EQ(obs::Metrics::histogramBucket(2.0), 33);
+    EXPECT_EQ(obs::Metrics::histogramBucket(0.5), 31);
+    // Extremes clamp instead of running off the array.
+    EXPECT_EQ(obs::Metrics::histogramBucket(1e300), 63);
+    EXPECT_EQ(obs::Metrics::histogramBucket(1e-300), 1);
+}
+
+TEST_F(MetricsTest, HistogramObservationsLandInBuckets)
+{
+    obs::Metrics &m = obs::Metrics::instance();
+    m.observe("test.lat", 1.0);
+    m.observe("test.lat", 1.9);
+    m.observe("test.lat", 4.0);
+    const auto &buckets = m.snapshot().histograms.at("test.lat");
+    EXPECT_EQ(buckets[32], 2);
+    EXPECT_EQ(buckets[34], 1);
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything)
+{
+    obs::Metrics &m = obs::Metrics::instance();
+    m.add("test.c", 7);
+    m.setGauge("test.g", 3);
+    m.observe("test.h", 2.0);
+    m.reset();
+    const obs::MetricsSnapshot snap = m.snapshot();
+    EXPECT_DOUBLE_EQ(snap.counters.at("test.c"), 0);
+    EXPECT_EQ(snap.gauges.count("test.g"), 0u);
+    EXPECT_EQ(snap.histograms.at("test.h")[33], 0);
+}
+
+TEST_F(MetricsTest, HandleClassesShareTheRegistry)
+{
+    obs::Counter c("test.handle");
+    obs::Histogram h("test.handle_hist");
+    c.add();
+    c.add(2);
+    h.observe(1.0);
+    const obs::MetricsSnapshot snap =
+        obs::Metrics::instance().snapshot();
+    EXPECT_DOUBLE_EQ(snap.counters.at("test.handle"), 3);
+    EXPECT_EQ(snap.histograms.at("test.handle_hist")[32], 1);
+}
+
+TEST_F(MetricsTest, ShardsSumAcrossPoolThreads)
+{
+    obs::Metrics &m = obs::Metrics::instance();
+    // Integer increments from many threads must sum exactly (the
+    // registry's determinism contract).
+    parallel_for(0, 1000, 1,
+                 [&](int64_t b, int64_t e) {
+                     for (int64_t i = b; i < e; ++i)
+                         m.add("test.parallel");
+                 });
+    EXPECT_DOUBLE_EQ(m.snapshot().counters.at("test.parallel"), 1000);
+}

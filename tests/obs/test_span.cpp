@@ -1,0 +1,159 @@
+/** @file Tests for the host-side span tracer. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.hh"
+#include "obs/span.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+/** Spans are process-global; isolate and always re-disable. */
+struct SpanTest : ::testing::Test
+{
+    void SetUp() override
+    {
+        obs::SpanTracer::instance().setEnabled(false);
+        obs::SpanTracer::instance().clear();
+    }
+    void TearDown() override
+    {
+        obs::SpanTracer::instance().setEnabled(false);
+        obs::SpanTracer::instance().clear();
+    }
+};
+
+int64_t
+totalSpans(const std::vector<obs::ThreadSpans> &threads)
+{
+    int64_t n = 0;
+    for (const auto &t : threads)
+        n += static_cast<int64_t>(t.spans.size());
+    return n;
+}
+
+} // namespace
+
+TEST_F(SpanTest, DisabledTracerRecordsNothing)
+{
+    {
+        GNN_SPAN("test.should_not_appear");
+    }
+    EXPECT_EQ(obs::SpanTracer::instance().spanCount(), 0u);
+}
+
+TEST_F(SpanTest, EnabledSpansCarryNameAndDuration)
+{
+    obs::SpanTracer &tracer = obs::SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        GNN_SPAN("test.outer");
+        GNN_SPAN("test.inner");
+    }
+    tracer.setEnabled(false);
+
+    const std::vector<obs::ThreadSpans> threads = tracer.collect();
+    ASSERT_EQ(totalSpans(threads), 2);
+    bool found_outer = false;
+    for (const auto &t : threads) {
+        for (const auto &s : t.spans) {
+            EXPECT_GE(s.durUs, 0.0);
+            EXPECT_GE(s.startUs, 0.0);
+            if (std::string(s.name) == "test.outer")
+                found_outer = true;
+        }
+    }
+    EXPECT_TRUE(found_outer);
+}
+
+TEST_F(SpanTest, MidScopeDisableStillRecordsTheLatchedSpan)
+{
+    obs::SpanTracer &tracer = obs::SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        GNN_SPAN("test.latched");
+        tracer.setEnabled(false);
+        // The span latched enabled-state at construction, so its
+        // destructor still records.
+    }
+    EXPECT_EQ(tracer.spanCount(), 1u);
+}
+
+TEST_F(SpanTest, ClearDropsBufferedSpans)
+{
+    obs::SpanTracer &tracer = obs::SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        GNN_SPAN("test.cleared");
+    }
+    tracer.setEnabled(false);
+    EXPECT_EQ(tracer.spanCount(), 1u);
+    tracer.clear();
+    EXPECT_EQ(tracer.spanCount(), 0u);
+}
+
+TEST_F(SpanTest, NowUsIsMonotonic)
+{
+    obs::SpanTracer &tracer = obs::SpanTracer::instance();
+    const double a = tracer.nowUs();
+    const double b = tracer.nowUs();
+    EXPECT_GE(b, a);
+}
+
+TEST_F(SpanTest, WorkerThreadsGetTheirOwnLanes)
+{
+    ThreadPool &pool = ThreadPool::instance();
+    const int saved = pool.threadCount();
+    pool.setThreadCount(3);
+
+    obs::SpanTracer &tracer = obs::SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        // Recorded directly so the host lane exists even if the pool
+        // workers drain every chunk of the loop below.
+        GNN_SPAN("test.host");
+    }
+    // On a single-CPU host any one thread can drain the whole range
+    // before the others are ever scheduled, so every chunk yields
+    // until at least one pool worker has recorded a span.
+    std::atomic<bool> worker_ran{false};
+    parallel_for(0, 64, 1,
+                 [&](int64_t, int64_t) {
+                     GNN_SPAN("test.chunk");
+                     if (ThreadPool::currentWorkerIndex() >= 0) {
+                         worker_ran = true;
+                         return;
+                     }
+                     for (int spin = 0; spin < 5000 && !worker_ran;
+                          ++spin)
+                         std::this_thread::sleep_for(
+                             std::chrono::milliseconds(1));
+                 });
+    tracer.setEnabled(false);
+
+    const std::vector<obs::ThreadSpans> threads = tracer.collect();
+    pool.setThreadCount(saved);
+
+    EXPECT_EQ(totalSpans(threads), 65);
+    // The host thread collects first and keeps lane 0; workers that
+    // recorded anything report distinct positive lanes.
+    ASSERT_FALSE(threads.empty());
+    EXPECT_EQ(threads.front().lane, 0);
+    std::vector<int> lanes;
+    bool saw_worker = false;
+    for (const auto &t : threads) {
+        for (int lane : lanes)
+            EXPECT_NE(lane, t.lane);
+        lanes.push_back(t.lane);
+        if (t.threadName.rfind("worker-", 0) == 0)
+            saw_worker = true;
+    }
+    EXPECT_TRUE(saw_worker);
+}

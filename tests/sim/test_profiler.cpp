@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "profiler/profiler.hh"
@@ -186,4 +187,53 @@ TEST(StallNames, AllDistinct)
             seen.insert(stallReasonName(static_cast<StallReason>(r)))
                 .second);
     }
+}
+
+TEST(Profiler, EmptyRunReportsZeroesNotNaN)
+{
+    const Profiler p;
+    EXPECT_EQ(p.totalLaunches(), 0);
+    EXPECT_DOUBLE_EQ(p.totalKernelTimeSec(), 0);
+    EXPECT_DOUBLE_EQ(p.gflops(), 0);
+    EXPECT_DOUBLE_EQ(p.giops(), 0);
+    EXPECT_DOUBLE_EQ(p.avgIpc(), 0);
+    EXPECT_DOUBLE_EQ(p.l1HitRate(), 0);
+    EXPECT_DOUBLE_EQ(p.l2HitRate(), 0);
+    EXPECT_DOUBLE_EQ(p.divergentLoadFraction(), 0);
+    EXPECT_DOUBLE_EQ(p.avgTransferSparsity(), 0);
+    for (double share : p.opTimeBreakdown()) {
+        EXPECT_TRUE(std::isfinite(share));
+        EXPECT_DOUBLE_EQ(share, 0);
+    }
+    const auto mix = p.instructionMix();
+    EXPECT_TRUE(std::isfinite(mix.fp32Frac));
+    EXPECT_TRUE(std::isfinite(mix.int32Frac));
+    EXPECT_TRUE(std::isfinite(mix.otherFrac));
+    for (double s : p.stallBreakdown())
+        EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(Profiler, ZeroTimeKernelsDoNotPoisonAggregates)
+{
+    Profiler p;
+    // A degenerate kernel: zero time, zero cycles, zero instructions.
+    p.onKernel(record("noop", OpClass::Other, 0.0));
+    p.onKernel(record("real", OpClass::Gemm, 0.001, /*fp32=*/100));
+    EXPECT_EQ(p.totalLaunches(), 2);
+    EXPECT_TRUE(std::isfinite(p.avgIpc()));
+    EXPECT_TRUE(std::isfinite(p.gflops()));
+    for (double share : p.opTimeBreakdown())
+        EXPECT_TRUE(std::isfinite(share));
+    // All measured time belongs to the real kernel.
+    EXPECT_DOUBLE_EQ(
+        p.opTimeBreakdown()[static_cast<size_t>(OpClass::Gemm)], 1.0);
+}
+
+TEST(Profiler, ResetAfterResetStaysClean)
+{
+    Profiler p;
+    p.reset();
+    p.reset();
+    EXPECT_EQ(p.totalLaunches(), 0);
+    EXPECT_TRUE(std::isfinite(p.avgIpc()));
 }

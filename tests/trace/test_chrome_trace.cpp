@@ -3,11 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <set>
 #include <string>
+#include <thread>
 
 #include "base/io.hh"
+#include "base/thread_pool.hh"
 #include "core/characterization.hh"
+#include "obs/json.hh"
+#include "obs/span.hh"
 #include "profiler/chrome_trace.hh"
 
 using namespace gnnmark;
@@ -116,4 +123,138 @@ TEST(ChromeTrace, CapturesARealRunThroughRunOptions)
     const std::vector<uint8_t> bytes = readFileBytes(path);
     std::remove(path.c_str());
     EXPECT_EQ(bytes.size(), writer.json().size());
+}
+
+TEST(ChromeTrace, MergedTraceCarriesDeviceWorkerAndHostLanes)
+{
+    // One trace file must hold all three lane families: device events
+    // (pid 1), the host thread's spans and pool-worker spans (pid 2).
+    ThreadPool &pool = ThreadPool::instance();
+    const int saved_threads = pool.threadCount();
+    pool.setThreadCount(3);
+    obs::SpanTracer &tracer = obs::SpanTracer::instance();
+    tracer.clear();
+    tracer.setEnabled(true);
+
+    ChromeTraceWriter writer;
+    RunOptions opt;
+    opt.scale = 0.25;
+    opt.iterations = 1;
+    opt.extraObserver = &writer;
+    CharacterizationRunner runner(opt);
+    runner.run("STGCN");
+
+    // The tiny workload may run its loops inline on the caller, so
+    // pin down the worker lanes deterministically: every chunk sleeps
+    // until both pool workers have claimed (and span-traced) a chunk
+    // of their own. On a single-CPU host any one thread — the caller
+    // or a single eager worker — can otherwise drain the whole range
+    // before the others are ever scheduled.
+    std::atomic<bool> worker_seen[2] = {};
+    ThreadPool::instance().parallelFor(
+        0, 64, 1, [&](int64_t, int64_t) {
+            GNN_SPAN("test.worker_chunk");
+            const int w = ThreadPool::currentWorkerIndex();
+            if (w >= 0 && w < 2)
+                worker_seen[w] = true;
+            for (int spin = 0;
+                 spin < 5000 && !(worker_seen[0] && worker_seen[1]);
+                 ++spin)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        });
+
+    tracer.setEnabled(false);
+    writer.addHostSpans(tracer.collect());
+    tracer.clear();
+    pool.setThreadCount(saved_threads);
+
+    const obs::JsonValue doc = obs::parseJson(writer.json());
+    const obs::JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    bool device_kernel = false;
+    bool host_span = false;
+    bool worker_span = false;
+    std::set<std::string> process_names;
+    std::set<std::string> thread_names;
+    for (const obs::JsonValue &e : events->array) {
+        const obs::JsonValue *ph = e.find("ph");
+        const obs::JsonValue *pid = e.find("pid");
+        ASSERT_NE(ph, nullptr);
+        ASSERT_NE(pid, nullptr);
+        if (ph->string == "M") {
+            const std::string meta_name = e.find("name")->string;
+            const std::string label =
+                e.find("args")->find("name")->string;
+            if (meta_name == "process_name")
+                process_names.insert(label);
+            if (meta_name == "thread_name")
+                thread_names.insert(label);
+            continue;
+        }
+        ASSERT_EQ(ph->string, "X");
+        ASSERT_TRUE(e.find("ts")->isNumber());
+        ASSERT_TRUE(e.find("dur")->isNumber());
+        if (pid->number == 1 && e.find("tid")->number == 0)
+            device_kernel = true;
+        if (pid->number == 2) {
+            if (e.find("tid")->number == 0)
+                host_span = true;
+            else
+                worker_span = true;
+        }
+    }
+    EXPECT_TRUE(device_kernel);
+    EXPECT_TRUE(host_span);
+    EXPECT_TRUE(worker_span);
+    EXPECT_EQ(process_names,
+              (std::set<std::string>{"device (sim time)",
+                                     "host (wall clock)"}));
+    EXPECT_TRUE(thread_names.count("kernels"));
+    EXPECT_TRUE(thread_names.count("host"));
+    std::string all_names;
+    for (const std::string &n : thread_names)
+        all_names += n + " ";
+    EXPECT_TRUE(thread_names.count("worker-0")) << all_names;
+}
+
+TEST(ChromeTrace, RankLanesAndMirroring)
+{
+    ChromeTraceWriter writer;
+    writer.onKernel(kernel("k0", 1e-6));
+    writer.setRank(1);
+    writer.onKernel(kernel("k1", 2e-6));
+    writer.setRank(0);
+    writer.onKernel(kernel("k0b", 3e-6));
+
+    const std::string doc = writer.json();
+    // Rank 0 keeps tid 0; rank 1's kernels run on tid 2.
+    EXPECT_NE(doc.find("\"tid\":0,\"name\":\"k0\""), std::string::npos);
+    EXPECT_NE(doc.find("\"tid\":2,\"name\":\"k1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"kernels rank 1\""),
+              std::string::npos);
+    // Per-rank clocks are independent: k0b starts at rank 0's 1 us.
+    EXPECT_NE(doc.find("\"ts\":1.0000,\"dur\":3.0000"),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, MirrorDeviceLanesCopiesRankZero)
+{
+    ChromeTraceWriter writer;
+    writer.onKernel(kernel("k", 1e-6));
+    TransferRecord copy;
+    copy.tag = "feat";
+    copy.bytes = 64;
+    copy.timeSec = 1e-6;
+    writer.onTransfer(copy);
+    const size_t before = writer.eventCount();
+    writer.mirrorDeviceLanes(3);
+    // Ranks 1 and 2 each get a copy of both rank-0 events.
+    EXPECT_EQ(writer.eventCount(), before + 4);
+    const std::string doc = writer.json();
+    EXPECT_NE(doc.find("\"mirrored\":\"true\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"kernels rank 2\""),
+              std::string::npos);
 }

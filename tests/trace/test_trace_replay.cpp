@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/reports.hh"
+#include "obs/span.hh"
 #include "core/suite.hh"
 #include "core/trace_capture.hh"
 #include "trace/reader.hh"
@@ -209,4 +210,25 @@ TEST(TraceReplay, ReplayCountsMatchTraceStream)
             ++launches_in_stream;
     const trace::ReplayResult result = trace::replayTrace(trace);
     EXPECT_EQ(result.profiler.totalLaunches(), launches_in_stream);
+}
+
+TEST(TraceReplay, EnablingObservabilityDoesNotPerturbTheReport)
+{
+    // Replays are fully deterministic (addresses come from the trace),
+    // so this asserts the observability layer's core guarantee
+    // byte-for-byte: span tracing on or off, the printed reports are
+    // identical.
+    const trace::RecordedTrace trace =
+        recordWorkloadTrace("STGCN", smallRun());
+    obs::SpanTracer &tracer = obs::SpanTracer::instance();
+    tracer.setEnabled(false);
+    const std::string off =
+        renderReports(toWorkloadProfile(trace::replayTrace(trace)));
+    tracer.setEnabled(true);
+    const std::string on =
+        renderReports(toWorkloadProfile(trace::replayTrace(trace)));
+    tracer.setEnabled(false);
+    tracer.clear();
+    EXPECT_EQ(off, on);
+    EXPECT_GT(off.size(), 0u);
 }

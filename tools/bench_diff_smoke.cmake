@@ -1,0 +1,67 @@
+# Telemetry + regression-gate smoke test, run under ctest. Exercises
+# the full producer/consumer loop: gnnmark writes a telemetry file,
+# bench_diff passes on a self-diff, fails on an injected regression,
+# and distinguishes harness errors (exit 2) from perf failures (1).
+# Invoke as
+#   cmake -DGNNMARK_BIN=<gnnmark> -DBENCH_DIFF_BIN=<bench_diff>
+#         -P bench_diff_smoke.cmake
+
+if(NOT DEFINED GNNMARK_BIN OR NOT DEFINED BENCH_DIFF_BIN)
+    message(FATAL_ERROR
+        "pass -DGNNMARK_BIN=<gnnmark> -DBENCH_DIFF_BIN=<bench_diff>")
+endif()
+
+function(expect_exit code)
+    execute_process(
+        COMMAND ${ARGN}
+        RESULT_VARIABLE rv
+        OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rv EQUAL ${code})
+        message(FATAL_ERROR
+            "${ARGN}: expected exit ${code}, got '${rv}'")
+    endif()
+endfunction()
+
+set(tele_a ${CMAKE_CURRENT_BINARY_DIR}/bench_diff_smoke_a.jsonl)
+set(tele_b ${CMAKE_CURRENT_BINARY_DIR}/bench_diff_smoke_b.jsonl)
+set(tele_bad ${CMAKE_CURRENT_BINARY_DIR}/bench_diff_smoke_bad.jsonl)
+
+# A file must self-diff clean at zero tolerance. Two fresh processes
+# at the same seed need a small tolerance: the cache model hashes real
+# host pointers, so ASLR shifts cache-set mappings by well under 1%
+# between processes (run under `setarch -R` for exact reruns). The
+# log2 timing-histogram buckets are skipped outright — a few percent
+# of timing jitter can move whole kernels across bucket boundaries.
+expect_exit(0 ${GNNMARK_BIN} run STGCN --scale 0.25 --iters 2
+            --telemetry ${tele_a})
+expect_exit(0 ${GNNMARK_BIN} run STGCN --scale 0.25 --iters 2
+            --telemetry ${tele_b})
+expect_exit(0 ${BENCH_DIFF_BIN} ${tele_a} ${tele_a})   # self-diff
+expect_exit(0 ${BENCH_DIFF_BIN} ${tele_a} ${tele_b} --tol 0.02
+            --abs 1e-4 --ignore .metrics.histograms.)
+
+# Inject a regression: scale every "sim_time_us" value up 50%. The
+# gate must fail at zero tolerance and pass once the tolerance covers
+# the injected drift.
+file(READ ${tele_a} content)
+string(REGEX REPLACE "\"sim_time_us\":([0-9]+)\\."
+       "\"sim_time_us\":\\1999." content "${content}")
+file(WRITE ${tele_bad} "${content}")
+expect_exit(1 ${BENCH_DIFF_BIN} ${tele_a} ${tele_bad})
+expect_exit(0 ${BENCH_DIFF_BIN} ${tele_a} ${tele_bad}
+            --tol-prefix iteration.=1e9 --tol-prefix manifest.=1e9)
+
+# A missing-record candidate is a failure unless --allow-missing.
+file(STRINGS ${tele_a} lines)
+list(GET lines 0 first_line)
+file(WRITE ${tele_bad} "${first_line}\n")
+expect_exit(1 ${BENCH_DIFF_BIN} ${tele_a} ${tele_bad})
+expect_exit(0 ${BENCH_DIFF_BIN} ${tele_a} ${tele_bad} --allow-missing)
+
+# Harness errors are exit 2, never 0 or a "perf" 1.
+expect_exit(2 ${BENCH_DIFF_BIN} ${tele_a})                       # one arg
+expect_exit(2 ${BENCH_DIFF_BIN} ${tele_a} no-such-file.jsonl)    # IoError
+file(WRITE ${tele_bad} "{not json\n")
+expect_exit(2 ${BENCH_DIFF_BIN} ${tele_a} ${tele_bad})           # bad JSON
+
+file(REMOVE ${tele_a} ${tele_b} ${tele_bad})

@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,13 +31,17 @@
 #include "base/io.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "base/thread_pool.hh"
 #include "base/units.hh"
 #include "core/characterization.hh"
 #include "core/reports.hh"
+#include "core/reports_json.hh"
 #include "core/suite.hh"
 #include "core/time_to_train.hh"
 #include "core/trace_capture.hh"
 #include "multigpu/ddp.hh"
+#include "obs/span.hh"
+#include "obs/telemetry.hh"
 #include "profiler/chrome_trace.hh"
 #include "trace/reader.hh"
 #include "trace/toolkit.hh"
@@ -62,6 +67,8 @@ struct Args
     std::string out;         ///< --out (trace record)
     std::string tracePath;   ///< --trace (sweep)
     std::string chromePath;  ///< --chrome-trace
+    std::string telemetryPath; ///< --telemetry (JSONL sink)
+    bool json = false;       ///< --json report documents
     std::string param = "l2"; ///< --param (sweep)
     std::string points;      ///< --points (sweep)
     double l2Mib = 0;        ///< --l2 replay override (0 = recorded)
@@ -101,7 +108,14 @@ usage()
         "  --weak         weak instead of strong scaling\n"
         "  --csv          machine-readable output where supported\n"
         "  --chrome-trace PATH  write a chrome://tracing timeline JSON\n"
-        "                 (run, trace replay)\n"
+        "                 with device, worker and host-span lanes\n"
+        "                 (run, faults, trace replay)\n"
+        "  --telemetry PATH  append JSONL telemetry: one record per\n"
+        "                 iteration plus a run manifest (run,\n"
+        "                 characterize) or a fault report (faults)\n"
+        "  --json         print the report as a JSON document instead\n"
+        "                 of tables (run, characterize, scaling,\n"
+        "                 faults); progress chatter moves to stderr\n"
         "  --out PATH     trace record output (default <workload>.gnntrace)\n"
         "  --trace FILE   drive the sweep from a recorded trace\n"
         "  --param P      sweep parameter: l2 (MiB), l1 (KiB), sms\n"
@@ -170,6 +184,10 @@ parse(int argc, char **argv)
             args.tracePath = next();
         } else if (a == "--chrome-trace") {
             args.chromePath = next();
+        } else if (a == "--telemetry") {
+            args.telemetryPath = next();
+        } else if (a == "--json") {
+            args.json = true;
         } else if (a == "--param") {
             args.param = next();
         } else if (a == "--points") {
@@ -211,6 +229,37 @@ runOptions(const Args &args)
     opt.iterations = args.iterations;
     opt.inferenceOnly = args.inference;
     return opt;
+}
+
+/**
+ * Progress chatter goes to stderr in --json mode so stdout stays a
+ * single parseable document.
+ */
+std::ostream &
+progressStream(const Args &args)
+{
+    return args.json ? std::cerr : std::cout;
+}
+
+/** Open the --telemetry sink, or null when the flag wasn't given. */
+std::unique_ptr<obs::TelemetrySink>
+openTelemetry(const Args &args)
+{
+    if (args.telemetryPath.empty())
+        return nullptr;
+    return std::make_unique<obs::TelemetrySink>(args.telemetryPath);
+}
+
+/** Merge the recorded host spans into `chrome` and write it out. */
+void
+finishChromeTrace(ChromeTraceWriter &chrome, const std::string &path,
+                  std::ostream &os)
+{
+    chrome.addHostSpans(obs::SpanTracer::instance().collect());
+    chrome.write(path);
+    os << "\nchrome trace (" << chrome.eventCount()
+       << " events) written to " << path
+       << " — load it in chrome://tracing or Perfetto\n";
 }
 
 void
@@ -260,17 +309,32 @@ cmdRun(const Args &args)
     ChromeTraceWriter chrome;
     if (!args.chromePath.empty())
         opt.extraObserver = &chrome;
+    std::unique_ptr<obs::TelemetrySink> telemetry = openTelemetry(args);
+    opt.telemetry = telemetry.get();
     CharacterizationRunner runner(opt);
-    std::cout << (args.inference ? "Profiling (inference mode) "
-                                 : "Training ")
-              << args.workload << " on the simulated V100...\n\n";
-    printWorkloadSummary(runner.run(args.workload));
-    if (!args.chromePath.empty()) {
-        chrome.write(args.chromePath);
-        std::cout << "\nchrome trace (" << chrome.eventCount()
-                  << " events) written to " << args.chromePath
-                  << " — load it in chrome://tracing or Perfetto\n";
+    std::ostream &progress = progressStream(args);
+    progress << (args.inference ? "Profiling (inference mode) "
+                                : "Training ")
+             << args.workload << " on the simulated V100...\n\n";
+
+    const double host_begin = obs::SpanTracer::instance().nowUs();
+    const WorkloadProfile profile = runner.run(args.workload);
+    const double host_wall_us =
+        obs::SpanTracer::instance().nowUs() - host_begin;
+
+    if (args.json)
+        std::cout << reports::figuresJson({profile}) << "\n";
+    else
+        printWorkloadSummary(profile);
+    if (telemetry != nullptr) {
+        telemetry->writeRecord(reports::runManifestJson(
+            profile, opt, ThreadPool::instance().threadCount(),
+            host_wall_us));
+        progress << "\ntelemetry (" << telemetry->recordCount()
+                 << " records) written to " << telemetry->path() << "\n";
     }
+    if (!args.chromePath.empty())
+        finishChromeTrace(chrome, args.chromePath, progress);
     return 0;
 }
 
@@ -417,11 +481,8 @@ cmdTrace(const Args &args)
                   << " stream...\n\n";
         printWorkloadSummary(
             toWorkloadProfile(trace::replayTrace(trace, cfg, observers)));
-        if (!args.chromePath.empty()) {
-            chrome.write(args.chromePath);
-            std::cout << "\nchrome trace written to " << args.chromePath
-                      << "\n";
-        }
+        if (!args.chromePath.empty())
+            finishChromeTrace(chrome, args.chromePath, std::cout);
         return 0;
     }
     // diff
@@ -436,14 +497,34 @@ cmdTrace(const Args &args)
 int
 cmdCharacterize(const Args &args)
 {
-    CharacterizationRunner runner(runOptions(args));
+    RunOptions opt = runOptions(args);
+    std::unique_ptr<obs::TelemetrySink> telemetry = openTelemetry(args);
+    opt.telemetry = telemetry.get();
+    CharacterizationRunner runner(opt);
+    std::ostream &progress = progressStream(args);
     std::vector<WorkloadProfile> profiles;
     for (const std::string &name : BenchmarkSuite::workloadNames()) {
-        std::cout << "  " << name << "..." << std::flush;
+        progress << "  " << name << "..." << std::flush;
+        const double host_begin = obs::SpanTracer::instance().nowUs();
         profiles.push_back(runner.run(name));
-        std::cout << " done\n";
+        if (telemetry != nullptr) {
+            telemetry->writeRecord(reports::runManifestJson(
+                profiles.back(), opt,
+                ThreadPool::instance().threadCount(),
+                obs::SpanTracer::instance().nowUs() - host_begin));
+        }
+        progress << " done\n";
     }
-    std::cout << "\n";
+    progress << "\n";
+    if (telemetry != nullptr) {
+        progress << "telemetry (" << telemetry->recordCount()
+                 << " records) written to " << telemetry->path()
+                 << "\n\n";
+    }
+    if (args.json) {
+        std::cout << reports::figuresJson(profiles) << "\n";
+        return 0;
+    }
     reports::printFig2OpBreakdown(profiles, std::cout);
     reports::printFig3InstructionMix(profiles, std::cout);
     reports::printFig4Throughput(profiles, std::cout);
@@ -459,21 +540,25 @@ cmdScaling(const Args &args)
     WorkloadConfig base;
     base.scale = args.scale;
     DdpTrainer trainer;
+    std::ostream &progress = progressStream(args);
     std::vector<std::pair<std::string, std::vector<ScalingResult>>>
         curves;
     for (const std::string &name : BenchmarkSuite::workloadNames()) {
         auto wl = BenchmarkSuite::create(name);
         if (!wl->supportsMultiGpu())
             continue;
-        std::cout << "  " << name << "..." << std::flush;
+        progress << "  " << name << "..." << std::flush;
         curves.emplace_back(
             name, args.weak
                       ? trainer.weakScalingCurve(*wl, base, {1, 2, 4})
                       : trainer.scalingCurve(*wl, base, {1, 2, 4}));
-        std::cout << " done\n";
+        progress << " done\n";
     }
-    std::cout << "\n";
-    reports::printFig9Scaling(curves, std::cout);
+    progress << "\n";
+    if (args.json)
+        std::cout << reports::scalingJson(curves) << "\n";
+    else
+        reports::printFig9Scaling(curves, std::cout);
     return 0;
 }
 
@@ -507,8 +592,12 @@ cmdFaults(const Args &args)
     DdpTrainer trainer;
     const int world = wl->supportsMultiGpu() ? 4 : 1;
 
+    std::ostream &progress = progressStream(args);
+
     // Probe the healthy per-iteration time so the injected faults land
     // at fixed fractions of the run regardless of workload or scale.
+    // The chrome observer attaches only after the probe so the trace
+    // shows the fault-injected run alone.
     ScalingResult probe = trainer.measure(*wl, base, world, 2);
     const double iter_sec =
         probe.epochTimeSec /
@@ -549,11 +638,30 @@ cmdFaults(const Args &args)
         events.push_back(c);
     }
 
-    std::cout << "Fault-injected training of " << args.workload
-              << " on " << world << " simulated GPU(s)...\n\n";
+    ChromeTraceWriter chrome;
+    if (!args.chromePath.empty())
+        trainer.setExtraObserver(&chrome);
+
+    progress << "Fault-injected training of " << args.workload
+             << " on " << world << " simulated GPU(s)...\n\n";
     FaultToleranceResult result = trainer.runWithFaults(
         *wl, base, world, FaultPlan(std::move(events)), opt);
-    reports::printFaultTolerance(result, std::cout);
+    if (args.json)
+        std::cout << reports::faultJson(result) << "\n";
+    else
+        reports::printFaultTolerance(result, std::cout);
+    if (std::unique_ptr<obs::TelemetrySink> telemetry =
+            openTelemetry(args)) {
+        telemetry->writeRecord(reports::faultJson(result));
+        progress << "\ntelemetry written to " << telemetry->path()
+                 << "\n";
+    }
+    if (!args.chromePath.empty()) {
+        // The DDP model replays rank 0's stream on every replica, so
+        // the mirrored lanes are the honest per-rank visualisation.
+        chrome.mirrorDeviceLanes(world);
+        finishChromeTrace(chrome, args.chromePath, progress);
+    }
     return 0;
 }
 
@@ -563,28 +671,40 @@ int
 main(int argc, char **argv)
 {
     Args args = parse(argc, argv);
+    // Any tracing/telemetry export arms host-span recording for the
+    // whole process; without either flag GNN_SPAN stays a single
+    // relaxed load and the run is bit-identical to an uninstrumented
+    // build.
+    if (!args.chromePath.empty() || !args.telemetryPath.empty())
+        obs::SpanTracer::instance().setEnabled(true);
+    // Emit the rate-limiter's "suppressed N duplicates" summary on
+    // every exit path that ran a command.
+    const auto finish = [](int rc) {
+        flushSuppressedWarnings();
+        return rc;
+    };
     try {
         if (args.command == "list") {
             reports::printTableOne(std::cout);
-            return 0;
+            return finish(0);
         }
         if (args.command == "run")
-            return cmdRun(args);
+            return finish(cmdRun(args));
         if (args.command == "characterize")
-            return cmdCharacterize(args);
+            return finish(cmdCharacterize(args));
         if (args.command == "scaling")
-            return cmdScaling(args);
+            return finish(cmdScaling(args));
         if (args.command == "ttt")
-            return cmdTimeToTrain(args);
+            return finish(cmdTimeToTrain(args));
         if (args.command == "faults")
-            return cmdFaults(args);
+            return finish(cmdFaults(args));
         if (args.command == "trace")
-            return cmdTrace(args);
+            return finish(cmdTrace(args));
         if (args.command == "sweep")
-            return cmdSweep(args);
+            return finish(cmdSweep(args));
     } catch (const IoError &e) {
         std::cerr << "gnnmark: fatal: " << e.what() << "\n";
-        return 1;
+        return finish(1);
     }
     std::cerr << "unknown command: " << args.command << "\n";
     usage();
