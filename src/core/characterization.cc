@@ -1,5 +1,6 @@
 #include "core/characterization.hh"
 
+#include "base/allocator.hh"
 #include "base/logging.hh"
 #include "core/suite.hh"
 #include "obs/json.hh"
@@ -40,7 +41,10 @@ CharacterizationRunner::run(Workload &workload) const
     cfg.inferenceOnly = options_.inferenceOnly;
     workload.setup(cfg);
 
-    DeviceGuard guard(&device);
+    Allocator *alloc = options_.allocator != nullptr
+                           ? options_.allocator
+                           : &defaultAllocator();
+    ContextGuard guard(&device, alloc);
     for (int i = 0; i < options_.warmupIterations; ++i)
         workload.trainIteration();
     // Warm-up kernels stay in the profile (nvprof profiles the whole
@@ -56,9 +60,24 @@ CharacterizationRunner::run(Workload &workload) const
         const double sim_before = device.wallTimeSec();
         const int64_t kernels_before = device.kernelCount();
         const double host_before = obs::SpanTracer::instance().nowUs();
+        const AllocStats alloc_before = alloc->stats();
 
         const float loss = workload.trainIteration();
         profile.losses.push_back(loss);
+
+        const AllocStats alloc_after = alloc->stats();
+        const uint64_t iter_heap_calls =
+            alloc_after.heapCalls - alloc_before.heapCalls;
+        const uint64_t iter_requests =
+            alloc_after.requests - alloc_before.requests;
+        profile.memStats.mode = alloc->name();
+        profile.memStats.bytesPeak = alloc_after.bytesPeak;
+        profile.memStats.slabsMapped = alloc_after.slabsMapped;
+        profile.memStats.requestsTotal = alloc_after.requests;
+        profile.memStats.heapCallsTotal = alloc_after.heapCalls;
+        profile.memStats.cacheHitRate = alloc_after.hitRate();
+        profile.memStats.steadyAllocCallsPerIter = iter_heap_calls;
+        profile.memStats.steadyRequestsPerIter = iter_requests;
 
         if (options_.telemetry != nullptr) {
             const double iter_sim_us =
@@ -66,6 +85,17 @@ CharacterizationRunner::run(Workload &workload) const
             obs::Metrics &metrics = obs::Metrics::instance();
             metrics.setGauge("train.loss", loss);
             metrics.setGauge("train.iter_sim_us", iter_sim_us);
+            // Only per-iteration deltas and live bytes go into
+            // telemetry: cumulative counters (hits, peak, slabs) see
+            // whatever state earlier runs left in the process-global
+            // allocator, which would break same-process telemetry
+            // determinism. The cumulative view lives in --memstats.
+            metrics.setGauge("alloc.calls_iter",
+                             static_cast<double>(iter_heap_calls));
+            metrics.setGauge("alloc.requests_iter",
+                             static_cast<double>(iter_requests));
+            metrics.setGauge("alloc.bytes_live",
+                             static_cast<double>(alloc_after.bytesLive));
 
             obs::JsonWriter w;
             w.beginObject();

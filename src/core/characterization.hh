@@ -21,6 +21,7 @@ namespace obs {
 class TelemetrySink;
 } // namespace obs
 
+class Allocator;
 class DeviceTraceHook;
 
 /** Knobs for one characterization run. */
@@ -50,6 +51,27 @@ struct RunOptions
      * metrics snapshot). Not owned. Record schema in obs/telemetry.hh.
      */
     obs::TelemetrySink *telemetry = nullptr;
+
+    /**
+     * Tensor allocator the run binds for its duration (not owned).
+     * nullptr means defaultAllocator(), i.e. the GNNMARK_ALLOC choice.
+     */
+    Allocator *allocator = nullptr;
+};
+
+/** Host-allocator behaviour observed during one run (--memstats). */
+struct AllocSummary
+{
+    std::string mode;           ///< allocator name ("caching"/"system")
+    uint64_t bytesPeak = 0;     ///< high-water mark of live bytes
+    uint64_t slabsMapped = 0;   ///< slabs backing the arena
+    uint64_t requestsTotal = 0; ///< allocate() calls over the run
+    uint64_t heapCallsTotal = 0; ///< underlying malloc-style calls
+    double cacheHitRate = 0.0;  ///< free-list hits / requests
+    /** Heap calls in the final measured iteration: the steady state. */
+    uint64_t steadyAllocCallsPerIter = 0;
+    /** allocate() requests in the final measured iteration. */
+    uint64_t steadyRequestsPerIter = 0;
 };
 
 /** Everything measured while training one workload. */
@@ -62,6 +84,7 @@ struct WorkloadProfile
     double epochTimeSec = 0;  ///< extrapolated time per epoch
     int64_t iterationsPerEpoch = 0;
     double parameterBytes = 0;
+    AllocSummary memStats;    ///< allocator counters for --memstats
 };
 
 /** Runs workloads and collects WorkloadProfiles. */

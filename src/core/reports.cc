@@ -391,5 +391,31 @@ printKernelTable(const WorkloadProfile &profile, std::ostream &os,
     os << "\n";
 }
 
+void
+printMemstats(const std::vector<WorkloadProfile> &profiles,
+              std::ostream &os)
+{
+    TablePrinter table("Host allocator behaviour (--memstats)");
+    table.setHeader({"Workload", "Mode", "Peak bytes", "Slabs",
+                     "Requests", "Heap calls", "Hit rate",
+                     "Steady allocs/iter"});
+    for (const WorkloadProfile &p : profiles) {
+        const AllocSummary &m = p.memStats;
+        table.addRow(
+            {p.name, m.mode, formatBytes(m.bytesPeak),
+             strfmt("%llu", static_cast<unsigned long long>(
+                                m.slabsMapped)),
+             strfmt("%llu", static_cast<unsigned long long>(
+                                m.requestsTotal)),
+             strfmt("%llu", static_cast<unsigned long long>(
+                                m.heapCallsTotal)),
+             percent(m.cacheHitRate),
+             strfmt("%llu", static_cast<unsigned long long>(
+                                m.steadyAllocCallsPerIter))});
+    }
+    table.print(os);
+    os << "\n";
+}
+
 } // namespace reports
 } // namespace gnnmark

@@ -75,6 +75,13 @@ void printCheckpointSweep(
 void printKernelTable(const WorkloadProfile &profile, std::ostream &os,
                       int top_n = 12);
 
+/**
+ * Host-allocator behaviour per workload (--memstats): peak live bytes,
+ * steady-state heap calls per iteration, and the arena hit rate.
+ */
+void printMemstats(const std::vector<WorkloadProfile> &profiles,
+                   std::ostream &os);
+
 } // namespace reports
 } // namespace gnnmark
 

@@ -172,5 +172,34 @@ runManifestJson(const WorkloadProfile &profile, const RunOptions &options,
     return w.str();
 }
 
+std::string
+memstatsJson(const std::vector<WorkloadProfile> &profiles)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("memstats").beginObject();
+    for (const WorkloadProfile &p : profiles) {
+        const AllocSummary &m = p.memStats;
+        w.key(p.name).beginObject();
+        w.key("mode").value(m.mode);
+        w.key("bytes_peak").value(static_cast<int64_t>(m.bytesPeak));
+        w.key("slabs_mapped")
+            .value(static_cast<int64_t>(m.slabsMapped));
+        w.key("requests_total")
+            .value(static_cast<int64_t>(m.requestsTotal));
+        w.key("heap_calls_total")
+            .value(static_cast<int64_t>(m.heapCallsTotal));
+        w.key("cache_hit_rate").value(m.cacheHitRate);
+        w.key("steady_alloc_calls_per_iter")
+            .value(static_cast<int64_t>(m.steadyAllocCallsPerIter));
+        w.key("steady_requests_per_iter")
+            .value(static_cast<int64_t>(m.steadyRequestsPerIter));
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
 } // namespace reports
 } // namespace gnnmark

@@ -41,6 +41,13 @@ std::string scalingJson(
 std::string faultJson(const FaultToleranceResult &result);
 
 /**
+ * --memstats document: allocator counters per workload. Kept separate
+ * from figuresJson so run reports stay identical across GNNMARK_ALLOC
+ * modes (these counters intentionally differ between allocators).
+ */
+std::string memstatsJson(const std::vector<WorkloadProfile> &profiles);
+
+/**
  * One "manifest" telemetry record (a single JSONL line): run config,
  * seed, thread count, simulated + host wall time, and the profile's
  * figure aggregates. `host_wall_us` is excluded from diffs by name.

@@ -1,5 +1,6 @@
 #include "models/workload.hh"
 
+#include "base/allocator.hh"
 #include "nn/optim.hh"
 #include "ops/exec_context.hh"
 
@@ -22,15 +23,22 @@ StateVisitor::optimizer(nn::Optimizer &opt)
 void
 uploadInput(const Tensor &t, const std::string &tag)
 {
-    if (GpuDevice *dev = ExecContext::device())
-        dev->copyHostToDevice(t.data(), t.numel(), tag);
+    if (GpuDevice *dev = ExecContext::device()) {
+        dev->copyHostToDevice(t.data(), t.numel(), t.deviceAddr(), tag);
+    }
 }
 
 void
 uploadInput(const std::vector<int32_t> &idx, const std::string &tag)
 {
-    if (GpuDevice *dev = ExecContext::device())
-        dev->copyHostToDevice(idx.data(), idx.size(), tag);
+    if (GpuDevice *dev = ExecContext::device()) {
+        // Index arrays stream through a transient staging mapping;
+        // the span is released on return, so ops that later read the
+        // same vector map their own (deterministic) address.
+        DeviceSpan staging(idx.size() * sizeof(int32_t));
+        dev->copyHostToDevice(idx.data(), idx.size(), staging.addr(),
+                              tag);
+    }
 }
 
 } // namespace gnnmark

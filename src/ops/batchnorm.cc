@@ -103,10 +103,10 @@ batchNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     checkNormArgs(x, gamma, beta, f, "batchNorm");
     GNN_ASSERT(n > 0, "batchNorm over an empty batch");
 
-    state.mean = Tensor({f});
-    state.invStd = Tensor({f});
-    state.xhat = Tensor({n, f});
-    Tensor y({n, f});
+    state.mean = Tensor::empty({f});
+    state.invStd = Tensor::empty({f});
+    state.xhat = Tensor::empty({n, f});
+    Tensor y = Tensor::empty({n, f});
 
     const float *px = x.data();
     // Per-column stats: every column is owned by one chunk.
@@ -150,9 +150,9 @@ batchNormBackward(const Tensor &grad_out, const Tensor &gamma,
     GNN_ASSERT(grad_out.dim() == 2 && grad_out.size(0) == n &&
                grad_out.size(1) == f, "batchNormBackward: bad grad shape");
 
-    grad_x = Tensor({n, f});
-    grad_gamma = Tensor({f});
-    grad_beta = Tensor({f});
+    grad_x = Tensor::empty({n, f});
+    grad_gamma = Tensor::empty({f});
+    grad_beta = Tensor::empty({f});
 
     parallel_for(0, f, 8, [&](int64_t j0, int64_t j1) {
         for (int64_t j = j0; j < j1; ++j) {
@@ -187,10 +187,10 @@ layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     checkNormArgs(x, gamma, beta, f, "layerNorm");
     GNN_ASSERT(f > 0, "layerNorm over empty rows");
 
-    state.mean = Tensor({n});
-    state.invStd = Tensor({n});
-    state.xhat = Tensor({n, f});
-    Tensor y({n, f});
+    state.mean = Tensor::empty({n});
+    state.invStd = Tensor::empty({n});
+    state.xhat = Tensor::empty({n, f});
+    Tensor y = Tensor::empty({n, f});
 
     parallel_for(0, n, 32, [&](int64_t i0, int64_t i1) {
         for (int64_t i = i0; i < i1; ++i) {
@@ -227,9 +227,9 @@ layerNormBackward(const Tensor &grad_out, const Tensor &gamma,
     GNN_ASSERT(grad_out.dim() == 2 && grad_out.size(0) == n &&
                grad_out.size(1) == f, "layerNormBackward: bad grad shape");
 
-    grad_x = Tensor({n, f});
-    grad_gamma = Tensor({f});
-    grad_beta = Tensor({f});
+    grad_x = Tensor::empty({n, f});
+    grad_gamma = Tensor::empty({f});
+    grad_beta = Tensor::empty({f});
 
     // grad_x rows are independent, but grad_gamma/grad_beta accumulate
     // across rows: give each chunk private accumulators and combine them

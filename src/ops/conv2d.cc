@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "base/allocator.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "obs/span.hh"
@@ -53,10 +54,12 @@ checkDims(const Tensor &input, const Tensor &weight, int pad)
 uint64_t
 convWorkspaceAddr(size_t bytes)
 {
-    static std::vector<float> workspace;
-    if (workspace.size() * sizeof(float) < bytes)
-        workspace.resize(bytes / sizeof(float) + 1);
-    return reinterpret_cast<uint64_t>(workspace.data());
+    // Grows monotonically and keeps its mapping between calls, so the
+    // address is stable once the largest convolution has run.
+    static DeviceSpan workspace;
+    if (workspace.bytes() < bytes)
+        workspace = DeviceSpan(bytes);
+    return workspace.addr();
 }
 
 /**
@@ -271,7 +274,7 @@ conv2d(const Tensor &input, const Tensor &weight, int pad)
 {
     GNN_SPAN("op.conv2d");
     ConvDims d = checkDims(input, weight, pad);
-    Tensor out({d.n, d.k, d.oh, d.ow});
+    Tensor out = Tensor::empty({d.n, d.k, d.oh, d.ow});
 
     const int64_t gemm_m = d.n * d.oh * d.ow;
     const int64_t gemm_k = d.c * d.r * d.s;
@@ -325,7 +328,8 @@ conv2dGradInput(const Tensor &grad_out, const Tensor &weight,
                "conv2dGradInput: grad_out shape %s unexpected",
                grad_out.shapeString().c_str());
 
-    Tensor gin({d.n, d.c, d.h, d.w});
+    // col2im accumulates, so the gradient buffer must start zeroed.
+    Tensor gin = Tensor::zeros({d.n, d.c, d.h, d.w});
     const int64_t gemm_m = d.n * d.oh * d.ow;
     const int64_t gemm_k = d.c * d.r * d.s;
     const int64_t ohow = d.oh * d.ow;
@@ -361,7 +365,7 @@ conv2dGradWeight(const Tensor &grad_out, const Tensor &input,
 {
     GNN_SPAN("op.conv2d.grad_weight");
     ConvDims d = checkDims(input, weight, pad);
-    Tensor gw({d.k, d.c, d.r, d.s});
+    Tensor gw = Tensor::empty({d.k, d.c, d.r, d.s});
     const int64_t gemm_m = d.n * d.oh * d.ow;
     const int64_t gemm_k = d.c * d.r * d.s;
     const int64_t ohow = d.oh * d.ow;

@@ -45,7 +45,7 @@ Tensor
 binaryMap(const Tensor &a, const Tensor &b, const char *name, F f, int fp)
 {
     checkSameShape(a, b, name);
-    Tensor c(a.shape());
+    Tensor c = Tensor::empty(a.shape());
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
@@ -61,7 +61,7 @@ template <typename F>
 Tensor
 unaryMap(const Tensor &a, const char *name, F f, int fp, int sfu)
 {
-    Tensor c(a.shape());
+    Tensor c = Tensor::empty(a.shape());
     const float *pa = a.data();
     float *pc = c.data();
     parallel_for(0, a.numel(), kMapGrain, [&](int64_t i0, int64_t i1) {
@@ -187,7 +187,7 @@ preluGradSlope(const Tensor &grad_out, const Tensor &a)
             return s;
         },
         [](float acc, float s) { return acc + s; });
-    Tensor dummy({1});
+    Tensor dummy = Tensor::empty({1}); // address carrier only
     emitMap("ew_prelu_bwd_slope", {&grad_out, &a}, {&dummy}, 2, 0, 2);
     return sum;
 }
@@ -242,8 +242,8 @@ dropout(const Tensor &a, float p, Rng &rng, Tensor *mask_out)
 {
     GNN_ASSERT(p >= 0.0f && p < 1.0f, "dropout probability %f invalid",
                static_cast<double>(p));
-    Tensor c(a.shape());
-    Tensor mask(a.shape());
+    Tensor c = Tensor::empty(a.shape());
+    Tensor mask = Tensor::empty(a.shape());
     const float keep = 1.0f - p;
     const float inv_keep = 1.0f / keep;
     const float *pa = a.data();
@@ -268,7 +268,7 @@ addBiasRows(const Tensor &a, const Tensor &bias)
                a.size(1) == bias.size(0),
                "addBiasRows: bad shapes %s, %s", a.shapeString().c_str(),
                bias.shapeString().c_str());
-    Tensor c(a.shape());
+    Tensor c = Tensor::empty(a.shape());
     const int64_t n = a.size(0);
     const int64_t f = a.size(1);
     const float *pa = a.data();
@@ -303,7 +303,7 @@ concatRows(const std::vector<Tensor> &parts)
                    "concatRows: inconsistent shapes");
         rows += p.size(0);
     }
-    Tensor c({rows, f});
+    Tensor c = Tensor::empty({rows, f});
     float *pc = c.data();
     for (const Tensor &p : parts) {
         std::copy(p.data(), p.data() + p.numel(), pc);
@@ -321,7 +321,7 @@ sliceRows(const Tensor &a, int64_t begin, int64_t end)
                end <= a.size(0), "sliceRows: bad range [%lld, %lld)",
                static_cast<long long>(begin), static_cast<long long>(end));
     const int64_t f = a.size(1);
-    Tensor c({end - begin, f});
+    Tensor c = Tensor::empty({end - begin, f});
     std::copy(a.data() + begin * f, a.data() + end * f, c.data());
     emitMap("ew_copy", {&a}, {&c}, 0, 0, 2);
     return c;
@@ -336,7 +336,7 @@ concatCols(const Tensor &a, const Tensor &b)
     const int64_t n = a.size(0);
     const int64_t fa = a.size(1);
     const int64_t fb = b.size(1);
-    Tensor c({n, fa + fb});
+    Tensor c = Tensor::empty({n, fa + fb});
     parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
         for (int64_t i = i0; i < i1; ++i) {
             std::copy(a.data() + i * fa, a.data() + (i + 1) * fa,
@@ -356,7 +356,7 @@ transpose2d(const Tensor &a)
                a.shapeString().c_str());
     const int64_t n = a.size(0);
     const int64_t m = a.size(1);
-    Tensor c({m, n});
+    Tensor c = Tensor::empty({m, n});
     const float *pa = a.data();
     float *pc = c.data();
     parallel_for(0, m, 64, [&](int64_t j0, int64_t j1) {

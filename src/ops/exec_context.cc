@@ -14,20 +14,56 @@ ExecContext::device()
     return currentDevice;
 }
 
+Allocator &
+ExecContext::allocator()
+{
+    // The allocator binding lives in base (bindAllocator) so the
+    // tensor layer resolves the same thread-local without a
+    // dependency on ops.
+    return currentAllocator();
+}
+
+RunContext
+ExecContext::current()
+{
+    RunContext ctx;
+    ctx.device = currentDevice;
+    ctx.allocator = boundAllocator();
+    return ctx;
+}
+
 void
-ExecContext::setDevice(GpuDevice *device)
+ExecContext::set(const RunContext &ctx)
 {
-    currentDevice = device;
+    currentDevice = ctx.device;
+    bindAllocator(ctx.allocator);
 }
 
-DeviceGuard::DeviceGuard(GpuDevice *device) : prev_(ExecContext::device())
+ContextGuard::ContextGuard(GpuDevice *device) : prev_(ExecContext::current())
 {
-    ExecContext::setDevice(device);
+    RunContext next = prev_;
+    next.device = device; // keep the enclosing allocator binding
+    ExecContext::set(next);
 }
 
-DeviceGuard::~DeviceGuard()
+ContextGuard::ContextGuard(GpuDevice *device, Allocator *allocator)
+    : prev_(ExecContext::current())
 {
-    ExecContext::setDevice(prev_);
+    RunContext next;
+    next.device = device;
+    next.allocator = allocator;
+    ExecContext::set(next);
+}
+
+ContextGuard::ContextGuard(const RunContext &ctx)
+    : prev_(ExecContext::current())
+{
+    ExecContext::set(ctx);
+}
+
+ContextGuard::~ContextGuard()
+{
+    ExecContext::set(prev_);
 }
 
 } // namespace gnnmark

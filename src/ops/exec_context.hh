@@ -1,45 +1,73 @@
 /**
  * @file
- * Binding between the operator layer and a simulated GPU.
+ * Binding between the operator layer and a run's execution policy:
+ * the simulated GPU kernels are emitted into, and the Allocator
+ * tensor storage is drawn from.
  *
  * Operators compute real results on the host; when a device is bound
- * via DeviceGuard they additionally emit kernel launches into it. With
- * no device bound, operators are pure CPU math (handy for numerics
- * tests).
+ * via ContextGuard they additionally emit kernel launches into it.
+ * With no device bound, operators are pure CPU math (handy for
+ * numerics tests). The allocator binding rides the same guard so both
+ * policies are resolved from one binding point; with no allocator
+ * bound, storage comes from the GNNMARK_ALLOC-selected default.
  */
 
 #ifndef GNNMARK_OPS_EXEC_CONTEXT_HH
 #define GNNMARK_OPS_EXEC_CONTEXT_HH
 
+#include "base/allocator.hh"
 #include "sim/gpu_device.hh"
 
 namespace gnnmark {
 
-/** Thread-local current device for operator kernel emission. */
+/** One run's execution bindings (either may be null = unbound). */
+struct RunContext
+{
+    GpuDevice *device = nullptr;
+    Allocator *allocator = nullptr;
+};
+
+/** Thread-local current context for the operator layer. */
 class ExecContext
 {
   public:
     /** Currently bound device, or nullptr. */
     static GpuDevice *device();
 
+    /** The run's allocator: bound one, else the process default. */
+    static Allocator &allocator();
+
+    /** Both bindings as they currently stand. */
+    static RunContext current();
+
   private:
-    friend class DeviceGuard;
-    static void setDevice(GpuDevice *device);
+    friend class ContextGuard;
+    static void set(const RunContext &ctx);
 };
 
-/** RAII scope that binds a device as the current execution target. */
-class DeviceGuard
+/**
+ * RAII scope binding a RunContext as the current execution target.
+ * The single-argument form keeps the enclosing allocator binding, so
+ * legacy `DeviceGuard guard(&device)` call sites nested inside a run
+ * inherit the run's memory policy.
+ */
+class ContextGuard
 {
   public:
-    explicit DeviceGuard(GpuDevice *device);
-    ~DeviceGuard();
+    explicit ContextGuard(GpuDevice *device);
+    ContextGuard(GpuDevice *device, Allocator *allocator);
+    explicit ContextGuard(const RunContext &ctx);
+    ~ContextGuard();
 
-    DeviceGuard(const DeviceGuard &) = delete;
-    DeviceGuard &operator=(const DeviceGuard &) = delete;
+    ContextGuard(const ContextGuard &) = delete;
+    ContextGuard &operator=(const ContextGuard &) = delete;
 
   private:
-    GpuDevice *prev_;
+    RunContext prev_;
 };
+
+/** @deprecated Alias kept for existing device-only call sites. */
+using DeviceGuard = ContextGuard;
 
 } // namespace gnnmark
 

@@ -14,16 +14,19 @@ namespace ops {
 
 namespace {
 
-/** Plain row-major transpose into a fresh buffer (no kernel emitted:
- *  cuBLAS consumes transposed operands natively). */
-std::vector<float>
+/** Plain row-major transpose into an allocator-recycled workspace
+ *  tensor (no kernel emitted: cuBLAS consumes transposed operands
+ *  natively). Under the caching arena the workspace block is reused
+ *  across iterations instead of malloc'd per call. */
+Tensor
 hostTranspose(const float *src, int64_t rows, int64_t cols)
 {
-    std::vector<float> out(static_cast<size_t>(rows * cols));
+    Tensor out = Tensor::empty({cols, rows});
+    float *po = out.data();
     parallel_for(0, rows, 64, [&](int64_t r0, int64_t r1) {
         for (int64_t i = r0; i < r1; ++i) {
             for (int64_t j = 0; j < cols; ++j)
-                out[j * rows + i] = src[i * cols + j];
+                po[j * rows + i] = src[i * cols + j];
         }
     });
     return out;
@@ -164,21 +167,26 @@ gemm(const Tensor &a, const Tensor &b, bool transpose_a, bool transpose_b)
     const int64_t k = ka;
 
     // Normalise to row-major [M,K] x [K,N] on the host.
-    std::vector<float> at, bt;
+    Tensor at, bt;
     const float *pa = a.data();
     const float *pb = b.data();
+    uint64_t a_addr = a.deviceAddr();
+    uint64_t b_addr = b.deviceAddr();
     if (transpose_a) {
         at = hostTranspose(a.data(), a.size(0), a.size(1));
         pa = at.data();
+        a_addr = at.deviceAddr();
     }
     if (transpose_b) {
         bt = hostTranspose(b.data(), b.size(0), b.size(1));
         pb = bt.data();
+        b_addr = bt.deviceAddr();
     }
 
     // Each output row is owned by exactly one chunk, so the result is
-    // bitwise identical for any thread count.
-    Tensor c({m, n});
+    // bitwise identical for any thread count. Zero-initialised: the
+    // K loop accumulates into it.
+    Tensor c = Tensor::zeros({m, n});
     float *pc = c.data();
     parallel_for(0, m, 16, [&](int64_t i0, int64_t i1) {
         GNN_SPAN("op.gemm.chunk");
@@ -196,9 +204,7 @@ gemm(const Tensor &a, const Tensor &b, bool transpose_a, bool transpose_b)
         }
     });
 
-    emitGemmKernel("gemm", m, n, k,
-                   reinterpret_cast<uint64_t>(pa),
-                   reinterpret_cast<uint64_t>(pb), c.deviceAddr());
+    emitGemmKernel("gemm", m, n, k, a_addr, b_addr, c.deviceAddr());
     return c;
 }
 
@@ -212,7 +218,7 @@ gemv(const Tensor &a, const Tensor &x)
     const int64_t m = a.size(0);
     const int64_t k = a.size(1);
 
-    Tensor y({m});
+    Tensor y = Tensor::empty({m});
     const float *pa = a.data();
     const float *px = x.data();
     float *py = y.data();

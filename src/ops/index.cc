@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/allocator.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "obs/span.hh"
@@ -99,7 +100,7 @@ rowLookup(const Tensor &a, const std::vector<int32_t> &idx,
     const int64_t f = a.size(1);
     const int64_t m = static_cast<int64_t>(idx.size());
 
-    Tensor out({m, f});
+    Tensor out = Tensor::empty({m, f});
     const float *pa = a.data();
     float *po = out.data();
     parallel_for(0, m, 256, [&](int64_t i0, int64_t i1) {
@@ -112,8 +113,9 @@ rowLookup(const Tensor &a, const std::vector<int32_t> &idx,
                       pa + static_cast<int64_t>(r + 1) * f, po + i * f);
         }
     });
+    DeviceSpan idx_span(idx.size() * sizeof(int32_t));
     emitRowLookup(base, cls, f, a.deviceAddr(), out.deviceAddr(),
-                  reinterpret_cast<uint64_t>(idx.data()), idx);
+                  idx_span.addr(), idx);
     return out;
 }
 
@@ -158,9 +160,9 @@ scatterAddRows(Tensor &out, const std::vector<int32_t> &idx,
     }
     // In the kernel trace the roles flip: coalesced reads of src,
     // atomic adds into the table.
+    DeviceSpan idx_span(idx.size() * sizeof(int32_t));
     emitRowLookup("scatter_add", OpClass::Scatter, f, out.deviceAddr(),
-                  src.deviceAddr(), reinterpret_cast<uint64_t>(idx.data()),
-                  idx);
+                  src.deviceAddr(), idx_span.addr(), idx);
 }
 
 } // namespace ops

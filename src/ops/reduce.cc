@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "base/allocator.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "obs/span.hh"
@@ -139,7 +140,7 @@ rowBroadcast(const Tensor &a, const Tensor &v, const char *name, F f)
     GNN_ASSERT(a.dim() == 2 && v.dim() == 1 && v.size(0) == a.size(0),
                "%s: bad shapes %s, %s", name, a.shapeString().c_str(),
                v.shapeString().c_str());
-    Tensor c(a.shape());
+    Tensor c = Tensor::empty(a.shape()); // every element written below
     const int64_t n = a.size(0);
     const int64_t cols = a.size(1);
     const float *pa = a.data();
@@ -179,7 +180,7 @@ reduceSumAll(const Tensor &a)
         },
         [](double acc, double s) { return acc + s; });
     // Device side: a grid-wide tree reduction over the flat array.
-    Tensor result({1});
+    Tensor result = Tensor::empty({1});
     emitRowReduce("reduce_all", 1, a.numel(), a.deviceAddr(),
                   result.deviceAddr());
     return static_cast<float>(sum);
@@ -200,7 +201,7 @@ reduceSumRows(const Tensor &a)
                a.shapeString().c_str());
     const int64_t n = a.size(0);
     const int64_t f = a.size(1);
-    Tensor out({n});
+    Tensor out = Tensor::empty({n});
     const float *pa = a.data();
     float *po = out.data();
     parallel_for(0, n, 64, [&](int64_t i0, int64_t i1) {
@@ -223,7 +224,7 @@ reduceMaxRows(const Tensor &a)
                a.shapeString().c_str());
     const int64_t n = a.size(0);
     const int64_t f = a.size(1);
-    Tensor out({n});
+    Tensor out = Tensor::empty({n});
     const float *pa = a.data();
     float *po = out.data();
     parallel_for(0, n, 64, [&](int64_t i0, int64_t i1) {
@@ -258,7 +259,7 @@ argmaxRows(const Tensor &a)
             out[i] = best;
         }
     });
-    Tensor dummy({n});
+    Tensor dummy = Tensor::empty({n}); // address carrier only
     emitRowReduce("reduce_argmax_rows", n, f, a.deviceAddr(),
                   dummy.deviceAddr());
     return out;
@@ -272,7 +273,7 @@ reduceSumCols(const Tensor &a)
                a.shapeString().c_str());
     const int64_t n = a.size(0);
     const int64_t f = a.size(1);
-    Tensor out({f});
+    Tensor out = Tensor::empty({f}); // std::copy fills every element
     const float *pa = a.data();
     float *po = out.data();
     // Row-chunk partial columns, combined in chunk order (exact serial
@@ -305,8 +306,7 @@ namespace {
 template <typename Combine>
 Tensor
 segmentReduce(const Tensor &src, const std::vector<int32_t> &offsets,
-              const char *name, Combine combine, float init,
-              bool zero_empty)
+              const char *name, Combine combine, float init)
 {
     GNN_SPAN("op.segment_reduce");
     GNN_ASSERT(src.dim() == 2, "%s needs 2-d src, got %s", name,
@@ -318,7 +318,9 @@ segmentReduce(const Tensor &src, const std::vector<int32_t> &offsets,
                "%s: offsets end %d != src rows %lld", name,
                offsets.back(), static_cast<long long>(src.size(0)));
 
-    Tensor out({segs, f});
+    // Uninitialised output: every segment row is written below — empty
+    // segments explicitly get zeros so max and sum agree on the value.
+    Tensor out = Tensor::empty({segs, f});
     const float *ps = src.data();
     float *po = out.data();
     parallel_for(0, segs, 32, [&](int64_t s0, int64_t s1) {
@@ -327,10 +329,8 @@ segmentReduce(const Tensor &src, const std::vector<int32_t> &offsets,
                        "%s: offsets not monotone at %lld", name,
                        static_cast<long long>(s));
             if (offsets[s] == offsets[s + 1]) {
-                if (!zero_empty) {
-                    for (int64_t j = 0; j < f; ++j)
-                        po[s * f + j] = 0.0f;
-                }
+                for (int64_t j = 0; j < f; ++j)
+                    po[s * f + j] = 0.0f;
                 continue;
             }
             for (int64_t j = 0; j < f; ++j) {
@@ -348,8 +348,8 @@ segmentReduce(const Tensor &src, const std::vector<int32_t> &offsets,
         const int64_t chunks = std::max<int64_t>(1, (f + 31) / 32);
         const uint64_t s_addr = src.deviceAddr();
         const uint64_t o_addr = out.deviceAddr();
-        const uint64_t off_addr =
-            reinterpret_cast<uint64_t>(offsets.data());
+        DeviceSpan off_span(offsets.size() * sizeof(int32_t));
+        const uint64_t off_addr = off_span.addr();
         const int32_t *off = offsets.data();
 
         KernelDesc desc;
@@ -402,8 +402,7 @@ Tensor
 segmentSumRows(const Tensor &src, const std::vector<int32_t> &offsets)
 {
     return segmentReduce(src, offsets, "segment_sum",
-                         [](float a, float b) { return a + b; }, 0.0f,
-                         true);
+                         [](float a, float b) { return a + b; }, 0.0f);
 }
 
 Tensor
@@ -412,7 +411,7 @@ segmentMaxRows(const Tensor &src, const std::vector<int32_t> &offsets)
     return segmentReduce(
         src, offsets, "segment_max",
         [](float a, float b) { return std::max(a, b); },
-        -std::numeric_limits<float>::infinity(), false);
+        -std::numeric_limits<float>::infinity());
 }
 
 Tensor

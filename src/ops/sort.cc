@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <utility>
 #include <vector>
 
+#include "base/allocator.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "obs/span.hh"
@@ -124,6 +126,11 @@ radixSort(std::vector<int32_t> &keys, std::vector<int32_t> *values)
     std::vector<int32_t> key_buf(n), val_buf(values != nullptr ? n : 0);
     std::vector<int32_t> dest(n);
 
+    // Ping-pong device mappings for the key arrays; swapped alongside
+    // the host vectors so emitted addresses track the logical buffers.
+    DeviceSpan keys_span(static_cast<size_t>(n) * sizeof(int32_t));
+    DeviceSpan buf_span(static_cast<size_t>(n) * sizeof(int32_t));
+
     // Chunk layout is a pure function of n, so every pass below is an
     // exact integer computation independent of the worker count.
     constexpr int64_t kGrain = 1 << 14;
@@ -174,9 +181,8 @@ radixSort(std::vector<int32_t> &keys, std::vector<int32_t> *values)
             }
         });
 
-        emitHistogram(n, reinterpret_cast<uint64_t>(keys.data()), pass);
-        emitScatter(n, reinterpret_cast<uint64_t>(keys.data()),
-                    reinterpret_cast<uint64_t>(key_buf.data()), dest,
+        emitHistogram(n, keys_span.addr(), pass);
+        emitScatter(n, keys_span.addr(), buf_span.addr(), dest,
                     values != nullptr);
 
         // dest is a permutation, so the scatter writes never collide.
@@ -185,6 +191,7 @@ radixSort(std::vector<int32_t> &keys, std::vector<int32_t> *values)
                 key_buf[dest[i]] = keys[i];
         });
         keys.swap(key_buf);
+        std::swap(keys_span, buf_span);
         if (values != nullptr) {
             parallel_for(0, n, kGrain, [&](int64_t i0, int64_t i1) {
                 for (int64_t i = i0; i < i1; ++i)
@@ -225,11 +232,13 @@ sortedUnique(std::vector<int32_t> keys)
     }
     // Adjacent-difference flagging + compaction kernel.
     if (ExecContext::device() != nullptr && n > 0) {
+        DeviceSpan keys_span(keys.size() * sizeof(int32_t));
+        DeviceSpan out_span(out.size() * sizeof(int32_t));
         ElementwiseSpec spec;
         spec.name = "unique_flags";
         spec.elems = n;
-        spec.inAddrs = {reinterpret_cast<uint64_t>(keys.data())};
-        spec.outAddrs = {reinterpret_cast<uint64_t>(out.data())};
+        spec.inAddrs = {keys_span.addr()};
+        spec.outAddrs = {out_span.addr()};
         spec.fp32PerElem = 0;
         spec.int32PerElem = 5;
         spec.opClass = OpClass::Other;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/allocator.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "ops/batchnorm.hh"
@@ -607,11 +608,11 @@ nllLoss(const Variable &log_probs, const std::vector<int32_t> &labels)
     out(0) = static_cast<float>(sum / static_cast<double>(n));
 
     // The label gather + mean shows up as a small reduction kernel.
+    DeviceSpan labels_span(labels.size() * sizeof(int32_t));
     ElementwiseSpec fwd;
     fwd.name = "nll_fwd";
     fwd.elems = n;
-    fwd.inAddrs = {lp.deviceAddr(),
-                   reinterpret_cast<uint64_t>(labels.data())};
+    fwd.inAddrs = {lp.deviceAddr(), labels_span.addr()};
     fwd.outAddrs = {out.deviceAddr()};
     fwd.fp32PerElem = 1;
     fwd.int32PerElem = 3;
@@ -629,11 +630,12 @@ nllLoss(const Variable &log_probs, const std::vector<int32_t> &labels)
                 for (int64_t i = i0; i < i1; ++i)
                     ga(i, labels_copy[i]) = -g;
             });
+            DeviceSpan labels_span(labels_copy.size() *
+                                   sizeof(int32_t));
             ElementwiseSpec bwd;
             bwd.name = "nll_bwd";
             bwd.elems = n;
-            bwd.inAddrs = {
-                reinterpret_cast<uint64_t>(labels_copy.data())};
+            bwd.inAddrs = {labels_span.addr()};
             bwd.outAddrs = {ga.deviceAddr()};
             bwd.fp32PerElem = 1;
             bwd.int32PerElem = 3;

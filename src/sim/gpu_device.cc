@@ -314,7 +314,7 @@ GpuDevice::recordTransfer(double bytes, double zero_fraction,
 
 TransferRecord
 GpuDevice::copyHostToDevice(const float *data, size_t count,
-                            const std::string &tag)
+                            uint64_t device_addr, const std::string &tag)
 {
     size_t zeros = 0;
     for (size_t i = 0; i < count; ++i) {
@@ -325,17 +325,15 @@ GpuDevice::copyHostToDevice(const float *data, size_t count,
                            : static_cast<double>(zeros) /
                                  static_cast<double>(count);
     const size_t bytes = count * static_cast<size_t>(cfg_.elemBytes);
-    installInL2(reinterpret_cast<uint64_t>(data), bytes);
-    if (hook_ != nullptr) {
-        hook_->onTransfer(reinterpret_cast<uint64_t>(data), bytes, zf,
-                          tag);
-    }
+    installInL2(device_addr, bytes);
+    if (hook_ != nullptr)
+        hook_->onTransfer(device_addr, bytes, zf, tag);
     return recordTransfer(static_cast<double>(bytes), zf, tag);
 }
 
 TransferRecord
 GpuDevice::copyHostToDevice(const int32_t *data, size_t count,
-                            const std::string &tag)
+                            uint64_t device_addr, const std::string &tag)
 {
     size_t zeros = 0;
     for (size_t i = 0; i < count; ++i) {
@@ -346,12 +344,26 @@ GpuDevice::copyHostToDevice(const int32_t *data, size_t count,
                            : static_cast<double>(zeros) /
                                  static_cast<double>(count);
     const size_t bytes = count * sizeof(int32_t);
-    installInL2(reinterpret_cast<uint64_t>(data), bytes);
-    if (hook_ != nullptr) {
-        hook_->onTransfer(reinterpret_cast<uint64_t>(data), bytes, zf,
-                          tag);
-    }
+    installInL2(device_addr, bytes);
+    if (hook_ != nullptr)
+        hook_->onTransfer(device_addr, bytes, zf, tag);
     return recordTransfer(static_cast<double>(bytes), zf, tag);
+}
+
+TransferRecord
+GpuDevice::copyHostToDevice(const float *data, size_t count,
+                            const std::string &tag)
+{
+    return copyHostToDevice(data, count,
+                            reinterpret_cast<uint64_t>(data), tag);
+}
+
+TransferRecord
+GpuDevice::copyHostToDevice(const int32_t *data, size_t count,
+                            const std::string &tag)
+{
+    return copyHostToDevice(data, count,
+                            reinterpret_cast<uint64_t>(data), tag);
 }
 
 TransferRecord

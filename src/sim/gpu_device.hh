@@ -47,7 +47,20 @@ class GpuDevice
     /** Execute a kernel; returns the (possibly sampled) metrics. */
     KernelRecord launch(const KernelDesc &desc);
 
-    /** @{ Timed, sparsity-instrumented host-to-device copies. */
+    /**
+     * @{ Timed, sparsity-instrumented host-to-device copies.
+     * `device_addr` is the deterministic simulated address the bytes
+     * land at (a Tensor's deviceAddr() or a DeviceSpan). The
+     * three-argument shims reuse the host pointer as the device
+     * address and are deprecated: they tie the simulated cache state
+     * to host heap layout.
+     */
+    TransferRecord copyHostToDevice(const float *data, size_t count,
+                                    uint64_t device_addr,
+                                    const std::string &tag);
+    TransferRecord copyHostToDevice(const int32_t *data, size_t count,
+                                    uint64_t device_addr,
+                                    const std::string &tag);
     TransferRecord copyHostToDevice(const float *data, size_t count,
                                     const std::string &tag);
     TransferRecord copyHostToDevice(const int32_t *data, size_t count,

@@ -32,22 +32,34 @@ CsrMatrix::validate() const
     }
 }
 
+namespace {
+
+uint64_t
+lazySpanAddr(std::shared_ptr<DeviceSpan> &span, size_t bytes)
+{
+    if (span == nullptr)
+        span = std::make_shared<DeviceSpan>(bytes);
+    return span->addr();
+}
+
+} // namespace
+
 uint64_t
 CsrMatrix::rowPtrAddr() const
 {
-    return reinterpret_cast<uint64_t>(rowPtr.data());
+    return lazySpanAddr(rowPtrSpan_, rowPtr.size() * sizeof(int32_t));
 }
 
 uint64_t
 CsrMatrix::colIdxAddr() const
 {
-    return reinterpret_cast<uint64_t>(colIdx.data());
+    return lazySpanAddr(colIdxSpan_, colIdx.size() * sizeof(int32_t));
 }
 
 uint64_t
 CsrMatrix::valsAddr() const
 {
-    return reinterpret_cast<uint64_t>(vals.data());
+    return lazySpanAddr(valsSpan_, vals.size() * sizeof(float));
 }
 
 CsrMatrix

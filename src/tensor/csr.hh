@@ -8,8 +8,11 @@
 #define GNNMARK_TENSOR_CSR_HH
 
 #include <cstdint>
+#include <memory>
 #include <tuple>
 #include <vector>
+
+#include "base/allocator.hh"
 
 namespace gnnmark {
 
@@ -27,10 +30,20 @@ struct CsrMatrix
     /** Structural sanity check; aborts (panic) on violation. */
     void validate() const;
 
-    /** Device addresses of the index/value arrays (for the GPU model). */
+    /**
+     * Device addresses of the index/value arrays (for the GPU model).
+     * Mapped lazily from DeviceAddrSpace on first use and shared by
+     * copies of the matrix, so they are deterministic and stable for
+     * the graph's lifetime. Call after the arrays are final.
+     */
     uint64_t rowPtrAddr() const;
     uint64_t colIdxAddr() const;
     uint64_t valsAddr() const;
+
+  private:
+    mutable std::shared_ptr<DeviceSpan> rowPtrSpan_;
+    mutable std::shared_ptr<DeviceSpan> colIdxSpan_;
+    mutable std::shared_ptr<DeviceSpan> valsSpan_;
 };
 
 /** Build a CSR from (row, col, val) triples; duplicates are summed. */

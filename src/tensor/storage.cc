@@ -1,0 +1,29 @@
+#include "tensor/storage.hh"
+
+namespace gnnmark {
+
+Storage::~Storage()
+{
+    if (host_ != nullptr) {
+        alloc_->deallocate(host_, bytes_);
+        DeviceAddrSpace::instance().unmap(va_, bytes_);
+    }
+}
+
+std::shared_ptr<Storage>
+Storage::allocate(size_t bytes, Allocator *alloc)
+{
+    if (bytes == 0) {
+        // All zero-element tensors share one storage that owns nothing,
+        // so default-constructed tensors cost no allocator traffic.
+        static std::shared_ptr<Storage> empty(
+            new Storage(nullptr, nullptr, 0, 0));
+        return empty;
+    }
+    Allocator &a = alloc != nullptr ? *alloc : currentAllocator();
+    void *host = a.allocate(bytes);
+    const uint64_t va = DeviceAddrSpace::instance().map(bytes);
+    return std::shared_ptr<Storage>(new Storage(&a, host, va, bytes));
+}
+
+} // namespace gnnmark

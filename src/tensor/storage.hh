@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Refcounted storage behind Tensor: one host block from the bound
+ * Allocator plus one deterministic device address from
+ * DeviceAddrSpace. Views (reshape, row slices) share a Storage and
+ * differ only by offset, so they are zero-copy by construction.
+ */
+
+#ifndef GNNMARK_TENSOR_STORAGE_HH
+#define GNNMARK_TENSOR_STORAGE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "base/allocator.hh"
+
+namespace gnnmark {
+
+/**
+ * One allocation: host bytes + simulated device address, returned to
+ * both spaces on destruction. Always held by shared_ptr; copies of a
+ * Tensor share the Storage (refcount = number of aliasing tensors).
+ */
+class Storage
+{
+  public:
+    ~Storage();
+
+    Storage(const Storage &) = delete;
+    Storage &operator=(const Storage &) = delete;
+
+    /**
+     * Allocate `bytes` (uninitialised) through `alloc`, or through the
+     * thread-bound / default allocator when `alloc` is nullptr. A
+     * zero-byte request returns a shared empty singleton that owns no
+     * memory.
+     */
+    static std::shared_ptr<Storage> allocate(size_t bytes,
+                                             Allocator *alloc = nullptr);
+
+    /** @{ Host bytes (nullptr for the empty singleton). */
+    float *f32() { return static_cast<float *>(host_); }
+    const float *f32() const { return static_cast<const float *>(host_); }
+    void *data() { return host_; }
+    const void *data() const { return host_; }
+    /** @} */
+
+    size_t bytes() const { return bytes_; }
+
+    /** Deterministic simulated device address of byte 0. */
+    uint64_t deviceAddr() const { return va_; }
+
+    /** The allocator that owns the host block (null for empty). */
+    Allocator *allocator() const { return alloc_; }
+
+  private:
+    Storage(Allocator *alloc, void *host, uint64_t va, size_t bytes)
+        : alloc_(alloc), host_(host), va_(va), bytes_(bytes)
+    {
+    }
+
+    Allocator *alloc_;
+    void *host_;
+    uint64_t va_;
+    size_t bytes_;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_TENSOR_STORAGE_HH

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
-#include <unordered_map>
 
 #include "base/logging.hh"
 #include "base/string_utils.hh"
@@ -28,78 +26,40 @@ shapeNumel(const std::vector<int64_t> &shape)
     return n;
 }
 
-/**
- * Caching storage allocator: freed blocks are recycled by size, so a
- * training loop's activations land at the same (aligned) addresses
- * every iteration, as under PyTorch's caching allocator.
- */
-class StoragePool
-{
-  public:
-    static StoragePool &
-    instance()
-    {
-        static StoragePool pool;
-        return pool;
-    }
-
-    float *
-    acquire(int64_t numel)
-    {
-        auto &bin = free_[numel];
-        if (!bin.empty()) {
-            float *p = bin.back();
-            bin.pop_back();
-            return p;
-        }
-        void *raw = nullptr;
-        size_t bytes = std::max<size_t>(
-            256, static_cast<size_t>(numel) * sizeof(float));
-        int rc = posix_memalign(&raw, 256, bytes);
-        GNN_ASSERT(rc == 0, "allocation of %zu bytes failed", bytes);
-        return static_cast<float *>(raw);
-    }
-
-    void
-    release(float *p, int64_t numel)
-    {
-        free_[numel].push_back(p);
-    }
-
-  private:
-    std::unordered_map<int64_t, std::vector<float *>> free_;
-};
-
-std::shared_ptr<float>
-pooledStorage(int64_t numel)
-{
-    float *p = StoragePool::instance().acquire(numel);
-    return std::shared_ptr<float>(
-        p, [numel](float *ptr) {
-            StoragePool::instance().release(ptr, numel);
-        });
-}
-
 } // namespace
 
-Tensor::Tensor() : Tensor(std::vector<int64_t>{0})
+Tensor::Tensor()
+    : shape_({0}), numel_(0), storage_(Storage::allocate(0))
 {
 }
 
 Tensor::Tensor(std::vector<int64_t> shape)
-    : shape_(std::move(shape)), numel_(shapeNumel(shape_)),
-      storage_(pooledStorage(numel_))
 {
-    float *p = storage_.get();
-    parallel_for(0, numel_, kFlatGrain, [&](int64_t i0, int64_t i1) {
-        std::fill(p + i0, p + i1, 0.0f);
-    });
+    // Deprecated shim: zero-filled like the historical constructor.
+    *this = zeros(std::move(shape));
+}
+
+Tensor
+Tensor::empty(std::vector<int64_t> shape)
+{
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.numel_ = shapeNumel(t.shape_);
+    t.offset_ = 0;
+    t.storage_ = Storage::allocate(static_cast<size_t>(t.numel_) *
+                                   sizeof(float));
+    return t;
 }
 
 Tensor
 Tensor::zeros(std::vector<int64_t> shape)
 {
-    return Tensor(std::move(shape));
+    Tensor t = empty(std::move(shape));
+    float *p = t.data();
+    parallel_for(0, t.numel_, kFlatGrain, [&](int64_t i0, int64_t i1) {
+        std::fill(p + i0, p + i1, 0.0f);
+    });
+    return t;
 }
 
 Tensor
@@ -111,7 +71,7 @@ Tensor::ones(std::vector<int64_t> shape)
 Tensor
 Tensor::full(std::vector<int64_t> shape, float value)
 {
-    Tensor t(std::move(shape));
+    Tensor t = empty(std::move(shape));
     t.fill(value);
     return t;
 }
@@ -119,7 +79,7 @@ Tensor::full(std::vector<int64_t> shape, float value)
 Tensor
 Tensor::fromVector(std::vector<int64_t> shape, std::vector<float> values)
 {
-    Tensor t(std::move(shape));
+    Tensor t = empty(std::move(shape));
     GNN_ASSERT(static_cast<int64_t>(values.size()) == t.numel(),
                "value count %zu does not match shape numel %lld",
                values.size(), static_cast<long long>(t.numel()));
@@ -130,7 +90,7 @@ Tensor::fromVector(std::vector<int64_t> shape, std::vector<float> values)
 Tensor
 Tensor::randn(std::vector<int64_t> shape, Rng &rng, float stddev)
 {
-    Tensor t(std::move(shape));
+    Tensor t = empty(std::move(shape));
     float *p = t.data();
     // Serial: consumes the shared RNG stream in element order.
     for (int64_t i = 0; i < t.numel(); ++i)
@@ -141,7 +101,7 @@ Tensor::randn(std::vector<int64_t> shape, Rng &rng, float stddev)
 Tensor
 Tensor::uniform(std::vector<int64_t> shape, Rng &rng, float lo, float hi)
 {
-    Tensor t(std::move(shape));
+    Tensor t = empty(std::move(shape));
     float *p = t.data();
     for (int64_t i = 0; i < t.numel(); ++i)
         p[i] = rng.uniform(lo, hi);
@@ -168,13 +128,13 @@ Tensor::sameShape(const Tensor &other) const
 float *
 Tensor::data()
 {
-    return storage_.get() + offset_;
+    return storage_->f32() + offset_;
 }
 
 const float *
 Tensor::data() const
 {
-    return storage_.get() + offset_;
+    return storage_->f32() + offset_;
 }
 
 float &
@@ -253,9 +213,27 @@ Tensor::reshape(std::vector<int64_t> shape) const
 }
 
 Tensor
+Tensor::viewRows(int64_t begin, int64_t end) const
+{
+    GNN_ASSERT(dim() >= 1, "viewRows needs dim >= 1, got %s",
+               shapeString().c_str());
+    GNN_ASSERT(begin >= 0 && begin <= end && end <= shape_[0],
+               "viewRows: bad range [%lld, %lld) for %s",
+               static_cast<long long>(begin),
+               static_cast<long long>(end), shapeString().c_str());
+    const int64_t stride =
+        shape_[0] == 0 ? 0 : numel_ / shape_[0];
+    Tensor t = *this;
+    t.shape_[0] = end - begin;
+    t.numel_ = t.shape_[0] * stride;
+    t.offset_ = offset_ + begin * stride;
+    return t;
+}
+
+Tensor
 Tensor::clone() const
 {
-    Tensor t(shape_);
+    Tensor t = empty(shape_);
     const float *src = data();
     float *dst = t.data();
     parallel_for(0, numel_, kFlatGrain, [&](int64_t i0, int64_t i1) {
@@ -282,7 +260,8 @@ Tensor::zero()
 uint64_t
 Tensor::deviceAddr() const
 {
-    return reinterpret_cast<uint64_t>(data());
+    return storage_->deviceAddr() +
+           static_cast<uint64_t>(offset_) * sizeof(float);
 }
 
 double

@@ -3,9 +3,16 @@
  * Dense fp32 tensor, the value type flowing through the operator layer.
  *
  * Tensors are contiguous, row-major, and reference-counted: copies are
- * shallow (sharing storage), clone() is deep. The storage address is
- * stable for the tensor's lifetime and doubles as the simulated device
- * address for the GPU cache models.
+ * shallow (sharing Storage), clone() is deep. Storage carries both the
+ * host bytes (from the run's bound Allocator) and a deterministic
+ * simulated device address (from DeviceAddrSpace) that is stable for
+ * the storage's lifetime — what the GPU cache models hash.
+ *
+ * Construction goes through the factories: `Tensor::empty` for
+ * outputs every element of which is about to be written,
+ * `Tensor::zeros` when the op accumulates into the buffer. The
+ * shape constructor `Tensor(shape)` is a deprecated zero-filling shim
+ * retained for one PR; new code should name its initialisation.
  */
 
 #ifndef GNNMARK_TENSOR_TENSOR_HH
@@ -17,6 +24,7 @@
 #include <vector>
 
 #include "base/rng.hh"
+#include "tensor/storage.hh"
 
 namespace gnnmark {
 
@@ -24,13 +32,19 @@ namespace gnnmark {
 class Tensor
 {
   public:
-    /** An empty 0-element tensor. */
+    /** An empty 0-element tensor (shares the empty Storage singleton). */
     Tensor();
 
-    /** Zero-initialised tensor of the given shape. */
+    /**
+     * Zero-initialised tensor of the given shape.
+     * @deprecated Shim over Tensor::zeros; use the factories so the
+     * initialisation cost is explicit.
+     */
     explicit Tensor(std::vector<int64_t> shape);
 
-    /** @{ Factory helpers. */
+    /** @{ Factory helpers (allocation via the bound Allocator). */
+    /** Uninitialised storage: every element must be written before use. */
+    static Tensor empty(std::vector<int64_t> shape);
     static Tensor zeros(std::vector<int64_t> shape);
     static Tensor ones(std::vector<int64_t> shape);
     static Tensor full(std::vector<int64_t> shape, float value);
@@ -77,6 +91,13 @@ class Tensor
     /** View with a new shape (shares storage; numel must match). */
     Tensor reshape(std::vector<int64_t> shape) const;
 
+    /**
+     * Zero-copy view of rows [begin, end) (dim >= 1). Shares Storage
+     * with this tensor: writes through either alias are visible to
+     * both.
+     */
+    Tensor viewRows(int64_t begin, int64_t end) const;
+
     /** Deep copy. */
     Tensor clone() const;
 
@@ -89,7 +110,19 @@ class Tensor
     /** True if storage is allocated (numel may still be 0). */
     bool defined() const { return storage_ != nullptr; }
 
-    /** Stable byte address of element 0, used as the device address. */
+    /** True if both tensors alias the same Storage. */
+    bool sharesStorageWith(const Tensor &other) const
+    {
+        return storage_ == other.storage_;
+    }
+
+    /** The underlying refcounted Storage (for tests/instrumentation). */
+    const std::shared_ptr<Storage> &storage() const { return storage_; }
+
+    /**
+     * Deterministic simulated device address of element 0 (the
+     * Storage's DeviceAddrSpace address plus the view offset).
+     */
     uint64_t deviceAddr() const;
 
     /** Fraction of exactly-zero elements (sparsity, as in the paper). */
@@ -102,12 +135,13 @@ class Tensor
     std::vector<int64_t> shape_;
     int64_t numel_ = 0;
     /**
-     * Pooled, 256-byte-aligned storage. Allocations are recycled by a
-     * caching allocator (like the PyTorch CUDA allocator), so training
-     * loops see stable "device" addresses across iterations — which is
-     * what the persistent L2 model in the simulator observes.
+     * Refcounted storage from the bound Allocator. Under the caching
+     * arena, freed blocks are recycled by size bucket, so a training
+     * loop's activations land at the same host bytes and the same
+     * device addresses every iteration — which is what the persistent
+     * L2 model in the simulator observes.
      */
-    std::shared_ptr<float> storage_;
+    std::shared_ptr<Storage> storage_;
     int64_t offset_ = 0; ///< element offset into storage (views)
 };
 

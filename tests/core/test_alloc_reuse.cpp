@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tape-aware buffer reuse: with the caching arena bound, a steady-state
+ * training iteration performs (almost) no heap calls, because every
+ * buffer the iteration allocates was freed by the previous iteration
+ * and comes back from a free list. The system allocator is the
+ * baseline the >=90% reduction is measured against.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/allocator.hh"
+#include "core/characterization.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+AllocSummary
+runWith(const std::string &workload, Allocator &alloc)
+{
+    RunOptions opt;
+    opt.scale = 0.25;
+    opt.iterations = 3;
+    opt.allocator = &alloc;
+    CharacterizationRunner runner(opt);
+    return runner.run(workload).memStats;
+}
+
+} // namespace
+
+class AllocReuse : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AllocReuse, CachingCutsSteadyStateHeapCallsBy90Percent)
+{
+    const AllocSummary sys = runWith(GetParam(), systemAllocator());
+    const AllocSummary cached =
+        runWith(GetParam(), cachingAllocator());
+
+    EXPECT_EQ(sys.mode, "system");
+    EXPECT_EQ(cached.mode, "caching");
+
+    // In system mode every allocation request is a heap call.
+    ASSERT_GT(sys.steadyAllocCallsPerIter, 0u);
+    EXPECT_EQ(sys.steadyAllocCallsPerIter, sys.steadyRequestsPerIter);
+
+    // Identical op sequence => identical request stream.
+    EXPECT_EQ(cached.steadyRequestsPerIter, sys.steadyRequestsPerIter);
+
+    // The acceptance bar: >=90% fewer heap calls per steady iteration.
+    EXPECT_LE(cached.steadyAllocCallsPerIter,
+              sys.steadyAllocCallsPerIter / 10)
+        << "steady-state iteration still hits the heap "
+        << cached.steadyAllocCallsPerIter << " times (system: "
+        << sys.steadyAllocCallsPerIter << ")";
+
+    // And the arena should be serving most requests from free lists.
+    EXPECT_GT(cached.cacheHitRate, 0.5);
+    EXPECT_GT(cached.bytesPeak, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AllocReuse,
+                         ::testing::Values("PSAGE-MVL", "STGCN"));

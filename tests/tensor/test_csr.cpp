@@ -58,9 +58,22 @@ TEST(CsrDeath, ValidateCatchesBadColumn)
 TEST(Csr, DeviceAddressesStable)
 {
     CsrMatrix m = csrFromTriples(2, 2, {{0, 1, 1.0f}, {1, 0, 2.0f}});
-    EXPECT_EQ(m.rowPtrAddr(),
-              reinterpret_cast<uint64_t>(m.rowPtr.data()));
-    EXPECT_EQ(m.colIdxAddr(),
-              reinterpret_cast<uint64_t>(m.colIdx.data()));
-    EXPECT_EQ(m.valsAddr(), reinterpret_cast<uint64_t>(m.vals.data()));
+    // Addresses live in the virtual device arena (not host pointers),
+    // are lazily assigned once, and stay stable across repeated calls.
+    const uint64_t rp = m.rowPtrAddr();
+    const uint64_t ci = m.colIdxAddr();
+    const uint64_t va = m.valsAddr();
+    EXPECT_GE(rp, uint64_t{1} << 46);
+    EXPECT_NE(rp, reinterpret_cast<uint64_t>(m.rowPtr.data()));
+    EXPECT_NE(ci, rp);
+    EXPECT_NE(va, ci);
+    EXPECT_EQ(m.rowPtrAddr(), rp);
+    EXPECT_EQ(m.colIdxAddr(), ci);
+    EXPECT_EQ(m.valsAddr(), va);
+
+    // Copies share the lazily mapped spans, so the address survives
+    // the copy (the property the persistent-L2 model relies on).
+    CsrMatrix copy = m;
+    EXPECT_EQ(copy.rowPtrAddr(), rp);
+    EXPECT_EQ(copy.valsAddr(), va);
 }

@@ -1,0 +1,145 @@
+/** @file Refcounted Storage semantics: sharing, views, device addrs. */
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "base/allocator.hh"
+#include "tensor/storage.hh"
+#include "tensor/tensor.hh"
+
+using namespace gnnmark;
+
+TEST(Storage, AllocateRoundsUpAndExposesBytes)
+{
+    auto s = Storage::allocate(10);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->bytes(), 10u);
+    EXPECT_NE(s->data(), nullptr);
+    EXPECT_GE(s->deviceAddr(), uint64_t{1} << 46);
+}
+
+TEST(Storage, ZeroByteStorageIsASharedSingleton)
+{
+    auto a = Storage::allocate(0);
+    auto b = Storage::allocate(0);
+    EXPECT_EQ(a.get(), b.get());
+    Tensor t1, t2;
+    EXPECT_TRUE(t1.sharesStorageWith(t2));
+}
+
+TEST(Storage, CopiesShareAndWritesAlias)
+{
+    Tensor t1 = Tensor::zeros({4, 4});
+    Tensor t2 = t1; // shallow: same Storage
+    EXPECT_TRUE(t1.sharesStorageWith(t2));
+    EXPECT_EQ(t1.storage().use_count(), 2);
+    t2(1, 2) = 7.0f;
+    EXPECT_FLOAT_EQ(t1(1, 2), 7.0f);
+    EXPECT_EQ(t1.deviceAddr(), t2.deviceAddr());
+}
+
+TEST(Storage, CloneIsDeep)
+{
+    Tensor t1 = Tensor::full({3}, 2.0f);
+    Tensor t2 = t1.clone();
+    EXPECT_FALSE(t1.sharesStorageWith(t2));
+    EXPECT_NE(t1.deviceAddr(), t2.deviceAddr());
+    t2(0) = 9.0f;
+    EXPECT_FLOAT_EQ(t1(0), 2.0f);
+}
+
+TEST(Storage, ReshapeIsAZeroCopyView)
+{
+    Tensor t = Tensor::zeros({2, 6});
+    Tensor r = t.reshape({3, 4});
+    EXPECT_TRUE(t.sharesStorageWith(r));
+    r(2, 3) = 5.0f; // last element in both layouts
+    EXPECT_FLOAT_EQ(t(1, 5), 5.0f);
+}
+
+TEST(Storage, ViewRowsAliasesAndOffsetsTheDeviceAddr)
+{
+    Tensor t = Tensor::zeros({6, 3});
+    Tensor v = t.viewRows(2, 5);
+    EXPECT_TRUE(v.sharesStorageWith(t));
+    EXPECT_EQ(v.size(0), 3);
+    EXPECT_EQ(v.size(1), 3);
+    EXPECT_EQ(v.numel(), 9);
+    EXPECT_EQ(v.data(), t.data() + 2 * 3);
+    EXPECT_EQ(v.deviceAddr(),
+              t.deviceAddr() + 2 * 3 * sizeof(float));
+    v(0, 0) = 1.5f;
+    EXPECT_FLOAT_EQ(t(2, 0), 1.5f);
+    t(4, 2) = 2.5f;
+    EXPECT_FLOAT_EQ(v(2, 2), 2.5f);
+}
+
+TEST(Storage, ViewKeepsStorageAliveAfterBaseDies)
+{
+    Tensor v;
+    {
+        Tensor t = Tensor::full({4, 2}, 3.0f);
+        v = t.viewRows(1, 3);
+    }
+    // The base tensor is gone; the view still owns the bytes.
+    EXPECT_FLOAT_EQ(v(0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(v(1, 1), 3.0f);
+}
+
+TEST(Storage, DeprecatedShapeCtorStillZeroFills)
+{
+    Tensor t({3, 3});
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_FLOAT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(Storage, FactoriesProduceIndependentStorage)
+{
+    Tensor a = Tensor::empty({8});
+    Tensor b = Tensor::empty({8});
+    EXPECT_FALSE(a.sharesStorageWith(b));
+    a.fill(1.0f);
+    b.fill(2.0f);
+    EXPECT_FLOAT_EQ(a(7), 1.0f);
+    EXPECT_FLOAT_EQ(b(7), 2.0f);
+}
+
+TEST(Storage, TensorAllocationsGoThroughTheBoundAllocator)
+{
+    Allocator &a = cachingAllocator();
+    Allocator *prev = boundAllocator();
+    bindAllocator(&a);
+    const AllocStats before = a.stats();
+    {
+        Tensor t = Tensor::zeros({64, 64});
+        EXPECT_EQ(a.stats().requests - before.requests, 1u);
+    }
+    const AllocStats after = a.stats();
+    EXPECT_EQ(after.releases - before.releases, 1u);
+    EXPECT_EQ(after.bytesLive, before.bytesLive);
+    bindAllocator(prev);
+}
+
+TEST(Storage, FreedTensorStorageIsRecycledAtTheSameAddresses)
+{
+    Allocator *prev = boundAllocator();
+    bindAllocator(&cachingAllocator());
+    uint64_t dev1 = 0, dev2 = 0;
+    const float *host1 = nullptr;
+    const float *host2 = nullptr;
+    {
+        Tensor t = Tensor::zeros({128, 32});
+        dev1 = t.deviceAddr();
+        host1 = t.data();
+    }
+    {
+        Tensor t = Tensor::zeros({128, 32});
+        dev2 = t.deviceAddr();
+        host2 = t.data();
+    }
+    // The iteration-stability property the persistent-L2 model needs.
+    EXPECT_EQ(dev1, dev2);
+    EXPECT_EQ(host1, host2);
+    bindAllocator(prev);
+}

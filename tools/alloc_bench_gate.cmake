@@ -1,0 +1,39 @@
+# Allocator micro-bench regression gate, run under ctest: rerun
+# bench_ext_allocator's JSONL counter twin and diff it *exactly*
+# (tolerance 0) against the committed baseline. The gated records are
+# allocation counters only — requests, heap calls, cache hits, peak
+# bytes — which are deterministic for a fixed op sequence, so any
+# drift means the allocator or the tape-reuse behaviour changed.
+# Invoke as
+#   cmake -DBENCH_BIN=<bench_ext_allocator> -DBENCH_DIFF_BIN=<bench_diff>
+#         -DBASELINE=<bench/baselines/ext_allocator.jsonl>
+#         -P alloc_bench_gate.cmake
+
+foreach(var BENCH_BIN BENCH_DIFF_BIN BASELINE)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "pass -D${var}=...")
+    endif()
+endforeach()
+
+set(candidate ext_allocator_candidate.jsonl)
+
+execute_process(
+    COMMAND ${BENCH_BIN} ${candidate}
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "bench_ext_allocator exited with '${rv}'")
+endif()
+
+execute_process(
+    COMMAND ${BENCH_DIFF_BIN} ${BASELINE} ${candidate}
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+        "allocator counters drifted from the committed baseline "
+        "(bench_diff exit '${rv}'); if the change is intentional, "
+        "regenerate bench/baselines/ext_allocator.jsonl")
+endif()
+
+file(REMOVE ${candidate})
+message(STATUS "allocator counters match the committed baseline")

@@ -64,6 +64,7 @@ struct Args
     bool inference = false;
     bool weak = false;
     bool csv = false;
+    bool memstats = false;   ///< --memstats allocator report
     std::string out;         ///< --out (trace record)
     std::string tracePath;   ///< --trace (sweep)
     std::string chromePath;  ///< --chrome-trace
@@ -105,6 +106,12 @@ usage()
         "                 0 disables; faults only)\n"
         "  --target F     time-to-train loss fraction (default 0.85)\n"
         "  --inference    forward passes only\n"
+        "  --memstats     append a host-allocator report (run,\n"
+        "                 characterize): peak bytes, steady-state\n"
+        "                 alloc calls/iter, arena hit rate. With\n"
+        "                 --json the memstats document follows the\n"
+        "                 figures document on its own line. Pick the\n"
+        "                 allocator with GNNMARK_ALLOC=caching|system\n"
         "  --weak         weak instead of strong scaling\n"
         "  --csv          machine-readable output where supported\n"
         "  --chrome-trace PATH  write a chrome://tracing timeline JSON\n"
@@ -174,6 +181,8 @@ parse(int argc, char **argv)
             args.target = std::atof(next());
         } else if (a == "--inference") {
             args.inference = true;
+        } else if (a == "--memstats") {
+            args.memstats = true;
         } else if (a == "--weak") {
             args.weak = true;
         } else if (a == "--csv") {
@@ -322,10 +331,15 @@ cmdRun(const Args &args)
     const double host_wall_us =
         obs::SpanTracer::instance().nowUs() - host_begin;
 
-    if (args.json)
+    if (args.json) {
         std::cout << reports::figuresJson({profile}) << "\n";
-    else
+        if (args.memstats)
+            std::cout << reports::memstatsJson({profile}) << "\n";
+    } else {
         printWorkloadSummary(profile);
+        if (args.memstats)
+            reports::printMemstats({profile}, std::cout);
+    }
     if (telemetry != nullptr) {
         telemetry->writeRecord(reports::runManifestJson(
             profile, opt, ThreadPool::instance().threadCount(),
@@ -523,6 +537,8 @@ cmdCharacterize(const Args &args)
     }
     if (args.json) {
         std::cout << reports::figuresJson(profiles) << "\n";
+        if (args.memstats)
+            std::cout << reports::memstatsJson(profiles) << "\n";
         return 0;
     }
     reports::printFig2OpBreakdown(profiles, std::cout);
@@ -531,6 +547,8 @@ cmdCharacterize(const Args &args)
     reports::printFig5Stalls(profiles, std::cout);
     reports::printFig6Cache(profiles, std::cout);
     reports::printFig7Sparsity(profiles, std::cout);
+    if (args.memstats)
+        reports::printMemstats(profiles, std::cout);
     return 0;
 }
 
