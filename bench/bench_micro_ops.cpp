@@ -56,7 +56,7 @@ BM_Gemm(benchmark::State &state)
     Tensor a = Tensor::randn({n, n}, rng);
     Tensor b = Tensor::randn({n, n}, rng);
     SimHarness sim;
-    DeviceGuard guard(&sim.device);
+    ContextGuard guard(&sim.device);
     for (auto _ : state)
         benchmark::DoNotOptimize(ops::gemm(a, b));
     sim.report(state);
@@ -78,7 +78,7 @@ BM_Spmm(benchmark::State &state)
     CsrMatrix csr = csrFromTriples(n, n, std::move(triples));
     Tensor b = Tensor::randn({n, 64}, rng);
     SimHarness sim;
-    DeviceGuard guard(&sim.device);
+    ContextGuard guard(&sim.device);
     for (auto _ : state)
         benchmark::DoNotOptimize(ops::spmm(csr, b));
     sim.report(state);
@@ -95,7 +95,7 @@ BM_GatherRows(benchmark::State &state)
     for (auto &i : idx)
         i = static_cast<int32_t>(rng.randint(static_cast<uint64_t>(n)));
     SimHarness sim;
-    DeviceGuard guard(&sim.device);
+    ContextGuard guard(&sim.device);
     for (auto _ : state)
         benchmark::DoNotOptimize(ops::gatherRows(table, idx));
     sim.report(state);
@@ -107,13 +107,13 @@ BM_ScatterAdd(benchmark::State &state)
 {
     const int64_t n = state.range(0);
     Rng rng(4);
-    Tensor out({n, 64});
+    Tensor out = Tensor::zeros({n, 64});
     Tensor src = Tensor::randn({n, 64}, rng);
     std::vector<int32_t> idx(n);
     for (auto &i : idx)
         i = static_cast<int32_t>(rng.randint(static_cast<uint64_t>(n)));
     SimHarness sim;
-    DeviceGuard guard(&sim.device);
+    ContextGuard guard(&sim.device);
     for (auto _ : state)
         ops::scatterAddRows(out, idx, src);
     sim.report(state);
@@ -127,7 +127,7 @@ BM_RadixSort(benchmark::State &state)
     Rng rng(5);
     std::vector<int32_t> keys(n);
     SimHarness sim;
-    DeviceGuard guard(&sim.device);
+    ContextGuard guard(&sim.device);
     for (auto _ : state) {
         state.PauseTiming();
         for (auto &k : keys) {
@@ -149,7 +149,7 @@ BM_Elementwise(benchmark::State &state)
     Tensor a = Tensor::randn({n}, rng);
     Tensor b = Tensor::randn({n}, rng);
     SimHarness sim;
-    DeviceGuard guard(&sim.device);
+    ContextGuard guard(&sim.device);
     for (auto _ : state)
         benchmark::DoNotOptimize(ops::add(a, b));
     sim.report(state);
@@ -163,7 +163,7 @@ BM_RowReduce(benchmark::State &state)
     Rng rng(7);
     Tensor a = Tensor::randn({n, 128}, rng);
     SimHarness sim;
-    DeviceGuard guard(&sim.device);
+    ContextGuard guard(&sim.device);
     for (auto _ : state)
         benchmark::DoNotOptimize(ops::reduceSumRows(a));
     sim.report(state);

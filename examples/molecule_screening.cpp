@@ -26,7 +26,7 @@ forward(const GraphBatch &batch, nn::Linear &encoder,
         nn::Linear &readout)
 {
     const int64_t n = batch.graph.numNodes();
-    Tensor inv_deg({n});
+    Tensor inv_deg = Tensor::zeros({n});
     for (int64_t v = 0; v < n; ++v) {
         inv_deg(v) = 1.0f / static_cast<float>(
                                 std::max(1, batch.graph.degree(v)));
@@ -73,7 +73,7 @@ main()
     GpuDevice device;
     Profiler profiler;
     device.addObserver(&profiler);
-    DeviceGuard guard(&device);
+    ContextGuard guard(&device);
 
     std::cout << "Training a " << depth
               << "-layer residual GCN on molecule batches...\n";

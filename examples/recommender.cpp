@@ -66,7 +66,7 @@ main()
     GpuDevice device;
     Profiler profiler;
     device.addObserver(&profiler);
-    DeviceGuard guard(&device);
+    ContextGuard guard(&device);
 
     // Embed all items through one sampled layer.
     std::vector<int32_t> all_items(data.items);

@@ -41,7 +41,7 @@ main()
     GpuDevice device;
     Profiler profiler;
     device.addObserver(&profiler);
-    DeviceGuard guard(&device);
+    ContextGuard guard(&device);
 
     auto make_batch = [&](Tensor &input, Tensor &target) {
         for (int64_t b = 0; b < batch; ++b) {
@@ -59,8 +59,8 @@ main()
     std::cout << "Training STGCN on " << n << " sensors...\n";
     float first = 0, last = 0;
     for (int step = 0; step < 25; ++step) {
-        Tensor input({batch, 1, window, n});
-        Tensor target({batch, n});
+        Tensor input = Tensor::zeros({batch, 1, window, n});
+        Tensor target = Tensor::zeros({batch, n});
         make_batch(input, target);
 
         Variable h = block2.forward(
@@ -83,8 +83,8 @@ main()
     std::cout << "MSE " << first << " -> " << last << "\n";
 
     // Forecast the step after the last full window.
-    Tensor input({batch, 1, window, n});
-    Tensor target({batch, n});
+    Tensor input = Tensor::zeros({batch, 1, window, n});
+    Tensor target = Tensor::zeros({batch, n});
     make_batch(input, target);
     Variable pred = ag::reshape(
         ag::conv2d(block2.forward(block1.forward(Variable(input), adj,

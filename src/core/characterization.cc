@@ -53,9 +53,9 @@ CharacterizationRunner::run(Workload &workload) const
 
     for (int i = 0; i < options_.iterations; ++i) {
         GNN_SPAN("train.iteration");
-        profile.profiler.beginIteration();
-        if (options_.traceHook != nullptr)
-            options_.traceHook->onMarker(TraceMarker::IterationBegin);
+        // One call fans out to every observer (the profiler advances
+        // its iteration counter) and to the trace hook.
+        device.markIterationBegin();
 
         const double sim_before = device.wallTimeSec();
         const int64_t kernels_before = device.kernelCount();

@@ -288,13 +288,16 @@ printFig9Scaling(
     TablePrinter table(
         "Fig. 9: strong scaling with PyTorch DDP (time per epoch)");
     table.setHeader({"Workload", "GPUs", "Epoch (ms)", "Compute (ms)",
-                     "Comm (ms)", "Speedup vs 1 GPU"});
+                     "Comm (ms)", "Exposed (ms)", "Overlap %",
+                     "Speedup vs 1 GPU"});
     for (const auto &[name, points] : curves) {
         for (const ScalingResult &r : points) {
             table.addRow({name, strfmt("%d", r.worldSize),
                           fixed(r.epochTimeSec * 1e3, 2),
                           fixed(r.computeTimeSec * 1e3, 2),
                           fixed(r.commTimeSec * 1e3, 2),
+                          fixed(r.commExposedSec * 1e3, 2),
+                          fixed(r.overlapFrac * 100.0, 1),
                           fixed(r.speedup, 2)});
         }
     }

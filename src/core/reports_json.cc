@@ -1,5 +1,7 @@
 #include "core/reports_json.hh"
 
+#include "base/string_utils.hh"
+
 namespace gnnmark {
 namespace reports {
 
@@ -103,12 +105,41 @@ scalingJson(
             w.key("epoch_time_sec").value(point.epochTimeSec);
             w.key("compute_time_sec").value(point.computeTimeSec);
             w.key("comm_time_sec").value(point.commTimeSec);
+            w.key("comm_exposed_sec").value(point.commExposedSec);
+            w.key("overlap_frac").value(point.overlapFrac);
             w.key("speedup").value(point.speedup);
             w.endObject();
         }
         w.endArray();
     }
     w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+scalingRecordJson(const std::string &workload, bool weak,
+                  bool overlap_on,
+                  const std::vector<ScalingResult> &curve)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("scaling");
+    w.key("workload").value(workload);
+    w.key("mode").value(weak ? "weak" : "strong");
+    w.key("overlap").value(overlap_on ? "on" : "off");
+    for (const ScalingResult &point : curve) {
+        w.key(strfmt("w%d", point.worldSize)).beginObject();
+        w.key("epoch_time_sec").value(point.epochTimeSec);
+        w.key("compute_time_sec").value(point.computeTimeSec);
+        w.key("ddp").beginObject();
+        w.key("comm_total_sec").value(point.commTimeSec);
+        w.key("comm_exposed_sec").value(point.commExposedSec);
+        w.key("overlap_frac").value(point.overlapFrac);
+        w.endObject();
+        w.key("speedup").value(point.speedup);
+        w.endObject();
+    }
     w.endObject();
     return w.str();
 }

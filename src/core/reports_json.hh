@@ -41,6 +41,17 @@ std::string scalingJson(
 std::string faultJson(const FaultToleranceResult &result);
 
 /**
+ * One scaling telemetry record (a single JSONL line) for one
+ * workload's curve: per-world-size epoch/compute splits plus the
+ * ddp.comm_total_sec / ddp.comm_exposed_sec / ddp.overlap_frac keys
+ * bench_diff gates on. Points nest under "w<world>" so the flattened
+ * diff key carries the world size.
+ */
+std::string scalingRecordJson(const std::string &workload, bool weak,
+                              bool overlap_on,
+                              const std::vector<ScalingResult> &curve);
+
+/**
  * --memstats document: allocator counters per workload. Kept separate
  * from figuresJson so run reports stay identical across GNNMARK_ALLOC
  * modes (these counters intentionally differ between allocators).

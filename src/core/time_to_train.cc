@@ -22,7 +22,7 @@ measureTimeToTrain(Workload &workload, const TimeToTrainOptions &options)
     cfg.scale = options.scale;
     workload.setup(cfg);
 
-    DeviceGuard guard(&device);
+    ContextGuard guard(&device);
     double smoothed = 0;
     double target = 0;
     for (int i = 0; i < options.maxIterations; ++i) {

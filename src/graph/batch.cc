@@ -31,7 +31,7 @@ GraphBatch::build(const std::vector<SmallGraph> &graphs)
 
     std::vector<std::pair<int32_t, int32_t>> edges;
     edges.reserve(total_edges);
-    batch.features = Tensor({total_nodes, f});
+    batch.features = Tensor::zeros({total_nodes, f});
     float *pf = batch.features.data();
     int32_t base = 0;
     for (const SmallGraph &g : graphs) {

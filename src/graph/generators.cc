@@ -24,7 +24,7 @@ citation(Rng &rng, int64_t nodes, int64_t feat_dim, int classes,
 
     // Sparse bag-of-words features: 80% of a node's words come from
     // its class's band of the vocabulary.
-    data.features = Tensor({nodes, feat_dim});
+    data.features = Tensor::zeros({nodes, feat_dim});
     const int64_t band = std::max<int64_t>(1, feat_dim / classes);
     const int64_t words_per_node = std::max<int64_t>(
         1, static_cast<int64_t>(feature_density *
@@ -138,7 +138,7 @@ bipartiteRecsys(Rng &rng, int64_t users, int64_t items,
     data.relItemUser = data.graph.addRelation(std::move(iu));
 
     // Dense-ish item features with a controlled zero fraction.
-    data.itemFeatures = Tensor({items, item_feat_dim});
+    data.itemFeatures = Tensor::zeros({items, item_feat_dim});
     for (int64_t i = 0; i < items; ++i) {
         for (int64_t j = 0; j < item_feat_dim; ++j) {
             if (!rng.bernoulli(feature_zero_fraction)) {
@@ -176,7 +176,7 @@ traffic(Rng &rng, int64_t sensors, int64_t timesteps, double avg_degree)
     // Daily-period speeds with per-sensor phase plus diffusion noise:
     // predictable enough for STGCN to fit. Roughly 18% of the readings
     // are zeroed, matching METR-LA's missing-sensor entries.
-    data.series = Tensor({timesteps, sensors});
+    data.series = Tensor::zeros({timesteps, sensors});
     const double period = 48.0;
     for (int64_t n = 0; n < sensors; ++n) {
         const double phase = rng.uniform() * 2.0 * M_PI;
@@ -220,7 +220,7 @@ randomSmallGraph(Rng &rng, int min_nodes, int max_nodes, int64_t feat_dim,
     g.graph = Graph(n, std::move(edges), /*symmetric=*/true);
 
     // Categorical atom-type features (one-hot plus a degree column).
-    g.features = Tensor({n, feat_dim});
+    g.features = Tensor::zeros({n, feat_dim});
     double feat_sum = 0.0;
     for (int v = 0; v < n; ++v) {
         const int64_t atom = static_cast<int64_t>(rng.randint(
@@ -304,7 +304,7 @@ knowledgeGraph(Rng &rng, int64_t entities, int samples, int vocab,
     data.vocabSize = vocab;
     data.entities = powerLaw(rng, entities, 3);
 
-    data.entityFeatures = Tensor({entities, feat_dim});
+    data.entityFeatures = Tensor::zeros({entities, feat_dim});
     for (int64_t e = 0; e < entities; ++e) {
         for (int64_t j = 0; j < feat_dim; ++j) {
             if (!rng.bernoulli(0.3)) {

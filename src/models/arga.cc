@@ -17,7 +17,7 @@ Arga::setup(const WorkloadConfig &config)
     adjT_ = adj_;
 
     const int64_t n = data_.graph.numNodes();
-    adjDense_ = Tensor({n, n});
+    adjDense_ = Tensor::zeros({n, n});
     for (int64_t v = 0; v < n; ++v) {
         auto [begin, end] = data_.graph.neighbors(v);
         for (const int32_t *p = begin; p != end; ++p)
@@ -100,7 +100,7 @@ Arga::trainIteration()
         ag::relu(disc1_->forward(z.detach())));
     Variable disc_loss =
         ag::add(ag::bceWithLogits(d_real, Tensor::ones({n, 1})),
-                ag::bceWithLogits(d_fake2, Tensor({n, 1})));
+                ag::bceWithLogits(d_fake2, Tensor::zeros({n, 1})));
 
     if (!cfg_.inferenceOnly) {
         optimDisc_->zeroGrad();

@@ -84,7 +84,7 @@ DeepGcn::trainIteration()
     uploadInput(batch.graph.edgeSrc(), "edge_index");
 
     const int64_t n = batch.graph.numNodes();
-    Tensor inv_deg({n});
+    Tensor inv_deg = Tensor::zeros({n});
     for (int64_t v = 0; v < n; ++v) {
         // In-degree of v equals out-degree here (symmetric graphs).
         const int32_t d = std::max<int32_t>(1, batch.graph.degree(v));

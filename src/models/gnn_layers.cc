@@ -31,7 +31,7 @@ SageLayer::forward(const SampledBlock &block, const Variable &src_feats,
     // Gather neighbour features per edge, weight them, segment-sum
     // per destination: the gather/scatter phase of aggregation.
     Variable msgs = ag::gatherRows(src_feats, block.neighbors);
-    Tensor w({static_cast<int64_t>(block.weights.size())});
+    Tensor w = Tensor::zeros({static_cast<int64_t>(block.weights.size())});
     std::copy(block.weights.begin(), block.weights.end(), w.data());
     Variable weighted = ag::mulRowsByConst(msgs, w);
     Variable agg = ag::segmentSumRows(weighted, block.offsets);

@@ -124,7 +124,7 @@ GraphWriter::trainIteration()
     // vocabulary in one large GEMM, as the reference implementation
     // does — the TFLOP-class kernel of Fig. 4.
     nn::LstmCell::State state = decoder_->initial(local_batch);
-    Variable ctx(Tensor({local_batch, dim_}));
+    Variable ctx(Tensor::zeros({local_batch, dim_}));
     std::vector<Variable> step_states;
     std::vector<int32_t> all_labels;
     std::vector<int32_t> tokens(local_batch);

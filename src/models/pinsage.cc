@@ -151,7 +151,7 @@ PinSage::trainIteration()
     // Host-side feature slicing + upload of the batch's features: the
     // CPU-to-GPU copies whose sparsity Fig. 7 characterises.
     const int64_t fdim = data_.itemFeatures.size(1);
-    Tensor raw({static_cast<int64_t>(inner.srcNodes.size()), fdim});
+    Tensor raw = Tensor::zeros({static_cast<int64_t>(inner.srcNodes.size()), fdim});
     for (size_t i = 0; i < inner.srcNodes.size(); ++i) {
         const float *src =
             data_.itemFeatures.data() +
@@ -169,7 +169,7 @@ PinSage::trainIteration()
     Tensor mean_shifted = ops::addScalar(raw, -0.01f);
     Tensor squared = ops::mul(mean_shifted, mean_shifted);
     Tensor norms = ops::reduceSumRows(squared);
-    Tensor inv({norms.size(0)});
+    Tensor inv = Tensor::zeros({norms.size(0)});
     for (int64_t i = 0; i < norms.size(0); ++i)
         inv(i) = 1.0f / std::sqrt(norms(i) + 1e-6f);
     Tensor normalized = ops::mulRowsBy(mean_shifted, inv);

@@ -101,8 +101,8 @@ Stgcn::trainIteration()
     const int64_t local_batch =
         std::max<int64_t>(1, batch_ / cfg_.worldSize);
 
-    Tensor input({local_batch, 1, window_, n});
-    Tensor target({local_batch, n});
+    Tensor input = Tensor::zeros({local_batch, 1, window_, n});
+    Tensor target = Tensor::zeros({local_batch, n});
     for (int64_t b = 0; b < local_batch; ++b) {
         const int64_t t0 = static_cast<int64_t>(rng_->randint(
             static_cast<uint64_t>(total_steps - window_ - 1)));

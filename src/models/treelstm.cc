@@ -53,7 +53,7 @@ TreeLstm::trainIteration()
     uploadInput(batch.tokens, "leaf_tokens");
     // DGL ships a leaf mask and the batched level structure alongside
     // the tokens; internal-node entries are zero.
-    Tensor leaf_mask({batch.totalNodes});
+    Tensor leaf_mask = Tensor::zeros({batch.totalNodes});
     for (int64_t v = 0; v < batch.totalNodes; ++v)
         leaf_mask(v) = batch.tokens[v] >= 0 ? 1.0f : 0.0f;
     uploadInput(leaf_mask, "leaf_mask");
@@ -63,8 +63,8 @@ TreeLstm::trainIteration()
     const int64_t total = batch.totalNodes;
     // Node states assembled level by level; levels are disjoint, so
     // scatter-sum into the running state acts as a write.
-    Variable h_all(Tensor({total, hidden_}));
-    Variable c_all(Tensor({total, hidden_}));
+    Variable h_all(Tensor::zeros({total, hidden_}));
+    Variable c_all(Tensor::zeros({total, hidden_}));
 
     for (size_t li = 0; li < batch.levels.size(); ++li) {
         const TreeBatch::Level &level = batch.levels[li];

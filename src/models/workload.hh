@@ -3,7 +3,7 @@
  * The GNNMark workload interface. Each of the suite's seven models
  * implements it: setup() synthesises the dataset and builds the model,
  * trainIteration() runs one forward/backward/optimiser step against
- * whatever device is bound via DeviceGuard, uploading its mini-batch
+ * whatever device is bound via ContextGuard, uploading its mini-batch
  * inputs through the device so transfer sparsity is observed.
  */
 

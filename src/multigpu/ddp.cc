@@ -1,6 +1,7 @@
 #include "multigpu/ddp.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "base/logging.hh"
@@ -13,60 +14,216 @@ namespace gnnmark {
 
 namespace {
 
-/** DDP bucket size (PyTorch default 25 MB). */
-constexpr double kBucketBytes = 25.0 * 1024 * 1024;
-
-/** Fixed per-iteration DDP bookkeeping (hooks, bucket ready checks). */
-constexpr double kDdpOverheadSec = 40e-6;
-
 /** Device-side detection latency for a failed (transient) kernel. */
 constexpr double kTransientDetectSec = 0.5e-3;
 
-/** Per-iteration gradient-sync cost on `world` replicas. */
+} // namespace
+
+namespace ddp {
+
+int
+bucketCount(double bytes)
+{
+    return std::max(
+        1,
+        static_cast<int>((bytes + kBucketBytes - 1) / kBucketBytes));
+}
+
 double
-allReduceCost(const Interconnect &interconnect, double bytes, int world)
+syncCommCost(const Interconnect &interconnect, double bytes, int world)
 {
     if (world <= 1)
         return 0;
-    const int buckets = std::max(
-        1,
-        static_cast<int>((bytes + kBucketBytes - 1) / kBucketBytes));
     return interconnect.allReduceTime(bytes, world) +
-           buckets * interconnect.config().messageLatencySec +
+           bucketCount(bytes) *
+               interconnect.config().messageLatencySec +
            kDdpOverheadSec;
 }
 
-} // namespace
+std::vector<double>
+overlapBucketSizes(double bytes, const DdpOptions &options)
+{
+    if (bytes <= 0)
+        return {};
+    const double target =
+        bytes / static_cast<double>(std::max(1, options.targetBuckets));
+    const double size = std::min(
+        kBucketBytes, std::max(target, options.minBucketBytes));
+    const int count =
+        std::max(1, static_cast<int>(std::ceil(bytes / size)));
+    return std::vector<double>(static_cast<size_t>(count),
+                               bytes / count);
+}
+
+CommCost
+overlapCommCost(const Interconnect &interconnect, double bytes,
+                int world, const IterationTimeline &timeline,
+                const DdpOptions &options)
+{
+    CommCost out;
+    if (world <= 1 || bytes <= 0)
+        return out;
+
+    const double lat = interconnect.config().messageLatencySec;
+    const double steps = 2.0 * (static_cast<double>(world) - 1.0);
+    const std::vector<double> sizes =
+        overlapBucketSizes(bytes, options);
+    const int count = static_cast<int>(sizes.size());
+
+    // Optimizer kernels can only start once all gradients are both
+    // produced and reduced, so exposure is measured against the end
+    // of the backward window (the iteration past that point is the
+    // update step, which waits on comm anyway).
+    const double bwd_finish = timeline.hasBackward()
+        ? timeline.wallAtKernelTime(timeline.backwardEndKernelSec)
+        : timeline.wallAtKernelTime(timeline.kernelSec);
+
+    SimStream comm("ddp.comm");
+    for (int i = 0; i < count; ++i) {
+        const double ready = timeline.bucketReadySec(i, count);
+        // Bandwidth share of this bucket's ring pass, via the same
+        // Interconnect model the sync path prices with.
+        double cost = std::max(
+            0.0, interconnect.allReduceTime(sizes[static_cast<size_t>(i)],
+                                            world) -
+                     steps * lat);
+        cost += lat; // per-bucket collective launch
+        if (i == 0) {
+            // The ring's per-step latencies pipeline across buckets;
+            // charge the fill once, to the first bucket, where it can
+            // still hide behind backward.
+            cost += steps * lat;
+        }
+        comm.enqueue("allreduce.bucket", ready, cost);
+    }
+
+    double occupancy = 0;
+    for (const StreamOp &op : comm.ops())
+        occupancy += op.endSec - op.startSec;
+    out.totalSec = occupancy + kDdpOverheadSec;
+    out.exposedSec = std::max(0.0, comm.cursorSec() - bwd_finish) +
+                     kDdpOverheadSec;
+    return out;
+}
+
+std::vector<ScalingResult>
+scalingFromTimelines(const Interconnect &interconnect,
+                     const std::vector<IterationTimeline> &timelines,
+                     double epoch_compute_sec,
+                     double iterations_per_epoch,
+                     double parameter_bytes,
+                     bool sampler_ddp_compatible,
+                     const std::vector<int> &world_sizes,
+                     const DdpOptions &options)
+{
+    double iter_transfer = 0;
+    if (!timelines.empty()) {
+        for (const IterationTimeline &t : timelines)
+            iter_transfer += t.transferSec;
+        iter_transfer /= static_cast<double>(timelines.size());
+    }
+
+    std::vector<ScalingResult> out;
+    for (int world : world_sizes) {
+        GNN_ASSERT(world >= 1, "world size must be >= 1");
+        double iter_comm = 0;
+        double iter_exposed = 0;
+        if (world > 1) {
+            double penalty = 0;
+            if (!sampler_ddp_compatible)
+                penalty = iter_transfer * (world - 1);
+            if (options.overlapComm && !timelines.empty()) {
+                double total = 0;
+                double exposed = 0;
+                for (const IterationTimeline &t : timelines) {
+                    CommCost c = overlapCommCost(
+                        interconnect, parameter_bytes, world, t,
+                        options);
+                    total += c.totalSec;
+                    exposed += c.exposedSec;
+                }
+                const double n =
+                    static_cast<double>(timelines.size());
+                iter_comm = total / n + penalty;
+                iter_exposed = exposed / n + penalty;
+            } else {
+                iter_comm = syncCommCost(interconnect, parameter_bytes,
+                                         world) +
+                            penalty;
+                iter_exposed = iter_comm;
+            }
+        }
+        ScalingResult res;
+        res.worldSize = world;
+        res.computeTimeSec = epoch_compute_sec;
+        res.commTimeSec = iter_comm * iterations_per_epoch;
+        res.commExposedSec = iter_exposed * iterations_per_epoch;
+        res.epochTimeSec = res.computeTimeSec + res.commExposedSec;
+        res.overlapFrac =
+            res.commTimeSec > 0
+                ? 1.0 - res.commExposedSec / res.commTimeSec
+                : 0;
+        out.push_back(res);
+    }
+
+    // Weak-scaling efficiency against the single-GPU point, with the
+    // same fallback as weakScalingCurve: per-GPU work is constant, so
+    // the first measured point is its own reference.
+    double base_time = 0;
+    for (const ScalingResult &r : out) {
+        if (r.worldSize == 1)
+            base_time = r.epochTimeSec;
+    }
+    if (base_time == 0 && !out.empty())
+        base_time = out.front().epochTimeSec;
+    for (ScalingResult &r : out) {
+        r.speedup = base_time > 0 && r.epochTimeSec > 0
+                        ? base_time / r.epochTimeSec
+                        : 0;
+    }
+    return out;
+}
+
+} // namespace ddp
 
 DdpTrainer::DdpTrainer(GpuConfig device_config,
-                       InterconnectConfig link_config)
-    : deviceConfig_(device_config), interconnect_(link_config)
+                       InterconnectConfig link_config,
+                       DdpOptions options)
+    : deviceConfig_(device_config), interconnect_(link_config),
+      options_(options)
 {
 }
 
 ScalingResult
-DdpTrainer::measure(Workload &workload, const WorkloadConfig &base,
-                    int world, int measured_iterations)
+DdpTrainer::measureImpl(Workload &workload, const WorkloadConfig &base,
+                        int world, int measured_iterations, bool weak)
 {
-    GNN_SPAN("ddp.measure");
     GNN_ASSERT(world >= 1, "world size must be >= 1");
     GNN_ASSERT(measured_iterations >= 1, "need at least one iteration");
 
+    // Weak scaling keeps the per-GPU work at the full single-GPU
+    // batch: run with worldSize 1 for the compute, then charge the
+    // world-sized communication.
     WorkloadConfig cfg = base;
     cfg.rank = 0;
-    cfg.worldSize = world;
+    cfg.worldSize = weak ? 1 : world;
 
-    GpuDevice device(deviceConfig_, base.seed + world);
+    GpuDevice device(deviceConfig_,
+                     base.seed + (weak ? 100 + world : world));
+    TimelineCollector timelines(deviceConfig_.launchOverheadSec);
+    device.addObserver(&timelines);
     if (extraObserver_ != nullptr)
         device.addObserver(extraObserver_);
     workload.setup(cfg);
 
-    DeviceGuard guard(&device);
+    ContextGuard guard(&device);
     workload.trainIteration(); // warm up sampling caches
     device.resetTimers();
 
-    for (int i = 0; i < measured_iterations; ++i)
+    for (int i = 0; i < measured_iterations; ++i) {
+        device.markIterationBegin();
         workload.trainIteration();
+    }
 
     const double iter_compute =
         device.wallTimeSec() / measured_iterations;
@@ -74,19 +231,39 @@ DdpTrainer::measure(Workload &workload, const WorkloadConfig &base,
         device.transferTimeSec() / measured_iterations;
 
     double iter_comm = 0;
+    double iter_exposed = 0;
     if (world > 1) {
-        // Bucketed ring all-reduce of the gradients.
         const double bytes = workload.parameterBytes();
-        const int buckets = std::max(
-            1, static_cast<int>((bytes + kBucketBytes - 1) /
-                                kBucketBytes));
-        iter_comm = interconnect_.allReduceTime(bytes, world) +
-                    buckets * interconnect_.config().messageLatencySec +
-                    kDdpOverheadSec;
-        if (!workload.samplerDdpCompatible()) {
-            // Replicated batches: every replica pulls the full input
-            // over the shared host link, serialising the copies.
-            iter_comm += iter_transfer * (world - 1);
+        // Replicated batches: every replica pulls the full input over
+        // the shared host link, serialising the copies. Charged on
+        // both scaling modes (weak scaling used to skip it, silently
+        // flattering replication-pathological workloads).
+        double penalty = 0;
+        if (!workload.samplerDdpCompatible())
+            penalty = iter_transfer * (world - 1);
+
+        const auto &its = timelines.iterations();
+        if (options_.overlapComm && !its.empty()) {
+            // Bucketed ring all-reduce drained by a comm stream that
+            // overlaps the backward window of each measured
+            // iteration's kernel timeline.
+            double total = 0;
+            double exposed = 0;
+            for (const IterationTimeline &t : its) {
+                ddp::CommCost c = ddp::overlapCommCost(
+                    interconnect_, bytes, world, t, options_);
+                total += c.totalSec;
+                exposed += c.exposedSec;
+            }
+            const double n = static_cast<double>(its.size());
+            iter_comm = total / n + penalty;
+            iter_exposed = exposed / n + penalty;
+        } else {
+            // Legacy synchronous model: the bucketed all-reduce fully
+            // serializes after compute.
+            iter_comm =
+                ddp::syncCommCost(interconnect_, bytes, world) + penalty;
+            iter_exposed = iter_comm;
         }
     }
 
@@ -96,8 +273,27 @@ DdpTrainer::measure(Workload &workload, const WorkloadConfig &base,
         static_cast<double>(workload.iterationsPerEpoch());
     res.computeTimeSec = iter_compute * iters;
     res.commTimeSec = iter_comm * iters;
-    res.epochTimeSec = res.computeTimeSec + res.commTimeSec;
+    res.commExposedSec = iter_exposed * iters;
+    res.epochTimeSec = res.computeTimeSec + res.commExposedSec;
+    res.overlapFrac =
+        res.commTimeSec > 0
+            ? 1.0 - res.commExposedSec / res.commTimeSec
+            : 0;
+
+    obs::Metrics &metrics = obs::Metrics::instance();
+    metrics.setGauge("ddp.comm_total_sec", res.commTimeSec);
+    metrics.setGauge("ddp.comm_exposed_sec", res.commExposedSec);
+    metrics.setGauge("ddp.overlap_frac", res.overlapFrac);
     return res;
+}
+
+ScalingResult
+DdpTrainer::measure(Workload &workload, const WorkloadConfig &base,
+                    int world, int measured_iterations)
+{
+    GNN_SPAN("ddp.measure");
+    return measureImpl(workload, base, world, measured_iterations,
+                       /*weak=*/false);
 }
 
 ScalingResult
@@ -105,45 +301,8 @@ DdpTrainer::measureWeak(Workload &workload, const WorkloadConfig &base,
                         int world, int measured_iterations)
 {
     GNN_SPAN("ddp.measure_weak");
-    GNN_ASSERT(world >= 1, "world size must be >= 1");
-
-    // Per-GPU work is the full single-GPU batch: run with worldSize 1
-    // for the compute, then charge the world-sized communication.
-    WorkloadConfig cfg = base;
-    cfg.rank = 0;
-    cfg.worldSize = 1;
-
-    GpuDevice device(deviceConfig_, base.seed + 100 + world);
-    if (extraObserver_ != nullptr)
-        device.addObserver(extraObserver_);
-    workload.setup(cfg);
-    DeviceGuard guard(&device);
-    workload.trainIteration();
-    device.resetTimers();
-    for (int i = 0; i < measured_iterations; ++i)
-        workload.trainIteration();
-
-    const double iter_compute =
-        device.wallTimeSec() / measured_iterations;
-    double iter_comm = 0;
-    if (world > 1) {
-        const double bytes = workload.parameterBytes();
-        const int buckets = std::max(
-            1, static_cast<int>((bytes + kBucketBytes - 1) /
-                                kBucketBytes));
-        iter_comm = interconnect_.allReduceTime(bytes, world) +
-                    buckets * interconnect_.config().messageLatencySec +
-                    kDdpOverheadSec;
-    }
-
-    ScalingResult res;
-    res.worldSize = world;
-    const double iters =
-        static_cast<double>(workload.iterationsPerEpoch());
-    res.computeTimeSec = iter_compute * iters;
-    res.commTimeSec = iter_comm * iters;
-    res.epochTimeSec = res.computeTimeSec + res.commTimeSec;
-    return res;
+    return measureImpl(workload, base, world, measured_iterations,
+                       /*weak=*/true);
 }
 
 std::vector<ScalingResult>
@@ -240,7 +399,7 @@ DdpTrainer::runEngine(Workload &workload, const WorkloadConfig &base,
     if (extraObserver_ != nullptr)
         device.addObserver(extraObserver_);
     workload.setup(cfg);
-    DeviceGuard guard(&device);
+    ContextGuard guard(&device);
 
     const std::vector<FaultEvent> &events = injector.plan().events();
     std::vector<char> consumed(events.size(), 0);
@@ -327,7 +486,7 @@ DdpTrainer::runEngine(Workload &workload, const WorkloadConfig &base,
         if (alive_count > 1) {
             const double bytes = workload.parameterBytes();
             double healthy =
-                allReduceCost(interconnect_, bytes, alive_count);
+                ddp::syncCommCost(interconnect_, bytes, alive_count);
             comm = healthy;
             const double link = injector.linkFactor(t0);
             if (link < 1.0) {
@@ -335,7 +494,7 @@ DdpTrainer::runEngine(Workload &workload, const WorkloadConfig &base,
                 slow_cfg.degradedHopFactor =
                     std::min(slow_cfg.degradedHopFactor, link);
                 Interconnect slow(slow_cfg);
-                comm = allReduceCost(slow, bytes, alive_count);
+                comm = ddp::syncCommCost(slow, bytes, alive_count);
                 for (size_t i = 0; i < events.size(); ++i) {
                     const FaultEvent &e = events[i];
                     if (e.kind == FaultKind::DegradedLink &&

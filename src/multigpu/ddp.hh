@@ -19,6 +19,7 @@
 #include "sim/fault_injector.hh"
 #include "sim/gpu_config.hh"
 #include "sim/interconnect.hh"
+#include "sim/stream.hh"
 
 namespace gnnmark {
 
@@ -31,8 +32,104 @@ struct ScalingResult
     double epochTimeSec = 0;   ///< average simulated time per epoch
     double computeTimeSec = 0; ///< per-epoch on-GPU compute share
     double commTimeSec = 0;    ///< per-epoch all-reduce + replication
-    double speedup = 0;        ///< vs. the 1-GPU epoch time
+    /**
+     * Per-epoch communication *not* hidden behind backward compute.
+     * Equals commTimeSec under the synchronous model;
+     * epochTimeSec = computeTimeSec + commExposedSec in both modes.
+     */
+    double commExposedSec = 0;
+    /** 1 - exposed/total (0 when there is no communication). */
+    double overlapFrac = 0;
+    double speedup = 0; ///< vs. the 1-GPU epoch time
 };
+
+/** Communication-model knobs for DdpTrainer. */
+struct DdpOptions
+{
+    /**
+     * Overlap the bucketed gradient all-reduce with backward compute
+     * on a dedicated comm stream (stream/event model). When false the
+     * legacy fully-serialized cost model is reproduced bit-exactly.
+     */
+    bool overlapComm = true;
+    /**
+     * Overlap-path bucket sizing. At reproduction scale every
+     * workload's gradients fit a single 25 MB PyTorch bucket, whose
+     * one ready event would fire only when backward finishes — making
+     * overlap vacuous — so the comm stream drains finer buckets:
+     * roughly bytes/targetBuckets each, clamped to
+     * [minBucketBytes, 25 MB]. The synchronous path is unaffected.
+     */
+    int targetBuckets = 4;
+    double minBucketBytes = 16.0 * 1024;
+};
+
+/**
+ * Cost-model helpers shared by every DDP pricing path (measure,
+ * measureWeak, the fault engine, tests). Single source of truth for
+ * the bucketed-all-reduce formula — previously inlined three times.
+ */
+namespace ddp {
+
+/** DDP gradient bucket size (PyTorch default 25 MB). */
+constexpr double kBucketBytes = 25.0 * 1024 * 1024;
+
+/** Fixed per-iteration DDP bookkeeping (hooks, bucket ready checks). */
+constexpr double kDdpOverheadSec = 40e-6;
+
+/** Number of legacy 25 MB gradient buckets covering `bytes`. */
+int bucketCount(double bytes);
+
+/**
+ * Per-iteration synchronous gradient-sync cost on `world` replicas:
+ * ring all-reduce plus per-bucket launch latency plus fixed DDP
+ * bookkeeping. 0 when world <= 1.
+ */
+double syncCommCost(const Interconnect &interconnect, double bytes,
+                    int world);
+
+/** Equal-split overlap-path bucket layout (see DdpOptions). */
+std::vector<double> overlapBucketSizes(double bytes,
+                                       const DdpOptions &options);
+
+/** Total/exposed split of one overlapped iteration's gradient sync. */
+struct CommCost
+{
+    double totalSec = 0;   ///< comm-stream occupancy + bookkeeping
+    double exposedSec = 0; ///< share serialized after backward
+};
+
+/**
+ * Price one iteration's gradient sync against its kernel timeline:
+ * buckets become ready at backward-kernel completion points, a comm
+ * stream drains them in order, and only
+ * max(0, comm_finish - backward_finish) (plus the host-side
+ * bookkeeping) extends the iteration. Invariants:
+ * exposedSec <= totalSec, and with no backward window the cost
+ * degenerates to fully exposed.
+ */
+CommCost overlapCommCost(const Interconnect &interconnect, double bytes,
+                         int world, const IterationTimeline &timeline,
+                         const DdpOptions &options);
+
+/**
+ * Price a scaling curve offline from recorded per-iteration kernel
+ * timelines (e.g. a trace replay's ReplayResult::iterations): the
+ * recorded stream is the fixed per-GPU work, so the curve has
+ * weak-scaling semantics — compute stays `epoch_compute_sec` at every
+ * world size, communication grows with `world`, and `speedup` carries
+ * the weak-scaling efficiency t1/tw. With overlapComm the recorded
+ * backward windows feed overlapCommCost(); otherwise the synchronous
+ * model prices each point.
+ */
+std::vector<ScalingResult> scalingFromTimelines(
+    const Interconnect &interconnect,
+    const std::vector<IterationTimeline> &timelines,
+    double epoch_compute_sec, double iterations_per_epoch,
+    double parameter_bytes, bool sampler_ddp_compatible,
+    const std::vector<int> &world_sizes, const DdpOptions &options);
+
+} // namespace ddp
 
 /** Knobs for a fault-tolerant DDP training run. */
 struct FaultRecoveryOptions
@@ -104,7 +201,8 @@ class DdpTrainer
 {
   public:
     DdpTrainer(GpuConfig device_config = GpuConfig::v100(),
-               InterconnectConfig link_config = InterconnectConfig{});
+               InterconnectConfig link_config = InterconnectConfig{},
+               DdpOptions options = DdpOptions{});
 
     /**
      * Measure average time-per-epoch for `workload` on `world` GPUs.
@@ -170,6 +268,8 @@ class DdpTrainer
         extraObserver_ = observer;
     }
 
+    const DdpOptions &options() const { return options_; }
+
   private:
     struct EngineOutcome;
 
@@ -179,8 +279,14 @@ class DdpTrainer
                             const FaultRecoveryOptions &options,
                             bool with_checkpoints);
 
+    /** Shared body of measure()/measureWeak(); see their docs. */
+    ScalingResult measureImpl(Workload &workload,
+                              const WorkloadConfig &base, int world,
+                              int measured_iterations, bool weak);
+
     GpuConfig deviceConfig_;
     Interconnect interconnect_;
+    DdpOptions options_;
     KernelObserver *extraObserver_ = nullptr;
 };
 

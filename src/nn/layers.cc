@@ -24,7 +24,7 @@ Linear::Linear(int64_t in, int64_t out, Rng &rng, bool bias)
     : in_(in), out_(out), weight_(addParam(glorot(in, out, rng)))
 {
     if (bias)
-        bias_ = addParam(Tensor({out}));
+        bias_ = addParam(Tensor::zeros({out}));
 }
 
 Variable
@@ -50,7 +50,7 @@ Embedding::forward(const std::vector<int32_t> &idx) const
 
 BatchNorm1d::BatchNorm1d(int64_t features, float eps)
     : eps_(eps), gamma_(addParam(Tensor::ones({features}))),
-      beta_(addParam(Tensor({features})))
+      beta_(addParam(Tensor::zeros({features})))
 {
 }
 
@@ -62,7 +62,7 @@ BatchNorm1d::forward(const Variable &x) const
 
 LayerNorm::LayerNorm(int64_t features, float eps)
     : eps_(eps), gamma_(addParam(Tensor::ones({features}))),
-      beta_(addParam(Tensor({features})))
+      beta_(addParam(Tensor::zeros({features})))
 {
 }
 
@@ -99,8 +99,8 @@ LstmCell::State
 LstmCell::initial(int64_t n) const
 {
     State s;
-    s.h = Variable(Tensor({n, hidden_}));
-    s.c = Variable(Tensor({n, hidden_}));
+    s.h = Variable(Tensor::zeros({n, hidden_}));
+    s.c = Variable(Tensor::zeros({n, hidden_}));
     return s;
 }
 

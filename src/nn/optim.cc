@@ -61,7 +61,7 @@ Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
     if (momentum_ > 0.0f) {
         velocity_.reserve(params_.size());
         for (const Variable &p : params_)
-            velocity_.emplace_back(p.value().shape());
+            velocity_.push_back(Tensor::zeros(p.value().shape()));
     }
 }
 
@@ -107,8 +107,8 @@ Adam::Adam(std::vector<Variable> params, float lr, float beta1,
     m_.reserve(params_.size());
     v_.reserve(params_.size());
     for (const Variable &p : params_) {
-        m_.emplace_back(p.value().shape());
-        v_.emplace_back(p.value().shape());
+        m_.push_back(Tensor::zeros(p.value().shape()));
+        v_.push_back(Tensor::zeros(p.value().shape()));
     }
 }
 

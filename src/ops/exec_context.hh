@@ -48,8 +48,8 @@ class ExecContext
 /**
  * RAII scope binding a RunContext as the current execution target.
  * The single-argument form keeps the enclosing allocator binding, so
- * legacy `DeviceGuard guard(&device)` call sites nested inside a run
- * inherit the run's memory policy.
+ * device-only guards nested inside a run inherit the run's memory
+ * policy.
  */
 class ContextGuard
 {
@@ -65,9 +65,6 @@ class ContextGuard
   private:
     RunContext prev_;
 };
-
-/** @deprecated Alias kept for existing device-only call sites. */
-using DeviceGuard = ContextGuard;
 
 } // namespace gnnmark
 

@@ -24,7 +24,7 @@ spmm(const CsrMatrix &a, const Tensor &b)
 
     // One owner chunk per output row: bitwise identical results for
     // any thread count.
-    Tensor c({m, f});
+    Tensor c = Tensor::zeros({m, f});
     const float *pb = b.data();
     float *pc = c.data();
     parallel_for(0, m, 64, [&](int64_t r0, int64_t r1) {

@@ -43,7 +43,7 @@ wantsGrad(const VarNode &self, size_t i)
 Tensor
 filled(const std::vector<int64_t> &shape, float v)
 {
-    return ops::addScalar(Tensor(shape), v);
+    return ops::addScalar(Tensor::zeros(shape), v);
 }
 
 } // namespace
@@ -139,7 +139,7 @@ prelu(const Variable &a, const Variable &slope)
                 backInto(self, 0,
                          ops::preluGradInput(self.grad, av, s));
             if (wantsGrad(self, 1)) {
-                Tensor gs({1});
+                Tensor gs = Tensor::zeros({1});
                 gs(0) = ops::preluGradSlope(self.grad, av);
                 backInto(self, 1, gs);
             }
@@ -246,7 +246,7 @@ rowLookup(const Variable &a, const std::vector<int32_t> &idx, bool gather)
         out, {a}, [idx_copy, n](VarNode &self) {
             if (!wantsGrad(self, 0))
                 return;
-            Tensor ga({n, self.value.size(1)});
+            Tensor ga = Tensor::zeros({n, self.value.size(1)});
             ops::scatterAddRows(ga, idx_copy, self.grad);
             backInto(self, 0, ga);
         });
@@ -271,7 +271,7 @@ scatterSumRows(const Variable &src, const std::vector<int32_t> &idx,
                int64_t num_rows)
 {
     GNN_ASSERT(src.value().dim() == 2, "scatterSumRows: src must be 2-d");
-    Tensor out({num_rows, src.value().size(1)});
+    Tensor out = Tensor::zeros({num_rows, src.value().size(1)});
     ops::scatterAddRows(out, idx, src.value());
     std::vector<int32_t> idx_copy = idx;
     return Variable::makeResult(
@@ -324,7 +324,7 @@ segmentMeanRows(const Variable &src, const std::vector<int32_t> &offsets)
     const int64_t segs = static_cast<int64_t>(offsets.size()) - 1;
     Tensor sums = ops::segmentSumRows(src.value(), offsets);
 
-    Tensor inv_count({segs});
+    Tensor inv_count = Tensor::zeros({segs});
     std::vector<int32_t> row_seg(src.value().size(0));
     for (int64_t s = 0; s < segs; ++s) {
         const int32_t cnt = offsets[s + 1] - offsets[s];
@@ -377,7 +377,7 @@ concatCols(const Variable &a, const Variable &b)
             const int64_t n = self.value.size(0);
             const float *pg = self.grad.data();
             if (wantsGrad(self, 0)) {
-                Tensor ga({n, fa});
+                Tensor ga = Tensor::zeros({n, fa});
                 float *pa = ga.data();
                 parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
                     for (int64_t i = i0; i < i1; ++i) {
@@ -397,7 +397,7 @@ concatCols(const Variable &a, const Variable &b)
                 backInto(self, 0, ga);
             }
             if (wantsGrad(self, 1)) {
-                Tensor gb({n, fb});
+                Tensor gb = Tensor::zeros({n, fb});
                 float *pb = gb.data();
                 parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
                     for (int64_t i = i0; i < i1; ++i) {
@@ -427,7 +427,7 @@ sliceRows(const Variable &a, int64_t begin, int64_t end)
         [begin, end, n](VarNode &self) {
             if (!wantsGrad(self, 0))
                 return;
-            Tensor ga({n, self.value.size(1)});
+            Tensor ga = Tensor::zeros({n, self.value.size(1)});
             std::copy(self.grad.data(),
                       self.grad.data() + self.grad.numel(),
                       ga.data() + begin * self.value.size(1));
@@ -456,7 +456,7 @@ sliceCols(const Variable &a, int64_t begin, int64_t end)
     const int64_t f = av.size(1);
     const int64_t w = end - begin;
 
-    Tensor out({n, w});
+    Tensor out = Tensor::zeros({n, w});
     const float *pa = av.data();
     float *po = out.data();
     parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
@@ -477,7 +477,7 @@ sliceCols(const Variable &a, int64_t begin, int64_t end)
         out, {a}, [begin, n, f, w](VarNode &self) {
             if (!wantsGrad(self, 0))
                 return;
-            Tensor ga({n, f});
+            Tensor ga = Tensor::zeros({n, f});
             const float *pg = self.grad.data();
             float *pga = ga.data();
             parallel_for(0, n, 128, [&](int64_t i0, int64_t i1) {
@@ -531,7 +531,7 @@ Variable
 meanAll(const Variable &a)
 {
     const int64_t n = a.value().numel();
-    Tensor out({1});
+    Tensor out = Tensor::zeros({1});
     out(0) = ops::reduceMeanAll(a.value());
     std::vector<int64_t> shape = a.value().shape();
     return Variable::makeResult(out, {a}, [n, shape](VarNode &self) {
@@ -543,7 +543,7 @@ meanAll(const Variable &a)
 Variable
 sumAll(const Variable &a)
 {
-    Tensor out({1});
+    Tensor out = Tensor::zeros({1});
     out(0) = ops::reduceSumAll(a.value());
     std::vector<int64_t> shape = a.value().shape();
     return Variable::makeResult(out, {a}, [shape](VarNode &self) {
@@ -561,7 +561,7 @@ meanRows(const Variable &a)
     return Variable::makeResult(out, {a}, [f, shape](VarNode &self) {
         if (!wantsGrad(self, 0))
             return;
-        Tensor ga(shape);
+        Tensor ga = Tensor::zeros(shape);
         const float inv = 1.0f / static_cast<float>(f);
         parallel_for(0, shape[0], 128, [&](int64_t i0, int64_t i1) {
             for (int64_t i = i0; i < i1; ++i) {
@@ -604,7 +604,7 @@ nllLoss(const Variable &log_probs, const std::vector<int32_t> &labels)
             return s;
         },
         [](double acc, double s) { return acc + s; });
-    Tensor out({1});
+    Tensor out = Tensor::zeros({1});
     out(0) = static_cast<float>(sum / static_cast<double>(n));
 
     // The label gather + mean shows up as a small reduction kernel.
@@ -625,7 +625,7 @@ nllLoss(const Variable &log_probs, const std::vector<int32_t> &labels)
             if (!wantsGrad(self, 0))
                 return;
             const float g = self.grad(0) / static_cast<float>(n);
-            Tensor ga({n, f});
+            Tensor ga = Tensor::zeros({n, f});
             parallel_for(0, n, 256, [&](int64_t i0, int64_t i1) {
                 for (int64_t i = i0; i < i1; ++i)
                     ga(i, labels_copy[i]) = -g;
@@ -673,7 +673,7 @@ bceWithLogits(const Variable &logits, const Tensor &targets)
             return s;
         },
         [](double acc, double s) { return acc + s; });
-    Tensor out({1});
+    Tensor out = Tensor::zeros({1});
     out(0) = static_cast<float>(sum / static_cast<double>(n));
 
     ElementwiseSpec fwd;

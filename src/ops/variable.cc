@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "obs/span.hh"
 #include "ops/elementwise.hh"
+#include "ops/exec_context.hh"
 
 namespace gnnmark {
 
@@ -81,7 +82,7 @@ Variable::grad() const
 {
     GNN_ASSERT(defined(), "grad() on undefined Variable");
     if (!node_->gradDefined) {
-        node_->grad = Tensor(node_->value.shape());
+        node_->grad = Tensor::zeros(node_->value.shape());
         node_->gradDefined = true;
     }
     return node_->grad;
@@ -115,6 +116,13 @@ Variable::backward(const Tensor &seed)
     GNN_ASSERT(defined(), "backward() on undefined Variable");
     GNN_ASSERT(requiresGrad(), "backward() on a non-grad Variable");
 
+    // Mark the backward window on the device timeline: every kernel
+    // emitted by the reverse sweep produces gradient data, which is
+    // what the DDP overlap model buckets against.
+    GpuDevice *device = ExecContext::device();
+    if (device != nullptr)
+        device->markBackwardBegin();
+
     // Topological order via iterative post-order DFS.
     std::vector<detail::VarNode *> topo;
     std::unordered_set<detail::VarNode *> visited;
@@ -146,6 +154,9 @@ Variable::backward(const Tensor &seed)
         if (n->backward && n->gradDefined)
             n->backward(*n);
     }
+
+    if (device != nullptr)
+        device->markBackwardEnd();
 }
 
 Variable

@@ -87,6 +87,13 @@ Profiler::onTransfer(const TransferRecord &r)
 }
 
 void
+Profiler::onPhase(PhaseMark mark)
+{
+    if (mark == PhaseMark::IterationBegin)
+        beginIteration();
+}
+
+void
 Profiler::beginIteration()
 {
     ++iteration_;

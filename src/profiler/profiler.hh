@@ -65,6 +65,7 @@ class Profiler : public KernelObserver
     // KernelObserver interface.
     void onKernel(const KernelRecord &record) override;
     void onTransfer(const TransferRecord &record) override;
+    void onPhase(PhaseMark mark) override;
 
     /** Advance the iteration counter used to time-stamp transfers. */
     void beginIteration();

@@ -351,22 +351,6 @@ GpuDevice::copyHostToDevice(const int32_t *data, size_t count,
 }
 
 TransferRecord
-GpuDevice::copyHostToDevice(const float *data, size_t count,
-                            const std::string &tag)
-{
-    return copyHostToDevice(data, count,
-                            reinterpret_cast<uint64_t>(data), tag);
-}
-
-TransferRecord
-GpuDevice::copyHostToDevice(const int32_t *data, size_t count,
-                            const std::string &tag)
-{
-    return copyHostToDevice(data, count,
-                            reinterpret_cast<uint64_t>(data), tag);
-}
-
-TransferRecord
 GpuDevice::replayHostToDevice(uint64_t addr, uint64_t bytes,
                               double zero_fraction, const std::string &tag)
 {
@@ -400,6 +384,33 @@ GpuDevice::notify(const KernelRecord &record)
 {
     for (auto *obs : observers_)
         obs->onKernel(record);
+}
+
+void
+GpuDevice::markIterationBegin()
+{
+    for (auto *obs : observers_)
+        obs->onPhase(PhaseMark::IterationBegin);
+    if (hook_ != nullptr)
+        hook_->onMarker(TraceMarker::IterationBegin);
+}
+
+void
+GpuDevice::markBackwardBegin()
+{
+    for (auto *obs : observers_)
+        obs->onPhase(PhaseMark::BackwardBegin);
+    if (hook_ != nullptr)
+        hook_->onMarker(TraceMarker::BackwardBegin);
+}
+
+void
+GpuDevice::markBackwardEnd()
+{
+    for (auto *obs : observers_)
+        obs->onPhase(PhaseMark::BackwardEnd);
+    if (hook_ != nullptr)
+        hook_->onMarker(TraceMarker::BackwardEnd);
 }
 
 void

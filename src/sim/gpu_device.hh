@@ -50,10 +50,7 @@ class GpuDevice
     /**
      * @{ Timed, sparsity-instrumented host-to-device copies.
      * `device_addr` is the deterministic simulated address the bytes
-     * land at (a Tensor's deviceAddr() or a DeviceSpan). The
-     * three-argument shims reuse the host pointer as the device
-     * address and are deprecated: they tie the simulated cache state
-     * to host heap layout.
+     * land at (a Tensor's deviceAddr() or a DeviceSpan).
      */
     TransferRecord copyHostToDevice(const float *data, size_t count,
                                     uint64_t device_addr,
@@ -61,10 +58,18 @@ class GpuDevice
     TransferRecord copyHostToDevice(const int32_t *data, size_t count,
                                     uint64_t device_addr,
                                     const std::string &tag);
-    TransferRecord copyHostToDevice(const float *data, size_t count,
-                                    const std::string &tag);
-    TransferRecord copyHostToDevice(const int32_t *data, size_t count,
-                                    const std::string &tag);
+    /** @} */
+
+    /**
+     * @{ Timeline phase marks. Cost-free annotations the driving
+     * layers insert between launches; forwarded to observers (as
+     * PhaseMarks) and to the trace hook (as TraceMarkers), so both
+     * live profilers and replayed traces can segment the kernel
+     * stream into iterations and backward windows.
+     */
+    void markIterationBegin();
+    void markBackwardBegin();
+    void markBackwardEnd();
     /** @} */
 
     /** Register an observer that receives every kernel/transfer. */

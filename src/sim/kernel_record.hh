@@ -66,6 +66,18 @@ struct TransferRecord
 };
 
 /**
+ * Timeline phase marks the driving layer inserts between launches.
+ * They carry no cost; observers use them to segment the kernel stream
+ * (per-iteration splits, backward windows for the DDP overlap model).
+ */
+enum class PhaseMark : uint8_t
+{
+    IterationBegin, ///< a measured training iteration starts
+    BackwardBegin,  ///< autograd reverse sweep starts emitting kernels
+    BackwardEnd,    ///< last gradient-producing kernel has been issued
+};
+
+/**
  * Observer interface for profilers; a device forwards every kernel
  * launch and host-to-device transfer to its registered observers.
  */
@@ -75,6 +87,8 @@ class KernelObserver
     virtual ~KernelObserver() = default;
     virtual void onKernel(const KernelRecord &record) = 0;
     virtual void onTransfer(const TransferRecord &record) = 0;
+    /** Phase mark forwarded by the device (default: ignored). */
+    virtual void onPhase(PhaseMark mark) { (void)mark; }
 };
 
 } // namespace gnnmark

@@ -14,6 +14,10 @@ traceMarkerName(TraceMarker marker)
         return "caches-flushed";
       case TraceMarker::SamplingReset:
         return "sampling-reset";
+      case TraceMarker::BackwardBegin:
+        return "backward-begin";
+      case TraceMarker::BackwardEnd:
+        return "backward-end";
       case TraceMarker::NumMarkers:
         break;
     }

@@ -33,6 +33,8 @@ enum class TraceMarker : uint8_t
     TimersReset,    ///< GpuDevice::resetTimers (end of warm-up)
     CachesFlushed,  ///< GpuDevice::flushCaches
     SamplingReset,  ///< GpuDevice::resetSampling
+    BackwardBegin,  ///< autograd reverse sweep starts (format v2)
+    BackwardEnd,    ///< autograd reverse sweep done (format v2)
     NumMarkers
 };
 

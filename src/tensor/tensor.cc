@@ -33,12 +33,6 @@ Tensor::Tensor()
 {
 }
 
-Tensor::Tensor(std::vector<int64_t> shape)
-{
-    // Deprecated shim: zero-filled like the historical constructor.
-    *this = zeros(std::move(shape));
-}
-
 Tensor
 Tensor::empty(std::vector<int64_t> shape)
 {

@@ -10,9 +10,8 @@
  *
  * Construction goes through the factories: `Tensor::empty` for
  * outputs every element of which is about to be written,
- * `Tensor::zeros` when the op accumulates into the buffer. The
- * shape constructor `Tensor(shape)` is a deprecated zero-filling shim
- * retained for one PR; new code should name its initialisation.
+ * `Tensor::zeros` when the op accumulates into the buffer, so the
+ * initialisation cost is always named at the call site.
  */
 
 #ifndef GNNMARK_TENSOR_TENSOR_HH
@@ -34,13 +33,6 @@ class Tensor
   public:
     /** An empty 0-element tensor (shares the empty Storage singleton). */
     Tensor();
-
-    /**
-     * Zero-initialised tensor of the given shape.
-     * @deprecated Shim over Tensor::zeros; use the factories so the
-     * initialisation cost is explicit.
-     */
-    explicit Tensor(std::vector<int64_t> shape);
 
     /** @{ Factory helpers (allocation via the bound Allocator). */
     /** Uninitialised storage: every element must be written before use. */

@@ -49,8 +49,12 @@ namespace trace {
 /** File magic. */
 constexpr char kTraceMagic[8] = {'G', 'N', 'M', 'K', 'T', 'R', 'C', 'E'};
 
-/** On-disk layout version; see the versioning policy above. */
-constexpr uint32_t kTraceFormatVersion = 1;
+/**
+ * On-disk layout version; see the versioning policy above.
+ * v2: BackwardBegin/BackwardEnd timeline markers (marker byte range
+ * widened), recorded for the DDP overlap model.
+ */
+constexpr uint32_t kTraceFormatVersion = 2;
 
 /**
  * Interning string table: repeated kernel names / transfer tags are

@@ -35,6 +35,8 @@ replayTrace(const RecordedTrace &trace, const GpuConfig &config,
     ReplayResult result;
     result.workload = trace.header.workload;
     device.addObserver(&result.profiler);
+    TimelineCollector timelines(config.launchOverheadSec);
+    device.addObserver(&timelines);
     for (KernelObserver *observer : extra_observers)
         device.addObserver(observer);
 
@@ -106,7 +108,9 @@ replayTrace(const RecordedTrace &trace, const GpuConfig &config,
         } else {
             switch (std::get<TraceMarker>(event)) {
               case TraceMarker::IterationBegin:
-                result.profiler.beginIteration();
+                // Fans out to the profiler and timeline collector
+                // exactly like the live driver's mark call did.
+                device.markIterationBegin();
                 break;
               case TraceMarker::TimersReset:
                 device.resetTimers();
@@ -117,6 +121,12 @@ replayTrace(const RecordedTrace &trace, const GpuConfig &config,
               case TraceMarker::SamplingReset:
                 device.resetSampling();
                 break;
+              case TraceMarker::BackwardBegin:
+                device.markBackwardBegin();
+                break;
+              case TraceMarker::BackwardEnd:
+                device.markBackwardEnd();
+                break;
               case TraceMarker::NumMarkers:
                 break;
             }
@@ -124,6 +134,7 @@ replayTrace(const RecordedTrace &trace, const GpuConfig &config,
     }
 
     result.losses = trace.header.losses;
+    result.iterations = timelines.iterations();
     result.wallTimeSec = device.wallTimeSec();
     result.iterationsPerEpoch = trace.header.iterationsPerEpoch;
     result.parameterBytes = trace.header.parameterBytes;

@@ -23,6 +23,7 @@
 
 #include "profiler/profiler.hh"
 #include "sim/gpu_config.hh"
+#include "sim/stream.hh"
 #include "trace/trace.hh"
 
 namespace gnnmark {
@@ -39,6 +40,13 @@ struct ReplayResult
     int64_t iterationsPerEpoch = 0;
     double parameterBytes = 0;
     int64_t kernelLaunches = 0; ///< device launches after the reset
+    /**
+     * Per-iteration kernel timelines with backward windows, rebuilt
+     * from the recorded phase markers (empty for traces recorded
+     * before format v2) — the input the DDP overlap model needs to
+     * price compute–comm overlap offline.
+     */
+    std::vector<IterationTimeline> iterations;
 };
 
 /**

@@ -31,7 +31,7 @@ smallConfig()
 std::vector<float>
 train(Workload &wl, GpuDevice &dev, int iters)
 {
-    DeviceGuard guard(&dev);
+    ContextGuard guard(&dev);
     std::vector<float> losses;
     for (int i = 0; i < iters; ++i)
         losses.push_back(wl.trainIteration());

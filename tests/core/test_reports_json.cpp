@@ -176,3 +176,59 @@ TEST(ReportsJson, ScalingDocumentShapesFig9)
     EXPECT_NEAR(curve->array[1].find("speedup")->number, 2.0 / 1.2,
                 1e-9);
 }
+
+TEST(ReportsJson, ScalingDocumentCarriesOverlapSplit)
+{
+    ScalingResult p;
+    p.worldSize = 2;
+    p.epochTimeSec = 1.5;
+    p.computeTimeSec = 1.0;
+    p.commTimeSec = 0.8;
+    p.commExposedSec = 0.5;
+    p.overlapFrac = 0.375;
+    p.speedup = 0.9;
+    const std::string doc = reports::scalingJson({{"DGCN", {p}}});
+    const obs::JsonValue root = obs::parseJson(doc);
+    const obs::JsonValue *curve =
+        root.find("fig9_scaling")->find("DGCN");
+    ASSERT_NE(curve, nullptr);
+    ASSERT_EQ(curve->array.size(), 1u);
+    const obs::JsonValue &point = curve->array[0];
+    EXPECT_EQ(point.find("comm_time_sec")->number, 0.8);
+    EXPECT_EQ(point.find("comm_exposed_sec")->number, 0.5);
+    EXPECT_EQ(point.find("overlap_frac")->number, 0.375);
+}
+
+TEST(ReportsJson, ScalingRecordNestsDdpKeysPerWorldSize)
+{
+    ScalingResult a;
+    a.worldSize = 1;
+    a.epochTimeSec = 1.0;
+    a.computeTimeSec = 1.0;
+    a.speedup = 1.0;
+    ScalingResult b;
+    b.worldSize = 4;
+    b.epochTimeSec = 0.5;
+    b.computeTimeSec = 0.4;
+    b.commTimeSec = 0.2;
+    b.commExposedSec = 0.1;
+    b.overlapFrac = 0.5;
+    b.speedup = 2.0;
+    const std::string line = reports::scalingRecordJson(
+        "GW", /*weak=*/false, /*overlap_on=*/true, {a, b});
+    const obs::JsonValue root = obs::parseJson(line);
+    EXPECT_EQ(root.find("type")->string, "scaling");
+    EXPECT_EQ(root.find("workload")->string, "GW");
+    EXPECT_EQ(root.find("mode")->string, "strong");
+    EXPECT_EQ(root.find("overlap")->string, "on");
+    const obs::JsonValue *w4 = root.find("w4");
+    ASSERT_NE(w4, nullptr);
+    const obs::JsonValue *ddp = w4->find("ddp");
+    ASSERT_NE(ddp, nullptr);
+    EXPECT_EQ(ddp->find("comm_total_sec")->number, 0.2);
+    EXPECT_EQ(ddp->find("comm_exposed_sec")->number, 0.1);
+    EXPECT_EQ(ddp->find("overlap_frac")->number, 0.5);
+    // Flattened by bench_compare these become
+    // scaling.GW.w4.ddp.comm_total_sec etc. — the keys bench_diff
+    // baselines gate on.
+}

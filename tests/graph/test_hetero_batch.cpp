@@ -112,6 +112,6 @@ TEST(GraphBatchDeath, InconsistentFeatureWidthPanics)
 {
     Rng rng(5);
     auto mols = gen::molecules(rng, 2, 5, 8, 6);
-    mols[1].features = Tensor({mols[1].graph.numNodes(), 4});
+    mols[1].features = Tensor::zeros({mols[1].graph.numNodes(), 4});
     EXPECT_DEATH(GraphBatch::build(mols), "inconsistent features");
 }

@@ -81,7 +81,7 @@ TEST(DeepGcnLayer, ResidualPreservesShapeAndGrads)
 {
     Rng rng(85);
     Graph g = gen::powerLaw(rng, 30, 3);
-    Tensor inv_deg({30});
+    Tensor inv_deg = Tensor::zeros({30});
     for (int64_t v = 0; v < 30; ++v) {
         inv_deg(v) =
             1.0f / static_cast<float>(std::max(1, g.degree(v)));

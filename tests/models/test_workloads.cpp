@@ -52,7 +52,7 @@ TEST_P(WorkloadSweep, TrainsAndEmitsKernels)
     Profiler prof;
     dev.addObserver(&prof);
     {
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         float loss1 = wl->trainIteration();
         float loss2 = wl->trainIteration();
         EXPECT_TRUE(std::isfinite(loss1));
@@ -168,7 +168,7 @@ TEST(WorkloadBehaviour, NwpFeaturesWiderMeansMoreTransfer)
         GpuDevice dev;
         Profiler prof;
         dev.addObserver(&prof);
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         wl->trainIteration();
         return prof.totalTransferBytes();
     };

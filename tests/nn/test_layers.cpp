@@ -25,9 +25,9 @@ TEST(Linear, NoBiasVariant)
     Rng rng(72);
     nn::Linear lin(4, 4, rng, /*bias=*/false);
     EXPECT_EQ(lin.parameterCount(), 16);
-    Variable zero(Tensor({2, 4}));
+    Variable zero(Tensor::zeros({2, 4}));
     Variable y = lin.forward(zero);
-    EXPECT_FLOAT_EQ(maxAbsDiff(y.value(), Tensor({2, 4})), 0.0f);
+    EXPECT_FLOAT_EQ(maxAbsDiff(y.value(), Tensor::zeros({2, 4})), 0.0f);
 }
 
 TEST(Linear, TrainsOnLeastSquares)
@@ -36,7 +36,7 @@ TEST(Linear, TrainsOnLeastSquares)
     nn::Linear lin(3, 1, rng);
     // Target function y = 2x0 - x1 + 0.5x2 + 1.
     Tensor xs = Tensor::randn({64, 3}, rng);
-    Tensor ys({64, 1});
+    Tensor ys = Tensor::zeros({64, 1});
     for (int64_t i = 0; i < 64; ++i) {
         ys(i, 0) = 2 * xs(i, 0) - xs(i, 1) + 0.5f * xs(i, 2) + 1.0f;
     }
@@ -139,14 +139,14 @@ TEST(AttentionDeath, HeadsMustDivideDim)
 TEST(Glu, GatesCorrectly)
 {
     Variable a(Tensor::full({2, 2}, 3.0f));
-    Variable b(Tensor({2, 2})); // zeros: sigmoid = 0.5
+    Variable b(Tensor::zeros({2, 2})); // zeros: sigmoid = 0.5
     Variable y = nn::glu(a, b);
     EXPECT_NEAR(y.value()(0, 0), 1.5f, 1e-6f);
 }
 
 TEST(Loss, CrossEntropyUniformBaseline)
 {
-    Tensor logits({4, 8}); // all zeros: uniform distribution
+    Tensor logits = Tensor::zeros({4, 8}); // all zeros: uniform distribution
     Variable loss =
         nn::crossEntropy(Variable(logits), {0, 1, 2, 3});
     EXPECT_NEAR(loss.value()(0), std::log(8.0f), 1e-4f);

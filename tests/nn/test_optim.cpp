@@ -79,8 +79,8 @@ TEST(Adam, FirstStepIsLrSized)
 
 TEST(Optimizer, ParameterBytes)
 {
-    Variable a = Variable::param(Tensor({10, 10}));
-    Variable b = Variable::param(Tensor({5}));
+    Variable a = Variable::param(Tensor::zeros({10, 10}));
+    Variable b = Variable::param(Tensor::zeros({5}));
     nn::Sgd opt({a, b}, 0.1f);
     EXPECT_DOUBLE_EQ(opt.parameterBytes(), (100 + 5) * 4.0);
 }
@@ -97,6 +97,6 @@ TEST(Optimizer, ZeroGradClearsAll)
 
 TEST(OptimizerDeath, RejectsNonTrainableParams)
 {
-    Variable frozen(Tensor({2}));
+    Variable frozen(Tensor::zeros({2}));
     EXPECT_DEATH(nn::Sgd({frozen}, 0.1f), "non-trainable");
 }

@@ -286,7 +286,7 @@ TEST(AutogradGradCheck, Conv2dAndNorms)
 
     Tensor feats = Tensor::randn({16, 5}, rng);
     Variable gamma = Variable(Tensor::ones({5}));
-    Variable beta = Variable(Tensor({5}));
+    Variable beta = Variable(Tensor::zeros({5}));
     checkGrad(feats.clone(), [&](const Variable &v) {
         return ag::batchNorm(v, gamma, beta);
     }, 5e-2f);
@@ -311,7 +311,7 @@ TEST(AutogradGradCheck, Losses)
     });
 
     Tensor x = Tensor::randn({4, 3}, rng);
-    Tensor y({4, 3});
+    Tensor y = Tensor::zeros({4, 3});
     for (int64_t i = 0; i < y.numel(); ++i)
         y.data()[i] = rng.bernoulli(0.5) ? 1.0f : 0.0f;
     checkGrad(x.clone(), [&](const Variable &v) {
@@ -350,6 +350,6 @@ TEST(Autograd, BackwardOnNonScalarWithSeed)
 
 TEST(AutogradDeath, BackwardOnNonGradVariablePanics)
 {
-    Variable x(Tensor({2}));
+    Variable x(Tensor::zeros({2}));
     EXPECT_DEATH(x.backward(), "non-grad");
 }

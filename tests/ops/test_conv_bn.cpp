@@ -107,8 +107,8 @@ TEST(Conv2d, GradWeightMatchesFiniteDifference)
 
 TEST(Conv2dDeath, ChannelMismatchPanics)
 {
-    Tensor in({1, 3, 4, 4});
-    Tensor w({2, 2, 2, 2});
+    Tensor in = Tensor::zeros({1, 3, 4, 4});
+    Tensor w = Tensor::zeros({2, 2, 2, 2});
     EXPECT_DEATH(ops::conv2d(in, w), "channel mismatch");
 }
 
@@ -122,7 +122,7 @@ TEST(BatchNorm, NormalisesColumns)
             x(i, j) += static_cast<float>(j) * 10.0f;
     }
     ops::BatchNormState state;
-    Tensor y = ops::batchNorm(x, Tensor::ones({5}), Tensor({5}), 1e-5f,
+    Tensor y = ops::batchNorm(x, Tensor::ones({5}), Tensor::zeros({5}), 1e-5f,
                               state);
     for (int64_t j = 0; j < 5; ++j) {
         double sum = 0, sq = 0;
@@ -155,7 +155,7 @@ TEST(BatchNorm, BackwardGradientsSumProperty)
     Rng rng(26);
     Tensor x = Tensor::randn({64, 3}, rng);
     ops::BatchNormState state;
-    ops::batchNorm(x, Tensor::ones({3}), Tensor({3}), 1e-5f, state);
+    ops::batchNorm(x, Tensor::ones({3}), Tensor::zeros({3}), 1e-5f, state);
     Tensor gout = Tensor::randn({64, 3}, rng);
     Tensor gx, ggamma, gbeta;
     ops::batchNormBackward(gout, Tensor::ones({3}), state, gx, ggamma,
@@ -176,7 +176,7 @@ TEST(LayerNorm, RowStatistics)
     Rng rng(28);
     Tensor x = Tensor::randn({6, 128}, rng, 2.0f);
     ops::LayerNormState state;
-    Tensor y = ops::layerNorm(x, Tensor::ones({128}), Tensor({128}),
+    Tensor y = ops::layerNorm(x, Tensor::ones({128}), Tensor::zeros({128}),
                               1e-5f, state);
     for (int64_t i = 0; i < 6; ++i) {
         double sum = 0, sq = 0;
@@ -194,7 +194,7 @@ TEST(LayerNorm, BackwardRowGradSumsToZero)
     Rng rng(29);
     Tensor x = Tensor::randn({8, 32}, rng);
     ops::LayerNormState state;
-    ops::layerNorm(x, Tensor::ones({32}), Tensor({32}), 1e-5f, state);
+    ops::layerNorm(x, Tensor::ones({32}), Tensor::zeros({32}), 1e-5f, state);
     Tensor gout = Tensor::randn({8, 32}, rng);
     Tensor gx, ggamma, gbeta;
     ops::layerNormBackward(gout, Tensor::ones({32}), state, gx, ggamma,

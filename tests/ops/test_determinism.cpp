@@ -156,7 +156,7 @@ TEST(Determinism, GemmBitwiseStableAcrossThreadCounts)
     auto run = [&](Tensor &out, Recorder &rec) {
         GpuDevice dev;
         dev.addObserver(&rec);
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         out = ops::gemm(a, b, false, false);
     };
 
@@ -183,7 +183,7 @@ TEST(Determinism, SpmmBitwiseStableAcrossThreadCounts)
     auto run = [&](Tensor &out, Recorder &rec) {
         GpuDevice dev;
         dev.addObserver(&rec);
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         out = ops::spmm(m, b);
     };
 
@@ -215,7 +215,7 @@ TEST(Determinism, TrainIterationStableAcrossThreadCounts)
         wl->setup(cfg);
         GpuDevice dev;
         dev.addObserver(&rec);
-        DeviceGuard dguard(&dev);
+        ContextGuard dguard(&dev);
         return wl->trainIteration();
     };
 

@@ -15,7 +15,7 @@ namespace {
 Tensor
 iota(std::vector<int64_t> shape, float start = -3.0f, float step = 0.5f)
 {
-    Tensor t(std::move(shape));
+    Tensor t = Tensor::zeros(std::move(shape));
     for (int64_t i = 0; i < t.numel(); ++i)
         t.data()[i] = start + step * static_cast<float>(i);
     return t;
@@ -172,7 +172,7 @@ TEST(Elementwise, EmitsKernelsWhenDeviceBound)
     dev.addObserver(&prof);
     Tensor a = iota({64, 64});
     {
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         ops::relu(a);
     }
     EXPECT_EQ(prof.totalLaunches(), 1);
@@ -185,13 +185,14 @@ TEST(Elementwise, NoEmissionWithoutDevice)
     Profiler prof;
     dev.addObserver(&prof);
     Tensor a = iota({8, 8});
-    ops::relu(a); // no DeviceGuard
+    ops::relu(a); // no ContextGuard
     EXPECT_EQ(prof.totalLaunches(), 0);
 }
 
 TEST(ElementwiseDeath, ShapeMismatchPanics)
 {
-    Tensor a({2, 2}), b({3, 2});
+    Tensor a = Tensor::zeros({2, 2});
+    Tensor b = Tensor::zeros({3, 2});
     EXPECT_DEATH(ops::add(a, b), "shape mismatch");
 }
 
@@ -204,7 +205,7 @@ TEST_P(ElementwiseSizes, AddZeroIsIdentity)
 {
     Rng rng(GetParam());
     Tensor a = Tensor::randn({GetParam()}, rng);
-    EXPECT_TRUE(allClose(ops::add(a, Tensor({GetParam()})), a));
+    EXPECT_TRUE(allClose(ops::add(a, Tensor::zeros({GetParam()})), a));
 }
 
 TEST_P(ElementwiseSizes, MulOneIsIdentity)

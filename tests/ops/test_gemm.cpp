@@ -20,7 +20,7 @@ refGemm(const Tensor &a, const Tensor &b, bool ta, bool tb)
     const int64_t m = ta ? a.size(1) : a.size(0);
     const int64_t k = ta ? a.size(0) : a.size(1);
     const int64_t n = tb ? b.size(0) : b.size(1);
-    Tensor c({m, n});
+    Tensor c = Tensor::zeros({m, n});
     for (int64_t i = 0; i < m; ++i) {
         for (int64_t j = 0; j < n; ++j) {
             double acc = 0;
@@ -67,7 +67,7 @@ TEST(Gemm, IdentityMatrix)
 {
     Rng rng(4);
     Tensor a = Tensor::randn({6, 6}, rng);
-    Tensor eye({6, 6});
+    Tensor eye = Tensor::zeros({6, 6});
     for (int64_t i = 0; i < 6; ++i)
         eye(i, i) = 1.0f;
     EXPECT_TRUE(allClose(ops::gemm(a, eye), a));
@@ -75,7 +75,8 @@ TEST(Gemm, IdentityMatrix)
 
 TEST(GemmDeath, InnerDimMismatchPanics)
 {
-    Tensor a({2, 3}), b({4, 2});
+    Tensor a = Tensor::zeros({2, 3});
+    Tensor b = Tensor::zeros({4, 2});
     EXPECT_DEATH(ops::gemm(a, b), "inner-dimension mismatch");
 }
 
@@ -88,7 +89,7 @@ TEST(Gemm, EmitsGemmClassKernelWithFlops)
     Tensor a = Tensor::randn({64, 64}, rng);
     Tensor b = Tensor::randn({64, 64}, rng);
     {
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         ops::gemm(a, b);
     }
     const OpClassStats &s = prof.classStats(OpClass::Gemm);
@@ -120,7 +121,7 @@ TEST(Gemv, EmitsGemvClass)
     Tensor a = Tensor::randn({64, 32}, rng);
     Tensor x = Tensor::randn({32}, rng);
     {
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         ops::gemv(a, x);
     }
     EXPECT_EQ(prof.classStats(OpClass::Gemv).launches, 1);

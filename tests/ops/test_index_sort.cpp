@@ -24,14 +24,14 @@ TEST(IndexSelect, PicksRows)
 
 TEST(IndexSelect, EmptyIndexGivesEmpty)
 {
-    Tensor a({3, 2});
+    Tensor a = Tensor::zeros({3, 2});
     Tensor out = ops::indexSelectRows(a, {});
     EXPECT_EQ(out.size(0), 0);
 }
 
 TEST(IndexSelectDeath, OutOfRangePanics)
 {
-    Tensor a({3, 2});
+    Tensor a = Tensor::zeros({3, 2});
     EXPECT_DEATH(ops::indexSelectRows(a, {3}), "out of range");
 }
 
@@ -42,7 +42,7 @@ TEST(Gather, SameSemanticsDifferentClass)
     dev.addObserver(&prof);
     Tensor a = Tensor::fromVector({2, 2}, {1, 2, 3, 4});
     {
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         Tensor g = ops::gatherRows(a, {1, 1, 0});
         EXPECT_FLOAT_EQ(g(0, 0), 3.0f);
         ops::indexSelectRows(a, {0});
@@ -53,7 +53,7 @@ TEST(Gather, SameSemanticsDifferentClass)
 
 TEST(ScatterAdd, AccumulatesRows)
 {
-    Tensor out({3, 2});
+    Tensor out = Tensor::zeros({3, 2});
     Tensor src = Tensor::fromVector({3, 2}, {1, 1, 2, 2, 4, 4});
     ops::scatterAddRows(out, {1, 1, 2}, src);
     EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
@@ -67,7 +67,7 @@ TEST(ScatterAdd, InverseOfGatherForPermutation)
     Tensor a = Tensor::randn({10, 4}, rng);
     auto perm = rng.permutation(10);
     Tensor g = ops::gatherRows(a, perm);
-    Tensor back({10, 4});
+    Tensor back = Tensor::zeros({10, 4});
     ops::scatterAddRows(back, perm, g);
     EXPECT_TRUE(allClose(back, a));
 }
@@ -78,13 +78,13 @@ TEST(ScatterAdd, EmitsScatterClassWithAtomics)
     Profiler prof;
     dev.addObserver(&prof);
     Rng rng(13);
-    Tensor out({64, 32});
+    Tensor out = Tensor::zeros({64, 32});
     Tensor src = Tensor::randn({128, 32}, rng);
     std::vector<int32_t> idx(128);
     for (int i = 0; i < 128; ++i)
         idx[i] = static_cast<int32_t>(rng.randint(uint64_t{64}));
     {
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         ops::scatterAddRows(out, idx, src);
     }
     EXPECT_EQ(prof.classStats(OpClass::Scatter).launches, 1);
@@ -141,7 +141,7 @@ TEST(Sort, EmitsSortKernels)
     for (auto &k : keys)
         k = static_cast<int32_t>(rng.randint(uint64_t{1 << 30}));
     {
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         ops::sortKeys(keys);
     }
     // 4 radix passes, each a histogram + scatter kernel.

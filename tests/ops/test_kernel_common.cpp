@@ -57,7 +57,7 @@ TEST(DeviceElemBytes, FollowsBoundDevice)
     GpuConfig cfg = GpuConfig::v100();
     cfg.elemBytes = 2;
     GpuDevice dev(cfg);
-    DeviceGuard guard(&dev);
+    ContextGuard guard(&dev);
     EXPECT_EQ(deviceElemBytes(), 2);
 }
 
@@ -66,7 +66,7 @@ TEST(EmitElementwise, GeometryAndCounts)
     GpuDevice dev;
     Profiler prof;
     dev.addObserver(&prof);
-    DeviceGuard guard(&dev);
+    ContextGuard guard(&dev);
 
     std::vector<float> in(8192), out(8192);
     ElementwiseSpec spec;
@@ -100,7 +100,7 @@ TEST(EmitElementwise, ZeroElementsIsNoop)
     GpuDevice dev;
     Profiler prof;
     dev.addObserver(&prof);
-    DeviceGuard guard(&dev);
+    ContextGuard guard(&dev);
     ElementwiseSpec spec;
     spec.name = "x";
     spec.elems = 0;

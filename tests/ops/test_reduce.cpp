@@ -72,7 +72,7 @@ TEST(Reduce, RowBroadcasts)
 
 TEST(ReduceDeath, SegmentOffsetsMustCoverSrc)
 {
-    Tensor src({4, 2});
+    Tensor src = Tensor::zeros({4, 2});
     std::vector<int32_t> offsets = {0, 2}; // ends at 2, src has 4 rows
     EXPECT_DEATH(ops::segmentSumRows(src, offsets), "offsets end");
 }

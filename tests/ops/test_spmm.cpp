@@ -16,7 +16,7 @@ namespace {
 Tensor
 densify(const CsrMatrix &m)
 {
-    Tensor d({m.rows, m.cols});
+    Tensor d = Tensor::zeros({m.rows, m.cols});
     for (int64_t r = 0; r < m.rows; ++r) {
         for (int32_t e = m.rowPtr[r]; e < m.rowPtr[r + 1]; ++e)
             d(r, m.colIdx[e]) += m.vals[e];
@@ -71,7 +71,7 @@ TEST(Spmm, EmptyMatrixGivesZeros)
     CsrMatrix a = csrFromTriples(4, 4, {});
     Tensor b = Tensor::randn({4, 8}, rng);
     Tensor c = ops::spmm(a, b);
-    EXPECT_FLOAT_EQ(maxAbsDiff(c, Tensor({4, 8})), 0.0f);
+    EXPECT_FLOAT_EQ(maxAbsDiff(c, Tensor::zeros({4, 8})), 0.0f);
 }
 
 TEST(Spmm, IdentityPreservesInput)
@@ -88,7 +88,7 @@ TEST(Spmm, IdentityPreservesInput)
 TEST(SpmmDeath, DimensionMismatchPanics)
 {
     CsrMatrix a = csrFromTriples(3, 5, {{0, 1, 1.0f}});
-    Tensor b({4, 2});
+    Tensor b = Tensor::zeros({4, 2});
     EXPECT_DEATH(ops::spmm(a, b), "spmm");
 }
 
@@ -101,7 +101,7 @@ TEST(Spmm, EmitsSpMMClassKernel)
     CsrMatrix a = randomCsr(rng, 64, 64, 0.1);
     Tensor b = Tensor::randn({64, 32}, rng);
     {
-        DeviceGuard guard(&dev);
+        ContextGuard guard(&dev);
         ops::spmm(a, b);
     }
     const OpClassStats &s = prof.classStats(OpClass::SpMM);

@@ -107,7 +107,7 @@ TEST(GpuDevice, ObserverReceivesEverything)
     dev.addObserver(&obs);
     dev.launch(simpleKernel("k", 8, 10));
     std::vector<float> data = {0.0f, 1.0f, 0.0f, 2.0f};
-    dev.copyHostToDevice(data.data(), data.size(), "input");
+    dev.copyHostToDevice(data.data(), data.size(), 0x1000, "input");
     ASSERT_EQ(obs.kernels.size(), 1u);
     ASSERT_EQ(obs.transfers.size(), 1u);
     EXPECT_EQ(obs.transfers[0].tag, "input");
@@ -120,7 +120,7 @@ TEST(GpuDevice, TransferSparsityMeasured)
     for (int i = 0; i < 25; ++i)
         data[i] = 1.0f;
     TransferRecord r =
-        dev.copyHostToDevice(data.data(), data.size(), "x");
+        dev.copyHostToDevice(data.data(), data.size(), 0x1000, "x");
     EXPECT_NEAR(r.zeroFraction, 0.75, 1e-9);
     EXPECT_DOUBLE_EQ(r.bytes, 400.0);
     EXPECT_GT(r.timeSec, 0);
@@ -130,7 +130,7 @@ TEST(GpuDevice, IntTransferSparsity)
 {
     GpuDevice dev;
     std::vector<int32_t> idx = {0, 1, 0, 2, 0, 3};
-    TransferRecord r = dev.copyHostToDevice(idx.data(), idx.size(), "i");
+    TransferRecord r = dev.copyHostToDevice(idx.data(), idx.size(), 0x1000, "i");
     EXPECT_NEAR(r.zeroFraction, 0.5, 1e-9);
 }
 
@@ -142,10 +142,11 @@ TEST(GpuDevice, CompressionAblationSpeedsSparseTransfers)
     cfg.h2dCompression = true;
     GpuDevice compressed(cfg);
     double t_plain =
-        plain.copyHostToDevice(sparse.data(), sparse.size(), "x").timeSec;
+        plain.copyHostToDevice(sparse.data(), sparse.size(), 0x1000, "x")
+            .timeSec;
     double t_comp = compressed
                         .copyHostToDevice(sparse.data(), sparse.size(),
-                                          "x")
+                                          0x1000, "x")
                         .timeSec;
     EXPECT_LT(t_comp, t_plain * 0.2);
 }
@@ -155,7 +156,7 @@ TEST(GpuDevice, TimersAccumulateAndReset)
     GpuDevice dev;
     dev.launch(simpleKernel("k", 8, 10));
     std::vector<float> data(64, 1.0f);
-    dev.copyHostToDevice(data.data(), data.size(), "x");
+    dev.copyHostToDevice(data.data(), data.size(), 0x1000, "x");
     EXPECT_GT(dev.kernelTimeSec(), 0);
     EXPECT_GT(dev.transferTimeSec(), 0);
     EXPECT_GT(dev.wallTimeSec(),

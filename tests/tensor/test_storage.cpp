@@ -89,7 +89,7 @@ TEST(Storage, ViewKeepsStorageAliveAfterBaseDies)
 
 TEST(Storage, DeprecatedShapeCtorStillZeroFills)
 {
-    Tensor t({3, 3});
+    Tensor t = Tensor::zeros({3, 3});
     for (int64_t i = 0; i < t.numel(); ++i)
         EXPECT_FLOAT_EQ(t.data()[i], 0.0f);
 }

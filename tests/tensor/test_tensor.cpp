@@ -9,7 +9,7 @@ using namespace gnnmark;
 
 TEST(Tensor, ZeroInitialised)
 {
-    Tensor t({3, 4});
+    Tensor t = Tensor::zeros({3, 4});
     EXPECT_EQ(t.numel(), 12);
     for (int64_t i = 0; i < 12; ++i)
         EXPECT_EQ(t.data()[i], 0.0f);
@@ -25,34 +25,34 @@ TEST(Tensor, FactoryHelpers)
 
 TEST(Tensor, IndexingRowMajor)
 {
-    Tensor t({2, 3});
+    Tensor t = Tensor::zeros({2, 3});
     t(1, 2) = 7.0f;
     EXPECT_EQ(t.data()[5], 7.0f);
-    Tensor u({2, 2, 2});
+    Tensor u = Tensor::zeros({2, 2, 2});
     u(1, 0, 1) = 4.0f;
     EXPECT_EQ(u.data()[5], 4.0f);
-    Tensor w({2, 2, 2, 2});
+    Tensor w = Tensor::zeros({2, 2, 2, 2});
     w(1, 1, 1, 1) = 9.0f;
     EXPECT_EQ(w.data()[15], 9.0f);
 }
 
 TEST(TensorDeath, OutOfBoundsPanics)
 {
-    Tensor t({2, 3});
+    Tensor t = Tensor::zeros({2, 3});
     EXPECT_DEATH(t(2, 0), "bad 2-d index");
     EXPECT_DEATH(t(0, 3), "bad 2-d index");
 }
 
 TEST(Tensor, SizeNegativeAxis)
 {
-    Tensor t({2, 3, 4});
+    Tensor t = Tensor::zeros({2, 3, 4});
     EXPECT_EQ(t.size(-1), 4);
     EXPECT_EQ(t.size(-3), 2);
 }
 
 TEST(Tensor, ReshapeSharesStorage)
 {
-    Tensor t({2, 6});
+    Tensor t = Tensor::zeros({2, 6});
     Tensor v = t.reshape({3, 4});
     v(0, 1) = 5.0f;
     EXPECT_EQ(t(0, 1), 5.0f);
@@ -61,7 +61,7 @@ TEST(Tensor, ReshapeSharesStorage)
 
 TEST(TensorDeath, ReshapeNumelMismatchPanics)
 {
-    Tensor t({2, 3});
+    Tensor t = Tensor::zeros({2, 3});
     EXPECT_DEATH(t.reshape({7}), "reshape numel mismatch");
 }
 
@@ -76,7 +76,7 @@ TEST(Tensor, CloneIsDeep)
 
 TEST(Tensor, CopyIsShallow)
 {
-    Tensor t({4});
+    Tensor t = Tensor::zeros({4});
     Tensor alias = t;
     alias(1) = 2.0f;
     EXPECT_EQ(t(1), 2.0f);
@@ -86,7 +86,7 @@ TEST(Tensor, ZeroFraction)
 {
     Tensor t = Tensor::fromVector({4}, {0, 1, 0, 2});
     EXPECT_FLOAT_EQ(t.zeroFraction(), 0.5);
-    EXPECT_FLOAT_EQ(Tensor({3}).zeroFraction(), 1.0);
+    EXPECT_FLOAT_EQ(Tensor::zeros({3}).zeroFraction(), 1.0);
 }
 
 TEST(Tensor, RandnStatistics)
@@ -125,7 +125,7 @@ TEST(Tensor, AllCloseAndMaxAbsDiff)
 TEST(Tensor, StorageAligned256)
 {
     for (int i = 0; i < 8; ++i) {
-        Tensor t({17 + i});
+        Tensor t = Tensor::zeros({17 + i});
         EXPECT_EQ(t.deviceAddr() % 256, 0u)
             << "allocation " << i << " not 256-byte aligned";
     }
@@ -138,15 +138,15 @@ TEST(Tensor, AllocatorRecyclesAddresses)
     // device addresses).
     uint64_t first;
     {
-        Tensor t({123, 7});
+        Tensor t = Tensor::zeros({123, 7});
         first = t.deviceAddr();
     }
-    Tensor u({123, 7});
+    Tensor u = Tensor::zeros({123, 7});
     EXPECT_EQ(u.deviceAddr(), first);
 }
 
 TEST(Tensor, ShapeString)
 {
-    EXPECT_EQ(Tensor({2, 3}).shapeString(), "[2, 3]");
-    EXPECT_EQ(Tensor({5}).shapeString(), "[5]");
+    EXPECT_EQ(Tensor::zeros({2, 3}).shapeString(), "[2, 3]");
+    EXPECT_EQ(Tensor::zeros({5}).shapeString(), "[5]");
 }

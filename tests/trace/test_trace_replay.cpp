@@ -232,3 +232,41 @@ TEST(TraceReplay, EnablingObservabilityDoesNotPerturbTheReport)
     EXPECT_EQ(off, on);
     EXPECT_GT(off.size(), 0u);
 }
+
+TEST(TraceReplay, ReplayRecoversIterationTimelines)
+{
+    // v2 traces carry backward phase markers, so a replay can rebuild
+    // the per-iteration kernel timelines the DDP overlap model prices
+    // gradient buckets against.
+    const trace::RecordedTrace trace =
+        recordWorkloadTrace("STGCN", smallRun());
+    const trace::ReplayResult result = trace::replayTrace(trace);
+    ASSERT_EQ(result.iterations.size(),
+              static_cast<size_t>(smallRun().iterations));
+    for (const IterationTimeline &t : result.iterations) {
+        EXPECT_GT(t.kernelSec, 0);
+        EXPECT_GT(t.kernelCount, 0);
+        EXPECT_TRUE(t.hasBackward());
+        EXPECT_GT(t.backwardEndKernelSec, t.backwardBeginKernelSec);
+        EXPECT_LE(t.backwardEndKernelSec, t.kernelSec * (1 + 1e-12));
+        // Backward kernel ends are cumulative and ordered.
+        double prev = t.backwardBeginKernelSec;
+        for (double end : t.backwardKernelEnds) {
+            EXPECT_GE(end, prev);
+            prev = end;
+        }
+    }
+}
+
+TEST(TraceReplay, DoubleBackwardWorkloadKeepsOneWindowPerIteration)
+{
+    // ARGA runs two backward sweeps per iteration; the collector must
+    // still produce exactly one (merged) window per iteration.
+    const trace::RecordedTrace trace =
+        recordWorkloadTrace("ARGA", smallRun());
+    const trace::ReplayResult result = trace::replayTrace(trace);
+    ASSERT_EQ(result.iterations.size(),
+              static_cast<size_t>(smallRun().iterations));
+    for (const IterationTimeline &t : result.iterations)
+        EXPECT_TRUE(t.hasBackward());
+}

@@ -7,7 +7,8 @@
  *   gnnmark run <workload> [--scale S] [--iters N] [--inference]
  *                          [--chrome-trace PATH]
  *   gnnmark characterize [--scale S] [--iters N] [--csv]
- *   gnnmark scaling [--scale S] [--weak]
+ *   gnnmark scaling [--scale S] [--weak] [--overlap on|off]
+ *                   [--telemetry PATH]
  *   gnnmark ttt [--scale S] [--target F]
  *   gnnmark faults <workload> [--scale S] [--iters N] [--interval K]
  *   gnnmark trace record <workload> [--out PATH] [--scale S] [--iters N]
@@ -15,8 +16,8 @@
  *                               [--chrome-trace PATH]
  *   gnnmark trace info <file>
  *   gnnmark trace diff <a> <b>
- *   gnnmark sweep (<workload> | --trace FILE) [--param l2|l1|sms]
- *                 [--points V,V,...]
+ *   gnnmark sweep (<workload> | --trace FILE) [--param l2|l1|sms|world]
+ *                 [--points V,V,...] [--overlap on|off]
  */
 
 #include <algorithm>
@@ -70,6 +71,7 @@ struct Args
     std::string chromePath;  ///< --chrome-trace
     std::string telemetryPath; ///< --telemetry (JSONL sink)
     bool json = false;       ///< --json report documents
+    std::string overlap = "on"; ///< --overlap on|off (scaling, sweep)
     std::string param = "l2"; ///< --param (sweep)
     std::string points;      ///< --points (sweep)
     double l2Mib = 0;        ///< --l2 replay override (0 = recorded)
@@ -113,21 +115,30 @@ usage()
         "                 figures document on its own line. Pick the\n"
         "                 allocator with GNNMARK_ALLOC=caching|system\n"
         "  --weak         weak instead of strong scaling\n"
+        "  --overlap M    on (default): overlap the bucketed gradient\n"
+        "                 all-reduce with backward compute on a comm\n"
+        "                 stream; off: legacy fully-serialized comm\n"
+        "                 (scaling, sweep --param world)\n"
         "  --csv          machine-readable output where supported\n"
         "  --chrome-trace PATH  write a chrome://tracing timeline JSON\n"
         "                 with device, worker and host-span lanes\n"
         "                 (run, faults, trace replay)\n"
         "  --telemetry PATH  append JSONL telemetry: one record per\n"
         "                 iteration plus a run manifest (run,\n"
-        "                 characterize) or a fault report (faults)\n"
+        "                 characterize), a fault report (faults), or\n"
+        "                 one record per workload curve (scaling)\n"
         "  --json         print the report as a JSON document instead\n"
         "                 of tables (run, characterize, scaling,\n"
         "                 faults); progress chatter moves to stderr\n"
         "  --out PATH     trace record output (default <workload>.gnntrace)\n"
         "  --trace FILE   drive the sweep from a recorded trace\n"
-        "  --param P      sweep parameter: l2 (MiB), l1 (KiB), sms\n"
+        "  --param P      sweep parameter: l2 (MiB), l1 (KiB), sms,\n"
+        "                 world (DDP GPU count; trace-driven sweeps\n"
+        "                 price comm against the recorded backward\n"
+        "                 windows with weak-scaling semantics)\n"
         "  --points V,V   sweep points (default l2: 2,4,6,12 MiB;\n"
-        "                 l1: 64,128,192,256 KiB; sms: 40,60,80,108)\n"
+        "                 l1: 64,128,192,256 KiB; sms: 40,60,80,108;\n"
+        "                 world: 1,2,4)\n"
         "  --l2 MIB / --l1 KIB / --sms N   replay config overrides\n";
     std::exit(2);
 }
@@ -197,6 +208,13 @@ parse(int argc, char **argv)
             args.telemetryPath = next();
         } else if (a == "--json") {
             args.json = true;
+        } else if (a == "--overlap") {
+            args.overlap = next();
+            if (args.overlap != "on" && args.overlap != "off") {
+                std::cerr << "--overlap expects on or off, got: "
+                          << args.overlap << "\n";
+                usage();
+            }
         } else if (a == "--param") {
             args.param = next();
         } else if (a == "--points") {
@@ -397,9 +415,95 @@ printSweepRow(TablePrinter &table, const std::string &label,
                   strfmt("%.2f", p.profiler.avgIpc())});
 }
 
+/**
+ * `sweep --param world`: price a DDP scaling curve over GPU counts.
+ * Live runs use the full DdpTrainer measurement; with --trace the
+ * recorded kernel stream is replayed once and its per-iteration
+ * backward windows feed the overlap model offline (weak-scaling
+ * semantics — the recorded stream is the fixed per-GPU work).
+ */
+int
+cmdSweepWorld(const Args &args)
+{
+    const std::vector<double> points =
+        parsePoints(args.points.empty() ? "1,2,4" : args.points);
+    std::vector<int> worlds;
+    for (double v : points) {
+        const int w = static_cast<int>(v);
+        if (w < 1) {
+            std::cerr << "world sweep points must be >= 1\n";
+            usage();
+        }
+        worlds.push_back(w);
+    }
+    DdpOptions ddp_options;
+    ddp_options.overlapComm = args.overlap == "on";
+
+    std::vector<ScalingResult> curve;
+    if (!args.tracePath.empty()) {
+        const trace::RecordedTrace trace =
+            trace::readTraceFile(args.tracePath);
+        std::cout << "Sweeping world over the recorded "
+                  << trace.header.workload << " stream (overlap "
+                  << args.overlap << ")...\n\n";
+        const trace::ReplayResult replay = trace::replayTrace(trace);
+        // The sampler-compatibility flag is a property of the model,
+        // not of the recorded stream; recover it from the suite.
+        bool compatible = true;
+        const std::vector<std::string> names =
+            BenchmarkSuite::workloadNames();
+        if (std::find(names.begin(), names.end(),
+                      trace.header.workload) != names.end()) {
+            compatible = BenchmarkSuite::create(trace.header.workload)
+                             ->samplerDdpCompatible();
+        } else {
+            warn("trace workload '%s' is not in the suite; assuming "
+                 "a DDP-compatible sampler (no replication penalty)",
+                 trace.header.workload.c_str());
+        }
+        curve = ddp::scalingFromTimelines(
+            Interconnect{InterconnectConfig{}}, replay.iterations,
+            replay.epochTimeSec,
+            static_cast<double>(replay.iterationsPerEpoch),
+            replay.parameterBytes, compatible, worlds, ddp_options);
+    } else {
+        if (args.files.empty())
+            usage();
+        const std::string workload = args.files.front();
+        requireWorkload(workload);
+        std::cout << "Sweeping world with live " << workload
+                  << " runs (overlap " << args.overlap << ")...\n\n";
+        auto wl = BenchmarkSuite::create(workload);
+        WorkloadConfig base;
+        base.scale = args.scale;
+        DdpTrainer trainer(GpuConfig::v100(), InterconnectConfig{},
+                           ddp_options);
+        curve = trainer.scalingCurve(
+            *wl, base, worlds, args.iterationsSet ? args.iterations : 4);
+    }
+
+    TablePrinter table(
+        strfmt("world sensitivity (overlap %s)", args.overlap.c_str()));
+    table.setHeader({"GPUs", "epoch (ms)", "compute (ms)", "comm (ms)",
+                     "exposed (ms)", "overlap %", "speedup"});
+    for (const ScalingResult &r : curve) {
+        table.addRow({strfmt("%d", r.worldSize),
+                      strfmt("%.3f", r.epochTimeSec * 1e3),
+                      strfmt("%.3f", r.computeTimeSec * 1e3),
+                      strfmt("%.3f", r.commTimeSec * 1e3),
+                      strfmt("%.3f", r.commExposedSec * 1e3),
+                      strfmt("%.1f", r.overlapFrac * 100.0),
+                      strfmt("%.2f", r.speedup)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
 int
 cmdSweep(const Args &args)
 {
+    if (args.param == "world")
+        return cmdSweepWorld(args);
     const std::string defaults = args.param == "l1" ? "64,128,192,256"
                                  : args.param == "sms" ? "40,60,80,108"
                                                        : "2,4,6,12";
@@ -557,7 +661,12 @@ cmdScaling(const Args &args)
 {
     WorkloadConfig base;
     base.scale = args.scale;
-    DdpTrainer trainer;
+    DdpOptions ddp_options;
+    ddp_options.overlapComm = args.overlap == "on";
+    DdpTrainer trainer(GpuConfig::v100(), InterconnectConfig{},
+                       ddp_options);
+    const int iters = args.iterationsSet ? args.iterations : 4;
+    std::unique_ptr<obs::TelemetrySink> telemetry = openTelemetry(args);
     std::ostream &progress = progressStream(args);
     std::vector<std::pair<std::string, std::vector<ScalingResult>>>
         curves;
@@ -567,12 +676,23 @@ cmdScaling(const Args &args)
             continue;
         progress << "  " << name << "..." << std::flush;
         curves.emplace_back(
-            name, args.weak
-                      ? trainer.weakScalingCurve(*wl, base, {1, 2, 4})
-                      : trainer.scalingCurve(*wl, base, {1, 2, 4}));
+            name,
+            args.weak
+                ? trainer.weakScalingCurve(*wl, base, {1, 2, 4}, iters)
+                : trainer.scalingCurve(*wl, base, {1, 2, 4}, iters));
+        if (telemetry != nullptr) {
+            telemetry->writeRecord(reports::scalingRecordJson(
+                name, args.weak, ddp_options.overlapComm,
+                curves.back().second));
+        }
         progress << " done\n";
     }
     progress << "\n";
+    if (telemetry != nullptr) {
+        progress << "telemetry (" << telemetry->recordCount()
+                 << " records) written to " << telemetry->path()
+                 << "\n\n";
+    }
     if (args.json)
         std::cout << reports::scalingJson(curves) << "\n";
     else

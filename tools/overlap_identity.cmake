@@ -1,0 +1,92 @@
+# Overlap-model gates, run under ctest:
+#
+#  1. Determinism: `gnnmark scaling --json` is byte-identical across
+#     two separate processes, in each --overlap mode. (Separate
+#     processes so allocator free lists and the device VA arena cannot
+#     carry state between the runs.)
+#  2. Model invariants across the two modes, checked on the parsed
+#     numbers: with --overlap off every point reports
+#     comm_exposed_sec == comm_time_sec and overlap_frac == 0; with
+#     --overlap on exposure never exceeds the total.
+#
+# Invoke as
+#   cmake -DGNNMARK_BIN=<path-to-gnnmark> -P overlap_identity.cmake
+
+if(NOT DEFINED GNNMARK_BIN)
+    message(FATAL_ERROR "pass -DGNNMARK_BIN=<gnnmark binary>")
+endif()
+
+function(run_scaling mode out_var)
+    execute_process(
+        COMMAND ${GNNMARK_BIN} scaling --scale 0.2 --iters 2
+                --overlap ${mode} --json
+        RESULT_VARIABLE rv
+        OUTPUT_VARIABLE out
+        ERROR_QUIET)
+    if(NOT rv EQUAL 0)
+        message(FATAL_ERROR
+            "gnnmark scaling --overlap ${mode} exited with '${rv}'")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+foreach(mode on off)
+    run_scaling(${mode} first)
+    run_scaling(${mode} second)
+    if(NOT first STREQUAL second)
+        message(FATAL_ERROR
+            "scaling --overlap ${mode} differs between two runs — "
+            "the overlap model is not deterministic")
+    endif()
+    set(json_${mode} "${first}")
+    message(STATUS "--overlap ${mode}: deterministic across processes")
+endforeach()
+
+# Pull every scaling point's {comm, exposed, frac} triple out of the
+# flat JSON with a regex; one match per (workload, world) pair.
+set(point_re
+    "\"comm_time_sec\":([0-9.e+-]+),\"comm_exposed_sec\":([0-9.e+-]+),\"overlap_frac\":([0-9.e+-]+)")
+
+string(REGEX MATCHALL "${point_re}" off_points "${json_off}")
+if(off_points STREQUAL "")
+    message(FATAL_ERROR "no scaling points found in --overlap off JSON")
+endif()
+foreach(point IN LISTS off_points)
+    string(REGEX REPLACE "${point_re}" "\\1;\\2;\\3" triple "${point}")
+    list(GET triple 0 total)
+    list(GET triple 1 exposed)
+    list(GET triple 2 frac)
+    if(NOT total STREQUAL exposed)
+        message(FATAL_ERROR
+            "--overlap off: comm_exposed_sec ${exposed} != "
+            "comm_time_sec ${total} — the sync model must be fully "
+            "serialized")
+    endif()
+    if(NOT frac STREQUAL "0")
+        message(FATAL_ERROR
+            "--overlap off: overlap_frac ${frac} != 0")
+    endif()
+endforeach()
+message(STATUS "--overlap off: every point fully exposed (legacy model)")
+
+string(REGEX MATCHALL "${point_re}" on_points "${json_on}")
+set(hidden_somewhere FALSE)
+foreach(point IN LISTS on_points)
+    string(REGEX REPLACE "${point_re}" "\\1;\\2;\\3" triple "${point}")
+    list(GET triple 0 total)
+    list(GET triple 1 exposed)
+    if(exposed GREATER total)
+        message(FATAL_ERROR
+            "--overlap on: comm_exposed_sec ${exposed} > "
+            "comm_time_sec ${total}")
+    endif()
+    if(exposed LESS total)
+        set(hidden_somewhere TRUE)
+    endif()
+endforeach()
+if(NOT hidden_somewhere)
+    message(FATAL_ERROR
+        "--overlap on: no point hides any communication — overlap "
+        "model inert")
+endif()
+message(STATUS "--overlap on: exposure bounded by total, some hidden")
