@@ -35,6 +35,21 @@ benchOptions()
     return opt;
 }
 
+/**
+ * Inference-mode twin of benchOptions(): forward passes only, the
+ * shorter iteration budget the inference-path benches share. The
+ * training/inference contrast bench and the serving bench both start
+ * from this so the two stay on the same configuration.
+ */
+inline RunOptions
+inferenceOptions()
+{
+    RunOptions opt = benchOptions();
+    opt.iterations = 4;
+    opt.inferenceOnly = true;
+    return opt;
+}
+
 /** Characterize the full suite (Table I order). */
 inline std::vector<WorkloadProfile>
 characterizeSuite()

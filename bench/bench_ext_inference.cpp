@@ -32,10 +32,9 @@ gemmShare(const WorkloadProfile &p)
 int
 main()
 {
-    RunOptions train = bench::benchOptions();
-    train.iterations = 4;
-    RunOptions infer = train;
-    infer.inferenceOnly = true;
+    RunOptions infer = bench::inferenceOptions();
+    RunOptions train = infer;
+    train.inferenceOnly = false;
 
     std::cout << "Training vs. inference characterization (the paper's "
                  "contrast with prior inference studies)...\n\n";

@@ -420,5 +420,66 @@ printMemstats(const std::vector<WorkloadProfile> &profiles,
     os << "\n";
 }
 
+void
+printServing(const serve::ServingReport &rep, std::ostream &os)
+{
+    os << strfmt("Serving: %s arrivals @ %.0f req/s for %.1f s, "
+                 "SLO %.1f ms, %d replicas, batch <= %d, faults=%s\n",
+                 rep.arrival.c_str(), rep.ratePerSec, rep.durationSec,
+                 rep.sloMs, rep.replicas, rep.maxBatch,
+                 rep.faultScenario.c_str());
+    os << strfmt("Robustness: hedge=%s shed=%s fallback=%s\n",
+                 rep.hedgeEnabled ? "on" : "off",
+                 rep.shedEnabled ? "on" : "off",
+                 rep.fallbackEnabled ? "on" : "off");
+
+    TablePrinter outcomes("Request outcomes");
+    outcomes.setHeader({"Offered", "Full", "Fallback", "Shed", "Lost",
+                        "SLO met", "Goodput/s"});
+    outcomes.addRow({strfmt("%lld", (long long)rep.offered),
+                     strfmt("%lld", (long long)rep.full),
+                     strfmt("%lld", (long long)rep.fallback),
+                     strfmt("%lld", (long long)rep.shed),
+                     strfmt("%lld", (long long)rep.lost),
+                     strfmt("%lld", (long long)rep.sloMet),
+                     fixed(rep.goodputPerSec, 1)});
+    outcomes.print(os);
+
+    TablePrinter latency("Latency over answered requests (ms)");
+    latency.setHeader({"p50", "p95", "p99", "mean", "max"});
+    latency.addRow({fixed(rep.p50Ms, 2), fixed(rep.p95Ms, 2),
+                    fixed(rep.p99Ms, 2), fixed(rep.meanMs, 2),
+                    fixed(rep.maxMs, 2)});
+    latency.print(os);
+
+    os << strfmt("Mechanics: %lld retries, %lld hedges (%lld won), "
+                 "%lld timeouts, %lld breaker opens, cache hit rate "
+                 "%.1f%%\n",
+                 (long long)rep.retries, (long long)rep.hedgesLaunched,
+                 (long long)rep.hedgeWins, (long long)rep.timeouts,
+                 (long long)rep.breakerOpens, rep.cacheHitRate * 100.0);
+    os << strfmt("Batching: %lld batches, mean size %.2f, "
+                 "utilization %.1f%% (%.2f ms useful, %.2f ms "
+                 "cancelled), horizon %.1f ms\n",
+                 (long long)rep.batches, rep.meanBatchSize,
+                 rep.utilization * 100.0, rep.busySec * 1e3,
+                 rep.cancelledSec * 1e3, rep.horizonSec * 1e3);
+
+    TablePrinter replicas("Per-replica accounting");
+    replicas.setHeader({"Replica", "Done", "Cancelled", "Timeouts",
+                        "Opens", "Breaker", "Busy (ms)", "Waste (ms)"});
+    for (const serve::ReplicaReport &r : rep.perReplica) {
+        replicas.addRow({strfmt("%d", r.replica),
+                         strfmt("%lld", (long long)r.batchesCompleted),
+                         strfmt("%lld", (long long)r.batchesCancelled),
+                         strfmt("%lld", (long long)r.timeouts),
+                         strfmt("%lld", (long long)r.breakerOpens),
+                         r.breakerFinal, fixed(r.busySec * 1e3, 2),
+                         fixed(r.cancelledSec * 1e3, 2)});
+    }
+    replicas.print(os);
+    os << "\n";
+}
+
 } // namespace reports
 } // namespace gnnmark

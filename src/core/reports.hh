@@ -13,6 +13,7 @@
 
 #include "core/characterization.hh"
 #include "multigpu/ddp.hh"
+#include "serve/report.hh"
 
 namespace gnnmark {
 namespace reports {
@@ -70,6 +71,13 @@ void printFaultTolerance(const FaultToleranceResult &result,
 void printCheckpointSweep(
     const std::vector<std::pair<int, FaultToleranceResult>> &sweep,
     std::ostream &os);
+
+/**
+ * SLO-aware serving run: volume split (full/fallback/shed/lost),
+ * latency percentiles, goodput, robustness counters, and per-replica
+ * breaker/occupancy accounting.
+ */
+void printServing(const serve::ServingReport &report, std::ostream &os);
 
 /** nvprof-style top-kernel table for one workload. */
 void printKernelTable(const WorkloadProfile &profile, std::ostream &os,

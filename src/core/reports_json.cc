@@ -232,5 +232,106 @@ memstatsJson(const std::vector<WorkloadProfile> &profiles)
     return w.str();
 }
 
+namespace {
+
+/** Shared body of servingJson / servingRecordJson. */
+void
+servingBody(obs::JsonWriter &w, const serve::ServingReport &rep)
+{
+    w.key("config").beginObject();
+    w.key("arrival").value(rep.arrival);
+    w.key("faults").value(rep.faultScenario);
+    w.key("rate_per_sec").value(rep.ratePerSec);
+    w.key("duration_sec").value(rep.durationSec);
+    w.key("slo_ms").value(rep.sloMs);
+    w.key("replicas").value(rep.replicas);
+    w.key("max_batch").value(rep.maxBatch);
+    w.key("seed").value(static_cast<int64_t>(rep.seed));
+    w.key("hedge").value(rep.hedgeEnabled);
+    w.key("shed").value(rep.shedEnabled);
+    w.key("fallback").value(rep.fallbackEnabled);
+    w.endObject();
+
+    w.key("outcomes").beginObject();
+    w.key("offered").value(rep.offered);
+    w.key("full").value(rep.full);
+    w.key("fallback").value(rep.fallback);
+    w.key("shed").value(rep.shed);
+    w.key("lost").value(rep.lost);
+    w.key("slo_met").value(rep.sloMet);
+    w.key("goodput_per_sec").value(rep.goodputPerSec);
+    w.endObject();
+
+    w.key("latency_ms").beginObject();
+    w.key("p50").value(rep.p50Ms);
+    w.key("p95").value(rep.p95Ms);
+    w.key("p99").value(rep.p99Ms);
+    w.key("mean").value(rep.meanMs);
+    w.key("max").value(rep.maxMs);
+    w.endObject();
+
+    w.key("robustness").beginObject();
+    w.key("retries").value(rep.retries);
+    w.key("hedges").value(rep.hedgesLaunched);
+    w.key("hedge_wins").value(rep.hedgeWins);
+    w.key("timeouts").value(rep.timeouts);
+    w.key("breaker_opens").value(rep.breakerOpens);
+    w.key("cache_hit_rate").value(rep.cacheHitRate);
+    w.key("cache_hits").value(rep.cacheHits);
+    w.key("cache_misses").value(rep.cacheMisses);
+    w.endObject();
+
+    w.key("batching").beginObject();
+    w.key("batches").value(rep.batches);
+    w.key("mean_size").value(rep.meanBatchSize);
+    w.key("busy_sec").value(rep.busySec);
+    w.key("cancelled_sec").value(rep.cancelledSec);
+    w.key("utilization").value(rep.utilization);
+    w.key("horizon_sec").value(rep.horizonSec);
+    w.endObject();
+
+    w.key("replicas").beginArray();
+    for (const serve::ReplicaReport &r : rep.perReplica) {
+        w.beginObject();
+        w.key("replica").value(r.replica);
+        w.key("batches_completed").value(r.batchesCompleted);
+        w.key("batches_cancelled").value(r.batchesCancelled);
+        w.key("timeouts").value(r.timeouts);
+        w.key("breaker_opens").value(r.breakerOpens);
+        w.key("breaker").value(r.breakerFinal);
+        w.key("busy_sec").value(r.busySec);
+        w.key("cancelled_sec").value(r.cancelledSec);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+} // namespace
+
+std::string
+servingJson(const serve::ServingReport &report)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("serving").beginObject();
+    servingBody(w, report);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+servingRecordJson(const std::string &label,
+                  const serve::ServingReport &report)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("serving");
+    w.key("label").value(label);
+    servingBody(w, report);
+    w.endObject();
+    return w.str();
+}
+
 } // namespace reports
 } // namespace gnnmark

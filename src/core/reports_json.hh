@@ -17,6 +17,7 @@
 #include "core/characterization.hh"
 #include "multigpu/ddp.hh"
 #include "obs/json.hh"
+#include "serve/report.hh"
 
 namespace gnnmark {
 namespace reports {
@@ -50,6 +51,22 @@ std::string faultJson(const FaultToleranceResult &result);
 std::string scalingRecordJson(const std::string &workload, bool weak,
                               bool overlap_on,
                               const std::vector<ScalingResult> &curve);
+
+/**
+ * Serving document (--json twin of printServing): config echo,
+ * outcome split, latency percentiles, robustness counters and
+ * per-replica accounting. Byte-stable for a fixed configuration.
+ */
+std::string servingJson(const serve::ServingReport &report);
+
+/**
+ * One serving telemetry record (a single JSONL line), tagged
+ * "type":"serving" plus a caller-chosen label so load sweeps can
+ * emit one line per operating point and bench_diff can gate on the
+ * flattened counters.
+ */
+std::string servingRecordJson(const std::string &label,
+                              const serve::ServingReport &report);
 
 /**
  * --memstats document: allocator counters per workload. Kept separate

@@ -1,0 +1,54 @@
+#include "serve/cache.hh"
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+namespace serve {
+
+EmbeddingCache::EmbeddingCache(size_t capacity) : capacity_(capacity)
+{
+    GNN_ASSERT(capacity > 0, "embedding cache needs capacity > 0");
+}
+
+bool
+EmbeddingCache::lookup(int32_t item, float *value_out)
+{
+    auto it = map_.find(item);
+    if (it == map_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (value_out)
+        *value_out = it->second->value;
+    return true;
+}
+
+void
+EmbeddingCache::insert(int32_t item, float value)
+{
+    auto it = map_.find(item);
+    if (it != map_.end()) {
+        it->second->value = value;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= capacity_) {
+        map_.erase(lru_.back().item);
+        lru_.pop_back();
+        ++evictions_;
+    }
+    lru_.push_front(Entry{item, value});
+    map_[item] = lru_.begin();
+}
+
+double
+EmbeddingCache::hitRate() const
+{
+    const int64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
+
+} // namespace serve
+} // namespace gnnmark

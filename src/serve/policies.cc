@@ -1,0 +1,90 @@
+#include "serve/policies.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+namespace serve {
+
+double
+BackoffPolicy::delayForRetry(int retry) const
+{
+    GNN_ASSERT(retry >= 1, "retry index is 1-based, got %d", retry);
+    GNN_ASSERT(multiplier >= 1.0, "backoff multiplier must be >= 1");
+    const double raw =
+        baseDelaySec * std::pow(multiplier, retry - 1);
+    return std::min(raw, maxDelaySec);
+}
+
+CircuitBreaker::State
+CircuitBreaker::state(double now)
+{
+    if (state_ == State::Open &&
+        now >= opened_at_ + config_.cooldownSec) {
+        state_ = State::HalfOpen;
+        probe_streak_ = 0;
+    }
+    return state_;
+}
+
+void
+CircuitBreaker::onSuccess(double now)
+{
+    switch (state(now)) {
+      case State::Closed:
+        timeout_streak_ = 0;
+        break;
+      case State::HalfOpen:
+        if (++probe_streak_ >= config_.halfOpenSuccesses) {
+            state_ = State::Closed;
+            timeout_streak_ = 0;
+        }
+        break;
+      case State::Open:
+        // Success from a batch dispatched before the trip; the
+        // replica still looks suspect, so it does not shorten the
+        // cooldown.
+        break;
+    }
+}
+
+void
+CircuitBreaker::onTimeout(double now)
+{
+    switch (state(now)) {
+      case State::Closed:
+        if (++timeout_streak_ >= config_.openAfterTimeouts) {
+            state_ = State::Open;
+            opened_at_ = now;
+            ++open_count_;
+        }
+        break;
+      case State::HalfOpen:
+        // A failed probe re-opens immediately.
+        state_ = State::Open;
+        opened_at_ = now;
+        ++open_count_;
+        break;
+      case State::Open:
+        break;
+    }
+}
+
+const char *
+breakerStateName(CircuitBreaker::State state)
+{
+    switch (state) {
+      case CircuitBreaker::State::Closed:
+        return "closed";
+      case CircuitBreaker::State::Open:
+        return "open";
+      case CircuitBreaker::State::HalfOpen:
+        return "half_open";
+    }
+    return "unknown";
+}
+
+} // namespace serve
+} // namespace gnnmark

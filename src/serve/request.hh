@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The unit of serving work: one per-user recommendation query asking
+ * for the embedding of an ego-net rooted at a catalogue item, stamped
+ * with an arrival time and an SLO deadline in simulated seconds.
+ */
+
+#ifndef GNNMARK_SERVE_REQUEST_HH
+#define GNNMARK_SERVE_REQUEST_HH
+
+#include <cstdint>
+
+namespace gnnmark {
+namespace serve {
+
+/** One inference query in the open-loop arrival stream. */
+struct Request
+{
+    int64_t id = 0;
+    /** Simulated arrival time. */
+    double arrivalSec = 0;
+    /** Absolute deadline (arrival + SLO). */
+    double deadlineSec = 0;
+    /** Queried catalogue item (ego-net root). */
+    int32_t item = 0;
+    /** Dispatch attempts so far (retry accounting). */
+    int attempts = 0;
+};
+
+/** Terminal state of a request. */
+enum class Outcome : uint8_t
+{
+    Full,     ///< full-fidelity response from a replica
+    Fallback, ///< degraded response from the embedding cache
+    Shed,     ///< rejected by admission control / deadline infeasibility
+    Lost,     ///< never answered (crash, retries exhausted, horizon)
+};
+
+/** Human-readable outcome name, e.g. "fallback". */
+inline const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Full:
+        return "full";
+      case Outcome::Fallback:
+        return "fallback";
+      case Outcome::Shed:
+        return "shed";
+      case Outcome::Lost:
+        return "lost";
+    }
+    return "unknown";
+}
+
+} // namespace serve
+} // namespace gnnmark
+
+#endif // GNNMARK_SERVE_REQUEST_HH

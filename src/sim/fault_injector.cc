@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "base/logging.hh"
 
@@ -75,9 +76,17 @@ FaultPlan::generate(Rng &rng, const FaultRates &rates, double horizonSec,
 {
     GNN_ASSERT(horizonSec > 0, "fault horizon must be positive");
     GNN_ASSERT(world >= 1, "fault plan needs world >= 1");
+    for (double rate :
+         {rates.crashPerSec, rates.stragglerPerSec,
+          rates.degradedLinkPerSec, rates.transientPerSec}) {
+        GNN_ASSERT(std::isfinite(rate) && rate >= 0,
+                   "fault rates must be finite and >= 0, got %f", rate);
+    }
 
     std::vector<FaultEvent> events;
     auto drawArrivals = [&](double rate, auto &&make) {
+        // A zero-rate channel is silent and consumes no Rng state, so
+        // enabling one fault kind never perturbs another's schedule.
         if (rate <= 0)
             return;
         for (double t = nextArrival(rng, rate); t < horizonSec;
@@ -134,6 +143,39 @@ FaultInjector::stragglerFactor(int replica, double t) const
         }
     }
     return factor;
+}
+
+double
+FaultInjector::serviceFactor(int replica, double t) const
+{
+    // Crash dominates straggler: a dead replica does no work, however
+    // slow a concurrent straggler window says it would have been.
+    if (crashed(replica, t))
+        return std::numeric_limits<double>::infinity();
+    return stragglerFactor(replica, t);
+}
+
+double
+FaultInjector::crashTime(int replica) const
+{
+    for (const FaultEvent &e : plan_.events()) {
+        if (e.kind == FaultKind::ReplicaCrash && e.replica == replica)
+            return e.timeSec; // events are sorted: first crash wins
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+double
+FaultInjector::nextTransitionAfter(double t) const
+{
+    double next = std::numeric_limits<double>::infinity();
+    for (const FaultEvent &e : plan_.events()) {
+        if (e.timeSec > t)
+            next = std::min(next, e.timeSec);
+        if (e.durationSec > 0 && e.timeSec + e.durationSec > t)
+            next = std::min(next, e.timeSec + e.durationSec);
+    }
+    return next;
 }
 
 double

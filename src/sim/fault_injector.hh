@@ -16,6 +16,7 @@
 #define GNNMARK_SIM_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "base/rng.hh"
@@ -81,6 +82,11 @@ class FaultPlan
      * Draw a plan from Poisson processes, one per fault kind, over
      * [0, horizonSec). Crash/straggler targets are uniform over
      * [0, world). Deterministic in (rng state, rates, horizon, world).
+     *
+     * Zero-rate channels draw no events (and consume no Rng state);
+     * negative or non-finite rates are rejected. Generated events may
+     * overlap on the same replica — crash/straggler precedence is a
+     * query-time contract, see FaultInjector.
      */
     static FaultPlan generate(Rng &rng, const FaultRates &rates,
                               double horizonSec, int world);
@@ -92,7 +98,15 @@ class FaultPlan
     std::vector<FaultEvent> events_; ///< sorted by timeSec
 };
 
-/** Read-only oracle over a FaultPlan, queried by simulated time. */
+/**
+ * Read-only oracle over a FaultPlan, queried by simulated time.
+ *
+ * Precedence for overlapping same-replica faults: a crash dominates a
+ * straggler. Once crashed(replica, t) is true the replica performs no
+ * work at all, so any straggler window covering the same replica and
+ * time is moot; serviceFactor() encodes exactly this contract and is
+ * what harnesses that price per-replica work should query.
+ */
 class FaultInjector
 {
   public:
@@ -103,8 +117,32 @@ class FaultInjector
     /**
      * Compute-time multiplier for `replica` at time `t`: the largest
      * magnitude among its active straggler events, or 1 if healthy.
+     * Ignores crashes — use serviceFactor() when crash dominance
+     * matters.
      */
     double stragglerFactor(int replica, double t) const;
+
+    /**
+     * Combined per-replica work multiplier: +infinity once the replica
+     * has crashed (crash dominates straggler), else the straggler
+     * factor. The serving layer prices batch service time with this.
+     */
+    double serviceFactor(int replica, double t) const;
+
+    /**
+     * Simulated time of the first crash of `replica`, or +infinity if
+     * it never crashes. Lets an event-driven harness decide up front
+     * whether a work item scheduled on [start, end) survives.
+     */
+    double crashTime(int replica) const;
+
+    /**
+     * Earliest time strictly after `t` at which the fault environment
+     * changes (an event starts or a windowed event ends), or +infinity
+     * when nothing changes after `t`. Event-driven harnesses use this
+     * to re-evaluate routing decisions only when the world moved.
+     */
+    double nextTransitionAfter(double t) const;
 
     /**
      * Remaining bandwidth fraction of the worst degraded ring hop at

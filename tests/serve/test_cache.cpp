@@ -1,0 +1,67 @@
+/** @file Tests for the bounded LRU embedding cache. */
+
+#include <gtest/gtest.h>
+
+#include "serve/cache.hh"
+
+using namespace gnnmark::serve;
+
+TEST(EmbeddingCache, MissThenInsertThenHit)
+{
+    EmbeddingCache c(4);
+    float v = -1;
+    EXPECT_FALSE(c.lookup(7, &v));
+    c.insert(7, 3.5f);
+    EXPECT_TRUE(c.lookup(7, &v));
+    EXPECT_FLOAT_EQ(v, 3.5f);
+    EXPECT_EQ(c.hits(), 1);
+    EXPECT_EQ(c.misses(), 1);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.5);
+}
+
+TEST(EmbeddingCache, EvictsLeastRecentlyUsed)
+{
+    EmbeddingCache c(2);
+    c.insert(1, 1.0f);
+    c.insert(2, 2.0f);
+    // Touch 1 so 2 becomes the LRU entry.
+    EXPECT_TRUE(c.lookup(1));
+    c.insert(3, 3.0f);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.evictions(), 1);
+    EXPECT_TRUE(c.lookup(1));
+    EXPECT_FALSE(c.lookup(2)); // evicted
+    EXPECT_TRUE(c.lookup(3));
+}
+
+TEST(EmbeddingCache, InsertRefreshesValueWithoutEviction)
+{
+    EmbeddingCache c(2);
+    c.insert(1, 1.0f);
+    c.insert(2, 2.0f);
+    c.insert(1, 9.0f); // refresh, not a new entry
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.evictions(), 0);
+    float v = 0;
+    EXPECT_TRUE(c.lookup(1, &v));
+    EXPECT_FLOAT_EQ(v, 9.0f);
+    // The refresh also bumped recency: 2 is now the victim.
+    c.insert(3, 3.0f);
+    EXPECT_FALSE(c.lookup(2));
+}
+
+TEST(EmbeddingCache, HitRateZeroWhenNeverQueried)
+{
+    EmbeddingCache c(2);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.0);
+    c.insert(1, 1.0f);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.0);
+}
+
+TEST(EmbeddingCache, NullValueOutIsAccepted)
+{
+    EmbeddingCache c(1);
+    c.insert(5, 2.0f);
+    EXPECT_TRUE(c.lookup(5, nullptr));
+    EXPECT_FALSE(c.lookup(6, nullptr));
+}

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Serving-simulator tests on synthetic cost tables: no model or
+ * device is built, so each scenario is a few milliseconds of pure
+ * event-loop work with hand-placed faults and exact expectations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reports_json.hh"
+#include "serve/server.hh"
+
+using namespace gnnmark;
+using namespace gnnmark::serve;
+
+namespace {
+
+/** Flat 1 ms/batch table: batching is free, arithmetic is easy. */
+BatchCostTable
+flatTable()
+{
+    BatchCostTable t;
+    t.sizes = {1};
+    t.costs = {0.001};
+    return t;
+}
+
+ServeOptions
+baseOptions()
+{
+    ServeOptions opt;
+    opt.traffic.ratePerSec = 3000;
+    opt.traffic.durationSec = 0.2;
+    opt.traffic.sloSec = 0.01;
+    opt.traffic.seed = 5;
+    opt.traffic.catalogItems = 64;
+    opt.replicas = 2;
+    opt.maxBatch = 8;
+    opt.mirrorMetrics = false; // keep the global registry quiet
+    return opt;
+}
+
+FaultEvent
+straggler(int replica, double t, double duration, double magnitude)
+{
+    FaultEvent e;
+    e.kind = FaultKind::Straggler;
+    e.timeSec = t;
+    e.replica = replica;
+    e.durationSec = duration;
+    e.magnitude = magnitude;
+    return e;
+}
+
+FaultEvent
+crash(int replica, double t)
+{
+    FaultEvent e;
+    e.kind = FaultKind::ReplicaCrash;
+    e.timeSec = t;
+    e.replica = replica;
+    return e;
+}
+
+void
+checkConservation(const ServingReport &rep)
+{
+    EXPECT_EQ(rep.full + rep.fallback + rep.shed + rep.lost,
+              rep.offered);
+}
+
+} // namespace
+
+TEST(ServingSimulator, HealthyRunServesEverythingInTime)
+{
+    const ServingReport rep =
+        ServingSimulator(flatTable(), baseOptions()).run();
+    checkConservation(rep);
+    EXPECT_GT(rep.offered, 0);
+    EXPECT_EQ(rep.full, rep.offered);
+    EXPECT_EQ(rep.sloMet, rep.offered);
+    EXPECT_EQ(rep.shed, 0);
+    EXPECT_EQ(rep.lost, 0);
+    EXPECT_EQ(rep.retries, 0);
+    EXPECT_EQ(rep.timeouts, 0);
+    EXPECT_EQ(rep.hedgesLaunched, 0);
+    EXPECT_GT(rep.goodputPerSec, 0.0);
+    EXPECT_GT(rep.meanBatchSize, 1.0);
+    EXPECT_LE(rep.p50Ms, rep.p99Ms);
+    EXPECT_LE(rep.p99Ms, rep.maxMs);
+}
+
+TEST(ServingSimulator, ReportIsByteIdenticalAcrossRuns)
+{
+    ServeOptions opt = baseOptions();
+    opt.faults = FaultPlan({straggler(0, 0.02, 0.1, 8.0)});
+    opt.faultScenario = "straggler";
+    const ServingReport a = ServingSimulator(flatTable(), opt).run();
+    const ServingReport b = ServingSimulator(flatTable(), opt).run();
+    EXPECT_EQ(reports::servingJson(a), reports::servingJson(b));
+}
+
+TEST(ServingSimulator, HedgeWinsWithoutDoubleCounting)
+{
+    // One request, replica 0 straggling 50x from t=0: the primary
+    // lands on the slow replica, the hedge fires on replica 1 and
+    // wins, and the answer is counted exactly once.
+    ServeOptions opt = baseOptions();
+    opt.traffic.ratePerSec = 10; // a lone arrival in a short window
+    opt.traffic.durationSec = 0.15;
+    opt.traffic.sloSec = 0.05;
+    opt.traffic.seed = 3;
+    opt.maxBatch = 1;
+    opt.timeoutFactor = 60.0; // keep the slow primary from timing out
+    opt.hedgeFactor = 2.0;
+    opt.breakerEnabled = false;
+    opt.faults = FaultPlan({straggler(0, 0.0, 10.0, 50.0)});
+    const ServingReport rep =
+        ServingSimulator(flatTable(), opt).run();
+    checkConservation(rep);
+    ASSERT_GT(rep.offered, 0);
+    EXPECT_EQ(rep.full, rep.offered);
+    EXPECT_GT(rep.hedgesLaunched, 0);
+    EXPECT_EQ(rep.hedgeWins, rep.hedgesLaunched);
+    EXPECT_EQ(rep.timeouts, 0);
+    // The cancelled primary's work is accounted as cancelled time,
+    // not as a completion.
+    EXPECT_GT(rep.cancelledSec, 0.0);
+    int64_t completed = 0;
+    for (const ReplicaReport &r : rep.perReplica)
+        completed += r.batchesCompleted;
+    EXPECT_EQ(completed, rep.offered); // batch size 1, one win each
+}
+
+TEST(ServingSimulator, WholePoolCrashShedsOrLosesEverything)
+{
+    ServeOptions opt = baseOptions();
+    opt.faults = FaultPlan({crash(0, 0.0), crash(1, 0.0)});
+    opt.faultScenario = "crash";
+    const ServingReport repShed =
+        ServingSimulator(flatTable(), opt).run();
+    checkConservation(repShed);
+    EXPECT_EQ(repShed.full, 0);
+    EXPECT_EQ(repShed.sloMet, 0);
+    // Admission sees zero healthy replicas and sheds on arrival.
+    EXPECT_GT(repShed.shed, 0);
+
+    opt.shedEnabled = false;
+    opt.fallbackEnabled = false;
+    const ServingReport repNaive =
+        ServingSimulator(flatTable(), opt).run();
+    checkConservation(repNaive);
+    EXPECT_EQ(repNaive.full, 0);
+    EXPECT_EQ(repNaive.shed, 0);
+    EXPECT_EQ(repNaive.lost, repNaive.offered);
+}
+
+TEST(ServingSimulator, CrashMidServiceTimesOutAndRetries)
+{
+    // Single overloaded replica crashing mid-run: the replica is
+    // continuously busy, so the crash lands mid-service — in-flight
+    // work never completes (only its timeout fires) and later
+    // arrivals are shed as infeasible.
+    ServeOptions opt = baseOptions();
+    opt.replicas = 1;
+    opt.traffic.ratePerSec = 12000;
+    opt.traffic.durationSec = 0.1;
+    opt.faults = FaultPlan({crash(0, 0.05)});
+    opt.faultScenario = "crash";
+    const ServingReport rep =
+        ServingSimulator(flatTable(), opt).run();
+    checkConservation(rep);
+    EXPECT_GT(rep.full, 0);            // served before the crash
+    EXPECT_LT(rep.full, rep.offered);  // nothing after it
+    EXPECT_GT(rep.timeouts, 0);        // the in-flight batch died
+    EXPECT_GT(rep.shed + rep.lost + rep.fallback, 0);
+}
+
+TEST(ServingSimulator, BreakerSidelinesTheStragglerReplica)
+{
+    // Load high enough that dispatch regularly spills past replica 0
+    // onto the straggler, whose 40x service time then times out.
+    ServeOptions opt = baseOptions();
+    opt.traffic.ratePerSec = 12000;
+    opt.traffic.durationSec = 0.3;
+    opt.hedgeEnabled = false; // isolate the breaker's contribution
+    opt.faults = FaultPlan({straggler(1, 0.02, 0.25, 40.0)});
+    opt.faultScenario = "straggler";
+    const ServingReport rep =
+        ServingSimulator(flatTable(), opt).run();
+    checkConservation(rep);
+    EXPECT_GT(rep.breakerOpens, 0);
+    ASSERT_EQ(rep.perReplica.size(), 2u);
+    // Only the straggler's breaker trips.
+    EXPECT_EQ(rep.perReplica[0].breakerOpens, 0);
+    EXPECT_GT(rep.perReplica[1].breakerOpens, 0);
+    EXPECT_GT(rep.perReplica[1].timeouts, 0);
+}
+
+TEST(ServingSimulator, FallbackServesFromTheCache)
+{
+    // A tiny catalogue makes cache hits near-certain once warm, so
+    // requests degraded during the straggler window become fallbacks
+    // rather than losses.
+    ServeOptions opt = baseOptions();
+    opt.traffic.catalogItems = 8;
+    opt.traffic.durationSec = 0.3;
+    opt.faults = FaultPlan({straggler(0, 0.02, 0.2, 40.0),
+                            straggler(1, 0.02, 0.2, 40.0)});
+    opt.faultScenario = "straggler";
+    const ServingReport rep =
+        ServingSimulator(flatTable(), opt).run();
+    checkConservation(rep);
+    EXPECT_GT(rep.fallback, 0);
+    EXPECT_GT(rep.cacheHits, 0);
+    EXPECT_GT(rep.cacheHitRate, 0.0);
+
+    ServeOptions naive = opt;
+    naive.fallbackEnabled = false;
+    const ServingReport repNaive =
+        ServingSimulator(flatTable(), naive).run();
+    checkConservation(repNaive);
+    EXPECT_EQ(repNaive.fallback, 0);
+    EXPECT_EQ(repNaive.cacheHits, 0);
+}
+
+TEST(ServingSimulator, SheddingBoundsTailLatencyUnderOverload)
+{
+    // 4x overload on one replica: with shedding the served tail
+    // stays near the SLO; without it the queue grows and p99 blows
+    // past the deadline.
+    ServeOptions opt = baseOptions();
+    opt.replicas = 1;
+    opt.maxBatch = 4;
+    opt.traffic.ratePerSec = 16000; // capacity is 4000/s
+    opt.traffic.durationSec = 0.1;
+    opt.hedgeEnabled = false;
+    opt.fallbackEnabled = false;
+    const ServingReport shed =
+        ServingSimulator(flatTable(), opt).run();
+    checkConservation(shed);
+    EXPECT_GT(shed.shed, 0);
+    EXPECT_LE(shed.p99Ms, 2.0 * opt.traffic.sloSec * 1e3);
+
+    ServeOptions naive = opt;
+    naive.shedEnabled = false;
+    const ServingReport open =
+        ServingSimulator(flatTable(), naive).run();
+    checkConservation(open);
+    EXPECT_EQ(open.shed, 0);
+    EXPECT_GT(open.p99Ms, shed.p99Ms);
+    EXPECT_GE(shed.sloMet, open.sloMet);
+}
+
+TEST(ServingSimulator, CostTableInterpolatesAndExtrapolates)
+{
+    BatchCostTable t;
+    t.sizes = {1, 4, 8};
+    t.costs = {0.001, 0.002, 0.004};
+    EXPECT_DOUBLE_EQ(t.costSec(1), 0.001);
+    EXPECT_DOUBLE_EQ(t.costSec(4), 0.002);
+    // Linear between anchors.
+    EXPECT_NEAR(t.costSec(2), 0.001 + (0.002 - 0.001) / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(t.costSec(6), 0.003);
+    // Beyond the last anchor: final segment's slope continues.
+    EXPECT_NEAR(t.costSec(12), 0.004 + 4.0 * 0.0005, 1e-12);
+}
+
+TEST(ServingSimulatorDeath, RejectsBrokenConfigs)
+{
+    EXPECT_DEATH(ServingSimulator(BatchCostTable{}, baseOptions()),
+                 "cost table");
+    ServeOptions opt = baseOptions();
+    opt.replicas = 0;
+    EXPECT_DEATH(ServingSimulator(flatTable(), opt), "replica");
+    opt = baseOptions();
+    opt.maxBatch = 0;
+    EXPECT_DEATH(ServingSimulator(flatTable(), opt), "maxBatch");
+}

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
+#include "base/io.hh"
 #include "sim/fault_injector.hh"
+#include "sim/fault_plan_io.hh"
 
 using namespace gnnmark;
 
@@ -134,4 +137,135 @@ TEST(FaultInjector, TransientFailuresCountedInWindow)
     EXPECT_EQ(inj.transientFailures(0.0, 0.9), 0);
     EXPECT_EQ(inj.transientFailures(0.0, 2.0), 2); // (t0, t1]
     EXPECT_EQ(inj.transientFailures(2.0, 3.0), 1);
+}
+
+TEST(FaultInjector, ServiceFactorCrashDominatesStraggler)
+{
+    // Straggler window covers the crash; once crashed the replica
+    // does no work at all, so the factor jumps to +inf, not 4x.
+    FaultInjector inj(FaultPlan(
+        {event(FaultKind::Straggler, 1.0, 0, 5.0, 4.0),
+         event(FaultKind::ReplicaCrash, 3.0, 0)}));
+    EXPECT_DOUBLE_EQ(inj.serviceFactor(0, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(inj.serviceFactor(0, 2.0), 4.0);
+    EXPECT_TRUE(std::isinf(inj.serviceFactor(0, 3.0)));
+    EXPECT_TRUE(std::isinf(inj.serviceFactor(0, 100.0)));
+    // The straggler query itself still reports the window; the
+    // precedence lives in serviceFactor, by contract.
+    EXPECT_DOUBLE_EQ(inj.stragglerFactor(0, 4.0), 4.0);
+    EXPECT_DOUBLE_EQ(inj.serviceFactor(1, 4.0), 1.0);
+}
+
+TEST(FaultInjector, CrashTimeIsFirstCrashOrInfinity)
+{
+    FaultInjector inj(FaultPlan(
+        {event(FaultKind::ReplicaCrash, 5.0, 1),
+         event(FaultKind::ReplicaCrash, 2.0, 1),
+         event(FaultKind::Straggler, 0.5, 0, 1.0, 2.0)}));
+    EXPECT_DOUBLE_EQ(inj.crashTime(1), 2.0);
+    EXPECT_TRUE(std::isinf(inj.crashTime(0)));
+    EXPECT_TRUE(std::isinf(inj.crashTime(7)));
+}
+
+TEST(FaultInjector, NextTransitionAfterSeesStartsAndEnds)
+{
+    // Straggler [1, 1.5), crash at 2: transitions at 1, 1.5, 2.
+    FaultInjector inj(FaultPlan(
+        {event(FaultKind::Straggler, 1.0, 0, 0.5, 2.0),
+         event(FaultKind::ReplicaCrash, 2.0, 1)}));
+    EXPECT_DOUBLE_EQ(inj.nextTransitionAfter(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(inj.nextTransitionAfter(1.0), 1.5);
+    EXPECT_DOUBLE_EQ(inj.nextTransitionAfter(1.5), 2.0);
+    EXPECT_TRUE(std::isinf(inj.nextTransitionAfter(2.0)));
+    EXPECT_TRUE(std::isinf(FaultInjector().nextTransitionAfter(0.0)));
+}
+
+TEST(FaultPlanDeath, GenerateRejectsBadRates)
+{
+    Rng rng(3);
+    FaultRates bad;
+    bad.crashPerSec = -0.5;
+    EXPECT_DEATH(FaultPlan::generate(rng, bad, 10.0, 2),
+                 "finite and >= 0");
+    bad.crashPerSec = std::numeric_limits<double>::infinity();
+    EXPECT_DEATH(FaultPlan::generate(rng, bad, 10.0, 2),
+                 "finite and >= 0");
+    EXPECT_DEATH(FaultPlan::generate(rng, FaultRates{}, 0.0, 2),
+                 "horizon");
+    EXPECT_DEATH(FaultPlan::generate(rng, FaultRates{}, 10.0, 0),
+                 "world");
+}
+
+TEST(FaultPlanIo, TextRoundTripIsExact)
+{
+    Rng rng(11);
+    FaultRates rates;
+    rates.crashPerSec = 0.3;
+    rates.stragglerPerSec = 2.0;
+    rates.degradedLinkPerSec = 1.0;
+    rates.transientPerSec = 4.0;
+    FaultPlan plan = FaultPlan::generate(rng, rates, 8.0, 4);
+    ASSERT_FALSE(plan.empty());
+
+    const std::string text = faultPlanToText(plan);
+    FaultPlan back = faultPlanFromText(text, "round-trip");
+    ASSERT_EQ(back.events().size(), plan.events().size());
+    for (size_t i = 0; i < plan.events().size(); ++i) {
+        const FaultEvent &a = plan.events()[i];
+        const FaultEvent &b = back.events()[i];
+        EXPECT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+        // %.17g round-trips doubles bitwise.
+        EXPECT_EQ(a.timeSec, b.timeSec);
+        EXPECT_EQ(a.replica, b.replica);
+        EXPECT_EQ(a.durationSec, b.durationSec);
+        EXPECT_EQ(a.magnitude, b.magnitude);
+    }
+    // Serializing the reloaded plan reproduces the bytes.
+    EXPECT_EQ(faultPlanToText(back), text);
+}
+
+TEST(FaultPlanIo, ParserSkipsCommentsAndBlankLines)
+{
+    FaultPlan plan = faultPlanFromText(
+        "# leading comment\n"
+        "gnnmark-fault-plan v1\n"
+        "\n"
+        "# a straggler\n"
+        "straggler time=0.5 replica=1 duration=2 magnitude=4\r\n"
+        "crash time=1.25 replica=2\n",
+        "test");
+    ASSERT_EQ(plan.events().size(), 2u);
+    EXPECT_EQ(static_cast<int>(plan.events()[0].kind),
+              static_cast<int>(FaultKind::Straggler));
+    EXPECT_DOUBLE_EQ(plan.events()[0].magnitude, 4.0);
+    EXPECT_EQ(plan.events()[1].replica, 2);
+}
+
+TEST(FaultPlanIo, CorruptInputsThrowIoError)
+{
+    auto kindOf = [](const std::string &text) {
+        try {
+            faultPlanFromText(text, "test");
+        } catch (const IoError &e) {
+            return e.kind();
+        }
+        ADD_FAILURE() << "no IoError for: " << text;
+        return IoError::Kind::OpenFailed;
+    };
+    EXPECT_EQ(kindOf(""), IoError::Kind::BadMagic);
+    EXPECT_EQ(kindOf("not-a-plan v1\n"), IoError::Kind::BadMagic);
+    EXPECT_EQ(kindOf("gnnmark-fault-plan v9\n"),
+              IoError::Kind::BadVersion);
+    EXPECT_EQ(kindOf("gnnmark-fault-plan v1\nmeteor time=1\n"),
+              IoError::Kind::Corrupt); // unknown kind
+    EXPECT_EQ(kindOf("gnnmark-fault-plan v1\ncrash replica=0\n"),
+              IoError::Kind::Corrupt); // missing time
+    EXPECT_EQ(kindOf("gnnmark-fault-plan v1\ncrash time=abc\n"),
+              IoError::Kind::Corrupt); // bad number
+    EXPECT_EQ(kindOf("gnnmark-fault-plan v1\ncrash time=1 huh=2\n"),
+              IoError::Kind::Corrupt); // unknown field
+    EXPECT_EQ(
+        kindOf("gnnmark-fault-plan v1\n"
+               "straggler time=1 replica=0 magnitude=0.5\n"),
+        IoError::Kind::Corrupt); // invalid magnitude
 }

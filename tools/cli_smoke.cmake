@@ -31,7 +31,21 @@ expect_exit(2 trace diff one.gnntrace) # diff needs two traces
 expect_exit(2 sweep)                  # sweep without a workload
 expect_exit(2 sweep STGCN --param bogus)
 expect_exit(1 trace info no-such.gnntrace)  # IoError, not a crash
+expect_exit(2 serve --arrival sometimes)    # unknown arrival process
+expect_exit(2 serve --faults meteor)        # unknown fault scenario
+expect_exit(2 serve --hedge maybe)          # on|off toggles only
+expect_exit(2 serve --replicas 0)
+expect_exit(1 serve --plan no-such.plan)    # IoError, not a crash
+expect_exit(1 faults STGCN --plan no-such.plan)
 expect_exit(0 list)                   # healthy baseline
+
+# A short serving run with every robustness mechanism engaged, plus
+# the save-plan/load-plan round trip on the faults scenario.
+set(plan ${CMAKE_CURRENT_BINARY_DIR}/cli_smoke_serve.plan)
+expect_exit(0 serve --faults mixed --replicas 3 --duration 0.1
+    --save-plan ${plan} --json)
+expect_exit(0 serve --plan ${plan} --replicas 3 --duration 0.1)
+file(REMOVE ${plan})
 
 # The full trace-once/analyze-many pipeline at a tiny scale: record,
 # inspect, replay on the recording config, self-diff, sweep the L2.

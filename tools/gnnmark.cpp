@@ -11,6 +11,13 @@
  *                   [--telemetry PATH]
  *   gnnmark ttt [--scale S] [--target F]
  *   gnnmark faults <workload> [--scale S] [--iters N] [--interval K]
+ *                             [--plan FILE] [--save-plan FILE]
+ *   gnnmark serve [--arrival poisson|bursty|diurnal] [--rps R]
+ *                 [--duration S] [--slo-ms MS] [--replicas N]
+ *                 [--batch-max K] [--faults SCENARIO] [--plan FILE]
+ *                 [--save-plan FILE] [--hedge on|off] [--shed on|off]
+ *                 [--fallback on|off] [--seed N] [--json]
+ *                 [--telemetry PATH]
  *   gnnmark trace record <workload> [--out PATH] [--scale S] [--iters N]
  *   gnnmark trace replay <file> [--l2 MIB] [--l1 KIB] [--sms N]
  *                               [--chrome-trace PATH]
@@ -40,10 +47,15 @@
 #include "core/suite.hh"
 #include "core/time_to_train.hh"
 #include "core/trace_capture.hh"
+#include "models/ego_net.hh"
 #include "multigpu/ddp.hh"
 #include "obs/span.hh"
 #include "obs/telemetry.hh"
 #include "profiler/chrome_trace.hh"
+#include "serve/cost_model.hh"
+#include "serve/server.hh"
+#include "sim/fault_plan_io.hh"
+#include "sim/gpu_device.hh"
 #include "trace/reader.hh"
 #include "trace/toolkit.hh"
 
@@ -77,6 +89,22 @@ struct Args
     double l2Mib = 0;        ///< --l2 replay override (0 = recorded)
     double l1Kib = 0;        ///< --l1 replay override (0 = recorded)
     int sms = 0;             ///< --sms replay override (0 = recorded)
+
+    /** @{ Serving (serve) and fault-plan options. */
+    std::string arrival = "poisson"; ///< --arrival process family
+    double rps = 0;           ///< --rps (0 = sized from capacity)
+    double durationSec = 2.0; ///< --duration (arrival horizon, sec)
+    double sloMs = 0;         ///< --slo-ms (0 = sized from batch cost)
+    int replicas = 3;         ///< --replicas
+    int batchMax = 8;         ///< --batch-max
+    std::string faultsScenario = "none"; ///< --faults scenario
+    std::string planPath;     ///< --plan (load a fault plan file)
+    std::string savePlanPath; ///< --save-plan (write the plan used)
+    std::string hedge = "on";    ///< --hedge on|off
+    std::string shed = "on";     ///< --shed on|off
+    std::string fallback = "on"; ///< --fallback on|off
+    uint64_t seed = 42;       ///< --seed
+    /** @} */
 };
 
 [[noreturn]] void
@@ -93,6 +121,9 @@ usage()
         "  ttt                        MLPerf-style time-to-train\n"
         "  faults <workload>          fault-injected DDP run with\n"
         "                             checkpoint/resume + elastic recovery\n"
+        "  serve                      SLO-aware inference serving sim:\n"
+        "                             admission control, deadline\n"
+        "                             batching, hedging, degradation\n"
         "  trace record <workload>    capture a run into a trace file\n"
         "  trace replay <file>        re-characterize from a trace\n"
         "  trace info <file>          per-op-class trace statistics\n"
@@ -139,7 +170,25 @@ usage()
         "  --points V,V   sweep points (default l2: 2,4,6,12 MiB;\n"
         "                 l1: 64,128,192,256 KiB; sms: 40,60,80,108;\n"
         "                 world: 1,2,4)\n"
-        "  --l2 MIB / --l1 KIB / --sms N   replay config overrides\n";
+        "  --l2 MIB / --l1 KIB / --sms N   replay config overrides\n"
+        "\n"
+        "serving options (serve):\n"
+        "  --arrival P    poisson (default) | bursty | diurnal\n"
+        "  --rps R        offered load, requests per simulated second\n"
+        "                 (default: 70%% of healthy-pool capacity)\n"
+        "  --duration S   arrival horizon in simulated seconds (2.0)\n"
+        "  --slo-ms MS    per-request SLO (default: 5x the priced\n"
+        "                 max-batch cost)\n"
+        "  --replicas N   replica pool size (default 3)\n"
+        "  --batch-max K  dynamic batching cap (default 8)\n"
+        "  --faults F     none (default) | straggler | crash | mixed\n"
+        "                 scenario scaled to the duration\n"
+        "  --plan FILE    load an explicit fault plan (serve, faults);\n"
+        "                 overrides --faults\n"
+        "  --save-plan FILE  write the fault plan used (serve, faults)\n"
+        "  --hedge M / --shed M / --fallback M   robustness switches,\n"
+        "                 on (default) | off\n"
+        "  --seed N       traffic/model seed (default 42)\n";
     std::exit(2);
 }
 
@@ -225,6 +274,38 @@ parse(int argc, char **argv)
             args.l1Kib = std::atof(next());
         } else if (a == "--sms") {
             args.sms = std::atoi(next());
+        } else if (a == "--arrival") {
+            args.arrival = next();
+        } else if (a == "--rps") {
+            args.rps = std::atof(next());
+        } else if (a == "--duration") {
+            args.durationSec = std::atof(next());
+        } else if (a == "--slo-ms") {
+            args.sloMs = std::atof(next());
+        } else if (a == "--replicas") {
+            args.replicas = std::atoi(next());
+        } else if (a == "--batch-max") {
+            args.batchMax = std::atoi(next());
+        } else if (a == "--faults") {
+            args.faultsScenario = next();
+        } else if (a == "--plan") {
+            args.planPath = next();
+        } else if (a == "--save-plan") {
+            args.savePlanPath = next();
+        } else if (a == "--hedge" || a == "--shed" ||
+                   a == "--fallback") {
+            std::string &target = a == "--hedge"  ? args.hedge
+                                  : a == "--shed" ? args.shed
+                                                  : args.fallback;
+            target = next();
+            if (target != "on" && target != "off") {
+                std::cerr << a << " expects on or off, got: " << target
+                          << "\n";
+                usage();
+            }
+        } else if (a == "--seed") {
+            args.seed = static_cast<uint64_t>(
+                std::strtoull(next(), nullptr, 10));
         } else {
             std::cerr << "unknown option: " << a << "\n";
             usage();
@@ -719,6 +800,133 @@ cmdTimeToTrain(const Args &args)
     return 0;
 }
 
+/**
+ * Built-in serving fault scenarios, scaled to the arrival horizon.
+ * "straggler" slows one replica 6x for most of the run, "crash" kills
+ * the last replica at 30%, "mixed" layers both plus a second, shorter
+ * straggler window — the overload story the robustness ablations are
+ * judged against.
+ */
+FaultPlan
+serveScenarioPlan(const std::string &scenario, int replicas,
+                  double duration)
+{
+    std::vector<FaultEvent> events;
+    auto straggler = [&](int replica, double at, double len,
+                         double mag) {
+        FaultEvent e;
+        e.kind = FaultKind::Straggler;
+        e.timeSec = at;
+        e.durationSec = len;
+        e.replica = replica;
+        e.magnitude = mag;
+        events.push_back(e);
+    };
+    if (scenario == "none")
+        return FaultPlan{};
+    if (scenario == "straggler" || scenario == "mixed")
+        straggler(replicas > 1 ? 1 : 0, 0.15 * duration,
+                  0.70 * duration, 6.0);
+    if (scenario == "crash" || scenario == "mixed") {
+        FaultEvent c;
+        c.kind = FaultKind::ReplicaCrash;
+        c.timeSec = 0.30 * duration;
+        c.replica = replicas - 1;
+        events.push_back(c);
+    }
+    if (scenario == "mixed" && replicas > 2)
+        straggler(0, 0.55 * duration, 0.20 * duration, 3.0);
+    if (events.empty()) {
+        std::cerr << "unknown fault scenario: " << scenario
+                  << " (expected none|straggler|crash|mixed)\n";
+        usage();
+    }
+    return FaultPlan(std::move(events));
+}
+
+int
+cmdServe(const Args &args)
+{
+    serve::ServeOptions opt;
+    if (!serve::parseArrivalProcess(args.arrival, opt.traffic.process)) {
+        std::cerr << "unknown arrival process: " << args.arrival
+                  << "\n";
+        usage();
+    }
+    if (args.replicas < 1 || args.batchMax < 1 ||
+        args.durationSec <= 0) {
+        std::cerr << "serve needs --replicas >= 1, --batch-max >= 1 "
+                     "and --duration > 0\n";
+        usage();
+    }
+    std::ostream &progress = progressStream(args);
+
+    // Price the batch cost table through the real inference path on
+    // the simulated device; everything downstream (SLO defaults,
+    // offered-load sizing, the serving event loop) runs off it.
+    progress << "Pricing ego-net inference batches on the simulated "
+                "V100...\n";
+    EgoNetBatchModel model(args.scale, args.seed);
+    GpuDevice device(GpuConfig::v100(), args.seed);
+    const serve::BatchCostTable table =
+        serve::priceBatchCosts(model, device, args.batchMax, args.seed);
+    const double batch_cost = table.costSec(args.batchMax);
+
+    opt.replicas = args.replicas;
+    opt.maxBatch = args.batchMax;
+    opt.traffic.seed = args.seed;
+    opt.traffic.durationSec = args.durationSec;
+    opt.traffic.catalogItems = model.numItems();
+    // Default load: 70% of the healthy pool's max-batch throughput;
+    // default SLO: 5x the max-batch cost — tight enough that a 6x
+    // straggler blows it, loose enough for healthy batching.
+    opt.traffic.ratePerSec =
+        args.rps > 0 ? args.rps
+                     : 0.7 * args.replicas * args.batchMax / batch_cost;
+    opt.traffic.sloSec =
+        args.sloMs > 0 ? args.sloMs * 1e-3 : 5.0 * batch_cost;
+    opt.hedgeEnabled = args.hedge == "on";
+    opt.shedEnabled = args.shed == "on";
+    opt.fallbackEnabled = args.fallback == "on";
+
+    if (!args.planPath.empty()) {
+        opt.faults = loadFaultPlan(args.planPath);
+        opt.faultScenario = "plan";
+    } else {
+        opt.faults = serveScenarioPlan(args.faultsScenario,
+                                       args.replicas, args.durationSec);
+        opt.faultScenario = args.faultsScenario;
+    }
+    if (!args.savePlanPath.empty()) {
+        saveFaultPlan(args.savePlanPath, opt.faults);
+        progress << "fault plan written to " << args.savePlanPath
+                 << "\n";
+    }
+
+    progress << strfmt(
+        "Serving %s arrivals @ %.0f req/s for %.1f s (SLO %.2f ms, "
+        "%d replicas, batch <= %d, faults=%s)...\n\n",
+        args.arrival.c_str(), opt.traffic.ratePerSec, args.durationSec,
+        opt.traffic.sloSec * 1e3, args.replicas, args.batchMax,
+        opt.faultScenario.c_str());
+
+    serve::ServingSimulator sim(table, opt);
+    const serve::ServingReport report = sim.run();
+
+    if (args.json)
+        std::cout << reports::servingJson(report) << "\n";
+    else
+        reports::printServing(report, std::cout);
+    if (std::unique_ptr<obs::TelemetrySink> telemetry =
+            openTelemetry(args)) {
+        telemetry->writeRecord(
+            reports::servingRecordJson("serve", report));
+        progress << "telemetry written to " << telemetry->path()
+                 << "\n";
+    }
+    return 0;
+}
+
 int
 cmdFaults(const Args &args)
 {
@@ -776,14 +984,26 @@ cmdFaults(const Args &args)
         events.push_back(c);
     }
 
+    // An explicit --plan overrides the built-in schedule; --save-plan
+    // writes whichever plan the run used, so save + load round-trips
+    // reproduce the exact same fault sequence.
+    FaultPlan plan = !args.planPath.empty()
+                         ? loadFaultPlan(args.planPath)
+                         : FaultPlan(std::move(events));
+    if (!args.savePlanPath.empty()) {
+        saveFaultPlan(args.savePlanPath, plan);
+        progress << "fault plan written to " << args.savePlanPath
+                 << "\n";
+    }
+
     ChromeTraceWriter chrome;
     if (!args.chromePath.empty())
         trainer.setExtraObserver(&chrome);
 
     progress << "Fault-injected training of " << args.workload
              << " on " << world << " simulated GPU(s)...\n\n";
-    FaultToleranceResult result = trainer.runWithFaults(
-        *wl, base, world, FaultPlan(std::move(events)), opt);
+    FaultToleranceResult result =
+        trainer.runWithFaults(*wl, base, world, plan, opt);
     if (args.json)
         std::cout << reports::faultJson(result) << "\n";
     else
@@ -836,6 +1056,8 @@ main(int argc, char **argv)
             return finish(cmdTimeToTrain(args));
         if (args.command == "faults")
             return finish(cmdFaults(args));
+        if (args.command == "serve")
+            return finish(cmdServe(args));
         if (args.command == "trace")
             return finish(cmdTrace(args));
         if (args.command == "sweep")

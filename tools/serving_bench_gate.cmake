@@ -1,0 +1,39 @@
+# Serving-bench regression gate, run under ctest: rerun
+# bench_ext_serving's JSONL twin and diff it *exactly* (tolerance 0)
+# against the committed baseline. Every field in a serving record —
+# goodput, percentiles, shed/hedge/retry counters, per-replica
+# breaker state — derives from simulated time and seeded randomness,
+# so any drift means the serving simulator, the fault injector, or
+# the batch-cost pricing changed behaviour. Invoke as
+#   cmake -DBENCH_BIN=<bench_ext_serving> -DBENCH_DIFF_BIN=<bench_diff>
+#         -DBASELINE=<bench/baselines/ext_serving.jsonl>
+#         -P serving_bench_gate.cmake
+
+foreach(var BENCH_BIN BENCH_DIFF_BIN BASELINE)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "pass -D${var}=...")
+    endif()
+endforeach()
+
+set(candidate ext_serving_candidate.jsonl)
+
+execute_process(
+    COMMAND ${BENCH_BIN} ${candidate}
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "bench_ext_serving exited with '${rv}'")
+endif()
+
+execute_process(
+    COMMAND ${BENCH_DIFF_BIN} ${BASELINE} ${candidate}
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+        "serving records drifted from the committed baseline "
+        "(bench_diff exit '${rv}'); if the change is intentional, "
+        "regenerate bench/baselines/ext_serving.jsonl")
+endif()
+
+file(REMOVE ${candidate})
+message(STATUS "serving records match the committed baseline")

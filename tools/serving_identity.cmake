@@ -1,0 +1,54 @@
+# Serving-determinism gate, run under ctest: the same fault plan and
+# seed must produce byte-identical --json serving reports across two
+# separate processes. The simulator runs entirely on simulated time
+# ((time, seq)-ordered events, seeded arrivals, priced cost tables),
+# so any divergence means wall-clock time, iteration order of an
+# unordered container, or uninitialised state leaked into the report.
+# Also exercises the plan save/load round trip: a run from a saved
+# plan file must reproduce the run that generated it. Invoke as
+#   cmake -DGNNMARK_BIN=<path-to-gnnmark> -P serving_identity.cmake
+
+if(NOT DEFINED GNNMARK_BIN)
+    message(FATAL_ERROR "pass -DGNNMARK_BIN=<gnnmark binary>")
+endif()
+
+set(serve_args serve --faults straggler --replicas 3 --rps 40000
+    --duration 0.25 --seed 7 --json)
+
+function(run_serve out_var)
+    execute_process(
+        COMMAND ${GNNMARK_BIN} ${ARGN}
+        RESULT_VARIABLE rv
+        OUTPUT_VARIABLE out
+        ERROR_QUIET)
+    if(NOT rv EQUAL 0)
+        message(FATAL_ERROR
+            "gnnmark ${ARGN} exited with '${rv}'")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_serve(first ${serve_args})
+run_serve(second ${serve_args})
+if(NOT first STREQUAL second)
+    message(FATAL_ERROR
+        "serving --json reports differ between two processes with "
+        "the same plan and seed — determinism broke")
+endif()
+message(STATUS "serving reports byte-identical across processes")
+
+set(plan_file serving_identity_plan.txt)
+run_serve(saved ${serve_args} --save-plan ${plan_file})
+run_serve(loaded serve --plan ${plan_file} --replicas 3 --rps 40000
+    --duration 0.25 --seed 7 --json)
+file(REMOVE ${plan_file})
+# The only allowed difference is the scenario label ("straggler" vs
+# "plan"); normalise it before comparing.
+string(REPLACE "\"faults\":\"straggler\"" "\"faults\":\"plan\""
+    saved_normalised "${saved}")
+if(NOT saved_normalised STREQUAL loaded)
+    message(FATAL_ERROR
+        "serving report from a loaded plan file differs from the run "
+        "that saved it — the plan round trip is lossy")
+endif()
+message(STATUS "saved/loaded fault plans reproduce identical runs")
