@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Extension: chunked graph-generation throughput. Streams one
+ * medium-sized graph per family through ChunkedEdgeStream, reporting
+ * edges/sec, peak resident bytes against the chunk budget, and the
+ * degree-distribution shape.
+ *
+ * With an output path argument the bench additionally writes a JSONL
+ * twin containing only *deterministic* fields — edge counts, the
+ * order-dependent stream checksum (hi/lo halves), degree statistics —
+ * which are bit-identical for a fixed seed across thread counts and
+ * chunk granularities, so tools/bench_diff can gate them exactly
+ * (--tol 0) against bench/baselines/ext_generation.jsonl. Wall-clock
+ * throughput stays in the human table only.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/string_utils.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+#include "gen/config.hh"
+#include "gen/degree_stats.hh"
+#include "gen/edge_stream.hh"
+#include "obs/json.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+std::vector<gen::GeneratorConfig>
+benchConfigs()
+{
+    std::vector<gen::GeneratorConfig> configs;
+    {
+        gen::GeneratorConfig cfg;
+        cfg.family = gen::Family::Rmat;
+        cfg.n = 1 << 17;
+        cfg.m = 1 << 21;
+        cfg.chunks = 32;
+        configs.push_back(cfg);
+    }
+    {
+        gen::GeneratorConfig cfg;
+        cfg.family = gen::Family::Rgg2d;
+        cfg.n = 200000;
+        cfg.avgDegree = 12.0;
+        cfg.chunks = 32;
+        configs.push_back(cfg);
+    }
+    {
+        gen::GeneratorConfig cfg;
+        cfg.family = gen::Family::Hyperbolic;
+        cfg.n = 200000;
+        cfg.m = 1 << 21;
+        cfg.chunks = 32;
+        configs.push_back(cfg);
+    }
+    {
+        gen::GeneratorConfig cfg;
+        cfg.family = gen::Family::Grid2d;
+        cfg.gridRows = 500;
+        cfg.gridCols = 800;
+        cfg.gridWrap = true;
+        cfg.chunks = 32;
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+struct FamilyResult
+{
+    gen::GeneratorConfig cfg;
+    int64_t edges = 0;
+    uint64_t checksum = 0;
+    int64_t peakResidentBytes = 0;
+    double wallSec = 0;
+    double edgesPerSec = 0;
+    gen::DegreeStats degrees;
+};
+
+FamilyResult
+runFamily(const gen::GeneratorConfig &cfg)
+{
+    FamilyResult res;
+    res.cfg = cfg;
+    gen::ChunkedEdgeStream stream(cfg);
+    gen::DegreeAccumulator acc(gen::resolvedVertices(cfg));
+    gen::EdgeBlock block;
+    while (stream.next(block))
+        acc.accumulate(block);
+    res.edges = stream.edgesEmitted();
+    res.checksum = stream.checksum();
+    res.peakResidentBytes = stream.peakResidentBytes();
+    res.wallSec = stream.generateSec();
+    res.edgesPerSec = stream.edgesPerSec();
+    res.degrees = acc.finalize();
+    return res;
+}
+
+std::string
+recordJson(const FamilyResult &res)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("generation");
+    w.key("family").value(gen::familyName(res.cfg.family));
+    w.key("n").value(gen::resolvedVertices(res.cfg));
+    w.key("chunks").value(res.cfg.chunks);
+    w.key("seed").value(static_cast<int64_t>(res.cfg.seed));
+    w.key("edges").value(res.edges);
+    w.key("checksum_hi")
+        .value(static_cast<int64_t>(res.checksum >> 32));
+    w.key("checksum_lo")
+        .value(static_cast<int64_t>(res.checksum & 0xffffffffULL));
+    w.key("degree_min").value(res.degrees.minDegree);
+    w.key("degree_max").value(res.degrees.maxDegree);
+    w.key("degree_mean").value(res.degrees.meanDegree);
+    w.key("degree_distinct").value(res.degrees.distinctDegrees);
+    w.key("slope_valid").value(res.degrees.slopeValid);
+    w.key("loglog_slope").value(res.degrees.powerLawSlope);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "Chunked graph generation, one medium config per "
+                 "family (seed 42, 32 chunks)...\n\n";
+
+    std::vector<FamilyResult> results;
+    for (const gen::GeneratorConfig &cfg : benchConfigs())
+        results.push_back(runFamily(cfg));
+
+    TablePrinter table("Generation throughput");
+    table.setHeader({"Family", "Vertices", "Edges", "Medges/s",
+                     "Peak res (MiB)", "Budget (MiB)", "Max deg",
+                     "LogLog slope"});
+    for (const FamilyResult &r : results) {
+        table.addRow(
+            {gen::familyName(r.cfg.family),
+             strfmt("%lld", (long long)gen::resolvedVertices(r.cfg)),
+             strfmt("%lld", (long long)r.edges),
+             strfmt("%.1f", r.edgesPerSec / 1e6),
+             strfmt("%.2f", static_cast<double>(r.peakResidentBytes) /
+                                MiB),
+             strfmt("%.2f",
+                    static_cast<double>(
+                        gen::residentBudgetBytes(r.cfg)) /
+                        MiB),
+             strfmt("%lld", (long long)r.degrees.maxDegree),
+             r.degrees.slopeValid
+                 ? strfmt("%.3f", r.degrees.powerLawSlope)
+                 : std::string("n/a")});
+    }
+    table.print(std::cout);
+
+    if (argc > 1) {
+        std::ofstream out(argv[1]);
+        if (!out) {
+            std::cerr << "cannot open " << argv[1] << "\n";
+            return 1;
+        }
+        for (const FamilyResult &r : results)
+            out << recordJson(r) << "\n";
+        std::cout << "\ndeterministic records written to " << argv[1]
+                  << "\n";
+    }
+    return 0;
+}

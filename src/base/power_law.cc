@@ -1,0 +1,43 @@
+#include "base/power_law.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+
+PowerLawSampler::PowerLawSampler(int64_t n, double skew)
+    : n_(n), skew_(skew)
+{
+    GNN_ASSERT(n > 0, "PowerLawSampler needs n > 0");
+    GNN_ASSERT(skew >= 1.0, "PowerLawSampler needs skew >= 1, got %f",
+               skew);
+}
+
+int64_t
+PowerLawSampler::draw(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const double skewed = std::pow(u, skew_);
+    const int64_t i =
+        static_cast<int64_t>(skewed * static_cast<double>(n_));
+    return std::min<int64_t>(i, n_ - 1);
+}
+
+double
+PowerLawSampler::skewForExponent(double beta)
+{
+    GNN_ASSERT(beta > 0.0 && beta < 1.0,
+               "skewForExponent needs beta in (0, 1), got %f", beta);
+    return 1.0 / (1.0 - beta);
+}
+
+int32_t
+DegreePool::pick(Rng &rng) const
+{
+    GNN_ASSERT(!pool_.empty(), "DegreePool::pick on an empty pool");
+    return pool_[rng.randint(pool_.size())];
+}
+
+} // namespace gnnmark

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared power-law / Zipf sampling machinery.
+ *
+ * Two pieces of the suite used to roll their own heavy-tail samplers:
+ * the ego-net query sizing in serve/traffic.cc (inverse-CDF index
+ * draw) and the preferential-attachment generator in
+ * graph/generators.cc (degree-proportional endpoint pool). Both now
+ * live here, and the chunked gen:: families reuse the inverse-CDF
+ * sampler for scale-free target draws.
+ */
+
+#ifndef GNNMARK_BASE_POWER_LAW_HH
+#define GNNMARK_BASE_POWER_LAW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace gnnmark {
+
+/**
+ * O(1) approximate power-law index sampler over [0, n): draws
+ * i = floor(n * u^skew) for uniform u, clamped to n-1. The induced
+ * mass P(i) ~ ((i+1)^(1/skew) - i^(1/skew)) decays like
+ * i^(1/skew - 1), i.e. a power law with exponent 1 - 1/skew; higher
+ * skew concentrates draws on the head. skew >= 1 required.
+ */
+class PowerLawSampler
+{
+  public:
+    PowerLawSampler(int64_t n, double skew);
+
+    int64_t draw(Rng &rng) const;
+
+    int64_t n() const { return n_; }
+    double skew() const { return skew_; }
+
+    /**
+     * Skew that makes the index distribution decay like i^(-beta)
+     * for beta in (0, 1): skew = 1 / (1 - beta). The chunked
+     * scale-free generator uses this to turn a target degree
+     * exponent into a sampler.
+     */
+    static double skewForExponent(double beta);
+
+  private:
+    int64_t n_;
+    double skew_;
+};
+
+/**
+ * Degree-proportional endpoint pool (preferential attachment): every
+ * endpoint of every recorded edge sits in a flat vector, so a uniform
+ * draw from the pool picks a node with probability proportional to
+ * its current degree — the rich-get-richer mechanism behind
+ * Barabasi-Albert power-law graphs.
+ */
+class DegreePool
+{
+  public:
+    /** Seed the pool with a zero-degree founder node. */
+    void add(int32_t node) { pool_.push_back(node); }
+
+    /** Record an edge: both endpoints gain one unit of mass. */
+    void
+    addEdge(int32_t u, int32_t v)
+    {
+        pool_.push_back(u);
+        pool_.push_back(v);
+    }
+
+    /** Draw a node with probability proportional to its degree. */
+    int32_t pick(Rng &rng) const;
+
+    size_t size() const { return pool_.size(); }
+
+    void reserve(size_t n) { pool_.reserve(n); }
+
+  private:
+    std::vector<int32_t> pool_;
+};
+
+} // namespace gnnmark
+
+#endif // GNNMARK_BASE_POWER_LAW_HH

@@ -143,6 +143,21 @@ Rng::fork()
     return Rng(next() ^ 0xd2b74407b1ce6e93ULL);
 }
 
+Rng
+Rng::split(uint64_t stream_id) const
+{
+    // Funnel the full state and the stream id through splitmix64 so
+    // adjacent ids land in unrelated regions of the seed space. The
+    // parent state is read, never advanced.
+    uint64_t x = stream_id ^ 0xa0761d6478bd642fULL;
+    uint64_t h = splitmix64(x);
+    for (uint64_t word : s_) {
+        x ^= word;
+        h ^= splitmix64(x);
+    }
+    return Rng(h);
+}
+
 RngState
 Rng::state() const
 {

@@ -93,6 +93,17 @@ class Rng
     /** Derive an independent child generator (for parallel streams). */
     Rng fork();
 
+    /**
+     * Derive the `stream_id`-th sub-stream deterministically, without
+     * advancing this generator. Unlike fork(), split() is a pure
+     * function of (current state, stream_id): any worker holding an
+     * equal-state Rng derives bit-identical children for equal ids,
+     * which is what lets chunked generators seed each work unit
+     * independently of thread count and chunk partitioning. Children
+     * of distinct ids are statistically independent streams.
+     */
+    Rng split(uint64_t stream_id) const;
+
     /** Snapshot the full generator state (checkpoint/resume). */
     RngState state() const;
 

@@ -481,5 +481,61 @@ printServing(const serve::ServingReport &rep, std::ostream &os)
     os << "\n";
 }
 
+void
+printGen(const gen::GenReport &rep, std::ostream &os)
+{
+    os << strfmt("Generation: family=%s n=%lld (requested %lld) "
+                 "target_edges=%lld chunks=%lld lookahead=%lld "
+                 "seed=%llu threads=%d\n",
+                 rep.family.c_str(), (long long)rep.vertices,
+                 (long long)rep.requestedVertices,
+                 (long long)rep.targetEdges, (long long)rep.chunks,
+                 (long long)rep.lookahead,
+                 (unsigned long long)rep.seed, rep.threads);
+
+    TablePrinter stream("Edge stream");
+    stream.setHeader({"Edges", "Chunks", "Checksum", "Peak res (MiB)",
+                      "Budget (MiB)", "Wall (s)", "Edges/s"});
+    stream.addRow({strfmt("%lld", (long long)rep.edges),
+                   strfmt("%lld", (long long)rep.chunksEmitted),
+                   strfmt("%016llx", (unsigned long long)rep.checksum),
+                   fixed(rep.peakResidentBytes / (1024.0 * 1024.0), 2),
+                   fixed(rep.residentBudgetBytes / (1024.0 * 1024.0), 2),
+                   fixed(rep.wallSec, 3),
+                   strfmt("%.3g", rep.edgesPerSec)});
+    stream.print(os);
+
+    if (rep.hasDegrees) {
+        TablePrinter deg("Degree distribution");
+        deg.setHeader({"Tracked", "Stride", "Min", "Max", "Mean",
+                       "Modal", "Modal %", "Distinct", "LogLog slope"});
+        deg.addRow({strfmt("%lld", (long long)rep.degreeVertices),
+                    strfmt("%lld", (long long)rep.degreeSampleStride),
+                    strfmt("%lld", (long long)rep.minDegree),
+                    strfmt("%lld", (long long)rep.maxDegree),
+                    fixed(rep.meanDegree, 2),
+                    strfmt("%lld", (long long)rep.modalDegree),
+                    fixed(rep.modalFraction * 100.0, 1),
+                    strfmt("%lld", (long long)rep.distinctDegrees),
+                    rep.slopeValid ? fixed(rep.powerLawSlope, 3)
+                                   : std::string("n/a")});
+        deg.print(os);
+    }
+
+    if (rep.trained) {
+        TablePrinter train("Streamed training");
+        train.setHeader({"Batches", "Edges consumed", "First loss",
+                         "Last loss", "Peak res (MiB)"});
+        train.addRow(
+            {strfmt("%lld", (long long)rep.trainBatches),
+             strfmt("%lld", (long long)rep.trainEdgesConsumed),
+             strfmt("%.4g", rep.trainFirstLoss),
+             strfmt("%.4g", rep.trainLastLoss),
+             fixed(rep.trainPeakResidentBytes / (1024.0 * 1024.0), 2)});
+        train.print(os);
+    }
+    os << "\n";
+}
+
 } // namespace reports
 } // namespace gnnmark

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/characterization.hh"
+#include "gen/report.hh"
 #include "multigpu/ddp.hh"
 #include "serve/report.hh"
 
@@ -78,6 +79,13 @@ void printCheckpointSweep(
  * breaker/occupancy accounting.
  */
 void printServing(const serve::ServingReport &report, std::ostream &os);
+
+/**
+ * Graph-generation run: config echo, edge volume and checksum,
+ * resident-memory accounting against the chunk budget, throughput,
+ * and the optional degree-shape and streamed-training summaries.
+ */
+void printGen(const gen::GenReport &report, std::ostream &os);
 
 /** nvprof-style top-kernel table for one workload. */
 void printKernelTable(const WorkloadProfile &profile, std::ostream &os,

@@ -320,6 +320,94 @@ servingJson(const serve::ServingReport &report)
     return w.str();
 }
 
+namespace {
+
+/**
+ * Shared deterministic body of genJson / genRecordJson. Wall-clock
+ * figures are deliberately absent; genRecordJson appends them so only
+ * the telemetry record carries timing.
+ */
+void
+genBody(obs::JsonWriter &w, const gen::GenReport &rep)
+{
+    w.key("config").beginObject();
+    w.key("family").value(rep.family);
+    w.key("requested_n").value(rep.requestedVertices);
+    w.key("n").value(rep.vertices);
+    w.key("target_edges").value(rep.targetEdges);
+    w.key("chunks").value(rep.chunks);
+    w.key("lookahead").value(rep.lookahead);
+    w.key("seed").value(static_cast<int64_t>(rep.seed));
+    w.endObject();
+
+    w.key("stream").beginObject();
+    w.key("edges").value(rep.edges);
+    w.key("chunks_emitted").value(rep.chunksEmitted);
+    // 64-bit checksum as 32-bit halves: JSON numbers are doubles and
+    // lose bits past 2^53.
+    w.key("checksum_hi")
+        .value(static_cast<int64_t>(rep.checksum >> 32));
+    w.key("checksum_lo")
+        .value(static_cast<int64_t>(rep.checksum & 0xffffffffULL));
+    w.key("peak_resident_bytes").value(rep.peakResidentBytes);
+    w.key("resident_budget_bytes").value(rep.residentBudgetBytes);
+    w.endObject();
+
+    if (rep.hasDegrees) {
+        w.key("degrees").beginObject();
+        w.key("tracked").value(rep.degreeVertices);
+        w.key("stride").value(rep.degreeSampleStride);
+        w.key("min").value(rep.minDegree);
+        w.key("max").value(rep.maxDegree);
+        w.key("mean").value(rep.meanDegree);
+        w.key("modal_degree").value(rep.modalDegree);
+        w.key("modal_fraction").value(rep.modalFraction);
+        w.key("distinct").value(rep.distinctDegrees);
+        w.key("slope_valid").value(rep.slopeValid);
+        w.key("loglog_slope").value(rep.powerLawSlope);
+        w.endObject();
+    }
+
+    if (rep.trained) {
+        w.key("training").beginObject();
+        w.key("batches").value(rep.trainBatches);
+        w.key("edges_consumed").value(rep.trainEdgesConsumed);
+        w.key("first_loss").value(rep.trainFirstLoss);
+        w.key("last_loss").value(rep.trainLastLoss);
+        w.key("peak_resident_bytes").value(rep.trainPeakResidentBytes);
+        w.endObject();
+    }
+}
+
+} // namespace
+
+std::string
+genJson(const gen::GenReport &report)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("generation").beginObject();
+    genBody(w, report);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+genRecordJson(const std::string &label, const gen::GenReport &report)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("generation");
+    w.key("label").value(label);
+    genBody(w, report);
+    w.key("threads").value(report.threads);
+    w.key("wall_sec").value(report.wallSec);
+    w.key("edges_per_sec").value(report.edgesPerSec);
+    w.endObject();
+    return w.str();
+}
+
 std::string
 servingRecordJson(const std::string &label,
                   const serve::ServingReport &report)

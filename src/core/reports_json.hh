@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/characterization.hh"
+#include "gen/report.hh"
 #include "multigpu/ddp.hh"
 #include "obs/json.hh"
 #include "serve/report.hh"
@@ -67,6 +68,25 @@ std::string servingJson(const serve::ServingReport &report);
  */
 std::string servingRecordJson(const std::string &label,
                               const serve::ServingReport &report);
+
+/**
+ * Generation document (--json twin of printGen): config echo, edge
+ * count, the order-dependent stream checksum (as hi/lo 32-bit halves,
+ * since 64-bit values overflow JSON doubles), resident-memory
+ * accounting, and the optional degree/training blocks. Contains ONLY
+ * deterministic fields — no wall-clock rates — so the document is
+ * byte-identical across thread counts and serves as the determinism
+ * oracle in CI.
+ */
+std::string genJson(const gen::GenReport &report);
+
+/**
+ * One generation telemetry record (a single JSONL line), tagged
+ * "type":"generation" plus a caller-chosen label; the only place the
+ * wall-clock edges/sec figure appears in machine-readable output.
+ */
+std::string genRecordJson(const std::string &label,
+                          const gen::GenReport &report);
 
 /**
  * --memstats document: allocator counters per workload. Kept separate

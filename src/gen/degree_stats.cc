@@ -1,0 +1,104 @@
+#include "gen/degree_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+namespace gen {
+
+DegreeAccumulator::DegreeAccumulator(int64_t num_vertices,
+                                     int64_t max_tracked)
+    : numVertices_(num_vertices)
+{
+    GNN_ASSERT(num_vertices > 0 && max_tracked > 0,
+               "DegreeAccumulator: bad sizes");
+    stride_ = 1;
+    while (numVertices_ / stride_ > max_tracked)
+        stride_ *= 2;
+    counts_.assign(
+        static_cast<size_t>((numVertices_ + stride_ - 1) / stride_), 0);
+}
+
+void
+DegreeAccumulator::accumulate(const EdgeBlock &block)
+{
+    for (const auto &[u, v] : block.edges) {
+        if (u % stride_ == 0)
+            ++counts_[static_cast<size_t>(u / stride_)];
+        if (v % stride_ == 0)
+            ++counts_[static_cast<size_t>(v / stride_)];
+        endpoints_ += 2;
+    }
+}
+
+int64_t
+DegreeAccumulator::residentBytes() const
+{
+    return static_cast<int64_t>(counts_.size() * sizeof(int32_t));
+}
+
+DegreeStats
+DegreeAccumulator::finalize() const
+{
+    DegreeStats stats;
+    stats.vertices = static_cast<int64_t>(counts_.size());
+    stats.sampleStride = stride_;
+    stats.endpointsCounted = endpoints_;
+    if (counts_.empty())
+        return stats;
+
+    std::map<int64_t, int64_t> histogram; // degree -> vertex count
+    int64_t min_deg = counts_[0], max_deg = counts_[0];
+    double sum = 0.0;
+    for (int32_t c : counts_) {
+        min_deg = std::min<int64_t>(min_deg, c);
+        max_deg = std::max<int64_t>(max_deg, c);
+        sum += static_cast<double>(c);
+        ++histogram[c];
+    }
+    stats.minDegree = min_deg;
+    stats.maxDegree = max_deg;
+    stats.meanDegree = sum / static_cast<double>(counts_.size());
+    stats.distinctDegrees = static_cast<int64_t>(histogram.size());
+
+    int64_t modal_count = 0;
+    for (const auto &[deg, count] : histogram) {
+        if (count > modal_count) {
+            modal_count = count;
+            stats.modalDegree = deg;
+        }
+    }
+    stats.modalFraction = static_cast<double>(modal_count) /
+                          static_cast<double>(counts_.size());
+
+    // log-log least squares over degrees >= 1; needs at least three
+    // distinct positive degrees to mean anything.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    int64_t points = 0;
+    for (const auto &[deg, count] : histogram) {
+        if (deg < 1)
+            continue;
+        const double x = std::log(static_cast<double>(deg));
+        const double y = std::log(static_cast<double>(count));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        ++points;
+    }
+    if (points >= 3) {
+        const double denom =
+            static_cast<double>(points) * sxx - sx * sx;
+        if (denom > 1e-12) {
+            stats.powerLawSlope =
+                (static_cast<double>(points) * sxy - sx * sy) / denom;
+            stats.slopeValid = true;
+        }
+    }
+    return stats;
+}
+
+} // namespace gen
+} // namespace gnnmark

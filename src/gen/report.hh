@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pure-data generation run report. Header-only with no dependencies
+ * beyond <string>/<cstdint>, so the core report printers and JSON
+ * writers can consume it without linking the gen library (core sits
+ * below gen in the layering), mirroring serve/report.hh.
+ *
+ * Every field except the wall-clock throughput figures derives from
+ * the seeded generators alone, so the deterministic subset — and its
+ * JSON rendering — is byte-identical across processes, thread counts
+ * and chunk partitionings for a fixed configuration. The JSON twin
+ * emits only that subset; wall-clock rates stay in the human table
+ * and the telemetry record.
+ */
+
+#ifndef GNNMARK_GEN_REPORT_HH
+#define GNNMARK_GEN_REPORT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gnnmark {
+namespace gen {
+
+/** Aggregate results of one generation (and optional training) run. */
+struct GenReport
+{
+    /** @{ Configuration echo. */
+    std::string family = "rmat";
+    int64_t requestedVertices = 0;
+    int64_t vertices = 0; ///< resolved (e.g. rmat rounds to pow2)
+    int64_t targetEdges = 0;
+    int64_t chunks = 0;   ///< effective chunk count
+    int64_t lookahead = 0;
+    uint64_t seed = 0;
+    int threads = 0;
+    /** @} */
+
+    /** @{ Deterministic outcome. */
+    int64_t edges = 0;
+    int64_t chunksEmitted = 0;
+    /** Order-dependent FNV-1a over every (u, v) emitted. */
+    uint64_t checksum = 0;
+    /** Peak bytes held in the stream's lookahead window. */
+    int64_t peakResidentBytes = 0;
+    /** Configured ceiling the peak is asserted against. */
+    int64_t residentBudgetBytes = 0;
+    /** @} */
+
+    /** @{ Wall-clock (human table + telemetry only, never JSON). */
+    double wallSec = 0;
+    double edgesPerSec = 0;
+    /** @} */
+
+    /** @{ Degree-distribution shape (when --stats is on). */
+    bool hasDegrees = false;
+    int64_t degreeVertices = 0;
+    int64_t degreeSampleStride = 1;
+    int64_t minDegree = 0;
+    int64_t maxDegree = 0;
+    double meanDegree = 0;
+    double powerLawSlope = 0;
+    bool slopeValid = false;
+    double modalFraction = 0;
+    int64_t modalDegree = 0;
+    int64_t distinctDegrees = 0;
+    /** @} */
+
+    /** @{ Streamed training (when --stream is on). */
+    bool trained = false;
+    int64_t trainBatches = 0;
+    int64_t trainEdgesConsumed = 0;
+    double trainFirstLoss = 0;
+    double trainLastLoss = 0;
+    int64_t trainPeakResidentBytes = 0;
+    /** @} */
+};
+
+} // namespace gen
+} // namespace gnnmark
+
+#endif // GNNMARK_GEN_REPORT_HH

@@ -1,10 +1,50 @@
 #include "graph/batch.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "base/logging.hh"
 
 namespace gnnmark {
+
+int64_t
+ChunkGraph::bytes() const
+{
+    return static_cast<int64_t>(
+        graph.rowPtr().size() * sizeof(int32_t) +
+        graph.edgeSrc().size() * sizeof(int32_t) +
+        graph.edgeDst().size() * sizeof(int32_t) +
+        globalIds.size() * sizeof(int64_t));
+}
+
+ChunkGraph
+ChunkGraph::fromEdges(
+    const std::vector<std::pair<int64_t, int64_t>> &edges,
+    bool symmetric)
+{
+    ChunkGraph out;
+    std::unordered_map<int64_t, int32_t> compact;
+    compact.reserve(edges.size() * 2);
+    std::vector<std::pair<int32_t, int32_t>> local;
+    local.reserve(edges.size());
+    auto intern = [&](int64_t global) {
+        auto [it, inserted] = compact.try_emplace(
+            global, static_cast<int32_t>(out.globalIds.size()));
+        if (inserted)
+            out.globalIds.push_back(global);
+        return it->second;
+    };
+    for (const auto &[u, v] : edges) {
+        // Two statements: argument evaluation order is unspecified,
+        // and compact ids must follow first-seen (u before v) order.
+        const int32_t cu = intern(u);
+        const int32_t cv = intern(v);
+        local.emplace_back(cu, cv);
+    }
+    out.graph = Graph(static_cast<int64_t>(out.globalIds.size()),
+                      std::move(local), symmetric);
+    return out;
+}
 
 GraphBatch
 GraphBatch::build(const std::vector<SmallGraph> &graphs)

@@ -24,6 +24,32 @@ struct SmallGraph
     int32_t label = 0;     ///< classification label
 };
 
+/**
+ * A compact subgraph over one streamed chunk of a (possibly huge)
+ * graph: global 64-bit vertex ids are relabelled to a dense 32-bit
+ * id space covering only the vertices the chunk touches, so the
+ * neighbour samplers and minibatch layers can run on it with memory
+ * proportional to the chunk — never to the full graph.
+ */
+struct ChunkGraph
+{
+    Graph graph;                   ///< compact-id graph
+    std::vector<int64_t> globalIds; ///< compact id -> global id
+
+    int64_t numNodes() const { return graph.numNodes(); }
+
+    /** Approximate resident footprint (CSR + id map). */
+    int64_t bytes() const;
+
+    /**
+     * Build from a chunk's edge list (global ids, any range).
+     * @param symmetric insert reverse edges, as Graph does.
+     */
+    static ChunkGraph
+    fromEdges(const std::vector<std::pair<int64_t, int64_t>> &edges,
+              bool symmetric = true);
+};
+
 /** Disjoint union of small graphs with segment bookkeeping. */
 struct GraphBatch
 {

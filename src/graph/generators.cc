@@ -5,6 +5,7 @@
 #include <set>
 
 #include "base/logging.hh"
+#include "base/power_law.hh"
 
 namespace gnnmark {
 namespace gen {
@@ -82,22 +83,19 @@ powerLaw(Rng &rng, int64_t nodes, int edges_per_node)
 {
     GNN_ASSERT(nodes > 1 && edges_per_node >= 1, "powerLaw: bad sizes");
     // Preferential attachment: each new node links to `edges_per_node`
-    // targets drawn proportionally to current degree.
-    std::vector<int32_t> endpoint_pool; // node repeated deg times
+    // targets drawn proportionally to current degree via the shared
+    // endpoint pool.
+    DegreePool pool;
     std::vector<std::pair<int32_t, int32_t>> edges;
-    endpoint_pool.push_back(0);
+    pool.add(0);
     for (int32_t v = 1; v < nodes; ++v) {
         std::set<int32_t> targets;
         const int want = std::min<int>(edges_per_node, v);
-        while (static_cast<int>(targets.size()) < want) {
-            int32_t t =
-                endpoint_pool[rng.randint(endpoint_pool.size())];
-            targets.insert(t);
-        }
+        while (static_cast<int>(targets.size()) < want)
+            targets.insert(pool.pick(rng));
         for (int32_t t : targets) {
             edges.emplace_back(v, t);
-            endpoint_pool.push_back(t);
-            endpoint_pool.push_back(v);
+            pool.addEdge(t, v);
         }
     }
     return Graph(nodes, std::move(edges), /*symmetric=*/true);

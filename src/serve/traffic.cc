@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/power_law.hh"
 #include "base/rng.hh"
 
 namespace gnnmark {
@@ -23,16 +24,11 @@ expGap(Rng &rng, double rate)
     return -std::log(u) / rate;
 }
 
-/** Head-heavy item draw: floor(N * u^skew). */
+/** Head-heavy item draw via the shared inverse-CDF sampler. */
 int32_t
-drawItem(Rng &rng, const TrafficConfig &cfg)
+drawItem(Rng &rng, const PowerLawSampler &popularity)
 {
-    const double u = rng.uniform();
-    const double skewed = std::pow(u, cfg.popularitySkew);
-    int64_t item = static_cast<int64_t>(
-        skewed * static_cast<double>(cfg.catalogItems));
-    return static_cast<int32_t>(
-        std::min<int64_t>(item, cfg.catalogItems - 1));
+    return static_cast<int32_t>(popularity.draw(rng));
 }
 
 void
@@ -162,12 +158,14 @@ generateTraffic(const TrafficConfig &config)
 
     std::vector<Request> out;
     out.reserve(arrivals.size());
+    const PowerLawSampler popularity(config.catalogItems,
+                                     config.popularitySkew);
     for (double t : arrivals) {
         Request r;
         r.id = static_cast<int64_t>(out.size());
         r.arrivalSec = t;
         r.deadlineSec = t + config.sloSec;
-        r.item = drawItem(rng, config);
+        r.item = drawItem(rng, popularity);
         out.push_back(r);
     }
     return out;

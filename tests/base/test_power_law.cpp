@@ -1,0 +1,108 @@
+/** @file Tests for the shared power-law / Zipf sampling machinery. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/power_law.hh"
+#include "base/rng.hh"
+
+using namespace gnnmark;
+
+TEST(PowerLawSampler, InRangeAndDeterministic)
+{
+    PowerLawSampler sampler(1000, 2.0);
+    Rng a(7), b(7);
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t x = sampler.draw(a);
+        EXPECT_GE(x, 0);
+        EXPECT_LT(x, 1000);
+        EXPECT_EQ(x, sampler.draw(b));
+    }
+}
+
+TEST(PowerLawSampler, SkewOneIsUniform)
+{
+    PowerLawSampler sampler(10, 1.0);
+    Rng rng(3);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<size_t>(sampler.draw(rng))];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(PowerLawSampler, HigherSkewConcentratesOnHead)
+{
+    Rng r1(5), r2(5);
+    PowerLawSampler mild(1000, 1.5), steep(1000, 4.0);
+    int64_t head_mild = 0, head_steep = 0;
+    for (int i = 0; i < 20000; ++i) {
+        head_mild += mild.draw(r1) < 10;
+        head_steep += steep.draw(r2) < 10;
+    }
+    EXPECT_GT(head_steep, head_mild * 2);
+}
+
+TEST(PowerLawSampler, EmpiricalExponentMatchesSkew)
+{
+    // P(i) decays like i^(1/skew - 1); check the head/tail mass ratio
+    // against the closed-form CDF F(i) = ((i+1)/n)^(1/skew).
+    const double skew = 2.0;
+    const int64_t n = 1 << 16;
+    PowerLawSampler sampler(n, skew);
+    Rng rng(11);
+    const int draws = 200000;
+    int64_t below = 0;
+    const int64_t split = n / 4;
+    for (int i = 0; i < draws; ++i)
+        below += sampler.draw(rng) < split;
+    const double expect =
+        std::pow(static_cast<double>(split) / static_cast<double>(n),
+                 1.0 / skew);
+    EXPECT_NEAR(static_cast<double>(below) / draws, expect, 0.01);
+}
+
+TEST(PowerLawSampler, SkewForExponentRoundTrip)
+{
+    for (double beta : {0.1, 0.5, 0.9}) {
+        const double skew = PowerLawSampler::skewForExponent(beta);
+        EXPECT_GE(skew, 1.0);
+        // skew = 1/(1-beta)  <=>  1 - 1/skew = beta
+        EXPECT_NEAR(1.0 - 1.0 / skew, beta, 1e-12);
+    }
+}
+
+TEST(DegreePool, PicksProportionalToDegree)
+{
+    DegreePool pool;
+    pool.add(0);
+    // Node 1 gets degree 3, node 2 gets degree 1.
+    pool.addEdge(1, 2);
+    pool.addEdge(1, 0);
+    pool.addEdge(1, 0);
+    ASSERT_EQ(pool.size(), 7u);
+
+    Rng rng(9);
+    std::vector<int> counts(3, 0);
+    const int n = 70000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<size_t>(pool.pick(rng))];
+    // Mass: node 0 = 3/7, node 1 = 3/7, node 2 = 1/7.
+    EXPECT_NEAR(counts[0], n * 3.0 / 7.0, n * 0.02);
+    EXPECT_NEAR(counts[1], n * 3.0 / 7.0, n * 0.02);
+    EXPECT_NEAR(counts[2], n * 1.0 / 7.0, n * 0.02);
+}
+
+TEST(DegreePool, DeterministicForFixedSeed)
+{
+    DegreePool pool;
+    pool.add(0);
+    for (int32_t v = 1; v < 50; ++v)
+        pool.addEdge(v, v / 2);
+    Rng a(21), b(21);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(pool.pick(a), pool.pick(b));
+}

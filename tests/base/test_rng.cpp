@@ -229,3 +229,88 @@ TEST(RngState, StateEqualityDetectsDrift)
     a.next();
     EXPECT_FALSE(a.state() == b.state());
 }
+
+TEST(RngSplit, PureFunctionOfStateAndId)
+{
+    Rng parent(42);
+    parent.next();
+    parent.next();
+    const RngState before = parent.state();
+
+    Rng a = parent.split(7);
+    // split() must not advance the parent...
+    EXPECT_TRUE(parent.state() == before);
+    // ...and an equal-state generator derives the identical child.
+    Rng twin(0);
+    twin.setState(before);
+    Rng b = twin.split(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngSplit, DistinctIdsGiveDistinctStreams)
+{
+    Rng parent(42);
+    Rng a = parent.split(0);
+    Rng b = parent.split(1);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngSplit, CrossStreamCorrelationSmoke)
+{
+    // Pearson correlation between sibling uniform streams should be
+    // statistically indistinguishable from zero.
+    Rng parent(1234);
+    const int n = 50000;
+    for (uint64_t id = 0; id < 8; id += 2) {
+        Rng a = parent.split(id);
+        Rng b = parent.split(id + 1);
+        double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+        for (int i = 0; i < n; ++i) {
+            const double x = a.uniform(), y = b.uniform();
+            sa += x;
+            sb += y;
+            saa += x * x;
+            sbb += y * y;
+            sab += x * y;
+        }
+        const double cov = sab / n - (sa / n) * (sb / n);
+        const double va = saa / n - (sa / n) * (sa / n);
+        const double vb = sbb / n - (sb / n) * (sb / n);
+        const double corr = cov / std::sqrt(va * vb);
+        EXPECT_LT(std::abs(corr), 0.02)
+            << "streams " << id << " and " << id + 1;
+    }
+}
+
+TEST(RngSplit, ChildrenSurviveStateRoundTrip)
+{
+    Rng parent(7);
+    parent.next();
+    const RngState snap = parent.state();
+    std::vector<uint64_t> expect;
+    {
+        Rng child = parent.split(3);
+        for (int i = 0; i < 50; ++i)
+            expect.push_back(child.next());
+    }
+    Rng restored(999);
+    restored.setState(snap);
+    Rng child = restored.split(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(child.next(), expect[static_cast<size_t>(i)]);
+}
+
+TEST(RngSplit, ChildMeanIsUniform)
+{
+    Rng parent(5);
+    Rng child = parent.split(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += child.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}

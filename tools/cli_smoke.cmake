@@ -37,6 +37,12 @@ expect_exit(2 serve --hedge maybe)          # on|off toggles only
 expect_exit(2 serve --replicas 0)
 expect_exit(1 serve --plan no-such.plan)    # IoError, not a crash
 expect_exit(1 faults STGCN --plan no-such.plan)
+expect_exit(2 gen)                          # gen requires --family
+expect_exit(2 gen --family klein-bottle)    # unknown family
+expect_exit(2 gen --family rmat --n -4)     # vertex count must be > 1
+expect_exit(2 gen --family rmat --chunks 0) # chunking must be positive
+expect_exit(2 gen --family rmat --bogus)    # unknown option
+expect_exit(2 gen --family hyperbolic --gamma 2.0) # gamma must be > 2
 expect_exit(0 list)                   # healthy baseline
 
 # A short serving run with every robustness mechanism engaged, plus
@@ -46,6 +52,13 @@ expect_exit(0 serve --faults mixed --replicas 3 --duration 0.1
     --save-plan ${plan} --json)
 expect_exit(0 serve --plan ${plan} --replicas 3 --duration 0.1)
 file(REMOVE ${plan})
+
+# Generation at a tiny scale: every family materializes, and the
+# streamed-training path plus degree stats work in both output modes.
+expect_exit(0 gen --family rmat --n 4096 --stats)
+expect_exit(0 gen --family rgg2d --n 4096)
+expect_exit(0 gen --family grid2d --n 4096 --json)
+expect_exit(0 gen --family hyperbolic --n 4096 --stream --stats --json)
 
 # The full trace-once/analyze-many pipeline at a tiny scale: record,
 # inspect, replay on the recording config, self-diff, sweep the L2.

@@ -1,0 +1,71 @@
+# Generation-determinism gate, run under ctest: `gnnmark gen --json`
+# must produce byte-identical reports (a) across separate processes,
+# (b) across thread counts, and (c) — after normalising the config
+# echo — across chunk granularities. The JSON document deliberately
+# carries only deterministic fields (edges, chunk count, checksum
+# halves, degree stats; never wall-clock), so a byte compare IS the
+# determinism oracle: any divergence means per-unit seeding broke or
+# emission order started depending on the schedule. Invoke as
+#   cmake -DGNNMARK_BIN=<path-to-gnnmark> -P gen_identity.cmake
+
+if(NOT DEFINED GNNMARK_BIN)
+    message(FATAL_ERROR "pass -DGNNMARK_BIN=<gnnmark binary>")
+endif()
+
+set(gen_args gen --family hyperbolic --n 20000 --m 200000 --seed 99
+    --stats --json)
+
+function(run_gen out_var threads)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env GNNMARK_THREADS=${threads}
+                ${GNNMARK_BIN} ${ARGN}
+        RESULT_VARIABLE rv
+        OUTPUT_VARIABLE out
+        ERROR_QUIET)
+    if(NOT rv EQUAL 0)
+        message(FATAL_ERROR "gnnmark ${ARGN} exited with '${rv}'")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_gen(first 1 ${gen_args} --chunks 8)
+run_gen(second 1 ${gen_args} --chunks 8)
+if(NOT first STREQUAL second)
+    message(FATAL_ERROR
+        "gen --json reports differ between two processes with the "
+        "same config and seed — determinism broke")
+endif()
+message(STATUS "gen reports byte-identical across processes")
+
+run_gen(threaded 16 ${gen_args} --chunks 8)
+if(NOT first STREQUAL threaded)
+    message(FATAL_ERROR
+        "gen --json reports differ between GNNMARK_THREADS=1 and 16 "
+        "— the emitted edge set depends on the thread count")
+endif()
+message(STATUS "gen reports byte-identical across thread counts")
+
+# Chunk granularity legitimately changes the config echo and the
+# residency figures; the emitted edge *content* — edge count and the
+# order-dependent checksum — must not move.
+function(edge_fingerprint out_var report)
+    string(REGEX MATCH "\"edges\":[0-9]+" edges "${report}")
+    string(REGEX MATCH
+        "\"checksum_hi\":[0-9]+,\"checksum_lo\":[0-9]+"
+        checksum "${report}")
+    if(edges STREQUAL "" OR checksum STREQUAL "")
+        message(FATAL_ERROR "no edges/checksum fields in: ${report}")
+    endif()
+    set(${out_var} "${edges} ${checksum}" PARENT_SCOPE)
+endfunction()
+
+run_gen(coarse 4 ${gen_args} --chunks 1)
+run_gen(fine 4 ${gen_args} --chunks 64)
+edge_fingerprint(coarse_fp "${coarse}")
+edge_fingerprint(fine_fp "${fine}")
+if(NOT coarse_fp STREQUAL fine_fp)
+    message(FATAL_ERROR
+        "edge checksum differs between --chunks 1 and 64 — chunk "
+        "granularity leaked into the emitted edge set")
+endif()
+message(STATUS "edge checksum identical across chunk granularity")

@@ -1,0 +1,38 @@
+# Graph-generation regression gate, run under ctest: rerun
+# bench_ext_generation's JSONL twin and diff it *exactly* (tolerance 0)
+# against the committed baseline. The gated records are deterministic
+# by construction — edge counts, the order-dependent stream checksum,
+# degree statistics — so any drift means a generator family, the
+# per-unit seeding, or the RNG split changed behaviour. Invoke as
+#   cmake -DBENCH_BIN=<bench_ext_generation> -DBENCH_DIFF_BIN=<bench_diff>
+#         -DBASELINE=<bench/baselines/ext_generation.jsonl>
+#         -P generation_bench_gate.cmake
+
+foreach(var BENCH_BIN BENCH_DIFF_BIN BASELINE)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "pass -D${var}=...")
+    endif()
+endforeach()
+
+set(candidate ext_generation_candidate.jsonl)
+
+execute_process(
+    COMMAND ${BENCH_BIN} ${candidate}
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "bench_ext_generation exited with '${rv}'")
+endif()
+
+execute_process(
+    COMMAND ${BENCH_DIFF_BIN} ${BASELINE} ${candidate}
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+        "generation records drifted from the committed baseline "
+        "(bench_diff exit '${rv}'); if the change is intentional, "
+        "regenerate bench/baselines/ext_generation.jsonl")
+endif()
+
+file(REMOVE ${candidate})
+message(STATUS "generation records match the committed baseline")

@@ -25,6 +25,10 @@
  *   gnnmark trace diff <a> <b>
  *   gnnmark sweep (<workload> | --trace FILE) [--param l2|l1|sms|world]
  *                 [--points V,V,...] [--overlap on|off]
+ *   gnnmark gen --family rmat|rgg2d|hyperbolic|grid2d [--n N] [--m M]
+ *               [--degree D] [--chunks C] [--lookahead L] [--seed N]
+ *               [--gamma G] [--grid-rows R] [--grid-cols C] [--wrap]
+ *               [--stream] [--stats] [--json] [--telemetry PATH]
  */
 
 #include <algorithm>
@@ -47,6 +51,10 @@
 #include "core/suite.hh"
 #include "core/time_to_train.hh"
 #include "core/trace_capture.hh"
+#include "gen/degree_stats.hh"
+#include "gen/edge_stream.hh"
+#include "gen/report.hh"
+#include "gen/stream_train.hh"
 #include "models/ego_net.hh"
 #include "multigpu/ddp.hh"
 #include "obs/span.hh"
@@ -105,6 +113,21 @@ struct Args
     std::string fallback = "on"; ///< --fallback on|off
     uint64_t seed = 42;       ///< --seed
     /** @} */
+
+    /** @{ Generation (gen) options; defaults mirror GeneratorConfig. */
+    std::string family;       ///< --family (required for gen)
+    int64_t genN = 1 << 16;   ///< --n
+    int64_t genM = 0;         ///< --m (0 = derive from --degree)
+    double degree = 8.0;      ///< --degree
+    int chunks = 8;           ///< --chunks
+    int lookahead = 4;        ///< --lookahead
+    double gamma = 2.8;       ///< --gamma
+    int64_t gridRows = 0;     ///< --grid-rows
+    int64_t gridCols = 0;     ///< --grid-cols
+    bool gridWrap = false;    ///< --wrap
+    bool stream = false;      ///< --stream: train over the stream
+    bool stats = false;       ///< --stats: degree-distribution shape
+    /** @} */
 };
 
 [[noreturn]] void
@@ -131,6 +154,11 @@ usage()
         "  sweep                      L1/L2/SM sensitivity sweep, live\n"
         "                             (<workload>) or trace-driven\n"
         "                             (--trace FILE)\n"
+        "  gen                        chunked parallel graph generation:\n"
+        "                             stream synthetic graphs through\n"
+        "                             neighbour-sampled minibatch\n"
+        "                             training without materializing\n"
+        "                             them\n"
         "\n"
         "options:\n"
         "  --scale S      dataset scale factor (default 1.0)\n"
@@ -188,7 +216,23 @@ usage()
         "  --save-plan FILE  write the fault plan used (serve, faults)\n"
         "  --hedge M / --shed M / --fallback M   robustness switches,\n"
         "                 on (default) | off\n"
-        "  --seed N       traffic/model seed (default 42)\n";
+        "  --seed N       traffic/model/generator seed (default 42)\n"
+        "\n"
+        "generation options (gen):\n"
+        "  --family F     rmat | rgg2d | hyperbolic | grid2d (required)\n"
+        "  --n N          vertex count (default 65536; rmat rounds up\n"
+        "                 to a power of two)\n"
+        "  --m M          target edge count (default: --degree * n / 2)\n"
+        "  --degree D     target average degree when --m is unset (8)\n"
+        "  --chunks C     streaming chunks; more chunks = smaller\n"
+        "                 resident window, identical edges (default 8)\n"
+        "  --lookahead L  chunks generated ahead in parallel (4)\n"
+        "  --gamma G      scale-free degree exponent (hyperbolic, 2.8)\n"
+        "  --grid-rows R / --grid-cols C   explicit grid2d shape\n"
+        "  --wrap         grid2d torus wrap-around edges\n"
+        "  --stream       feed the stream through neighbour-sampled\n"
+        "                 minibatch training (never materialized)\n"
+        "  --stats        streaming degree-distribution shape check\n";
     std::exit(2);
 }
 
@@ -306,6 +350,30 @@ parse(int argc, char **argv)
         } else if (a == "--seed") {
             args.seed = static_cast<uint64_t>(
                 std::strtoull(next(), nullptr, 10));
+        } else if (a == "--family") {
+            args.family = next();
+        } else if (a == "--n") {
+            args.genN = std::atoll(next());
+        } else if (a == "--m") {
+            args.genM = std::atoll(next());
+        } else if (a == "--degree") {
+            args.degree = std::atof(next());
+        } else if (a == "--chunks") {
+            args.chunks = std::atoi(next());
+        } else if (a == "--lookahead") {
+            args.lookahead = std::atoi(next());
+        } else if (a == "--gamma") {
+            args.gamma = std::atof(next());
+        } else if (a == "--grid-rows") {
+            args.gridRows = std::atoll(next());
+        } else if (a == "--grid-cols") {
+            args.gridCols = std::atoll(next());
+        } else if (a == "--wrap") {
+            args.gridWrap = true;
+        } else if (a == "--stream") {
+            args.stream = true;
+        } else if (a == "--stats") {
+            args.stats = true;
         } else {
             std::cerr << "unknown option: " << a << "\n";
             usage();
@@ -1023,6 +1091,113 @@ cmdFaults(const Args &args)
     return 0;
 }
 
+int
+cmdGen(const Args &args)
+{
+    if (args.family.empty()) {
+        std::cerr << "gen requires --family\n";
+        usage();
+    }
+    gen::GeneratorConfig cfg;
+    if (!gen::parseFamily(args.family, cfg.family)) {
+        std::cerr << "unknown family: " << args.family
+                  << " (expected rmat|rgg2d|hyperbolic|grid2d)\n";
+        usage();
+    }
+    cfg.n = args.genN;
+    cfg.m = args.genM;
+    cfg.avgDegree = args.degree;
+    cfg.seed = args.seed;
+    cfg.chunks = args.chunks;
+    cfg.lookahead = args.lookahead;
+    cfg.gamma = args.gamma;
+    cfg.gridRows = args.gridRows;
+    cfg.gridCols = args.gridCols;
+    cfg.gridWrap = args.gridWrap;
+    const std::string err = gen::validateConfig(cfg);
+    if (!err.empty()) {
+        std::cerr << "invalid generator config: " << err << "\n";
+        usage();
+    }
+
+    std::ostream &progress = progressStream(args);
+    progress << "Generating a " << args.family << " graph ("
+             << gen::resolvedVertices(cfg) << " vertices, ~"
+             << gen::resolvedTargetEdges(cfg) << " edges, "
+             << cfg.chunks << " chunks"
+             << (args.stream ? ", streamed training" : "") << ")...\n\n";
+
+    gen::ChunkedEdgeStream stream(cfg);
+    std::unique_ptr<gen::DegreeAccumulator> degrees;
+    if (args.stats) {
+        degrees = std::make_unique<gen::DegreeAccumulator>(
+            gen::resolvedVertices(cfg));
+    }
+
+    gen::StreamTrainResult trained;
+    if (args.stream) {
+        gen::StreamTrainOptions topt;
+        topt.seed = cfg.seed;
+        trained = gen::streamTrain(stream, topt, degrees.get());
+    } else {
+        gen::EdgeBlock block;
+        while (stream.next(block))
+            if (degrees)
+                degrees->accumulate(block);
+    }
+
+    gen::GenReport rep;
+    rep.family = gen::familyName(cfg.family);
+    rep.requestedVertices = cfg.n;
+    rep.vertices = gen::resolvedVertices(cfg);
+    rep.targetEdges = gen::resolvedTargetEdges(cfg);
+    rep.chunks = stream.chunkCount();
+    rep.lookahead = cfg.lookahead;
+    rep.seed = cfg.seed;
+    rep.threads = ThreadPool::instance().threadCount();
+    rep.edges = stream.edgesEmitted();
+    rep.chunksEmitted = stream.chunksEmitted();
+    rep.checksum = stream.checksum();
+    rep.peakResidentBytes = stream.peakResidentBytes();
+    rep.residentBudgetBytes = gen::residentBudgetBytes(cfg);
+    rep.wallSec = stream.generateSec();
+    rep.edgesPerSec = stream.edgesPerSec();
+    if (degrees) {
+        const gen::DegreeStats stats = degrees->finalize();
+        rep.hasDegrees = true;
+        rep.degreeVertices = stats.vertices;
+        rep.degreeSampleStride = stats.sampleStride;
+        rep.minDegree = stats.minDegree;
+        rep.maxDegree = stats.maxDegree;
+        rep.meanDegree = stats.meanDegree;
+        rep.powerLawSlope = stats.powerLawSlope;
+        rep.slopeValid = stats.slopeValid;
+        rep.modalFraction = stats.modalFraction;
+        rep.modalDegree = stats.modalDegree;
+        rep.distinctDegrees = stats.distinctDegrees;
+    }
+    if (args.stream) {
+        rep.trained = true;
+        rep.trainBatches = trained.batches;
+        rep.trainEdgesConsumed = trained.edgesConsumed;
+        rep.trainFirstLoss = trained.firstLoss;
+        rep.trainLastLoss = trained.lastLoss;
+        rep.trainPeakResidentBytes = trained.peakResidentBytes;
+    }
+
+    if (args.json)
+        std::cout << reports::genJson(rep) << "\n";
+    else
+        reports::printGen(rep, std::cout);
+    if (std::unique_ptr<obs::TelemetrySink> telemetry =
+            openTelemetry(args)) {
+        telemetry->writeRecord(reports::genRecordJson("gen", rep));
+        progress << "telemetry written to " << telemetry->path()
+                 << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1062,6 +1237,8 @@ main(int argc, char **argv)
             return finish(cmdTrace(args));
         if (args.command == "sweep")
             return finish(cmdSweep(args));
+        if (args.command == "gen")
+            return finish(cmdGen(args));
     } catch (const IoError &e) {
         std::cerr << "gnnmark: fatal: " << e.what() << "\n";
         return finish(1);
