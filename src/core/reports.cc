@@ -478,6 +478,52 @@ printServing(const serve::ServingReport &rep, std::ostream &os)
                          fixed(r.cancelledSec * 1e3, 2)});
     }
     replicas.print(os);
+
+    if (rep.windowSec > 0) {
+        TablePrinter timeline(strfmt(
+            "Timeline (%.0f ms windows, SLO target %.2f%%, "
+            "budget consumed %.1f%%)",
+            rep.windowSec * 1e3, rep.sloTarget * 100.0,
+            rep.budgetConsumed * 100.0));
+        timeline.setHeader({"Win", "t (ms)", "Offered", "OK", "Shed",
+                            "Lost", "p50", "p95", "p99", "Goodput/s",
+                            "Queue", "Burn"});
+        for (const serve::ServingWindow &w : rep.windows) {
+            timeline.addRow(
+                {strfmt("%lld", (long long)w.index),
+                 fixed(w.startSec * 1e3, 0),
+                 strfmt("%lld", (long long)w.offered),
+                 strfmt("%lld", (long long)w.sloMet),
+                 strfmt("%lld", (long long)w.shed),
+                 strfmt("%lld", (long long)w.lost),
+                 fixed(w.p50Ms, 2), fixed(w.p95Ms, 2),
+                 fixed(w.p99Ms, 2), fixed(w.goodputPerSec, 0),
+                 fixed(w.queueDepthMean, 1), fixed(w.burnRate, 1)});
+        }
+        timeline.print(os);
+
+        if (rep.alerts.empty()) {
+            os << "SLO alerts: none\n";
+        } else {
+            TablePrinter alerts("SLO burn-rate alerts");
+            alerts.setHeader({"Rule", "Severity", "From (ms)",
+                              "To (ms)", "Peak burn", "Err %"});
+            for (const serve::ServingAlert &a : rep.alerts) {
+                alerts.addRow({a.rule, a.severity,
+                               fixed(a.startSec * 1e3, 0),
+                               fixed(a.endSec * 1e3, 0),
+                               fixed(a.peakBurn, 1),
+                               fixed(a.errorFraction * 100.0, 1)});
+            }
+            alerts.print(os);
+        }
+    }
+    if (rep.traceSampleEvery > 0) {
+        os << strfmt("Tracing: every %lld-th request + exemplars, "
+                     "%lld span chains kept\n",
+                     (long long)rep.traceSampleEvery,
+                     (long long)rep.tracedRequests);
+    }
     os << "\n";
 }
 
@@ -533,6 +579,23 @@ printGen(const gen::GenReport &rep, std::ostream &os)
              strfmt("%.4g", rep.trainLastLoss),
              fixed(rep.trainPeakResidentBytes / (1024.0 * 1024.0), 2)});
         train.print(os);
+
+        if (rep.trainWindowChunks > 0) {
+            TablePrinter wins(strfmt(
+                "Training timeline (%lld-chunk windows)",
+                (long long)rep.trainWindowChunks));
+            wins.setHeader({"Win", "Chunks", "Edges", "Mean loss",
+                            "Min loss", "Max loss"});
+            for (const gen::GenTrainWindow &w : rep.trainWindows) {
+                wins.addRow({strfmt("%lld", (long long)w.index),
+                             strfmt("%lld", (long long)w.chunks),
+                             strfmt("%lld", (long long)w.edges),
+                             strfmt("%.4g", w.meanLoss),
+                             strfmt("%.4g", w.minLoss),
+                             strfmt("%.4g", w.maxLoss)});
+            }
+            wins.print(os);
+        }
     }
     os << "\n";
 }

@@ -304,6 +304,60 @@ servingBody(obs::JsonWriter &w, const serve::ServingReport &rep)
         w.endObject();
     }
     w.endArray();
+
+    // Timeline / tracing sections appear only when the run enabled
+    // them, so pre-windowing outputs stay byte-identical.
+    if (rep.windowSec > 0) {
+        w.key("timeline").beginObject();
+        w.key("window_sec").value(rep.windowSec);
+        w.key("slo_target").value(rep.sloTarget);
+        w.key("budget_consumed").value(rep.budgetConsumed);
+        w.key("windows").beginArray();
+        for (const serve::ServingWindow &win : rep.windows) {
+            w.beginObject();
+            w.key("index").value(win.index);
+            w.key("start_sec").value(win.startSec);
+            w.key("end_sec").value(win.endSec);
+            w.key("offered").value(win.offered);
+            w.key("full").value(win.full);
+            w.key("fallback").value(win.fallback);
+            w.key("shed").value(win.shed);
+            w.key("lost").value(win.lost);
+            w.key("slo_met").value(win.sloMet);
+            w.key("goodput_per_sec").value(win.goodputPerSec);
+            w.key("resolved").value(win.resolved);
+            w.key("p50_ms").value(win.p50Ms);
+            w.key("p95_ms").value(win.p95Ms);
+            w.key("p99_ms").value(win.p99Ms);
+            w.key("queue_depth_mean").value(win.queueDepthMean);
+            w.key("queue_depth_max").value(win.queueDepthMax);
+            w.key("burn_rate").value(win.burnRate);
+            w.key("budget_consumed").value(win.budgetConsumed);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("alerts").beginArray();
+        for (const serve::ServingAlert &a : rep.alerts) {
+            w.beginObject();
+            w.key("rule").value(a.rule);
+            w.key("severity").value(a.severity);
+            w.key("start_window").value(a.startWindow);
+            w.key("end_window").value(a.endWindow);
+            w.key("start_sec").value(a.startSec);
+            w.key("end_sec").value(a.endSec);
+            w.key("peak_burn").value(a.peakBurn);
+            w.key("error_fraction").value(a.errorFraction);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    if (rep.traceSampleEvery > 0) {
+        w.key("tracing").beginObject();
+        w.key("sample_every").value(rep.traceSampleEvery);
+        w.key("traced_requests").value(rep.tracedRequests);
+        w.endObject();
+    }
 }
 
 } // namespace
@@ -375,6 +429,23 @@ genBody(obs::JsonWriter &w, const gen::GenReport &rep)
         w.key("first_loss").value(rep.trainFirstLoss);
         w.key("last_loss").value(rep.trainLastLoss);
         w.key("peak_resident_bytes").value(rep.trainPeakResidentBytes);
+        if (rep.trainWindowChunks > 0) {
+            w.key("window_chunks").value(rep.trainWindowChunks);
+            w.key("windows").beginArray();
+            for (const gen::GenTrainWindow &win : rep.trainWindows) {
+                w.beginObject();
+                w.key("index").value(win.index);
+                w.key("first_chunk").value(win.firstChunk);
+                w.key("last_chunk").value(win.lastChunk);
+                w.key("chunks").value(win.chunks);
+                w.key("edges").value(win.edges);
+                w.key("mean_loss").value(win.meanLoss);
+                w.key("min_loss").value(win.minLoss);
+                w.key("max_loss").value(win.maxLoss);
+                w.endObject();
+            }
+            w.endArray();
+        }
         w.endObject();
     }
 }
@@ -417,6 +488,30 @@ servingRecordJson(const std::string &label,
     w.key("type").value("serving");
     w.key("label").value(label);
     servingBody(w, report);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+sloAlertRecordJson(const std::string &label,
+                   const serve::ServingReport &report,
+                   const serve::ServingAlert &alert)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("slo_alert");
+    w.key("label").value(label);
+    w.key("rule").value(alert.rule);
+    w.key("severity").value(alert.severity);
+    w.key("start_window").value(alert.startWindow);
+    w.key("end_window").value(alert.endWindow);
+    w.key("start_sec").value(alert.startSec);
+    w.key("end_sec").value(alert.endSec);
+    w.key("peak_burn").value(alert.peakBurn);
+    w.key("error_fraction").value(alert.errorFraction);
+    w.key("window_sec").value(report.windowSec);
+    w.key("slo_target").value(report.sloTarget);
+    w.key("faults").value(report.faultScenario);
     w.endObject();
     return w.str();
 }

@@ -70,6 +70,17 @@ std::string servingRecordJson(const std::string &label,
                               const serve::ServingReport &report);
 
 /**
+ * One SLO burn-rate alert telemetry record (a single JSONL line),
+ * tagged "type":"slo_alert": the firing rule, its window span in
+ * simulated seconds, peak burn and error fraction, plus the fault
+ * scenario so post-hoc analysis can correlate alerts with injected
+ * faults. Emitted once per alert in a windowed serving run.
+ */
+std::string sloAlertRecordJson(const std::string &label,
+                               const serve::ServingReport &report,
+                               const serve::ServingAlert &alert);
+
+/**
  * Generation document (--json twin of printGen): config echo, edge
  * count, the order-dependent stream checksum (as hi/lo 32-bit halves,
  * since 64-bit values overflow JSON doubles), resident-memory

@@ -18,9 +18,26 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace gnnmark {
 namespace gen {
+
+/**
+ * One chunk-ordinal window of the streamed-training timeline: edges
+ * consumed and minibatch-loss aggregates over `windowChunks` chunks.
+ */
+struct GenTrainWindow
+{
+    int64_t index = 0;
+    int64_t firstChunk = 0; ///< inclusive
+    int64_t lastChunk = 0;  ///< exclusive
+    int64_t chunks = 0;     ///< chunks actually seen in the window
+    int64_t edges = 0;
+    double meanLoss = 0;
+    double minLoss = 0;
+    double maxLoss = 0;
+};
 
 /** Aggregate results of one generation (and optional training) run. */
 struct GenReport
@@ -73,6 +90,9 @@ struct GenReport
     double trainFirstLoss = 0;
     double trainLastLoss = 0;
     int64_t trainPeakResidentBytes = 0;
+    /** Window width in chunks (0 = windowing off, vector empty). */
+    int64_t trainWindowChunks = 0;
+    std::vector<GenTrainWindow> trainWindows;
     /** @} */
 };
 

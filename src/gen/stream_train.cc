@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "base/logging.hh"
@@ -44,6 +45,14 @@ streamTrain(EdgeStream &stream, const StreamTrainOptions &opts,
                "streamTrain: bad options");
     StreamTrainResult result;
 
+    std::unique_ptr<obs::WindowedSeries> edgeWin, lossWin;
+    if (opts.windowChunks > 0) {
+        edgeWin = std::make_unique<obs::WindowedSeries>(
+            static_cast<double>(opts.windowChunks));
+        lossWin = std::make_unique<obs::WindowedSeries>(
+            static_cast<double>(opts.windowChunks));
+    }
+
     // Ground-truth weights: the label of a minibatch row is exactly
     // linear in its aggregated features, so the linear model can fit.
     Rng true_rng = Rng(opts.seed).split(~uint64_t{0});
@@ -61,6 +70,11 @@ streamTrain(EdgeStream &stream, const StreamTrainOptions &opts,
             degrees->accumulate(block);
         ++result.chunks;
         result.edgesConsumed += static_cast<int64_t>(block.edges.size());
+        if (edgeWin) {
+            edgeWin->observe(
+                static_cast<double>(result.chunks - 1),
+                static_cast<double>(block.edges.size()));
+        }
         if (block.edges.empty())
             continue;
 
@@ -137,6 +151,9 @@ streamTrain(EdgeStream &stream, const StreamTrainOptions &opts,
             result.firstLoss = loss;
         result.lastLoss = loss;
         ++result.batches;
+        if (lossWin)
+            lossWin->observe(static_cast<double>(result.chunks - 1),
+                             loss);
 
         int64_t resident =
             block.bytes() + cg.bytes() +
@@ -146,6 +163,11 @@ streamTrain(EdgeStream &stream, const StreamTrainOptions &opts,
             resident += degrees->residentBytes();
         result.peakResidentBytes =
             std::max(result.peakResidentBytes, resident);
+    }
+    if (edgeWin) {
+        const double horizon = static_cast<double>(result.chunks);
+        result.edgeWindows = edgeWin->series(horizon);
+        result.lossWindows = lossWin->series(horizon);
     }
     return result;
 }

@@ -13,8 +13,10 @@
 #define GNNMARK_GEN_STREAM_TRAIN_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "gen/edge_stream.hh"
+#include "obs/window.hh"
 
 namespace gnnmark {
 namespace gen {
@@ -28,6 +30,13 @@ struct StreamTrainOptions
     int featDim = 16;      ///< hash-derived feature width
     double lr = 0.05;      ///< SGD learning rate
     uint64_t seed = 1234;  ///< sampling + label seed
+    /**
+     * Tumbling-window width, in chunks, for the edge-throughput and
+     * loss series (0 disables windowing). Chunk ordinal stands in for
+     * time: the stream is consumed in chunk order regardless of how
+     * many threads generate it, so the series is deterministic.
+     */
+    int64_t windowChunks = 0;
 };
 
 struct StreamTrainResult
@@ -44,6 +53,13 @@ struct StreamTrainResult
      * is reported separately by ChunkedEdgeStream.
      */
     int64_t peakResidentBytes = 0;
+
+    /** @{ Windowed series (empty unless opts.windowChunks > 0):
+     *  per-window edges consumed and minibatch loss, indexed by
+     *  chunk-ordinal windows. */
+    std::vector<obs::WindowStats> edgeWindows;
+    std::vector<obs::WindowStats> lossWindows;
+    /** @} */
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "obs/bench_compare.hh"
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
@@ -53,7 +54,88 @@ recordPrefix(const JsonValue &record, int line_number)
     return prefix;
 }
 
+/**
+ * True when `key` is a flattened histogram bucket
+ * ("...histograms.<name>.<digits>"); sets prefix/bucket on success.
+ */
+bool
+histogramBucketKey(const std::string &key, std::string &prefix,
+                   int &bucket)
+{
+    const size_t hist = key.find(".histograms.");
+    if (hist == std::string::npos)
+        return false;
+    const size_t dot = key.rfind('.');
+    if (dot == std::string::npos || dot < hist + 12)
+        return false;
+    const std::string last = key.substr(dot + 1);
+    if (last.empty() ||
+        last.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    prefix = key.substr(0, dot);
+    bucket = std::atoi(last.c_str());
+    return true;
+}
+
+/** Nearest-rank quantile over log2 buckets (Metrics layout). */
+double
+bucketQuantile(const std::map<int, double> &buckets, double total,
+               double q)
+{
+    if (total <= 0)
+        return 0;
+    double rank = std::ceil(q * total);
+    if (rank < 1)
+        rank = 1;
+    double seen = 0;
+    double value = 0;
+    for (const auto &[b, count] : buckets) {
+        value = b == 0 ? 0.0 : std::exp2(b - 31.5);
+        seen += count;
+        if (seen >= rank)
+            return value;
+    }
+    return value;
+}
+
+/** True for a derived percentile key made by collapseHistogramBuckets. */
+bool
+derivedPercentileKey(const std::string &key)
+{
+    if (key.find(".histograms.") == std::string::npos)
+        return false;
+    const size_t n = key.size();
+    return n >= 4 && (key.compare(n - 4, 4, ".p50") == 0 ||
+                      key.compare(n - 4, 4, ".p95") == 0 ||
+                      key.compare(n - 4, 4, ".p99") == 0);
+}
+
 } // namespace
+
+std::map<std::string, double>
+collapseHistogramBuckets(const std::map<std::string, double> &flat)
+{
+    std::map<std::string, double> out;
+    std::map<std::string, std::map<int, double>> hists;
+    for (const auto &[key, value] : flat) {
+        std::string prefix;
+        int bucket = 0;
+        if (histogramBucketKey(key, prefix, bucket))
+            hists[prefix][bucket] = value;
+        else
+            out[key] = value;
+    }
+    for (const auto &[prefix, buckets] : hists) {
+        double total = 0;
+        for (const auto &[b, count] : buckets)
+            total += count;
+        out[prefix + ".count"] = total;
+        out[prefix + ".p50"] = bucketQuantile(buckets, total, 0.50);
+        out[prefix + ".p95"] = bucketQuantile(buckets, total, 0.95);
+        out[prefix + ".p99"] = bucketQuantile(buckets, total, 0.99);
+    }
+    return out;
+}
 
 double
 toleranceForKey(const CompareOptions &opts, const std::string &key)
@@ -78,13 +160,25 @@ compareMetricMaps(const std::map<std::string, double> &baseline,
     const double nan = std::numeric_limits<double>::quiet_NaN();
     CompareResult result;
 
-    for (const auto &[key, base] : baseline) {
+    std::map<std::string, double> baseCollapsed, candCollapsed;
+    const std::map<std::string, double> *basePtr = &baseline;
+    const std::map<std::string, double> *candPtr = &candidate;
+    if (opts.histogramPercentiles) {
+        baseCollapsed = collapseHistogramBuckets(baseline);
+        candCollapsed = collapseHistogramBuckets(candidate);
+        basePtr = &baseCollapsed;
+        candPtr = &candCollapsed;
+    }
+    const std::map<std::string, double> &base_map = *basePtr;
+    const std::map<std::string, double> &cand_map = *candPtr;
+
+    for (const auto &[key, base] : base_map) {
         if (containsAny(key, opts.ignoreSubstrings)) {
             ++result.ignoredKeys;
             continue;
         }
-        auto it = candidate.find(key);
-        if (it == candidate.end()) {
+        auto it = cand_map.find(key);
+        if (it == cand_map.end()) {
             if (!opts.allowMissing)
                 result.failures.push_back(
                     {key, base, nan, 0, 0, "missing"});
@@ -92,7 +186,10 @@ compareMetricMaps(const std::map<std::string, double> &baseline,
         }
         ++result.comparedKeys;
         const double cand = it->second;
-        const double tol = toleranceForKey(opts, key);
+        const double tol =
+            opts.histogramPercentiles && derivedPercentileKey(key)
+                ? opts.histogramTolerance
+                : toleranceForKey(opts, key);
         const double scale = std::max(std::fabs(base), std::fabs(cand));
         const double rel =
             scale == 0 ? 0 : std::fabs(cand - base) / scale;
@@ -106,12 +203,12 @@ compareMetricMaps(const std::map<std::string, double> &baseline,
                 {key, base, cand, rel, tol, "regression"});
     }
 
-    for (const auto &[key, cand] : candidate) {
+    for (const auto &[key, cand] : cand_map) {
         if (containsAny(key, opts.ignoreSubstrings)) {
             ++result.ignoredKeys;
             continue;
         }
-        if (baseline.find(key) == baseline.end() && !opts.allowMissing)
+        if (base_map.find(key) == base_map.end() && !opts.allowMissing)
             result.failures.push_back({key, nan, cand, 0, 0, "extra"});
     }
     return result;

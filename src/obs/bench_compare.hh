@@ -41,6 +41,21 @@ struct CompareOptions
     std::vector<std::string> ignoreSubstrings = {"wall_time", "host_"};
     /** Accept keys present on only one side (else they are failures). */
     bool allowMissing = false;
+    /**
+     * Collapse flattened log2-histogram bucket arrays (keys of the
+     * form "<prefix>.histograms.<name>.<bucket>") into derived
+     * "<prefix>.histograms.<name>.{count,p50,p95,p99}" keys before
+     * comparing, instead of matching raw buckets bucket-by-bucket.
+     * Derived percentile keys compare under histogramTolerance;
+     * counts compare under the normal tolerance rules.
+     */
+    bool histogramPercentiles = false;
+    /**
+     * Relative tolerance for derived percentile keys. Adjacent log2
+     * buckets differ by 2x (relative error 0.5 against the larger),
+     * so the default passes one-bucket drift and fails two or more.
+     */
+    double histogramTolerance = 0.5;
 };
 
 /** One per-key comparison outcome that exceeded its tolerance. */
@@ -66,6 +81,16 @@ struct CompareResult
 
 /** Tolerance that applies to `key` under `opts` (longest prefix). */
 double toleranceForKey(const CompareOptions &opts, const std::string &key);
+
+/**
+ * Replace flattened histogram bucket keys with derived
+ * count/p50/p95/p99 keys (see CompareOptions::histogramPercentiles).
+ * Bucket indices use the obs::Metrics log2 layout: bucket 0 reads as
+ * value 0, bucket b as the geometric midpoint 2^(b - 31.5). Keys that
+ * are not histogram buckets pass through untouched.
+ */
+std::map<std::string, double> collapseHistogramBuckets(
+    const std::map<std::string, double> &flat);
 
 /** Compare two flattened metric maps under `opts`. */
 CompareResult compareMetricMaps(

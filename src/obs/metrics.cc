@@ -5,8 +5,17 @@
 #include <memory>
 #include <mutex>
 
+#include "base/logging.hh"
+
 namespace gnnmark {
 namespace obs {
+
+namespace {
+
+/** Overflow alias every over-cap counter/histogram name maps onto. */
+const char *const kOverflowName = "obs.dropped_names";
+
+} // namespace
 
 struct Metrics::Impl
 {
@@ -24,6 +33,30 @@ struct Metrics::Impl
     std::map<std::string, size_t> histogramIds;
     std::map<std::string, double> gauges;
     std::vector<std::unique_ptr<Shard>> shards;
+    size_t cardinalityLimit = 4096;
+    int64_t droppedNames = 0;
+
+    // Registry lock must be held. The overflow alias is itself a
+    // name, so it is interned on first overflow, not eagerly — a
+    // process that never overflows never snapshots it.
+    size_t totalNames() const
+    {
+        return counterNames.size() + histogramNames.size() + gauges.size();
+    }
+
+    bool atCapacity(const std::string &name)
+    {
+        if (totalNames() < cardinalityLimit || name == kOverflowName)
+            return false;
+        droppedNames++;
+        // Identical text on purpose: the warn() limiter collapses
+        // duplicates, so a cardinality explosion costs a handful of
+        // lines, not one per runaway name.
+        warn("metrics: cardinality limit %zu reached; dropping new "
+             "metric names",
+             cardinalityLimit);
+        return true;
+    }
 
     Shard &
     threadShard()
@@ -57,6 +90,15 @@ Metrics::counterId(const std::string &name)
     auto it = impl_->counterIds.find(name);
     if (it != impl_->counterIds.end())
         return it->second;
+    if (impl_->atCapacity(name)) {
+        auto alias = impl_->counterIds.find(kOverflowName);
+        if (alias != impl_->counterIds.end())
+            return alias->second;
+        const size_t id = impl_->counterNames.size();
+        impl_->counterNames.push_back(kOverflowName);
+        impl_->counterIds.emplace(kOverflowName, id);
+        return id;
+    }
     const size_t id = impl_->counterNames.size();
     impl_->counterNames.push_back(name);
     impl_->counterIds.emplace(name, id);
@@ -70,6 +112,15 @@ Metrics::histogramId(const std::string &name)
     auto it = impl_->histogramIds.find(name);
     if (it != impl_->histogramIds.end())
         return it->second;
+    if (impl_->atCapacity(name)) {
+        auto alias = impl_->histogramIds.find(kOverflowName);
+        if (alias != impl_->histogramIds.end())
+            return alias->second;
+        const size_t id = impl_->histogramNames.size();
+        impl_->histogramNames.push_back(kOverflowName);
+        impl_->histogramIds.emplace(kOverflowName, id);
+        return id;
+    }
     const size_t id = impl_->histogramNames.size();
     impl_->histogramNames.push_back(name);
     impl_->histogramIds.emplace(name, id);
@@ -111,8 +162,34 @@ Metrics::observe(const std::string &name, double value)
 void
 Metrics::setGauge(const std::string &name, double value)
 {
+    if (!std::isfinite(value)) {
+        warn("metrics: rejecting non-finite gauge write to \"%s\"",
+             name.c_str());
+        return;
+    }
     std::lock_guard<std::mutex> lock(impl_->registry);
-    impl_->gauges[name] = value;
+    auto it = impl_->gauges.find(name);
+    if (it != impl_->gauges.end()) {
+        it->second = value;
+        return;
+    }
+    if (impl_->atCapacity(name))
+        return;
+    impl_->gauges.emplace(name, value);
+}
+
+void
+Metrics::setCardinalityLimit(size_t limit)
+{
+    std::lock_guard<std::mutex> lock(impl_->registry);
+    impl_->cardinalityLimit = limit;
+}
+
+int64_t
+Metrics::droppedNames() const
+{
+    std::lock_guard<std::mutex> lock(impl_->registry);
+    return impl_->droppedNames;
 }
 
 int
@@ -159,6 +236,8 @@ Metrics::reset()
 {
     std::lock_guard<std::mutex> registry(impl_->registry);
     impl_->gauges.clear();
+    impl_->cardinalityLimit = 4096;
+    impl_->droppedNames = 0;
     for (const auto &shard : impl_->shards) {
         std::lock_guard<std::mutex> lock(shard->mutex);
         std::fill(shard->counters.begin(), shard->counters.end(), 0.0);

@@ -52,7 +52,11 @@ class Metrics
     /** Add `delta` to the named counter (interns the id per call). */
     void add(const std::string &name, double delta = 1.0);
 
-    /** Set the named gauge (last write wins). */
+    /**
+     * Set the named gauge (last write wins). NaN and infinite values
+     * are rejected with a rate-limited warn() — the previous value
+     * (if any) survives — so snapshots serialize deterministically.
+     */
     void setGauge(const std::string &name, double value);
 
     /** Record one observation into the named log2 histogram. */
@@ -61,8 +65,25 @@ class Metrics
     /** Aggregate all shards + gauges into one snapshot. */
     MetricsSnapshot snapshot() const;
 
-    /** Zero every counter, gauge and histogram (ids survive). */
+    /**
+     * Zero every counter, gauge and histogram (ids survive) and
+     * restore the default cardinality limit / dropped-name count.
+     */
     void reset();
+
+    /**
+     * Cap the number of distinct metric names (counters + histograms
+     * + gauges combined). Once the registry is full, new counter and
+     * histogram names alias the reserved "obs.dropped_names" overflow
+     * metric and new gauge names are discarded; each dropped name
+     * emits a rate-limited warn(). Existing names keep working.
+     * Guards against unbounded per-entity naming (e.g. one gauge per
+     * replica) blowing up telemetry cardinality.
+     */
+    void setCardinalityLimit(size_t limit);
+
+    /** Distinct new names rejected by the cardinality guard so far. */
+    int64_t droppedNames() const;
 
     /**
      * Bucket index for a histogram observation: bucket 0 collects

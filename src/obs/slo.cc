@@ -1,0 +1,146 @@
+#include "obs/slo.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace gnnmark {
+namespace obs {
+
+BurnRateMonitor::BurnRateMonitor(double target, double windowSec)
+    : target_(target), windowSec_(windowSec), budget_(1.0 - target)
+{
+    GNN_ASSERT(target > 0 && target < 1,
+               "SLO target must be in (0,1), got %f", target);
+    GNN_ASSERT(windowSec > 0, "SLO window width must be > 0");
+    // Default rule pair, SRE-workbook shape scaled to simulated
+    // horizons of tens of windows: the page rule needs a hard, fresh
+    // burn; the ticket rule catches slower sustained burn.
+    rules_ = {
+        {"fast_burn", "page", 4, 1, 14.4},
+        {"slow_burn", "ticket", 8, 2, 6.0},
+    };
+    open_.resize(rules_.size());
+}
+
+void BurnRateMonitor::setRules(std::vector<BurnRateRule> rules)
+{
+    GNN_ASSERT(goods_.empty(), "setRules must precede addWindow");
+    rules_ = std::move(rules);
+    open_.assign(rules_.size(), Open{});
+}
+
+double BurnRateMonitor::burnOver(int lookback) const
+{
+    // Use the windows we have when the run is younger than the
+    // lookback — short simulations still get alerts, and the result
+    // is a pure function of the window counts either way.
+    size_t n = goods_.size();
+    size_t take = std::min<size_t>(static_cast<size_t>(lookback), n);
+    int64_t total = 0, good = 0;
+    for (size_t i = n - take; i < n; i++) {
+        total += totals_[i];
+        good += goods_[i];
+    }
+    if (total == 0)
+        return 0;
+    double errFrac = static_cast<double>(total - good) / total;
+    return errFrac / budget_;
+}
+
+void BurnRateMonitor::evaluate()
+{
+    int64_t w = static_cast<int64_t>(goods_.size()) - 1;
+    int64_t total = totals_.back();
+    int64_t errors = total - goods_.back();
+    for (size_t r = 0; r < rules_.size(); r++) {
+        const BurnRateRule &rule = rules_[r];
+        double burnLong = burnOver(rule.longWindows);
+        double burnShort = burnOver(rule.shortWindows);
+        bool firing =
+            burnLong >= rule.threshold && burnShort >= rule.threshold;
+        Open &open = open_[r];
+        if (firing) {
+            if (!open.active) {
+                open.active = true;
+                open.alert = SloAlert{};
+                open.alert.rule = rule.name;
+                open.alert.severity = rule.severity;
+                open.alert.startWindow = w;
+                open.errors = 0;
+                open.total = 0;
+            }
+            open.alert.endWindow = w;
+            open.alert.peakBurn = std::max(open.alert.peakBurn, burnLong);
+            open.errors += errors;
+            open.total += total;
+        } else if (open.active) {
+            open.active = false;
+            open.alert.startSec = open.alert.startWindow * windowSec_;
+            open.alert.endSec = (open.alert.endWindow + 1) * windowSec_;
+            open.alert.errorFraction =
+                open.total > 0
+                    ? static_cast<double>(open.errors) / open.total
+                    : 0;
+            alerts_.push_back(open.alert);
+        }
+    }
+}
+
+void BurnRateMonitor::addWindow(int64_t good, int64_t total)
+{
+    GNN_ASSERT(!finished_, "addWindow after finish");
+    GNN_ASSERT(good >= 0 && total >= good,
+               "bad SLO window counts good=%lld total=%lld",
+               static_cast<long long>(good), static_cast<long long>(total));
+    goods_.push_back(good);
+    totals_.push_back(total);
+    cumErrors_ += total - good;
+    cumTotal_ += total;
+
+    BurnPoint p;
+    p.window = static_cast<int64_t>(goods_.size()) - 1;
+    p.total = total;
+    p.errors = total - good;
+    p.burnRate =
+        total > 0 ? (static_cast<double>(p.errors) / total) / budget_ : 0;
+    p.budgetConsumed = budgetConsumed();
+    points_.push_back(p);
+
+    evaluate();
+}
+
+void BurnRateMonitor::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    for (Open &open : open_) {
+        if (!open.active)
+            continue;
+        open.active = false;
+        open.alert.startSec = open.alert.startWindow * windowSec_;
+        open.alert.endSec = (open.alert.endWindow + 1) * windowSec_;
+        open.alert.errorFraction =
+            open.total > 0 ? static_cast<double>(open.errors) / open.total
+                           : 0;
+        alerts_.push_back(open.alert);
+    }
+    // Alerts close in rule order as burn subsides; present them in
+    // time order so the report timeline reads chronologically.
+    std::stable_sort(alerts_.begin(), alerts_.end(),
+                     [](const SloAlert &a, const SloAlert &b) {
+                         return a.startWindow < b.startWindow;
+                     });
+}
+
+double BurnRateMonitor::budgetConsumed() const
+{
+    if (cumTotal_ == 0)
+        return 0;
+    double errFrac = static_cast<double>(cumErrors_) / cumTotal_;
+    return errFrac / budget_;
+}
+
+} // namespace obs
+} // namespace gnnmark

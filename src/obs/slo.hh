@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SLO error-budget accounting and multi-window burn-rate alerting.
+ *
+ * The monitor consumes one (good, total) pair per tumbling window —
+ * the serving path feeds it slo_met vs offered per window — and
+ * evaluates classic multi-window burn-rate rules: an alert fires in a
+ * window when BOTH a long lookback and a short lookback burn the
+ * error budget faster than the rule's threshold. Burn rate is
+ * (error fraction) / (1 - target): burn 1.0 spends the budget exactly
+ * at the allowed pace, burn 14.4 exhausts a 30-day budget in 2 days.
+ * The short window keeps alerts from lingering after recovery; the
+ * long window keeps one bad blip from paging.
+ *
+ * Consecutive firing windows coalesce into one SloAlert interval, so
+ * a straggler fault injected over [0.15h, 0.85h] shows up as a single
+ * alert whose [startSec, endSec) overlaps the fault — the correlation
+ * the report and telemetry records exist to expose. Everything is
+ * integer window arithmetic over counts: deterministic across thread
+ * counts and processes.
+ */
+
+#ifndef GNNMARK_OBS_SLO_HH
+#define GNNMARK_OBS_SLO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnnmark {
+namespace obs {
+
+/** One burn-rate rule: long/short lookbacks in windows + threshold. */
+struct BurnRateRule
+{
+    std::string name;     ///< e.g. "fast_burn"
+    std::string severity; ///< e.g. "page" or "ticket"
+    int longWindows = 6;  ///< long lookback length, in windows
+    int shortWindows = 1; ///< short lookback length, in windows
+    double threshold = 0; ///< fire when both lookbacks burn >= this
+};
+
+/** A coalesced run of consecutive windows where one rule fired. */
+struct SloAlert
+{
+    std::string rule;
+    std::string severity;
+    int64_t startWindow = 0; ///< first firing window index
+    int64_t endWindow = 0;   ///< last firing window index (inclusive)
+    double startSec = 0;     ///< startWindow * width
+    double endSec = 0;       ///< (endWindow + 1) * width
+    double peakBurn = 0;     ///< max long-window burn while firing
+    double errorFraction = 0; ///< errors/total over the firing span
+};
+
+/** Per-window budget ledger row (for the report timeline). */
+struct BurnPoint
+{
+    int64_t window = 0;
+    int64_t total = 0;
+    int64_t errors = 0;
+    double burnRate = 0;        ///< this window's burn
+    double budgetConsumed = 0;  ///< cumulative error budget fraction spent
+};
+
+/**
+ * Multi-window burn-rate monitor. Feed windows in order with
+ * addWindow(); read alerts() / points() after the last window.
+ * Defaults follow the SRE-workbook shape scaled to simulation
+ * horizons: a fast "page" rule (short lookback, high threshold) and a
+ * slow "ticket" rule (long lookback, low threshold).
+ */
+class BurnRateMonitor
+{
+  public:
+    /**
+     * @param target SLO target in (0,1), e.g. 0.99 → 1% error budget.
+     * @param windowSec window width (for alert start/end seconds).
+     */
+    BurnRateMonitor(double target, double windowSec);
+
+    /** Replace the default rules (call before the first addWindow). */
+    void setRules(std::vector<BurnRateRule> rules);
+
+    /** Append the next window's (good, total) counts, in time order. */
+    void addWindow(int64_t good, int64_t total);
+
+    /** Finish the open alert interval, if any (idempotent). */
+    void finish();
+
+    double target() const { return target_; }
+    const std::vector<BurnRateRule> &rules() const { return rules_; }
+    const std::vector<SloAlert> &alerts() const { return alerts_; }
+    const std::vector<BurnPoint> &points() const { return points_; }
+
+    /** Fraction of the total error budget consumed so far. */
+    double budgetConsumed() const;
+
+  private:
+    struct Open
+    {
+        bool active = false;
+        SloAlert alert;
+        int64_t errors = 0;
+        int64_t total = 0;
+    };
+
+    double burnOver(int lookback) const;
+    void evaluate();
+
+    double target_;
+    double windowSec_;
+    double budget_; ///< 1 - target
+    std::vector<BurnRateRule> rules_;
+    std::vector<int64_t> goods_;
+    std::vector<int64_t> totals_;
+    std::vector<BurnPoint> points_;
+    std::vector<SloAlert> alerts_;
+    std::vector<Open> open_; ///< one per rule
+    int64_t cumErrors_ = 0;
+    int64_t cumTotal_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace obs
+} // namespace gnnmark
+
+#endif // GNNMARK_OBS_SLO_HH

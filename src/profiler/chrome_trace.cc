@@ -138,6 +138,36 @@ ChromeTraceWriter::addHostSpans(const std::vector<obs::ThreadSpans> &threads)
     }
 }
 
+void
+ChromeTraceWriter::addRequestLanes(
+    const std::vector<obs::RequestTrace> &traces)
+{
+    // One lane per retained request, in request-id order (the tracer
+    // drains them sorted); tid is just the lane ordinal so ids far
+    // apart stay adjacent in the viewer.
+    int tid = static_cast<int>(requestLaneNames_.size());
+    for (const obs::RequestTrace &trace : traces) {
+        std::string label =
+            strfmt("req %lld", static_cast<long long>(trace.id));
+        if (trace.exemplar)
+            label += " [exemplar]";
+        label += " (" + trace.outcome + ")";
+        requestLaneNames_[tid] = label;
+        for (const obs::RequestSpan &span : trace.spans) {
+            Event event;
+            event.name = span.name;
+            event.category = "request";
+            event.tid = tid;
+            event.startUs = span.startSec * 1e6;
+            event.durationUs = (span.endSec - span.startSec) * 1e6;
+            if (!span.detail.empty())
+                event.args.emplace_back("detail", span.detail);
+            requestEvents_.push_back(std::move(event));
+        }
+        ++tid;
+    }
+}
+
 std::string
 ChromeTraceWriter::json() const
 {
@@ -191,6 +221,16 @@ ChromeTraceWriter::json() const
             meta(2, lane, "thread_name", name);
         for (const Event &event : hostEvents_)
             emit(2, event);
+    }
+
+    // pid 3 runs on simulated *serving* time (request arrivals are
+    // epoch 0), a third clock domain next to device and host.
+    if (!requestEvents_.empty()) {
+        meta(3, 0, "process_name", "serving requests (sim time)");
+        for (const auto &[lane, name] : requestLaneNames_)
+            meta(3, lane, "thread_name", name);
+        for (const Event &event : requestEvents_)
+            emit(3, event);
     }
     os << "\n]}\n";
     return os.str();

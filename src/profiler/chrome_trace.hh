@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/request_trace.hh"
 #include "obs/span.hh"
 #include "sim/kernel_record.hh"
 
@@ -62,8 +63,21 @@ class ChromeTraceWriter : public KernelObserver
      */
     void addHostSpans(const std::vector<obs::ThreadSpans> &threads);
 
+    /**
+     * Merge traced serving requests (ServingSimulator::
+     * drainRequestTraces()) as pid-3 lanes — one lane per request,
+     * labelled "req <id> [exemplar] (<outcome>)", spans on simulated
+     * serving time. Instant marks become zero-width events; span
+     * details ride in args.
+     */
+    void addRequestLanes(const std::vector<obs::RequestTrace> &traces);
+
     /** Number of events collected so far. */
-    size_t eventCount() const { return events_.size() + hostEvents_.size(); }
+    size_t eventCount() const
+    {
+        return events_.size() + hostEvents_.size() +
+               requestEvents_.size();
+    }
 
     /** Render the collected events as a Trace Event JSON document. */
     std::string json() const;
@@ -84,6 +98,8 @@ class ChromeTraceWriter : public KernelObserver
 
     std::vector<Event> events_;
     std::vector<Event> hostEvents_;
+    std::vector<Event> requestEvents_;
+    std::map<int, std::string> requestLaneNames_; ///< tid -> lane label
     std::map<int, std::string> hostLaneNames_; ///< tid -> thread name
     int rank_ = 0;
     std::map<int, double> kernelClockUs_;   ///< per-rank kernel lane end

@@ -40,6 +40,60 @@ struct ReplicaReport
     double cancelledSec = 0;
 };
 
+/**
+ * One tumbling window of the serving timeline. Outcome counts are
+ * attributed to the window the request *arrived* in (each request
+ * lands in exactly one window, so offered == full+fallback+shed+lost
+ * holds per window); latency percentiles cover requests *resolved*
+ * in the window, which is what an operator watching a dashboard sees.
+ */
+struct ServingWindow
+{
+    int64_t index = 0;
+    double startSec = 0;
+    double endSec = 0;
+
+    /** @{ Outcomes by arrival window. */
+    int64_t offered = 0;
+    int64_t sloMet = 0;
+    int64_t full = 0;
+    int64_t fallback = 0;
+    int64_t shed = 0;
+    int64_t lost = 0;
+    /** @} */
+
+    /** @{ Latency of requests resolved in this window, ms. */
+    int64_t resolved = 0;
+    double p50Ms = 0;
+    double p95Ms = 0;
+    double p99Ms = 0;
+    /** @} */
+
+    /** sloMet / window width. */
+    double goodputPerSec = 0;
+    /** Queue depth sampled at each arrival in the window. */
+    double queueDepthMean = 0;
+    double queueDepthMax = 0;
+
+    /** This window's error-budget burn rate. */
+    double burnRate = 0;
+    /** Cumulative fraction of the error budget spent. */
+    double budgetConsumed = 0;
+};
+
+/** A burn-rate alert interval (consecutive firing windows). */
+struct ServingAlert
+{
+    std::string rule;
+    std::string severity;
+    int64_t startWindow = 0;
+    int64_t endWindow = 0; ///< inclusive
+    double startSec = 0;
+    double endSec = 0;
+    double peakBurn = 0;
+    double errorFraction = 0;
+};
+
 /** Aggregate results of one serving simulation. */
 struct ServingReport
 {
@@ -104,6 +158,21 @@ struct ServingReport
     double horizonSec = 0;
 
     std::vector<ReplicaReport> perReplica;
+
+    /** @{ Windowed timeline (empty when windowSec == 0). */
+    double windowSec = 0;
+    double sloTarget = 0;
+    /** Total error budget consumed over the run. */
+    double budgetConsumed = 0;
+    std::vector<ServingWindow> windows;
+    std::vector<ServingAlert> alerts;
+    /** @} */
+
+    /** @{ Request tracing (sampleEvery == 0 when disabled). */
+    int64_t traceSampleEvery = 0;
+    /** Requests whose span chains were kept (sampled + exemplars). */
+    int64_t tracedRequests = 0;
+    /** @} */
 };
 
 } // namespace serve

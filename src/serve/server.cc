@@ -6,6 +6,7 @@
 
 #include "base/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/slo.hh"
 
 namespace gnnmark {
 namespace serve {
@@ -43,6 +44,20 @@ ServingSimulator::ServingSimulator(BatchCostTable table,
         replicas_[r].breaker = CircuitBreaker(opt_.breaker);
         replicas_[r].stats.replica = r;
     }
+    if (opt_.windowSec > 0) {
+        latencyWin_ = std::make_unique<obs::WindowedSeries>(opt_.windowSec);
+        queueWin_ = std::make_unique<obs::WindowedSeries>(opt_.windowSec);
+    }
+    if (opt_.traceSampleEvery > 0)
+        tracer_ = std::make_unique<obs::RequestTracer>(opt_.traceSampleEvery);
+}
+
+int64_t
+ServingSimulator::windowIndex(double t) const
+{
+    if (t < 0)
+        t = 0;
+    return static_cast<int64_t>(std::floor(t / opt_.windowSec));
 }
 
 void
@@ -61,6 +76,42 @@ ServingSimulator::resolve(int64_t req, Outcome outcome, double now)
     s.outcome = outcome;
     s.doneSec = now;
     horizon_ = std::max(horizon_, now);
+    const bool metSlo =
+        outcome == Outcome::Full && now <= requests_[req].deadlineSec;
+    if (latencyWin_) {
+        // Outcomes tally into the request's *arrival* window (each
+        // request exactly once → per-window conservation holds);
+        // latency lands in the *resolve* window, what a dashboard
+        // tailing completions would plot.
+        WindowCounts &wc =
+            winCounts_[windowIndex(requests_[req].arrivalSec)];
+        ++wc.offered;
+        if (metSlo)
+            ++wc.sloMet;
+        switch (outcome) {
+          case Outcome::Full:
+            ++wc.full;
+            break;
+          case Outcome::Fallback:
+            ++wc.fallback;
+            break;
+          case Outcome::Shed:
+            ++wc.shed;
+            break;
+          case Outcome::Lost:
+            ++wc.lost;
+            break;
+        }
+        if (outcome == Outcome::Full || outcome == Outcome::Fallback) {
+            latencyWin_->observe(
+                now, (now - requests_[req].arrivalSec) * 1e3);
+        }
+    }
+    if (tracer_) {
+        if (outcome == Outcome::Shed || outcome == Outcome::Lost)
+            tracer_->retain(req);
+        tracer_->finish(req, outcomeName(outcome));
+    }
     switch (outcome) {
       case Outcome::Full:
         ++full_;
@@ -108,6 +159,11 @@ ServingSimulator::retryOrDegrade(int64_t req, double now)
             now + delay + table_.costSec(1) <= r.deadlineSec;
         if (feasible || !opt_.shedEnabled) {
             ++retries_;
+            if (tracer_) {
+                tracer_->addSpan(req, "backoff", now, now + delay,
+                                 "attempt=" +
+                                     std::to_string(r.attempts));
+            }
             push(now + delay, EvType::Retry, req);
             return;
         }
@@ -151,12 +207,22 @@ ServingSimulator::admit(int64_t req, double now)
                          queuedBatches * table_.costSec(opt_.maxBatch)) /
                             healthy;
         if (finishEst > r.deadlineSec) {
+            if (tracer_)
+                tracer_->addMark(req, "admission_reject", now);
             degrade(req, Outcome::Shed, now);
+            if (queueWin_)
+                queueWin_->observe(
+                    now, static_cast<double>(queue_.size()));
             return;
         }
     }
+    states_[req].enqueueSec = now;
+    if (tracer_)
+        tracer_->addMark(req, "admit", now);
     queue_.push_back(req);
     tryDispatch(now);
+    if (queueWin_)
+        queueWin_->observe(now, static_cast<double>(queue_.size()));
 }
 
 bool
@@ -252,7 +318,12 @@ ServingSimulator::tryDispatch(double now)
         Group g;
         g.requests.reserve(size);
         for (int i = 0; i < size; ++i) {
-            g.requests.push_back(queue_.front());
+            const int64_t req = queue_.front();
+            if (tracer_) {
+                tracer_->addSpan(req, "queue_wait",
+                                 states_[req].enqueueSec, now);
+            }
+            g.requests.push_back(req);
             queue_.pop_front();
         }
         const int64_t gid = static_cast<int64_t>(groups_.size());
@@ -274,6 +345,14 @@ ServingSimulator::cancelBatch(Batch &batch, double now)
     replicas_[batch.replica].stats.cancelledSec +=
         now - batch.dispatchSec;
     ++replicas_[batch.replica].stats.batchesCancelled;
+    if (tracer_) {
+        const std::string detail =
+            "replica=" + std::to_string(batch.replica) +
+            (batch.isHedge ? " hedge" : " primary");
+        for (int64_t req : groups_[batch.group].requests)
+            tracer_->addSpan(req, "cancelled", batch.dispatchSec, now,
+                             detail);
+    }
 }
 
 void
@@ -297,6 +376,18 @@ ServingSimulator::onBatchDone(int64_t id, double now)
     if (b.isHedge)
         ++hedgeWins_;
 
+    if (tracer_) {
+        const std::string detail =
+            "replica=" + std::to_string(b.replica) +
+            " batch=" + std::to_string(b.id) +
+            (b.isHedge ? " hedge" : "");
+        for (int64_t req : g.requests) {
+            tracer_->addSpan(req, "infer", b.dispatchSec, now, detail);
+            if (b.isHedge)
+                tracer_->retain(req); // hedge-won exemplar
+        }
+    }
+
     // First completion wins: the sibling's in-flight work is
     // cancelled and never produces a second answer.
     const int64_t sibId = b.isHedge ? g.primary : g.hedge;
@@ -319,6 +410,14 @@ ServingSimulator::onBatchTimeout(int64_t id, double now)
     ++replicas_[b.replica].stats.timeouts;
     if (opt_.breakerEnabled)
         replicas_[b.replica].breaker.onTimeout(now);
+    if (tracer_) {
+        const std::string detail =
+            "replica=" + std::to_string(b.replica);
+        for (int64_t req : groups_[b.group].requests) {
+            tracer_->addMark(req, "timeout", now, detail);
+            tracer_->retain(req); // timed-out exemplar
+        }
+    }
 
     Group &g = groups_[b.group];
     const int64_t sibId = b.isHedge ? g.primary : g.hedge;
@@ -354,6 +453,12 @@ ServingSimulator::onHedgeCheck(int64_t id, double now)
         return;
     }
     ++hedges_;
+    if (tracer_) {
+        const std::string detail =
+            "replica=" + std::to_string(freeReplica);
+        for (int64_t req : g.requests)
+            tracer_->addMark(req, "hedge_launch", now, detail);
+    }
     g.hedge = launchBatch(g.requests, freeReplica, b.group,
                           /*hedge=*/true, now);
 }
@@ -379,11 +484,16 @@ ServingSimulator::run()
         events_.pop();
         switch (ev.type) {
           case EvType::Arrival:
+            if (tracer_)
+                tracer_->addMark(ev.a, "arrival", ev.t);
             admit(ev.a, ev.t);
             break;
           case EvType::Retry:
-            if (!states_[ev.a].resolved)
+            if (!states_[ev.a].resolved) {
+                if (tracer_)
+                    tracer_->addMark(ev.a, "retry_admit", ev.t);
                 admit(ev.a, ev.t);
+            }
             break;
           case EvType::BatchDone:
             onBatchDone(ev.a, ev.t);
@@ -492,7 +602,83 @@ ServingSimulator::buildReport()
         horizon_ > 0 ? (rep.busySec + rep.cancelledSec) /
                            (horizon_ * opt_.replicas)
                      : 0;
+
+    buildTimeline(rep);
+    if (tracer_) {
+        rep.traceSampleEvery = tracer_->sampleEvery();
+        rep.tracedRequests = tracer_->tracedCount();
+    }
     return rep;
+}
+
+void
+ServingSimulator::buildTimeline(ServingReport &rep)
+{
+    if (!latencyWin_)
+        return;
+    rep.windowSec = opt_.windowSec;
+    rep.sloTarget = opt_.sloTarget;
+
+    // Cover the configured duration even if the run went quiet early,
+    // and the full tail if resolutions ran past it.
+    const double hor = std::max(horizon_, opt_.traffic.durationSec);
+    const std::vector<obs::WindowStats> lat = latencyWin_->series(hor);
+    const std::vector<obs::WindowStats> qd = queueWin_->series(hor);
+    GNN_ASSERT(lat.size() == qd.size(),
+               "timeline series disagree on window count");
+
+    obs::BurnRateMonitor monitor(opt_.sloTarget, opt_.windowSec);
+    rep.windows.reserve(lat.size());
+    for (size_t i = 0; i < lat.size(); ++i) {
+        ServingWindow w;
+        w.index = lat[i].index;
+        w.startSec = lat[i].startSec;
+        w.endSec = lat[i].endSec;
+        auto it = winCounts_.find(w.index);
+        if (it != winCounts_.end()) {
+            w.offered = it->second.offered;
+            w.sloMet = it->second.sloMet;
+            w.full = it->second.full;
+            w.fallback = it->second.fallback;
+            w.shed = it->second.shed;
+            w.lost = it->second.lost;
+        }
+        w.resolved = lat[i].count;
+        w.p50Ms = lat[i].p50;
+        w.p95Ms = lat[i].p95;
+        w.p99Ms = lat[i].p99;
+        w.goodputPerSec = static_cast<double>(w.sloMet) / opt_.windowSec;
+        w.queueDepthMean = qd[i].mean();
+        w.queueDepthMax = qd[i].maxValue;
+
+        monitor.addWindow(w.sloMet, w.offered);
+        const obs::BurnPoint &p = monitor.points().back();
+        w.burnRate = p.burnRate;
+        w.budgetConsumed = p.budgetConsumed;
+        rep.windows.push_back(w);
+    }
+    monitor.finish();
+    rep.budgetConsumed = monitor.budgetConsumed();
+    for (const obs::SloAlert &a : monitor.alerts()) {
+        ServingAlert out;
+        out.rule = a.rule;
+        out.severity = a.severity;
+        out.startWindow = a.startWindow;
+        out.endWindow = a.endWindow;
+        out.startSec = a.startSec;
+        out.endSec = a.endSec;
+        out.peakBurn = a.peakBurn;
+        out.errorFraction = a.errorFraction;
+        rep.alerts.push_back(out);
+    }
+}
+
+std::vector<obs::RequestTrace>
+ServingSimulator::drainRequestTraces()
+{
+    if (!tracer_)
+        return {};
+    return tracer_->drain();
 }
 
 void
@@ -517,14 +703,22 @@ ServingSimulator::mirrorMetrics(const ServingReport &rep)
     m.add("serve.batches", static_cast<double>(rep.batches));
     for (double ms : latenciesMs_)
         m.observe("serve.latency_ms", ms);
+    // Breaker state as a bounded gauge set: replica counts per state
+    // instead of one gauge per replica, so metric cardinality stays
+    // flat however many replicas a run configures.
+    int64_t closed = 0, halfOpen = 0, open = 0;
     for (const ReplicaReport &r : rep.perReplica) {
-        // 0 = closed, 1 = half-open, 2 = open.
-        double state = r.breakerFinal == "open"
-                           ? 2
-                           : (r.breakerFinal == "half_open" ? 1 : 0);
-        m.setGauge("serve.breaker.r" + std::to_string(r.replica),
-                   state);
+        if (r.breakerFinal == "open")
+            ++open;
+        else if (r.breakerFinal == "half_open")
+            ++halfOpen;
+        else
+            ++closed;
     }
+    m.setGauge("serve.breaker.closed", static_cast<double>(closed));
+    m.setGauge("serve.breaker.half_open",
+               static_cast<double>(halfOpen));
+    m.setGauge("serve.breaker.open", static_cast<double>(open));
 }
 
 } // namespace serve

@@ -39,10 +39,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "obs/request_trace.hh"
+#include "obs/window.hh"
 #include "serve/cache.hh"
 #include "serve/cost_model.hh"
 #include "serve/policies.hh"
@@ -92,6 +96,22 @@ struct ServeOptions
 
     /** Mirror final counters/latencies into obs::Metrics. */
     bool mirrorMetrics = true;
+
+    /**
+     * Tumbling-window width for the timeline sections of the report
+     * (latency/goodput/queue-depth series + burn-rate alerts).
+     * 0 disables windowing entirely and the report stays byte-
+     * identical to a pre-windowing run.
+     */
+    double windowSec = 0;
+    /** SLO availability target for burn-rate alerting. */
+    double sloTarget = 0.99;
+    /**
+     * Trace every Nth request's span chain (0 disables tracing).
+     * Shed, timed-out and hedge-won requests are always kept as
+     * exemplars when tracing is on.
+     */
+    int64_t traceSampleEvery = 0;
 };
 
 /** Runs one serving simulation; see the file doc for the model. */
@@ -102,6 +122,13 @@ class ServingSimulator
 
     /** Execute the full event loop and aggregate the report. */
     ServingReport run();
+
+    /**
+     * Retained request traces (run() must have completed), ascending
+     * by request id — feed them to ChromeTraceWriter::addRequestLanes.
+     * Empty when traceSampleEvery == 0.
+     */
+    std::vector<obs::RequestTrace> drainRequestTraces();
 
   private:
     enum class EvType : uint8_t
@@ -159,6 +186,19 @@ class ServingSimulator
         bool resolved = false;
         Outcome outcome = Outcome::Lost;
         double doneSec = 0;
+        /** When the request last joined the central queue. */
+        double enqueueSec = 0;
+    };
+
+    /** Per-arrival-window outcome tallies (windowed runs only). */
+    struct WindowCounts
+    {
+        int64_t offered = 0;
+        int64_t sloMet = 0;
+        int64_t full = 0;
+        int64_t fallback = 0;
+        int64_t shed = 0;
+        int64_t lost = 0;
     };
 
     struct Replica
@@ -188,6 +228,9 @@ class ServingSimulator
 
     ServingReport buildReport();
     void mirrorMetrics(const ServingReport &report);
+    /** Arrival-window index for a time (windowed runs only). */
+    int64_t windowIndex(double t) const;
+    void buildTimeline(ServingReport &rep);
 
     BatchCostTable table_;
     ServeOptions opt_;
@@ -212,6 +255,15 @@ class ServingSimulator
     int64_t batchSizeSum_ = 0;
     double horizon_ = 0;
     /** @} */
+
+    /** @{ Windowed observability (null when windowSec == 0). */
+    std::unique_ptr<obs::WindowedSeries> latencyWin_; ///< resolve time, ms
+    std::unique_ptr<obs::WindowedSeries> queueWin_;   ///< arrival depth
+    std::map<int64_t, WindowCounts> winCounts_;       ///< by arrival window
+    /** @} */
+
+    /** Request-scoped tracer (null when traceSampleEvery == 0). */
+    std::unique_ptr<obs::RequestTracer> tracer_;
 };
 
 } // namespace serve

@@ -160,3 +160,61 @@ TEST(StreamTrain, HandlesTinyStreams)
     EXPECT_EQ(result.batches, 3);
     EXPECT_EQ(result.edgesConsumed, 12);
 }
+
+TEST(StreamTrain, WindowedSeriesCoverEveryChunk)
+{
+    GeneratorConfig cfg = trainConfig();
+    gen::ChunkedEdgeStream stream(cfg);
+    gen::StreamTrainOptions opts;
+    opts.windowChunks = 2;
+    const gen::StreamTrainResult result =
+        gen::streamTrain(stream, opts);
+    ASSERT_FALSE(result.edgeWindows.empty());
+    EXPECT_EQ(result.edgeWindows.size(), result.lossWindows.size());
+
+    int64_t chunks = 0;
+    double edges = 0;
+    for (const obs::WindowStats &w : result.edgeWindows) {
+        EXPECT_LE(w.count, opts.windowChunks);
+        chunks += w.count;
+        edges += w.sum;
+    }
+    EXPECT_EQ(chunks, result.chunks);
+    EXPECT_DOUBLE_EQ(edges,
+                     static_cast<double>(result.edgesConsumed));
+    // Loss windows carry real values inside [min, max].
+    for (const obs::WindowStats &w : result.lossWindows) {
+        if (w.count == 0)
+            continue;
+        EXPECT_GT(w.minValue, 0);
+        EXPECT_LE(w.minValue, w.maxValue);
+        EXPECT_GE(w.mean(), w.minValue);
+        EXPECT_LE(w.mean(), w.maxValue);
+    }
+}
+
+TEST(StreamTrain, WindowedSeriesDeterministicAcrossStreams)
+{
+    const GeneratorConfig cfg = trainConfig();
+    gen::StreamTrainOptions opts;
+    opts.windowChunks = 3;
+    gen::ChunkedEdgeStream s1(cfg), s2(cfg);
+    const gen::StreamTrainResult a = gen::streamTrain(s1, opts);
+    const gen::StreamTrainResult b = gen::streamTrain(s2, opts);
+    ASSERT_EQ(a.lossWindows.size(), b.lossWindows.size());
+    for (size_t i = 0; i < a.lossWindows.size(); ++i) {
+        EXPECT_EQ(a.lossWindows[i].count, b.lossWindows[i].count);
+        EXPECT_DOUBLE_EQ(a.lossWindows[i].sum, b.lossWindows[i].sum);
+        EXPECT_DOUBLE_EQ(a.edgeWindows[i].sum, b.edgeWindows[i].sum);
+    }
+}
+
+TEST(StreamTrain, WindowsOffByDefault)
+{
+    GeneratorConfig cfg = trainConfig();
+    gen::ChunkedEdgeStream stream(cfg);
+    const gen::StreamTrainResult result =
+        gen::streamTrain(stream, gen::StreamTrainOptions{});
+    EXPECT_TRUE(result.edgeWindows.empty());
+    EXPECT_TRUE(result.lossWindows.empty());
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -154,4 +155,70 @@ TEST(BenchCompare, SelfDiffOfARealTelemetryFileIsExact)
     EXPECT_TRUE(r.ok());
     EXPECT_EQ(r.comparedKeys, 2); // iteration index + sim time
     EXPECT_EQ(r.ignoredKeys, 2);  // host_time_us on both sides
+}
+
+TEST(BenchCompare, CollapseHistogramBucketsDerivesPercentiles)
+{
+    // 90 observations in bucket 32 (~1.4) and 10 in bucket 35 (~11.3):
+    // p50 reads bucket 32, p95/p99 read bucket 35.
+    std::map<std::string, double> flat = {
+        {"m.serve.metrics.histograms.lat.32", 90},
+        {"m.serve.metrics.histograms.lat.35", 10},
+        {"m.serve.metrics.counters.hits", 7},
+    };
+    const std::map<std::string, double> out =
+        obs::collapseHistogramBuckets(flat);
+    EXPECT_EQ(out.count("m.serve.metrics.histograms.lat.32"), 0u);
+    EXPECT_DOUBLE_EQ(out.at("m.serve.metrics.histograms.lat.count"),
+                     100);
+    EXPECT_DOUBLE_EQ(out.at("m.serve.metrics.histograms.lat.p50"),
+                     std::exp2(32 - 31.5));
+    EXPECT_DOUBLE_EQ(out.at("m.serve.metrics.histograms.lat.p95"),
+                     std::exp2(35 - 31.5));
+    // Bucket 0 (v <= 0) reads as exactly 0.
+    const std::map<std::string, double> zeros =
+        obs::collapseHistogramBuckets(
+            {{"x.histograms.h.0", 5}});
+    EXPECT_DOUBLE_EQ(zeros.at("x.histograms.h.p99"), 0);
+    // Non-bucket keys pass through untouched.
+    EXPECT_DOUBLE_EQ(out.at("m.serve.metrics.counters.hits"), 7);
+}
+
+TEST(BenchCompare, HistogramPercentilesToleranceAllowsOneBucketDrift)
+{
+    // Same count, percentile one bucket apart: relative error 0.5
+    // exactly, which the default histogramTolerance accepts.
+    std::map<std::string, double> base = {
+        {"r.histograms.lat.32", 100}};
+    std::map<std::string, double> oneOff = {
+        {"r.histograms.lat.33", 100}};
+    obs::CompareOptions opts;
+    opts.histogramPercentiles = true;
+    EXPECT_TRUE(compareMetricMaps(base, oneOff, opts).ok());
+
+    // Two buckets of drift (4x) exceeds it.
+    std::map<std::string, double> twoOff = {
+        {"r.histograms.lat.34", 100}};
+    const obs::CompareResult bad =
+        compareMetricMaps(base, twoOff, opts);
+    EXPECT_FALSE(bad.ok());
+
+    // A count change still fails under the default exact tolerance
+    // even when the percentiles agree.
+    std::map<std::string, double> extra = {
+        {"r.histograms.lat.32", 101}};
+    EXPECT_FALSE(compareMetricMaps(base, extra, opts).ok());
+}
+
+TEST(BenchCompare, RawBucketCompareStillFailsOnOneBucketDrift)
+{
+    // Without --hist-pct the same one-bucket drift is a missing/extra
+    // key pair — the exact failure mode the derived mode exists to
+    // forgive.
+    std::map<std::string, double> base = {
+        {"r.histograms.lat.32", 100}};
+    std::map<std::string, double> oneOff = {
+        {"r.histograms.lat.33", 100}};
+    obs::CompareOptions opts;
+    EXPECT_FALSE(compareMetricMaps(base, oneOff, opts).ok());
 }

@@ -87,3 +87,41 @@ TEST(JsonFlatten, NumericLeavesBecomeDottedPaths)
     EXPECT_DOUBLE_EQ(flat.at("arr.1.x"), 7);
     EXPECT_DOUBLE_EQ(flat.at("flag"), 1);
 }
+
+TEST(JsonEscape, Utf8BytesPassThroughUntouched)
+{
+    // Multi-byte UTF-8 sequences are >= 0x80 per byte, so the control
+    // escape must never fire on them (a signed-char comparison would).
+    const std::string snowman = "\xe2\x98\x83";
+    EXPECT_EQ(obs::jsonEscape(snowman), snowman);
+    EXPECT_EQ(obs::jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonEscape, AllControlBytesBecomeUnicodeEscapes)
+{
+    for (int c = 1; c < 0x20; ++c) {
+        if (c == '\n' || c == '\t' || c == '\r')
+            continue; // short escapes, covered above
+        const std::string escaped =
+            obs::jsonEscape(std::string(1, static_cast<char>(c)));
+        ASSERT_EQ(escaped.size(), 6u) << "byte " << c;
+        EXPECT_EQ(escaped.substr(0, 2), "\\u") << "byte " << c;
+        // Round-trip through the parser restores the original byte.
+        const obs::JsonValue doc =
+            obs::parseJson("\"" + escaped + "\"");
+        EXPECT_EQ(doc.string, std::string(1, static_cast<char>(c)))
+            << "byte " << c;
+    }
+}
+
+TEST(JsonWriter, EscapesKeysAndValuesSymmetrically)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("a\"b").value("c\\d\ne");
+    w.endObject();
+    const obs::JsonValue doc = obs::parseJson(w.str());
+    const obs::JsonValue *v = doc.find("a\"b");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->string, "c\\d\ne");
+}

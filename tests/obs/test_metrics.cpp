@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "base/thread_pool.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 
 using namespace gnnmark;
 
@@ -98,4 +103,72 @@ TEST_F(MetricsTest, ShardsSumAcrossPoolThreads)
                          m.add("test.parallel");
                  });
     EXPECT_DOUBLE_EQ(m.snapshot().counters.at("test.parallel"), 1000);
+}
+
+TEST_F(MetricsTest, NonFiniteGaugesAreRejected)
+{
+    obs::Metrics &m = obs::Metrics::instance();
+    m.setGauge("test.bad", std::nan(""));
+    EXPECT_EQ(m.snapshot().gauges.count("test.bad"), 0u);
+    // A rejected write never clobbers the last good value.
+    m.setGauge("test.mixed", 3.0);
+    m.setGauge("test.mixed",
+               std::numeric_limits<double>::infinity());
+    m.setGauge("test.mixed",
+               -std::numeric_limits<double>::infinity());
+    EXPECT_DOUBLE_EQ(m.snapshot().gauges.at("test.mixed"), 3.0);
+}
+
+TEST_F(MetricsTest, CardinalityLimitAliasesOverflowNames)
+{
+    obs::Metrics &m = obs::Metrics::instance();
+    // The registry keeps interned names across reset(), so size the
+    // limit relative to what this process already registered.
+    const obs::MetricsSnapshot before = m.snapshot();
+    const size_t used = before.counters.size() +
+                        before.histograms.size() +
+                        before.gauges.size();
+    m.setCardinalityLimit(used + 2);
+
+    m.add("test.card.a");     // fits
+    m.add("test.card.b");     // fills the registry
+    m.add("test.card.c", 5);  // overflows -> obs.dropped_names
+    m.observe("test.card.h", 1.0); // overflows too
+    m.setGauge("test.card.g", 1.0); // new gauge: discarded
+
+    const obs::MetricsSnapshot snap = m.snapshot();
+    EXPECT_EQ(snap.counters.count("test.card.a"), 1u);
+    EXPECT_EQ(snap.counters.count("test.card.c"), 0u);
+    EXPECT_DOUBLE_EQ(snap.counters.at("obs.dropped_names"), 5);
+    EXPECT_EQ(snap.histograms.count("test.card.h"), 0u);
+    EXPECT_EQ(snap.gauges.count("test.card.g"), 0u);
+    EXPECT_GE(m.droppedNames(), 3);
+
+    // Existing names keep working at capacity.
+    m.add("test.card.a", 2);
+    EXPECT_DOUBLE_EQ(m.snapshot().counters.at("test.card.a"), 3);
+}
+
+TEST_F(MetricsTest, SnapshotSerializesEmptyHistogramAsEmptyArray)
+{
+    obs::Metrics &m = obs::Metrics::instance();
+    // Intern a histogram name without observations (reset() keeps the
+    // name but zeroes the buckets) plus one with a single bucket.
+    m.observe("test.empty", 1.0);
+    m.reset();
+    m.observe("test.one", 1.0);
+
+    obs::JsonWriter w;
+    obs::writeMetricsSnapshot(w, m.snapshot());
+    const obs::JsonValue doc = obs::parseJson(w.str());
+    const obs::JsonValue *hists = doc.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const obs::JsonValue *empty = hists->find("test.empty");
+    ASSERT_NE(empty, nullptr);
+    EXPECT_TRUE(empty->isArray());
+    EXPECT_TRUE(empty->array.empty());
+    // Trailing zero buckets are trimmed, not padded to 64 entries.
+    const obs::JsonValue *one = hists->find("test.one");
+    ASSERT_NE(one, nullptr);
+    EXPECT_EQ(one->array.size(), 33u); // buckets 0..32
 }

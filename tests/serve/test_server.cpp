@@ -279,3 +279,127 @@ TEST(ServingSimulatorDeath, RejectsBrokenConfigs)
     opt.maxBatch = 0;
     EXPECT_DEATH(ServingSimulator(flatTable(), opt), "maxBatch");
 }
+
+TEST(ServingSimulator, WindowedTimelineConservesPerWindowCounts)
+{
+    ServeOptions opt = baseOptions();
+    opt.windowSec = 0.05;
+    const ServingReport rep =
+        ServingSimulator(flatTable(), opt).run();
+    ASSERT_FALSE(rep.windows.empty());
+    EXPECT_DOUBLE_EQ(rep.windowSec, 0.05);
+
+    // Outcomes are attributed to the arrival window, so each window
+    // conserves exactly and the whole series sums to the run totals.
+    int64_t offered = 0, full = 0, shed = 0, lost = 0, fallback = 0;
+    for (const ServingWindow &w : rep.windows) {
+        EXPECT_EQ(w.full + w.fallback + w.shed + w.lost, w.offered)
+            << "window " << w.index;
+        EXPECT_DOUBLE_EQ(w.startSec, w.index * rep.windowSec);
+        offered += w.offered;
+        full += w.full;
+        shed += w.shed;
+        lost += w.lost;
+        fallback += w.fallback;
+    }
+    EXPECT_EQ(offered, rep.offered);
+    EXPECT_EQ(full, rep.full);
+    EXPECT_EQ(shed, rep.shed);
+    EXPECT_EQ(lost, rep.lost);
+    EXPECT_EQ(fallback, rep.fallback);
+}
+
+TEST(ServingSimulator, WindowedTimelineIsStableAcrossRuns)
+{
+    ServeOptions opt = baseOptions();
+    opt.windowSec = 0.02;
+    opt.traceSampleEvery = 8;
+    opt.faults = FaultPlan({straggler(0, 0.05, 0.1, 6.0)});
+    const std::string a = reports::servingJson(
+        ServingSimulator(flatTable(), opt).run());
+    const std::string b = reports::servingJson(
+        ServingSimulator(flatTable(), opt).run());
+    EXPECT_EQ(a, b);
+}
+
+TEST(ServingSimulator, StragglerFaultRaisesBurnAlertOverlappingFault)
+{
+    ServeOptions opt = baseOptions();
+    opt.traffic.durationSec = 0.4;
+    opt.windowSec = 0.02;
+    opt.sloTarget = 0.99;
+    opt.traffic.sloSec = 0.005;
+    // The whole pool 10x slow over [0.1, 0.3): every request in the
+    // fault interval blows the 5 ms SLO, so the burn-rate monitor
+    // must raise at least one alert overlapping it.
+    opt.faults = FaultPlan({straggler(0, 0.1, 0.2, 10.0),
+                            straggler(1, 0.1, 0.2, 10.0)});
+    const ServingReport rep =
+        ServingSimulator(flatTable(), opt).run();
+    ASSERT_FALSE(rep.alerts.empty());
+    bool overlaps = false;
+    for (const ServingAlert &a : rep.alerts)
+        overlaps = overlaps || (a.startSec < 0.3 && a.endSec > 0.1);
+    EXPECT_TRUE(overlaps);
+    EXPECT_GT(rep.budgetConsumed, 1.0);
+}
+
+TEST(ServingSimulator, HealthyRunRaisesNoAlerts)
+{
+    ServeOptions opt = baseOptions();
+    opt.windowSec = 0.02;
+    const ServingReport rep =
+        ServingSimulator(flatTable(), opt).run();
+    EXPECT_TRUE(rep.alerts.empty());
+    // Every request meets the SLO, so goodput accounts for them all.
+    int64_t sloMet = 0;
+    for (const ServingWindow &w : rep.windows)
+        sloMet += w.sloMet;
+    EXPECT_EQ(sloMet, rep.offered);
+}
+
+TEST(ServingSimulator, RequestTracesFollowSamplingAndExemplars)
+{
+    ServeOptions opt = baseOptions();
+    opt.traceSampleEvery = 16;
+    opt.traffic.durationSec = 0.3;
+    // Straggler + overload produce shed/timeout exemplars.
+    opt.traffic.ratePerSec = 6000;
+    opt.faults = FaultPlan({straggler(0, 0.05, 0.2, 8.0)});
+    ServingSimulator sim(flatTable(), opt);
+    const ServingReport rep = sim.run();
+    const std::vector<obs::RequestTrace> traces =
+        sim.drainRequestTraces();
+    ASSERT_FALSE(traces.empty());
+    EXPECT_EQ(rep.tracedRequests,
+              static_cast<int64_t>(traces.size()));
+
+    bool sawExemplar = false;
+    for (size_t i = 0; i < traces.size(); ++i) {
+        if (i > 0)
+            EXPECT_LT(traces[i - 1].id, traces[i].id);
+        const obs::RequestTrace &t = traces[i];
+        if (!t.exemplar)
+            EXPECT_EQ(t.id % opt.traceSampleEvery, 0);
+        sawExemplar = sawExemplar || t.exemplar;
+        ASSERT_FALSE(t.spans.empty());
+        EXPECT_EQ(t.spans.front().name, "arrival");
+        for (const obs::RequestSpan &s : t.spans)
+            EXPECT_GE(s.endSec, s.startSec);
+    }
+    EXPECT_TRUE(sawExemplar);
+
+    // A second drain returns nothing.
+    EXPECT_TRUE(sim.drainRequestTraces().empty());
+}
+
+TEST(ServingSimulator, TimelineAndTracingStayOffByDefault)
+{
+    ServingSimulator sim(flatTable(), baseOptions());
+    const ServingReport rep = sim.run();
+    EXPECT_TRUE(rep.windows.empty());
+    EXPECT_TRUE(rep.alerts.empty());
+    EXPECT_DOUBLE_EQ(rep.windowSec, 0);
+    EXPECT_EQ(rep.traceSampleEvery, 0);
+    EXPECT_TRUE(sim.drainRequestTraces().empty());
+}

@@ -258,3 +258,45 @@ TEST(ChromeTrace, MirrorDeviceLanesCopiesRankZero)
     EXPECT_NE(doc.find("\"name\":\"kernels rank 2\""),
               std::string::npos);
 }
+
+TEST(ChromeTrace, RequestLanesLandOnTheirOwnProcess)
+{
+    ChromeTraceWriter writer;
+    writer.onKernel(kernel("gemm_a", 10e-6));
+
+    std::vector<obs::RequestTrace> traces(2);
+    traces[0].id = 32;
+    traces[0].outcome = "full";
+    traces[0].spans.push_back({"arrival", 0.010, 0.010, ""});
+    traces[0].spans.push_back({"infer", 0.011, 0.013, "replica=1"});
+    traces[1].id = 45;
+    traces[1].outcome = "shed";
+    traces[1].exemplar = true;
+    traces[1].spans.push_back({"admission_reject", 0.020, 0.020, ""});
+    writer.addRequestLanes(traces);
+    EXPECT_EQ(writer.eventCount(), 4u);
+
+    const std::string doc = writer.json();
+    const obs::JsonValue parsed = obs::parseJson(doc);
+    ASSERT_TRUE(parsed.find("traceEvents")->isArray());
+
+    // Each request gets a named lane on pid 3; exemplars say so.
+    EXPECT_NE(doc.find("\"serving requests (sim time)\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"req 32 (full)\""), std::string::npos);
+    EXPECT_NE(doc.find("\"req 45 [exemplar] (shed)\""),
+              std::string::npos);
+    // Spans carry simulated-time microseconds and their detail.
+    EXPECT_NE(doc.find("\"cat\":\"request\""), std::string::npos);
+    EXPECT_NE(doc.find("\"replica=1\""), std::string::npos);
+    // Device events stay on pid 1, requests on pid 3.
+    EXPECT_NE(doc.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(ChromeTrace, NoRequestLanesMeansNoThirdProcess)
+{
+    ChromeTraceWriter writer;
+    writer.onKernel(kernel("gemm_a", 10e-6));
+    writer.addRequestLanes({});
+    EXPECT_EQ(writer.json().find("\"pid\":3"), std::string::npos);
+}

@@ -43,6 +43,12 @@ usage()
         "                      for several prefixes)\n"
         "  --ignore SUBSTR     skip keys containing SUBSTR (repeatable;\n"
         "                      wall_time / host_ are always skipped)\n"
+        "  --hist-pct          compare histograms via derived\n"
+        "                      count/p50/p95/p99 keys instead of raw\n"
+        "                      bucket-by-bucket counts\n"
+        "  --hist-tol F        relative tolerance for the derived\n"
+        "                      percentile keys (default 0.5 = one log2\n"
+        "                      bucket of drift)\n"
         "  --allow-missing     keys present on one side only are not\n"
         "                      failures\n"
         "  --quiet             print nothing on success\n"
@@ -81,6 +87,10 @@ main(int argc, char **argv)
                 std::atof(spec.c_str() + eq + 1);
         } else if (a == "--ignore") {
             opts.ignoreSubstrings.push_back(next());
+        } else if (a == "--hist-pct") {
+            opts.histogramPercentiles = true;
+        } else if (a == "--hist-tol") {
+            opts.histogramTolerance = std::atof(next());
         } else if (a == "--allow-missing") {
             opts.allowMissing = true;
         } else if (a == "--quiet") {

@@ -17,7 +17,8 @@
  *                 [--batch-max K] [--faults SCENARIO] [--plan FILE]
  *                 [--save-plan FILE] [--hedge on|off] [--shed on|off]
  *                 [--fallback on|off] [--seed N] [--json]
- *                 [--telemetry PATH]
+ *                 [--telemetry PATH] [--window MS] [--slo-target F]
+ *                 [--trace-requests [N]] [--chrome-trace PATH]
  *   gnnmark trace record <workload> [--out PATH] [--scale S] [--iters N]
  *   gnnmark trace replay <file> [--l2 MIB] [--l1 KIB] [--sms N]
  *                               [--chrome-trace PATH]
@@ -28,7 +29,8 @@
  *   gnnmark gen --family rmat|rgg2d|hyperbolic|grid2d [--n N] [--m M]
  *               [--degree D] [--chunks C] [--lookahead L] [--seed N]
  *               [--gamma G] [--grid-rows R] [--grid-cols C] [--wrap]
- *               [--stream] [--stats] [--json] [--telemetry PATH]
+ *               [--stream] [--stats] [--train-window N] [--json]
+ *               [--telemetry PATH]
  */
 
 #include <algorithm>
@@ -112,6 +114,9 @@ struct Args
     std::string shed = "on";     ///< --shed on|off
     std::string fallback = "on"; ///< --fallback on|off
     uint64_t seed = 42;       ///< --seed
+    double windowMs = 0;      ///< --window (0 = no timeline)
+    double sloTarget = 0.99;  ///< --slo-target (burn-rate budget)
+    int64_t traceSampleEvery = 0; ///< --trace-requests (0 = off)
     /** @} */
 
     /** @{ Generation (gen) options; defaults mirror GeneratorConfig. */
@@ -127,6 +132,7 @@ struct Args
     bool gridWrap = false;    ///< --wrap
     bool stream = false;      ///< --stream: train over the stream
     bool stats = false;       ///< --stats: degree-distribution shape
+    int64_t trainWindow = 0;  ///< --train-window (chunks, 0 = off)
     /** @} */
 };
 
@@ -181,7 +187,8 @@ usage()
         "  --csv          machine-readable output where supported\n"
         "  --chrome-trace PATH  write a chrome://tracing timeline JSON\n"
         "                 with device, worker and host-span lanes\n"
-        "                 (run, faults, trace replay)\n"
+        "                 (run, faults, trace replay; serve adds\n"
+        "                 per-request lanes with --trace-requests)\n"
         "  --telemetry PATH  append JSONL telemetry: one record per\n"
         "                 iteration plus a run manifest (run,\n"
         "                 characterize), a fault report (faults), or\n"
@@ -217,6 +224,19 @@ usage()
         "  --hedge M / --shed M / --fallback M   robustness switches,\n"
         "                 on (default) | off\n"
         "  --seed N       traffic/model/generator seed (default 42)\n"
+        "  --window MS    tumbling observability windows of MS\n"
+        "                 simulated milliseconds: per-window\n"
+        "                 p50/p95/p99 latency, goodput and queue-depth\n"
+        "                 series plus SLO burn-rate alerts in the\n"
+        "                 report and telemetry (0 = off)\n"
+        "  --slo-target F  attainment target the burn-rate monitor\n"
+        "                 budgets against (default 0.99)\n"
+        "  --trace-requests [N]  request-scoped tracing: keep the\n"
+        "                 span chain (admission -> queue -> batch ->\n"
+        "                 inference -> retries/hedges) for every N-th\n"
+        "                 request (default 32) plus all shed,\n"
+        "                 timed-out and hedge-won exemplars; lanes\n"
+        "                 merge into --chrome-trace\n"
         "\n"
         "generation options (gen):\n"
         "  --family F     rmat | rgg2d | hyperbolic | grid2d (required)\n"
@@ -232,7 +252,10 @@ usage()
         "  --wrap         grid2d torus wrap-around edges\n"
         "  --stream       feed the stream through neighbour-sampled\n"
         "                 minibatch training (never materialized)\n"
-        "  --stats        streaming degree-distribution shape check\n";
+        "  --stats        streaming degree-distribution shape check\n"
+        "  --train-window N  with --stream: tumbling N-chunk windows\n"
+        "                 of edge throughput and training loss in the\n"
+        "                 report (0 = off)\n";
     std::exit(2);
 }
 
@@ -350,6 +373,30 @@ parse(int argc, char **argv)
         } else if (a == "--seed") {
             args.seed = static_cast<uint64_t>(
                 std::strtoull(next(), nullptr, 10));
+        } else if (a == "--window") {
+            args.windowMs = std::atof(next());
+        } else if (a == "--slo-target") {
+            args.sloTarget = std::atof(next());
+            if (args.sloTarget <= 0 || args.sloTarget >= 1) {
+                std::cerr << "--slo-target expects a fraction in "
+                             "(0, 1), got: " << args.sloTarget << "\n";
+                usage();
+            }
+        } else if (a == "--trace-requests") {
+            // Optional numeric argument: sample every N-th request
+            // (exemplars are always kept). Bare flag means every 32nd.
+            args.traceSampleEvery = 32;
+            if (i + 1 < argc) {
+                const std::string peek = argv[i + 1];
+                if (!peek.empty() &&
+                    peek.find_first_not_of("0123456789") ==
+                        std::string::npos)
+                    args.traceSampleEvery = std::atoll(argv[++i]);
+            }
+            if (args.traceSampleEvery < 1)
+                args.traceSampleEvery = 1;
+        } else if (a == "--train-window") {
+            args.trainWindow = std::atoll(next());
         } else if (a == "--family") {
             args.family = next();
         } else if (a == "--n") {
@@ -956,6 +1003,13 @@ cmdServe(const Args &args)
     opt.hedgeEnabled = args.hedge == "on";
     opt.shedEnabled = args.shed == "on";
     opt.fallbackEnabled = args.fallback == "on";
+    if (args.windowMs < 0) {
+        std::cerr << "--window expects a non-negative duration\n";
+        usage();
+    }
+    opt.windowSec = args.windowMs * 1e-3;
+    opt.sloTarget = args.sloTarget;
+    opt.traceSampleEvery = args.traceSampleEvery;
 
     if (!args.planPath.empty()) {
         opt.faults = loadFaultPlan(args.planPath);
@@ -989,8 +1043,19 @@ cmdServe(const Args &args)
             openTelemetry(args)) {
         telemetry->writeRecord(
             reports::servingRecordJson("serve", report));
+        // One record per coalesced burn-rate alert, so downstream
+        // tooling can correlate alerts against the fault plan without
+        // re-deriving the windows.
+        for (const serve::ServingAlert &alert : report.alerts)
+            telemetry->writeRecord(
+                reports::sloAlertRecordJson("serve", report, alert));
         progress << "telemetry written to " << telemetry->path()
                  << "\n";
+    }
+    if (!args.chromePath.empty()) {
+        ChromeTraceWriter chrome;
+        chrome.addRequestLanes(sim.drainRequestTraces());
+        finishChromeTrace(chrome, args.chromePath, progress);
     }
     return 0;
 }
@@ -1138,6 +1203,7 @@ cmdGen(const Args &args)
     if (args.stream) {
         gen::StreamTrainOptions topt;
         topt.seed = cfg.seed;
+        topt.windowChunks = args.trainWindow > 0 ? args.trainWindow : 0;
         trained = gen::streamTrain(stream, topt, degrees.get());
     } else {
         gen::EdgeBlock block;
@@ -1183,6 +1249,29 @@ cmdGen(const Args &args)
         rep.trainFirstLoss = trained.firstLoss;
         rep.trainLastLoss = trained.lastLoss;
         rep.trainPeakResidentBytes = trained.peakResidentBytes;
+        if (args.trainWindow > 0) {
+            rep.trainWindowChunks = args.trainWindow;
+            // Edge and loss series share the same tumbling windows
+            // (chunk ordinal is the clock), so zip them row by row.
+            const size_t rows = std::min(trained.edgeWindows.size(),
+                                         trained.lossWindows.size());
+            for (size_t w = 0; w < rows; ++w) {
+                const obs::WindowStats &ew = trained.edgeWindows[w];
+                const obs::WindowStats &lw = trained.lossWindows[w];
+                gen::GenTrainWindow row;
+                row.index = ew.index;
+                row.firstChunk = static_cast<int64_t>(ew.startSec);
+                row.lastChunk = std::min(
+                    static_cast<int64_t>(ew.endSec),
+                    static_cast<int64_t>(trained.chunks)) - 1;
+                row.chunks = ew.count;
+                row.edges = static_cast<int64_t>(ew.sum);
+                row.meanLoss = lw.mean();
+                row.minLoss = lw.minValue;
+                row.maxLoss = lw.maxValue;
+                rep.trainWindows.push_back(row);
+            }
+        }
     }
 
     if (args.json)

@@ -1,0 +1,104 @@
+# Windowed-observability determinism gate, run under ctest: the
+# timeline (per-window p50/p95/p99, goodput, queue depth, burn-rate
+# alerts) and the request-trace lanes must be byte-identical across
+# separate processes AND across thread counts. Everything new in the
+# observability layer is integer bucket arithmetic over simulated
+# time, so any divergence means a wall-clock or iteration-order leak.
+# The chrome trace is compared lane-by-lane on pid 3 only: pids 1/2
+# carry wall-clock host spans that are allowed to differ. Invoke as
+#   cmake -DGNNMARK_BIN=<path-to-gnnmark> -P obs_identity.cmake
+
+if(NOT DEFINED GNNMARK_BIN)
+    message(FATAL_ERROR "pass -DGNNMARK_BIN=<gnnmark binary>")
+endif()
+
+set(serve_args serve --faults mixed --replicas 3 --rps 30000
+    --duration 0.5 --seed 11 --window 50 --trace-requests 32 --json)
+
+function(run_serve out_var threads)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env GNNMARK_THREADS=${threads}
+                ${GNNMARK_BIN} ${ARGN}
+        RESULT_VARIABLE rv
+        OUTPUT_VARIABLE out
+        ERROR_QUIET)
+    if(NOT rv EQUAL 0)
+        message(FATAL_ERROR
+            "gnnmark ${ARGN} (GNNMARK_THREADS=${threads}) exited "
+            "with '${rv}'")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_serve(first 1 ${serve_args})
+run_serve(second 1 ${serve_args})
+if(NOT first STREQUAL second)
+    message(FATAL_ERROR
+        "windowed serving --json reports differ between two "
+        "processes — timeline determinism broke")
+endif()
+message(STATUS "windowed serving reports byte-identical across processes")
+
+run_serve(threaded 16 ${serve_args})
+if(NOT first STREQUAL threaded)
+    message(FATAL_ERROR
+        "windowed serving --json report differs between "
+        "GNNMARK_THREADS=1 and 16 — a thread count leaked into the "
+        "timeline or sketches")
+endif()
+message(STATUS "windowed serving reports byte-identical across thread counts")
+
+# The report must actually carry the new sections: a timeline with
+# windows, at least one slo_alert under the injected mixed faults,
+# and the tracing summary.
+foreach(needle "\"timeline\"" "\"windows\"" "\"alerts\""
+        "\"rule\"" "\"tracing\"")
+    string(FIND "${first}" "${needle}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR
+            "windowed serving report is missing ${needle} — the "
+            "timeline/alert/tracing sections did not materialize")
+    endif()
+endforeach()
+message(STATUS "timeline, alerts and tracing sections all present")
+
+# Request lanes in the chrome trace use simulated time only, so the
+# pid-3 events must also be byte-stable across thread counts.
+function(run_chrome out_file threads)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env GNNMARK_THREADS=${threads}
+                ${GNNMARK_BIN} serve --faults mixed --replicas 3
+                --rps 30000 --duration 0.5 --seed 11 --window 50
+                --trace-requests 32 --chrome-trace ${out_file}
+        RESULT_VARIABLE rv
+        OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rv EQUAL 0)
+        message(FATAL_ERROR "chrome-trace serve run failed: '${rv}'")
+    endif()
+endfunction()
+
+# The request lanes are the last thing the writer emits, so the file
+# tail from the pid-3 process meta onwards is exactly the lane data.
+# (file(STRINGS) + foreach would not work here: the unclosed "[" after
+# "traceEvents" makes CMake's list parser swallow every separator.)
+function(request_lanes out_var trace_file)
+    file(READ ${trace_file} content)
+    string(FIND "${content}" "\"serving requests (sim time)\"" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR
+            "chrome trace ${trace_file} has no pid-3 request lanes")
+    endif()
+    string(SUBSTRING "${content}" ${pos} -1 tail)
+    set(${out_var} "${tail}" PARENT_SCOPE)
+endfunction()
+
+run_chrome(obs_identity_t1.json 1)
+run_chrome(obs_identity_t16.json 16)
+request_lanes(lanes1 obs_identity_t1.json)
+request_lanes(lanes16 obs_identity_t16.json)
+file(REMOVE obs_identity_t1.json obs_identity_t16.json)
+if(NOT lanes1 STREQUAL lanes16)
+    message(FATAL_ERROR
+        "chrome-trace request lanes differ between thread counts")
+endif()
+message(STATUS "chrome-trace request lanes byte-identical across thread counts")
