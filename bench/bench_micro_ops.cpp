@@ -75,7 +75,7 @@ BM_Spmm(benchmark::State &state)
             static_cast<int32_t>(rng.randint(static_cast<uint64_t>(n))),
             1.0f);
     }
-    CsrMatrix csr = csrFromTriples(n, n, std::move(triples));
+    SparseMatrix csr(csrFromTriples(n, n, std::move(triples)));
     Tensor b = Tensor::randn({n, 64}, rng);
     SimHarness sim;
     ContextGuard guard(&sim.device);

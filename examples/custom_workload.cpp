@@ -89,7 +89,7 @@ class NodeClassifierGcn : public Workload
   private:
     std::optional<Rng> rng_;
     gen::CitationData data_;
-    CsrMatrix adj_;
+    SparseMatrix adj_;
     std::unique_ptr<GcnLayer> layer1_;
     std::unique_ptr<GcnLayer> layer2_;
     std::unique_ptr<nn::Adam> optim_;

@@ -121,8 +121,8 @@ main()
     std::cout << "\nTop-3 similar items (by learned embedding):\n";
     for (int32_t item : {0, 1, 2}) {
         Tensor scores =
-            ops::gemm(ops::sliceRows(emb, item, item + 1), emb, false,
-                      true);
+            ops::gemm(ops::sliceRows(emb, item, item + 1), emb,
+                      {.trans_b = true});
         std::vector<std::pair<float, int32_t>> ranked;
         for (int64_t j = 0; j < data.items; ++j) {
             if (j != item)

@@ -25,7 +25,7 @@ main()
 
     auto data = gen::traffic(rng, /*sensors=*/96, /*timesteps=*/480);
     const int64_t n = data.sensors.numNodes();
-    CsrMatrix adj = data.sensors.gcnNormAdjacency();
+    SparseMatrix adj = data.sensors.gcnNormAdjacency();
 
     StConvBlock block1(1, 12, 24, rng);
     StConvBlock block2(24, 24, 36, rng);

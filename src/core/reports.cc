@@ -7,6 +7,7 @@
 #include "base/table.hh"
 #include "base/units.hh"
 #include "core/suite.hh"
+#include "ops/dispatch.hh"
 
 namespace gnnmark {
 namespace reports {
@@ -598,6 +599,30 @@ printGen(const gen::GenReport &rep, std::ostream &os)
         }
     }
     os << "\n";
+}
+
+void
+printOpstats(std::ostream &os)
+{
+    const ops::DispatchStats s = ops::Dispatch::instance().stats();
+    TablePrinter table("Operator dispatch (--opstats)");
+    table.setHeader({"Op", "Variant", "Calls"});
+    table.addRow({"gemm", "naive",
+                  strfmt("%lld", (long long)s.gemmNaive)});
+    table.addRow({"gemm", "tiled",
+                  strfmt("%lld", (long long)s.gemmTiled)});
+    table.addRow({"spmm", "csr_scalar",
+                  strfmt("%lld", (long long)s.spmmCsrScalar)});
+    table.addRow({"spmm", "csr_vector",
+                  strfmt("%lld", (long long)s.spmmCsrVector)});
+    table.addRow({"spmm", "coo",
+                  strfmt("%lld", (long long)s.spmmCoo)});
+    table.addRow({"spmm", "bell",
+                  strfmt("%lld", (long long)s.spmmBell)});
+    table.print(os);
+    os << strfmt("  simd: %s   calibration: %s mode, %s, %.3f ms\n\n",
+                 s.simd ? "avx2" : "scalar", s.mode.c_str(),
+                 s.calibrated ? "ran" : "not run", s.calibMs);
 }
 
 } // namespace reports

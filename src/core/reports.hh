@@ -98,6 +98,14 @@ void printKernelTable(const WorkloadProfile &profile, std::ostream &os,
 void printMemstats(const std::vector<WorkloadProfile> &profiles,
                    std::ostream &os);
 
+/**
+ * Operator-dispatch behaviour (--opstats): per-variant selection
+ * counts from ops::Dispatch plus the calibration summary. Process-
+ * wide (the dispatcher is a singleton), so print it once per
+ * invocation, after the workload(s) ran.
+ */
+void printOpstats(std::ostream &os);
+
 } // namespace reports
 } // namespace gnnmark
 

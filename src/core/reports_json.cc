@@ -1,5 +1,7 @@
 #include "core/reports_json.hh"
 
+#include "ops/dispatch.hh"
+
 #include "base/string_utils.hh"
 
 namespace gnnmark {
@@ -512,6 +514,28 @@ sloAlertRecordJson(const std::string &label,
     w.key("window_sec").value(report.windowSec);
     w.key("slo_target").value(report.sloTarget);
     w.key("faults").value(report.faultScenario);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+opstatsJson()
+{
+    const ops::DispatchStats s = ops::Dispatch::instance().stats();
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("opstats").beginObject();
+    w.key("simd").value(s.simd);
+    w.key("mode").value(s.mode);
+    w.key("calibrated").value(s.calibrated);
+    w.key("calib_ms").value(s.calibMs);
+    w.key("gemm_naive").value(s.gemmNaive);
+    w.key("gemm_tiled").value(s.gemmTiled);
+    w.key("spmm_csr_scalar").value(s.spmmCsrScalar);
+    w.key("spmm_csr_vector").value(s.spmmCsrVector);
+    w.key("spmm_coo").value(s.spmmCoo);
+    w.key("spmm_bell").value(s.spmmBell);
+    w.endObject();
     w.endObject();
     return w.str();
 }

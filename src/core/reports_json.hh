@@ -107,6 +107,14 @@ std::string genRecordJson(const std::string &label,
 std::string memstatsJson(const std::vector<WorkloadProfile> &profiles);
 
 /**
+ * --opstats document: ops::Dispatch variant-selection counters and
+ * the calibration summary. Kept separate from figuresJson (and out of
+ * the gated baselines) — counts legitimately change when the variant
+ * cost model or GNNMARK_OP_VARIANT pins change.
+ */
+std::string opstatsJson();
+
+/**
  * One "manifest" telemetry record (a single JSONL line): run config,
  * seed, thread count, simulated + host wall time, and the profile's
  * figure aggregates. `host_wall_us` is excluded from diffs by name.

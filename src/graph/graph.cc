@@ -78,20 +78,33 @@ Graph::withSelfLoops() const
     return Graph(numNodes_, std::move(edges));
 }
 
+namespace {
+
+/** CSR skeleton shared by every adjacency normalisation. */
 CsrMatrix
-Graph::adjacency() const
+adjacencyCsr(int64_t num_nodes, const std::vector<int32_t> &row_ptr,
+             const std::vector<int32_t> &dst)
 {
     CsrMatrix m;
-    m.rows = numNodes_;
-    m.cols = numNodes_;
-    m.rowPtr = rowPtr_;
-    m.colIdx = dst_;
-    m.vals.assign(dst_.size(), 1.0f);
+    m.rows = num_nodes;
+    m.cols = num_nodes;
+    m.rowPtr = row_ptr;
+    m.colIdx = dst;
+    m.vals.assign(dst.size(), 1.0f);
     return m;
 }
 
-CsrMatrix
-Graph::gcnNormAdjacency() const
+} // namespace
+
+SparseMatrix
+Graph::adjacency(SparseFormat format) const
+{
+    return SparseMatrix::fromCsr(adjacencyCsr(numNodes_, rowPtr_, dst_),
+                                 format);
+}
+
+SparseMatrix
+Graph::gcnNormAdjacency(SparseFormat format) const
 {
     Graph with_loops = withSelfLoops();
     std::vector<float> inv_sqrt_deg(numNodes_);
@@ -101,19 +114,20 @@ Graph::gcnNormAdjacency() const
         inv_sqrt_deg[v] =
             1.0f / std::sqrt(static_cast<float>(with_loops.degree(v)));
     }
-    CsrMatrix m = with_loops.adjacency();
+    CsrMatrix m = adjacencyCsr(numNodes_, with_loops.rowPtr_,
+                               with_loops.dst_);
     for (size_t e = 0; e < m.colIdx.size(); ++e) {
         const int32_t s = with_loops.src_[e];
         const int32_t d = with_loops.dst_[e];
         m.vals[e] = inv_sqrt_deg[s] * inv_sqrt_deg[d];
     }
-    return m;
+    return SparseMatrix::fromCsr(std::move(m), format);
 }
 
-CsrMatrix
-Graph::meanAdjacency() const
+SparseMatrix
+Graph::meanAdjacency(SparseFormat format) const
 {
-    CsrMatrix m = adjacency();
+    CsrMatrix m = adjacencyCsr(numNodes_, rowPtr_, dst_);
     for (int64_t v = 0; v < numNodes_; ++v) {
         const int32_t deg = degree(v);
         if (deg == 0)
@@ -122,7 +136,7 @@ Graph::meanAdjacency() const
         for (int32_t e = rowPtr_[v]; e < rowPtr_[v + 1]; ++e)
             m.vals[e] = inv;
     }
-    return m;
+    return SparseMatrix::fromCsr(std::move(m), format);
 }
 
 } // namespace gnnmark

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "tensor/csr.hh"
+#include "tensor/sparse.hh"
 
 namespace gnnmark {
 
@@ -57,17 +58,23 @@ class Graph
     /** Graph with self loops added to every node. */
     Graph withSelfLoops() const;
 
-    /** Unweighted adjacency as CSR (all values 1). */
-    CsrMatrix adjacency() const;
+    /**
+     * Unweighted adjacency (all values 1) in the requested storage
+     * format, so workloads opt into COO / blocked-ELL aggregation
+     * without touching layer code.
+     */
+    SparseMatrix adjacency(SparseFormat format = SparseFormat::Csr) const;
 
     /**
-     * GCN normalisation D^-1/2 (A + I) D^-1/2 as a CSR matrix
-     * (Kipf & Welling); symmetric for undirected graphs.
+     * GCN normalisation D^-1/2 (A + I) D^-1/2 (Kipf & Welling);
+     * symmetric for undirected graphs.
      */
-    CsrMatrix gcnNormAdjacency() const;
+    SparseMatrix
+    gcnNormAdjacency(SparseFormat format = SparseFormat::Csr) const;
 
     /** Row-normalised adjacency D^-1 A (mean aggregation). */
-    CsrMatrix meanAdjacency() const;
+    SparseMatrix
+    meanAdjacency(SparseFormat format = SparseFormat::Csr) const;
 
   private:
     int64_t numNodes_ = 0;

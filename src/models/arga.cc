@@ -73,7 +73,7 @@ Arga::trainIteration()
     Variable z = enc2_->forward(adj_, adjT_, h);
 
     // Inner-product decoder over all node pairs.
-    Variable logits = ag::gemm(z, z, false, true); // [N, N]
+    Variable logits = ag::gemm(z, z, {.trans_b = true}); // [N, N]
     Variable recon_loss = ag::bceWithLogits(logits, adjDense_);
 
     // Generator half of the adversarial game: fool the discriminator.

@@ -55,7 +55,7 @@ class Arga : public Workload
     std::optional<Rng> rng_;
 
     gen::CitationData data_;
-    CsrMatrix adj_, adjT_;
+    SparseMatrix adj_, adjT_;
     Tensor adjDense_; ///< reconstruction targets [N, N]
     int64_t hidden_ = 32;
     int64_t zDim_ = 16;

@@ -11,7 +11,7 @@ GcnLayer::GcnLayer(int64_t in, int64_t out, Rng &rng)
 }
 
 Variable
-GcnLayer::forward(const CsrMatrix &adj, const CsrMatrix &adj_t,
+GcnLayer::forward(const SparseMatrix &adj, const SparseMatrix &adj_t,
                   const Variable &x) const
 {
     return ag::spmm(adj, adj_t, linear_.forward(x));

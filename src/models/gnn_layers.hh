@@ -23,7 +23,7 @@ class GcnLayer : public nn::Module
      * @param adj   normalised adjacency
      * @param adj_t its transpose (for the backward SpMM)
      */
-    Variable forward(const CsrMatrix &adj, const CsrMatrix &adj_t,
+    Variable forward(const SparseMatrix &adj, const SparseMatrix &adj_t,
                      const Variable &x) const;
 
   private:

@@ -22,8 +22,9 @@ GraphTransformerLayer::GraphTransformerLayer(int64_t dim, int heads,
 }
 
 Variable
-GraphTransformerLayer::forward(const Variable &x, const CsrMatrix &adj,
-                               const CsrMatrix &adj_t) const
+GraphTransformerLayer::forward(const Variable &x,
+                               const SparseMatrix &adj,
+                               const SparseMatrix &adj_t) const
 {
     // Graph-aware attention: mix neighbourhood context into the keys
     // (the SpMM), then full multi-head attention.
@@ -105,7 +106,7 @@ GraphWriter::trainIteration()
     }
     Graph subgraph(static_cast<int64_t>(ents.size()),
                    std::move(sub_edges));
-    CsrMatrix adj = subgraph.gcnNormAdjacency();
+    SparseMatrix adj = subgraph.gcnNormAdjacency();
 
     // Batch entity features: device-side row gather plus the H2D copy
     // whose sparsity Fig. 7 tracks.
@@ -146,7 +147,7 @@ GraphWriter::trainIteration()
         // Attention over the entity encodings.
         Variable q = attnQuery_->forward(state.h);
         Variable scores =
-            ag::scale(ag::gemm(q, enc, false, true), inv_sqrt);
+            ag::scale(ag::gemm(q, enc, {.trans_b = true}), inv_sqrt);
         Variable attn = ag::softmaxRows(scores);
         ctx = ag::gemm(attn, enc);
 

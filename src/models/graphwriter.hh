@@ -31,8 +31,8 @@ class GraphTransformerLayer : public nn::Module
      * @param x   [N, dim] entity states
      * @param adj graph adjacency (sparse neighbourhood mixing)
      */
-    Variable forward(const Variable &x, const CsrMatrix &adj,
-                     const CsrMatrix &adj_t) const;
+    Variable forward(const Variable &x, const SparseMatrix &adj,
+                     const SparseMatrix &adj_t) const;
 
   private:
     nn::MultiheadAttention attn_;
@@ -68,7 +68,7 @@ class GraphWriter : public Workload
     std::optional<Rng> rng_;
 
     gen::KnowledgeGraphText data_;
-    CsrMatrix adj_, adjT_;
+    SparseMatrix adj_, adjT_;
     int64_t dim_ = 320;
     int64_t vocab_ = 0; ///< set from scale in setup()
     int64_t sentenceLen_ = 14;

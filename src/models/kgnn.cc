@@ -185,14 +185,14 @@ KGnn::trainIteration()
     }
 
     // 1-GNN on the node graph.
-    CsrMatrix adj1 = batch.graph.gcnNormAdjacency();
+    SparseMatrix adj1 = batch.graph.gcnNormAdjacency();
     Variable h1 = ag::relu(
         node1_->forward(adj1, adj1, Variable(batch.features)));
     h1 = ag::relu(node2_->forward(adj1, adj1, h1));
 
     // 2-GNN on connected pairs.
     SetGraph two = buildTwoSets(batch.graph, node_graph_id);
-    CsrMatrix adj2 = two.graph.gcnNormAdjacency();
+    SparseMatrix adj2 = two.graph.gcnNormAdjacency();
     Variable h2 = poolIntoSets(h1, two);
     h2 = ag::relu(two1_->forward(adj2, adj2, h2));
     h2 = ag::relu(two2_->forward(adj2, adj2, h2));
@@ -207,7 +207,7 @@ KGnn::trainIteration()
     if (k_ == 3) {
         // 3-GNN on connected triples.
         SetGraph three = buildThreeSets(two, /*max_per_node=*/6);
-        CsrMatrix adj3 = three.graph.gcnNormAdjacency();
+        SparseMatrix adj3 = three.graph.gcnNormAdjacency();
         Variable h3 = poolIntoSets(h2, three);
         h3 = ag::relu(three1_->forward(adj3, adj3, h3));
         h3 = ag::relu(three2_->forward(adj3, adj3, h3));

@@ -23,8 +23,8 @@ convInit(int64_t k, int64_t c, int64_t r, int64_t s, Rng &rng)
  * [B, C, T, N] tensor via one large SpMM over [N, B*C*T].
  */
 Variable
-spatialAggregate(const Variable &x, const CsrMatrix &adj,
-                 const CsrMatrix &adj_t)
+spatialAggregate(const Variable &x, const SparseMatrix &adj,
+                 const SparseMatrix &adj_t)
 {
     const auto &shape = x.value().shape();
     const int64_t rows = shape[0] * shape[1] * shape[2];
@@ -55,8 +55,8 @@ StConvBlock::temporalGlu(const Variable &x, const Variable &wa,
 }
 
 Variable
-StConvBlock::forward(const Variable &x, const CsrMatrix &adj,
-                     const CsrMatrix &adj_t) const
+StConvBlock::forward(const Variable &x, const SparseMatrix &adj,
+                     const SparseMatrix &adj_t) const
 {
     Variable t1 = temporalGlu(x, convA1_, convB1_);
     Variable mixed = ag::conv2d(t1, theta_);
@@ -76,7 +76,7 @@ Stgcn::setup(const WorkloadConfig &config)
     data_ = gen::traffic(*rng_, sensors, steps);
     adj_ = data_.sensors.gcnNormAdjacency();
     adjT_ = adj_; // symmetric by construction
-    adj_.validate();
+    adj_.csr().validate();
 
     block1_ = std::make_unique<StConvBlock>(1, 12, 24, *rng_);
     block2_ = std::make_unique<StConvBlock>(24, 24, 36, *rng_);

@@ -28,8 +28,8 @@ class StConvBlock : public nn::Module
     StConvBlock(int64_t c_in, int64_t c_mid, int64_t c_out, Rng &rng);
 
     /** x is [B, c_in, T, N]; returns [B, c_out, T-4, N]. */
-    Variable forward(const Variable &x, const CsrMatrix &adj,
-                     const CsrMatrix &adj_t) const;
+    Variable forward(const Variable &x, const SparseMatrix &adj,
+                     const SparseMatrix &adj_t) const;
 
   private:
     Variable temporalGlu(const Variable &x, const Variable &wa,
@@ -71,7 +71,7 @@ class Stgcn : public Workload
     std::optional<Rng> rng_;
 
     gen::TrafficData data_;
-    CsrMatrix adj_, adjT_;
+    SparseMatrix adj_, adjT_;
     int64_t window_ = 12;
     int64_t batch_ = 16;
 

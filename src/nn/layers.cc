@@ -134,7 +134,7 @@ MultiheadAttention::forward(const Variable &q, const Variable &k,
         Variable kh = ag::sliceCols(pk, h * dh, (h + 1) * dh);
         Variable vh = ag::sliceCols(pv, h * dh, (h + 1) * dh);
         Variable scores =
-            ag::scale(ag::gemm(qh, kh, false, true), inv_sqrt);
+            ag::scale(ag::gemm(qh, kh, {.trans_b = true}), inv_sqrt);
         Variable attn = ag::softmaxRows(scores);
         Variable ctx = ag::gemm(attn, vh);
         out = h == 0 ? ctx : ag::concatCols(out, ctx);

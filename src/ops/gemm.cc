@@ -6,6 +6,8 @@
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "obs/span.hh"
+#include "ops/cpu_kernels.hh"
+#include "ops/dispatch.hh"
 #include "ops/exec_context.hh"
 #include "ops/kernel_common.hh"
 
@@ -152,16 +154,16 @@ emitGemmKernel(const std::string &base, int64_t m, int64_t n, int64_t k,
 } // namespace
 
 Tensor
-gemm(const Tensor &a, const Tensor &b, bool transpose_a, bool transpose_b)
+gemm(const Tensor &a, const Tensor &b, GemmOpts opts)
 {
     GNN_SPAN("op.gemm");
     GNN_ASSERT(a.dim() == 2 && b.dim() == 2,
                "gemm needs 2-d operands, got %s and %s",
                a.shapeString().c_str(), b.shapeString().c_str());
-    const int64_t m = transpose_a ? a.size(1) : a.size(0);
-    const int64_t ka = transpose_a ? a.size(0) : a.size(1);
-    const int64_t kb = transpose_b ? b.size(1) : b.size(0);
-    const int64_t n = transpose_b ? b.size(0) : b.size(1);
+    const int64_t m = opts.trans_a ? a.size(1) : a.size(0);
+    const int64_t ka = opts.trans_a ? a.size(0) : a.size(1);
+    const int64_t kb = opts.trans_b ? b.size(1) : b.size(0);
+    const int64_t n = opts.trans_b ? b.size(0) : b.size(1);
     GNN_ASSERT(ka == kb, "gemm inner-dimension mismatch: %lld vs %lld",
                static_cast<long long>(ka), static_cast<long long>(kb));
     const int64_t k = ka;
@@ -172,40 +174,40 @@ gemm(const Tensor &a, const Tensor &b, bool transpose_a, bool transpose_b)
     const float *pb = b.data();
     uint64_t a_addr = a.deviceAddr();
     uint64_t b_addr = b.deviceAddr();
-    if (transpose_a) {
+    if (opts.trans_a) {
         at = hostTranspose(a.data(), a.size(0), a.size(1));
         pa = at.data();
         a_addr = at.deviceAddr();
     }
-    if (transpose_b) {
+    if (opts.trans_b) {
         bt = hostTranspose(b.data(), b.size(0), b.size(1));
         pb = bt.data();
         b_addr = bt.deviceAddr();
     }
 
-    // Each output row is owned by exactly one chunk, so the result is
-    // bitwise identical for any thread count. Zero-initialised: the
-    // K loop accumulates into it.
+    // Pick the host variant from the shape and the sampled sparsity
+    // of the normalised A; every variant is bitwise-equal (see
+    // ops/cpu_kernels.hh), and each output row has exactly one
+    // writer, so the result is identical for any thread count.
     Tensor c = Tensor::zeros({m, n});
-    float *pc = c.data();
-    parallel_for(0, m, 16, [&](int64_t i0, int64_t i1) {
-        GNN_SPAN("op.gemm.chunk");
-        for (int64_t i = i0; i < i1; ++i) {
-            const float *arow = pa + i * k;
-            float *crow = pc + i * n;
-            for (int64_t kk = 0; kk < k; ++kk) {
-                const float aik = arow[kk];
-                if (aik == 0.0f)
-                    continue;
-                const float *brow = pb + kk * n;
-                for (int64_t j = 0; j < n; ++j)
-                    crow[j] += aik * brow[j];
-            }
-        }
-    });
+    const GemmVariant variant = Dispatch::instance().chooseGemm(
+        m, n, k, Dispatch::sampledZeroFraction(pa, m * k));
+    if (variant == GemmVariant::Tiled)
+        kern::gemmTiled(pa, pb, c.data(), m, n, k);
+    else
+        kern::gemmNaive(pa, pb, c.data(), m, n, k);
 
     emitGemmKernel("gemm", m, n, k, a_addr, b_addr, c.deviceAddr());
     return c;
+}
+
+Tensor
+gemm(const Tensor &a, const Tensor &b, bool transpose_a,
+     bool transpose_b)
+{
+    return gemm(a, b,
+                GemmOpts{.trans_a = transpose_a,
+                         .trans_b = transpose_b});
 }
 
 Tensor

@@ -12,11 +12,32 @@
 namespace gnnmark {
 namespace ops {
 
+/** Transpose options for ops::gemm (designated-initialiser friendly:
+ *  `gemm(a, b, {.trans_b = true})`). */
+struct GemmOpts
+{
+    bool trans_a = false;
+    bool trans_b = false;
+};
+
 /**
- * C = op(A) * op(B) where op transposes when the flag is set.
- * Shapes: op(A) is [M, K], op(B) is [K, N]; returns [M, N].
+ * C = op(A) * op(B) where op transposes when the corresponding
+ * GemmOpts flag is set. Shapes: op(A) is [M, K], op(B) is [K, N];
+ * returns [M, N]. The host kernel (naive vs. register-tiled) is
+ * picked per call by ops::Dispatch from the operand shape and the
+ * sampled sparsity of op(A); all variants are bitwise-equal and the
+ * simulated kernel (cuBLAS-style 64x64 tiles, split-K for skinny
+ * shapes) is the same whichever host variant ran.
  */
-Tensor gemm(const Tensor &a, const Tensor &b, bool transpose_a = false,
+Tensor gemm(const Tensor &a, const Tensor &b, GemmOpts opts = {});
+
+/**
+ * @deprecated Bool-flag entry point kept for one release; use the
+ * GemmOpts overload. (`transpose_a` has no default so `gemm(a, b)`
+ * resolves uniquely to the new surface.)
+ */
+[[deprecated("use ops::gemm(a, b, GemmOpts{...})")]]
+Tensor gemm(const Tensor &a, const Tensor &b, bool transpose_a,
             bool transpose_b = false);
 
 /** y = A * x for A [M, K], x [K]; returns [M]. */

@@ -184,41 +184,61 @@ dropout(const Variable &a, float p, Rng &rng)
 }
 
 Variable
-gemm(const Variable &a, const Variable &b, bool transpose_a,
-     bool transpose_b)
+gemm(const Variable &a, const Variable &b, ops::GemmOpts opts)
 {
     Tensor av = a.value(), bv = b.value();
     return Variable::makeResult(
-        ops::gemm(av, bv, transpose_a, transpose_b), {a, b},
-        [av, bv, transpose_a, transpose_b](VarNode &self) {
+        ops::gemm(av, bv, opts), {a, b},
+        [av, bv, opts](VarNode &self) {
             if (wantsGrad(self, 0)) {
-                Tensor ga = transpose_a
-                    ? ops::gemm(bv, self.grad, transpose_b, true)
-                    : ops::gemm(self.grad, bv, false, !transpose_b);
+                Tensor ga = opts.trans_a
+                    ? ops::gemm(bv, self.grad,
+                                {.trans_a = opts.trans_b,
+                                 .trans_b = true})
+                    : ops::gemm(self.grad, bv,
+                                {.trans_b = !opts.trans_b});
                 backInto(self, 0, ga);
             }
             if (wantsGrad(self, 1)) {
-                Tensor gb = transpose_b
-                    ? ops::gemm(self.grad, av, true, transpose_a)
-                    : ops::gemm(av, self.grad, !transpose_a, false);
+                Tensor gb = opts.trans_b
+                    ? ops::gemm(self.grad, av,
+                                {.trans_a = true,
+                                 .trans_b = opts.trans_a})
+                    : ops::gemm(av, self.grad,
+                                {.trans_a = !opts.trans_a});
                 backInto(self, 1, gb);
             }
         });
 }
 
 Variable
-spmm(const CsrMatrix &a, const CsrMatrix &a_t, const Variable &b)
+gemm(const Variable &a, const Variable &b, bool transpose_a,
+     bool transpose_b)
 {
-    GNN_ASSERT(a.rows == a_t.cols && a.cols == a_t.rows &&
+    return gemm(a, b,
+                ops::GemmOpts{.trans_a = transpose_a,
+                              .trans_b = transpose_b});
+}
+
+Variable
+spmm(const SparseMatrix &a, const SparseMatrix &a_t, const Variable &b)
+{
+    GNN_ASSERT(a.rows() == a_t.cols() && a.cols() == a_t.rows() &&
                a.nnz() == a_t.nnz(),
                "spmm: a_t is not the transpose of a");
     // The backward may run after the caller's adjacency goes out of
-    // scope; keep a shared copy alive in the closure.
-    auto at = std::make_shared<CsrMatrix>(a_t);
+    // scope; SparseMatrix copies share storage, so capturing one
+    // keeps it alive cheaply.
     return Variable::makeResult(
-        ops::spmm(a, b.value()), {b}, [at](VarNode &self) {
-            backInto(self, 0, ops::spmm(*at, self.grad));
+        ops::spmm(a, b.value()), {b}, [a_t](VarNode &self) {
+            backInto(self, 0, ops::spmm(a_t, self.grad));
         });
+}
+
+Variable
+spmm(const CsrMatrix &a, const CsrMatrix &a_t, const Variable &b)
+{
+    return spmm(SparseMatrix(a), SparseMatrix(a_t), b);
 }
 
 Variable

@@ -75,17 +75,36 @@ TEST(Graph, SelfLoopsAdded)
 TEST(Graph, AdjacencyCsrValid)
 {
     Graph g(5, {{0, 1}, {1, 2}, {3, 4}}, true);
-    CsrMatrix m = g.adjacency();
+    CsrMatrix m = g.adjacency().csr();
     m.validate();
     EXPECT_EQ(m.nnz(), g.numEdges());
     for (float v : m.vals)
         EXPECT_FLOAT_EQ(v, 1.0f);
 }
 
+TEST(Graph, AdjacencyFormatParameter)
+{
+    Graph g(12, {{0, 1}, {1, 2}, {2, 3}, {4, 9}, {10, 11}}, true);
+    const SparseMatrix csr = g.adjacency();
+    EXPECT_EQ(csr.format(), SparseFormat::Csr);
+    const SparseMatrix coo = g.adjacency(SparseFormat::Coo);
+    EXPECT_EQ(coo.format(), SparseFormat::Coo);
+    const SparseMatrix bell = g.adjacency(SparseFormat::BlockedEll);
+    EXPECT_EQ(bell.format(), SparseFormat::BlockedEll);
+    // All formats carry the same entries in the same order.
+    EXPECT_EQ(coo.toCsr().colIdx, csr.csr().colIdx);
+    EXPECT_EQ(bell.toCsr().vals, csr.csr().vals);
+    // The normalised variants honour the parameter too.
+    EXPECT_EQ(g.gcnNormAdjacency(SparseFormat::Coo).format(),
+              SparseFormat::Coo);
+    EXPECT_EQ(g.meanAdjacency(SparseFormat::BlockedEll).format(),
+              SparseFormat::BlockedEll);
+}
+
 TEST(Graph, GcnNormSymmetricValues)
 {
     Graph g(3, {{0, 1}}, true);
-    CsrMatrix m = g.gcnNormAdjacency();
+    CsrMatrix m = g.gcnNormAdjacency().csr();
     m.validate();
     // With self loops, degrees: node0=2, node1=2, node2=1.
     // Edge (0,1) value = 1/sqrt(2*2) = 0.5.
@@ -107,7 +126,7 @@ TEST(Graph, GcnNormSymmetricValues)
 TEST(Graph, MeanAdjacencyRowsSumToOne)
 {
     Graph g(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
-    CsrMatrix m = g.meanAdjacency();
+    CsrMatrix m = g.meanAdjacency().csr();
     for (int64_t r = 0; r < 4; ++r) {
         double sum = 0;
         for (int32_t e = m.rowPtr[r]; e < m.rowPtr[r + 1]; ++e)

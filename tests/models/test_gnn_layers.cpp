@@ -14,7 +14,7 @@ TEST(GcnLayer, ShapeAndSelfLoopPropagation)
 {
     Rng rng(81);
     Graph g(4, {{0, 1}, {1, 2}}, /*symmetric=*/true);
-    CsrMatrix adj = g.gcnNormAdjacency();
+    SparseMatrix adj = g.gcnNormAdjacency();
     GcnLayer layer(3, 5, rng);
     Variable x(Tensor::randn({4, 3}, rng));
     Variable y = layer.forward(adj, adj, x);
@@ -30,7 +30,7 @@ TEST(GcnLayer, GradientsFlowToWeights)
 {
     Rng rng(82);
     Graph g(6, {{0, 1}, {2, 3}, {4, 5}}, true);
-    CsrMatrix adj = g.gcnNormAdjacency();
+    SparseMatrix adj = g.gcnNormAdjacency();
     GcnLayer layer(4, 4, rng);
     Variable x(Tensor::randn({6, 4}, rng));
     ag::sumAll(layer.forward(adj, adj, x)).backward();
@@ -69,7 +69,7 @@ TEST(StConvBlock, TemporalShrinkage)
 {
     Rng rng(84);
     Graph g = gen::powerLaw(rng, 20, 2);
-    CsrMatrix adj = g.gcnNormAdjacency();
+    SparseMatrix adj = g.gcnNormAdjacency();
     StConvBlock block(1, 4, 6, rng);
     Variable x(Tensor::randn({2, 1, 12, 20}, rng));
     Variable y = block.forward(x, adj, adj);

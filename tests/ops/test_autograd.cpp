@@ -156,12 +156,14 @@ TEST(AutogradGradCheck, GemmAllTransposes)
             // Grad wrt first operand.
             Variable vw(w);
             checkGrad(x.clone(), [&](const Variable &v) {
-                return ag::gemm(v, vw, ta, tb);
+                return ag::gemm(v, vw,
+                                {.trans_a = ta, .trans_b = tb});
             });
             // Grad wrt second operand.
             Variable vx(x);
             checkGrad(w.clone(), [&](const Variable &v) {
-                return ag::gemm(vx, v, ta, tb);
+                return ag::gemm(vx, v,
+                                {.trans_a = ta, .trans_b = tb});
             });
         }
     }
@@ -179,15 +181,16 @@ TEST(AutogradGradCheck, Spmm)
             }
         }
     }
-    CsrMatrix a = csrFromTriples(6, 5, triples);
+    SparseMatrix a(csrFromTriples(6, 5, triples));
     std::vector<std::tuple<int32_t, int32_t, float>> t_triples;
+    const CsrMatrix &ac = a.csr();
     for (int64_t r = 0; r < 6; ++r) {
-        for (int32_t e = a.rowPtr[r]; e < a.rowPtr[r + 1]; ++e) {
-            t_triples.emplace_back(a.colIdx[e],
-                                   static_cast<int32_t>(r), a.vals[e]);
+        for (int32_t e = ac.rowPtr[r]; e < ac.rowPtr[r + 1]; ++e) {
+            t_triples.emplace_back(ac.colIdx[e],
+                                   static_cast<int32_t>(r), ac.vals[e]);
         }
     }
-    CsrMatrix at = csrFromTriples(5, 6, t_triples);
+    SparseMatrix at(csrFromTriples(5, 6, t_triples));
     Tensor x = Tensor::randn({5, 3}, rng);
     checkGrad(x.clone(), [&](const Variable &v) {
         return ag::spmm(a, at, v);

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The [[deprecated]] compatibility shims must keep compiling and
+ * forward bitwise-exactly to the new entry points for one release:
+ * old-style bool-flag gemm, CSR-only spmm, and their autograd twins.
+ * This TU deliberately calls the old surface; the deprecation
+ * warnings are suppressed locally so -Wall stays clean elsewhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "base/rng.hh"
+#include "ops/gemm.hh"
+#include "ops/spmm.hh"
+#include "ops/var_ops.hh"
+
+using namespace gnnmark;
+
+namespace {
+
+bool
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    return a.sameShape(b) &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<size_t>(a.numel()) *
+                           sizeof(float)) == 0;
+}
+
+CsrMatrix
+randomCsr(Rng &rng, int64_t rows, int64_t cols, double density)
+{
+    std::vector<std::tuple<int32_t, int32_t, float>> triples;
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+            if (rng.bernoulli(density)) {
+                triples.emplace_back(
+                    static_cast<int32_t>(r), static_cast<int32_t>(c),
+                    static_cast<float>(rng.normal()));
+            }
+        }
+    }
+    return csrFromTriples(rows, cols, std::move(triples));
+}
+
+CsrMatrix
+transposeCsr(const CsrMatrix &a)
+{
+    std::vector<std::tuple<int32_t, int32_t, float>> triples;
+    for (int32_t r = 0; r < a.rows; ++r) {
+        for (int64_t e = a.rowPtr[r]; e < a.rowPtr[r + 1]; ++e)
+            triples.emplace_back(a.colIdx[e], r, a.vals[e]);
+    }
+    return csrFromTriples(a.cols, a.rows, std::move(triples));
+}
+
+} // namespace
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedShims, GemmBoolFlagsForwardBitwise)
+{
+    Rng rng(41);
+    Tensor a = Tensor::randn({24, 16}, rng);
+    Tensor b = Tensor::randn({16, 20}, rng);
+    EXPECT_TRUE(bitwiseEqual(ops::gemm(a, b, false, false),
+                             ops::gemm(a, b)));
+    Tensor at = Tensor::randn({16, 24}, rng);
+    EXPECT_TRUE(bitwiseEqual(ops::gemm(at, b, true),
+                             ops::gemm(at, b, {.trans_a = true})));
+    Tensor bt = Tensor::randn({20, 16}, rng);
+    EXPECT_TRUE(bitwiseEqual(ops::gemm(a, bt, false, true),
+                             ops::gemm(a, bt, {.trans_b = true})));
+    EXPECT_TRUE(bitwiseEqual(
+        ops::gemm(at, bt, true, true),
+        ops::gemm(at, bt, {.trans_a = true, .trans_b = true})));
+}
+
+TEST(DeprecatedShims, SpmmCsrOnlyForwardsBitwise)
+{
+    Rng rng(42);
+    const CsrMatrix csr = randomCsr(rng, 31, 27, 0.15);
+    Tensor b = Tensor::randn({27, 18}, rng);
+    EXPECT_TRUE(bitwiseEqual(ops::spmm(csr, b),
+                             ops::spmm(SparseMatrix(csr), b)));
+}
+
+TEST(DeprecatedShims, AutogradGemmBoolFlagsForward)
+{
+    Rng rng(43);
+    Tensor ta = Tensor::randn({12, 8}, rng);
+    Tensor tb = Tensor::randn({10, 8}, rng);
+    // Two independent graphs over identical leaves so the shim's
+    // backward pass can be compared grad-for-grad.
+    Variable a_old = Variable::param(ta), b_old = Variable::param(tb);
+    Variable a_new = Variable::param(ta), b_new = Variable::param(tb);
+    Variable old_style = ag::gemm(a_old, b_old, false, true);
+    Variable new_style = ag::gemm(a_new, b_new, {.trans_b = true});
+    EXPECT_TRUE(
+        bitwiseEqual(old_style.value(), new_style.value()));
+    ag::sumAll(old_style).backward();
+    ag::sumAll(new_style).backward();
+    EXPECT_TRUE(bitwiseEqual(a_old.grad(), a_new.grad()));
+    EXPECT_TRUE(bitwiseEqual(b_old.grad(), b_new.grad()));
+    EXPECT_GT(a_old.grad().numel(), 0);
+}
+
+TEST(DeprecatedShims, AutogradSpmmCsrOnlyForwards)
+{
+    Rng rng(44);
+    const CsrMatrix csr = randomCsr(rng, 22, 19, 0.2);
+    const CsrMatrix csr_t = transposeCsr(csr);
+    Variable b = Variable::param(Tensor::randn({19, 13}, rng));
+    Variable old_style = ag::spmm(csr, csr_t, b);
+    Variable new_style =
+        ag::spmm(SparseMatrix(csr), SparseMatrix(csr_t), b);
+    EXPECT_TRUE(
+        bitwiseEqual(old_style.value(), new_style.value()));
+    ag::sumAll(old_style).backward();
+    const Tensor g_old = b.grad();
+    EXPECT_GT(g_old.numel(), 0);
+}
+
+#pragma GCC diagnostic pop

@@ -50,7 +50,7 @@ TEST_P(GemmSweep, MatchesReference)
     Rng rng(m * 31 + n * 7 + k + ta * 2 + tb);
     Tensor a = ta ? Tensor::randn({k, m}, rng) : Tensor::randn({m, k}, rng);
     Tensor b = tb ? Tensor::randn({n, k}, rng) : Tensor::randn({k, n}, rng);
-    Tensor c = ops::gemm(a, b, ta, tb);
+    Tensor c = ops::gemm(a, b, {.trans_a = ta, .trans_b = tb});
     EXPECT_TRUE(allClose(c, refGemm(a, b, ta, tb), 1e-3f, 1e-4f))
         << "m=" << m << " n=" << n << " k=" << k << " ta=" << ta
         << " tb=" << tb;

@@ -51,10 +51,10 @@ TEST_P(SpmmSweep, MatchesDenseGemm)
 {
     auto [rows, cols, feats, density] = GetParam();
     Rng rng(rows * 131 + cols + feats);
-    CsrMatrix a = randomCsr(rng, rows, cols, density);
+    SparseMatrix a(randomCsr(rng, rows, cols, density));
     Tensor b = Tensor::randn({cols, feats}, rng);
     Tensor sparse_result = ops::spmm(a, b);
-    Tensor dense_result = ops::gemm(densify(a), b);
+    Tensor dense_result = ops::gemm(densify(a.csr()), b);
     EXPECT_TRUE(allClose(sparse_result, dense_result, 1e-3f, 1e-4f));
 }
 
@@ -68,7 +68,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Spmm, EmptyMatrixGivesZeros)
 {
     Rng rng(9);
-    CsrMatrix a = csrFromTriples(4, 4, {});
+    SparseMatrix a(csrFromTriples(4, 4, {}));
     Tensor b = Tensor::randn({4, 8}, rng);
     Tensor c = ops::spmm(a, b);
     EXPECT_FLOAT_EQ(maxAbsDiff(c, Tensor::zeros({4, 8})), 0.0f);
@@ -80,14 +80,14 @@ TEST(Spmm, IdentityPreservesInput)
     std::vector<std::tuple<int32_t, int32_t, float>> eye;
     for (int32_t i = 0; i < 12; ++i)
         eye.emplace_back(i, i, 1.0f);
-    CsrMatrix a = csrFromTriples(12, 12, std::move(eye));
+    SparseMatrix a(csrFromTriples(12, 12, std::move(eye)));
     Tensor b = Tensor::randn({12, 7}, rng);
     EXPECT_TRUE(allClose(ops::spmm(a, b), b));
 }
 
 TEST(SpmmDeath, DimensionMismatchPanics)
 {
-    CsrMatrix a = csrFromTriples(3, 5, {{0, 1, 1.0f}});
+    SparseMatrix a(csrFromTriples(3, 5, {{0, 1, 1.0f}}));
     Tensor b = Tensor::zeros({4, 2});
     EXPECT_DEATH(ops::spmm(a, b), "spmm");
 }
@@ -98,7 +98,7 @@ TEST(Spmm, EmitsSpMMClassKernel)
     Profiler prof;
     dev.addObserver(&prof);
     Rng rng(11);
-    CsrMatrix a = randomCsr(rng, 64, 64, 0.1);
+    SparseMatrix a(randomCsr(rng, 64, 64, 0.1));
     Tensor b = Tensor::randn({64, 32}, rng);
     {
         ContextGuard guard(&dev);

@@ -26,6 +26,7 @@
  *   gnnmark trace diff <a> <b>
  *   gnnmark sweep (<workload> | --trace FILE) [--param l2|l1|sms|world]
  *                 [--points V,V,...] [--overlap on|off]
+ *   gnnmark ops [--seed N] [--json] [--telemetry PATH]
  *   gnnmark gen --family rmat|rgg2d|hyperbolic|grid2d [--n N] [--m M]
  *               [--degree D] [--chunks C] [--lookahead L] [--seed N]
  *               [--gamma G] [--grid-rows R] [--grid-cols C] [--wrap]
@@ -34,6 +35,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -43,6 +45,7 @@
 #include <vector>
 
 #include "base/io.hh"
+#include "base/rng.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "base/thread_pool.hh"
@@ -59,9 +62,16 @@
 #include "gen/stream_train.hh"
 #include "models/ego_net.hh"
 #include "multigpu/ddp.hh"
+#include "obs/json.hh"
 #include "obs/span.hh"
 #include "obs/telemetry.hh"
+#include "ops/dispatch.hh"
+#include "ops/exec_context.hh"
+#include "ops/gemm.hh"
+#include "ops/spmm.hh"
 #include "profiler/chrome_trace.hh"
+#include "profiler/profiler.hh"
+#include "tensor/sparse.hh"
 #include "serve/cost_model.hh"
 #include "serve/server.hh"
 #include "sim/fault_plan_io.hh"
@@ -88,6 +98,7 @@ struct Args
     bool weak = false;
     bool csv = false;
     bool memstats = false;   ///< --memstats allocator report
+    bool opstats = false;    ///< --opstats dispatch report
     std::string out;         ///< --out (trace record)
     std::string tracePath;   ///< --trace (sweep)
     std::string chromePath;  ///< --chrome-trace
@@ -160,6 +171,10 @@ usage()
         "  sweep                      L1/L2/SM sensitivity sweep, live\n"
         "                             (<workload>) or trace-driven\n"
         "                             (--trace FILE)\n"
+        "  ops                        operator roofline sweep: run the\n"
+        "                             GEMM/SpMM variants over shapes,\n"
+        "                             sparsities and storage formats on\n"
+        "                             the simulated V100\n"
         "  gen                        chunked parallel graph generation:\n"
         "                             stream synthetic graphs through\n"
         "                             neighbour-sampled minibatch\n"
@@ -179,6 +194,14 @@ usage()
         "                 --json the memstats document follows the\n"
         "                 figures document on its own line. Pick the\n"
         "                 allocator with GNNMARK_ALLOC=caching|system\n"
+        "  --opstats      append the operator-dispatch report (run,\n"
+        "                 characterize): per-variant selection counts\n"
+        "                 and the calibration summary, and record\n"
+        "                 ops.* counters into --telemetry snapshots.\n"
+        "                 Off by default so gated reports never see\n"
+        "                 variant-dependent keys. Pin variants with\n"
+        "                 GNNMARK_OP_VARIANT=gemm=naive|tiled,\n"
+        "                 spmm=scalar|vector\n"
         "  --weak         weak instead of strong scaling\n"
         "  --overlap M    on (default): overlap the bucketed gradient\n"
         "                 all-reduce with backward compute on a comm\n"
@@ -310,6 +333,8 @@ parse(int argc, char **argv)
             args.inference = true;
         } else if (a == "--memstats") {
             args.memstats = true;
+        } else if (a == "--opstats") {
+            args.opstats = true;
         } else if (a == "--weak") {
             args.weak = true;
         } else if (a == "--csv") {
@@ -534,6 +559,8 @@ cmdRun(const Args &args)
         opt.extraObserver = &chrome;
     std::unique_ptr<obs::TelemetrySink> telemetry = openTelemetry(args);
     opt.telemetry = telemetry.get();
+    if (args.opstats)
+        ops::Dispatch::instance().setMetricsEnabled(true);
     CharacterizationRunner runner(opt);
     std::ostream &progress = progressStream(args);
     progress << (args.inference ? "Profiling (inference mode) "
@@ -549,10 +576,14 @@ cmdRun(const Args &args)
         std::cout << reports::figuresJson({profile}) << "\n";
         if (args.memstats)
             std::cout << reports::memstatsJson({profile}) << "\n";
+        if (args.opstats)
+            std::cout << reports::opstatsJson() << "\n";
     } else {
         printWorkloadSummary(profile);
         if (args.memstats)
             reports::printMemstats({profile}, std::cout);
+        if (args.opstats)
+            reports::printOpstats(std::cout);
     }
     if (telemetry != nullptr) {
         telemetry->writeRecord(reports::runManifestJson(
@@ -811,6 +842,8 @@ cmdTrace(const Args &args)
 int
 cmdCharacterize(const Args &args)
 {
+    if (args.opstats)
+        ops::Dispatch::instance().setMetricsEnabled(true);
     RunOptions opt = runOptions(args);
     std::unique_ptr<obs::TelemetrySink> telemetry = openTelemetry(args);
     opt.telemetry = telemetry.get();
@@ -839,6 +872,8 @@ cmdCharacterize(const Args &args)
         std::cout << reports::figuresJson(profiles) << "\n";
         if (args.memstats)
             std::cout << reports::memstatsJson(profiles) << "\n";
+        if (args.opstats)
+            std::cout << reports::opstatsJson() << "\n";
         return 0;
     }
     reports::printFig2OpBreakdown(profiles, std::cout);
@@ -849,6 +884,8 @@ cmdCharacterize(const Args &args)
     reports::printFig7Sparsity(profiles, std::cout);
     if (args.memstats)
         reports::printMemstats(profiles, std::cout);
+    if (args.opstats)
+        reports::printOpstats(std::cout);
     return 0;
 }
 
@@ -1156,6 +1193,266 @@ cmdFaults(const Args &args)
     return 0;
 }
 
+
+/** One row of the `gnnmark ops` roofline sweep. */
+struct OpsRow
+{
+    std::string op;      ///< "gemm" | "spmm"
+    std::string shape;   ///< printable MxNxK / RxCxF
+    double density = 1;  ///< nnz fraction of the sparse operand
+    std::string format;  ///< "dense" | sparseFormatName()
+    std::string variant; ///< dispatcher's pick
+    int64_t flops = 0;
+    int64_t minBytes = 0; ///< compulsory traffic (operands + result)
+    double simSec = 0;
+    double hostMs = 0;    ///< human table only, never serialized
+};
+
+/** Peak fp32 rate of `cfg` in FLOP/s (FMA counts as two). */
+double
+peakFlops(const GpuConfig &cfg)
+{
+    return static_cast<double>(cfg.numSms) * cfg.fp32PortsPerCycle *
+           cfg.warpSize * 2.0 * cfg.clockGhz * 1e9;
+}
+
+/** Name of the single dispatch counter `fn` increments. */
+template <typename Fn>
+std::pair<std::string, double>
+runDispatched(Fn &&fn)
+{
+    ops::Dispatch &dispatch = ops::Dispatch::instance();
+    dispatch.resetStats();
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double host_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    const ops::DispatchStats s = dispatch.stats();
+    std::string variant = "?";
+    if (s.gemmNaive > 0)
+        variant = ops::gemmVariantName(ops::GemmVariant::Naive);
+    else if (s.gemmTiled > 0)
+        variant = ops::gemmVariantName(ops::GemmVariant::Tiled);
+    else if (s.spmmCsrScalar > 0)
+        variant = ops::spmmVariantName(ops::SpmmVariant::CsrScalar);
+    else if (s.spmmCsrVector > 0)
+        variant = ops::spmmVariantName(ops::SpmmVariant::CsrVector);
+    else if (s.spmmCoo > 0)
+        variant = ops::spmmVariantName(ops::SpmmVariant::Coo);
+    else if (s.spmmBell > 0)
+        variant = ops::spmmVariantName(ops::SpmmVariant::Bell);
+    return {variant, host_ms};
+}
+
+/** Deterministic dense operand with a given zero fraction. */
+Tensor
+opsDense(Rng &rng, int64_t rows, int64_t cols, double zero_frac)
+{
+    Tensor t = Tensor::zeros({rows, cols});
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        if (!rng.bernoulli(zero_frac))
+            t.data()[i] = rng.uniform(-1.0f, 1.0f);
+    }
+    return t;
+}
+
+/** Deterministic sparse operand at the requested density. */
+CsrMatrix
+opsCsr(Rng &rng, int64_t rows, int64_t cols, double density)
+{
+    std::vector<std::tuple<int32_t, int32_t, float>> triples;
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+            if (rng.bernoulli(density)) {
+                triples.emplace_back(static_cast<int32_t>(r),
+                                     static_cast<int32_t>(c),
+                                     rng.uniform(-1.0f, 1.0f));
+            }
+        }
+    }
+    return csrFromTriples(rows, cols, std::move(triples));
+}
+
+/** Serialize the deterministic fields of one sweep row. */
+std::string
+opsRowJson(const OpsRow &row, const GpuConfig &cfg)
+{
+    const double intensity =
+        static_cast<double>(row.flops) /
+        static_cast<double>(std::max<int64_t>(row.minBytes, 1));
+    const double achieved =
+        row.simSec > 0 ? row.flops / row.simSec / 1e9 : 0.0;
+    const double roof =
+        std::min(peakFlops(cfg), cfg.dramBandwidth * intensity) / 1e9;
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("ops");
+    w.key("op").value(row.op);
+    w.key("shape").value(row.shape);
+    w.key("density").value(row.density);
+    w.key("format").value(row.format);
+    w.key("variant").value(row.variant);
+    w.key("flops").value(row.flops);
+    w.key("min_bytes").value(row.minBytes);
+    w.key("intensity").value(intensity);
+    w.key("sim_us").value(row.simSec * 1e6);
+    w.key("gflops").value(achieved);
+    w.key("roofline_gflops").value(roof);
+    w.key("roof_frac").value(roof > 0 ? achieved / roof : 0.0);
+    w.endObject();
+    return w.str();
+}
+
+/**
+ * `gnnmark ops`: sweep the operator variants over shapes, sparsities
+ * and storage formats, reporting a roofline placement per config. The
+ * numbers in --json / --telemetry derive only from operand shapes and
+ * the deterministic simulator, so two invocations emit byte-identical
+ * documents; host wall time appears in the human table alone.
+ */
+int
+cmdOps(const Args &args)
+{
+    const GpuConfig cfg = GpuConfig::v100();
+    ops::Dispatch &dispatch = ops::Dispatch::instance();
+    dispatch.setMetricsEnabled(true);
+    std::ostream &progress = progressStream(args);
+    progress << "Sweeping operator variants on the simulated V100 "
+                "(seed " << args.seed << ")...\n\n";
+
+    std::vector<OpsRow> rows;
+
+    // Dense GEMM: square ladders plus a half-zero A that flips the
+    // dispatcher back to the skip-friendly naive kernel.
+    struct GemmCase { int64_t m, n, k; double zeroFrac; };
+    const std::vector<GemmCase> gemm_cases = {
+        {64, 64, 64, 0.0},    {128, 128, 128, 0.0},
+        {256, 256, 256, 0.0}, {33, 65, 47, 0.0},
+        {192, 96, 64, 0.6},
+    };
+    for (const GemmCase &gc : gemm_cases) {
+        Rng rng(args.seed ^ static_cast<uint64_t>(
+                                gc.m * 1315423911 + gc.n * 2654435761 +
+                                gc.k));
+        const Tensor a = opsDense(rng, gc.m, gc.k, gc.zeroFrac);
+        const Tensor b = opsDense(rng, gc.k, gc.n, 0.0);
+        GpuDevice device(cfg);
+        Profiler profiler;
+        device.addObserver(&profiler);
+        OpsRow row;
+        row.op = "gemm";
+        row.shape = strfmt("%lldx%lldx%lld", (long long)gc.m,
+                           (long long)gc.n, (long long)gc.k);
+        row.density = 1.0 - gc.zeroFrac;
+        row.format = "dense";
+        {
+            ContextGuard guard(&device);
+            auto [variant, host_ms] =
+                runDispatched([&] { ops::gemm(a, b); });
+            row.variant = variant;
+            row.hostMs = host_ms;
+        }
+        row.flops = 2 * gc.m * gc.n * gc.k;
+        row.minBytes =
+            (gc.m * gc.k + gc.k * gc.n + gc.m * gc.n) *
+            static_cast<int64_t>(sizeof(float));
+        row.simSec = profiler.totalKernelTimeSec();
+        rows.push_back(row);
+    }
+
+    // SpMM: every storage format over a density ladder.
+    struct SpmmCase { int64_t rows, cols, f; double density; };
+    const std::vector<SpmmCase> spmm_cases = {
+        {512, 512, 32, 0.05},
+        {1024, 1024, 64, 0.01},
+        {2048, 2048, 128, 0.002},
+    };
+    const SparseFormat formats[] = {SparseFormat::Csr,
+                                    SparseFormat::Coo,
+                                    SparseFormat::BlockedEll};
+    for (const SpmmCase &sc : spmm_cases) {
+        Rng rng(args.seed ^ static_cast<uint64_t>(
+                                sc.rows * 40503 + sc.f));
+        const CsrMatrix csr =
+            opsCsr(rng, sc.rows, sc.cols, sc.density);
+        const Tensor b = opsDense(rng, sc.cols, sc.f, 0.0);
+        for (SparseFormat format : formats) {
+            const SparseMatrix a =
+                SparseMatrix::fromCsr(csr, format);
+            GpuDevice device(cfg);
+            Profiler profiler;
+            device.addObserver(&profiler);
+            OpsRow row;
+            row.op = "spmm";
+            row.shape = strfmt("%lldx%lldx%lld", (long long)sc.rows,
+                               (long long)sc.cols, (long long)sc.f);
+            row.density = sc.density;
+            row.format = sparseFormatName(format);
+            {
+                ContextGuard guard(&device);
+                auto [variant, host_ms] =
+                    runDispatched([&] { ops::spmm(a, b); });
+                row.variant = variant;
+                row.hostMs = host_ms;
+            }
+            row.flops = 2 * a.nnz() * sc.f;
+            row.minBytes =
+                a.footprintBytes() +
+                (sc.cols * sc.f + sc.rows * sc.f) *
+                    static_cast<int64_t>(sizeof(float));
+            row.simSec = profiler.totalKernelTimeSec();
+            rows.push_back(row);
+        }
+    }
+
+    if (args.json) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("type").value("ops_report");
+        w.key("seed").value(static_cast<int64_t>(args.seed));
+        w.key("peak_gflops").value(peakFlops(cfg) / 1e9);
+        w.key("dram_gbps").value(cfg.dramBandwidth / 1e9);
+        w.endObject();
+        std::cout << w.str() << "\n";
+        for (const OpsRow &row : rows)
+            std::cout << opsRowJson(row, cfg) << "\n";
+    } else {
+        TablePrinter table("Operator roofline (simulated V100)");
+        table.setHeader({"Op", "Shape", "Density", "Format", "Variant",
+                         "AI (F/B)", "Sim us", "GFLOP/s", "Roof",
+                         "%roof", "Host ms"});
+        for (const OpsRow &row : rows) {
+            const double intensity =
+                static_cast<double>(row.flops) /
+                static_cast<double>(
+                    std::max<int64_t>(row.minBytes, 1));
+            const double achieved =
+                row.simSec > 0 ? row.flops / row.simSec / 1e9 : 0.0;
+            const double roof =
+                std::min(peakFlops(cfg),
+                         cfg.dramBandwidth * intensity) / 1e9;
+            table.addRow(
+                {row.op, row.shape, strfmt("%.3g", row.density),
+                 row.format, row.variant, strfmt("%.2f", intensity),
+                 strfmt("%.2f", row.simSec * 1e6),
+                 strfmt("%.1f", achieved), strfmt("%.1f", roof),
+                 strfmt("%.1f%%", roof > 0 ? achieved / roof * 100 : 0),
+                 strfmt("%.3f", row.hostMs)});
+        }
+        table.print(std::cout);
+    }
+    if (std::unique_ptr<obs::TelemetrySink> telemetry =
+            openTelemetry(args)) {
+        for (const OpsRow &row : rows)
+            telemetry->writeRecord(opsRowJson(row, cfg));
+        progress << "telemetry written to " << telemetry->path()
+                 << "\n";
+    }
+    return 0;
+}
+
 int
 cmdGen(const Args &args)
 {
@@ -1326,6 +1623,8 @@ main(int argc, char **argv)
             return finish(cmdTrace(args));
         if (args.command == "sweep")
             return finish(cmdSweep(args));
+        if (args.command == "ops")
+            return finish(cmdOps(args));
         if (args.command == "gen")
             return finish(cmdGen(args));
     } catch (const IoError &e) {

@@ -1,0 +1,41 @@
+# Operator-kernel regression gate, run under ctest: rerun
+# bench_ext_ops's JSONL twin and diff it *exactly* (tolerance 0)
+# against the committed baseline. The gated records are deterministic
+# by construction — output checksums over exact fp32 bit patterns plus
+# cross-variant/cross-format bitwise verdicts — so any drift means a
+# host kernel changed its accumulation order or a format conversion
+# changed entry order. The bench itself also hard-fails if the tuned
+# variants stop beating the scalar baselines under AVX2. Invoke as
+#   cmake -DBENCH_BIN=<bench_ext_ops> -DBENCH_DIFF_BIN=<bench_diff>
+#         -DBASELINE=<bench/baselines/ext_ops.jsonl>
+#         -P ops_bench_gate.cmake
+
+foreach(var BENCH_BIN BENCH_DIFF_BIN BASELINE)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "pass -D${var}=...")
+    endif()
+endforeach()
+
+set(candidate ext_ops_candidate.jsonl)
+
+execute_process(
+    COMMAND ${BENCH_BIN} ${candidate}
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "bench_ext_ops exited with '${rv}'")
+endif()
+
+execute_process(
+    COMMAND ${BENCH_DIFF_BIN} ${BASELINE} ${candidate}
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+        "operator records drifted from the committed baseline "
+        "(bench_diff exit '${rv}'); variants are contractually "
+        "bit-compatible — investigate before regenerating "
+        "bench/baselines/ext_ops.jsonl")
+endif()
+
+file(REMOVE ${candidate})
+message(STATUS "operator records match the committed baseline")

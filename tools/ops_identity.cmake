@@ -1,0 +1,61 @@
+# Operator-sweep determinism gate, run under ctest: `gnnmark ops
+# --json` must produce byte-identical documents (a) across separate
+# processes, (b) across thread counts, and (c) the GNNMARK_OP_VARIANT
+# override must actually change the dispatched variant (and nothing
+# but the variant/timing fields derived from it). The JSON rows carry
+# only simulator-derived numbers (flops, bytes, sim time) — never host
+# wall-clock — so a byte compare IS the determinism oracle. Invoke as
+#   cmake -DGNNMARK_BIN=<path-to-gnnmark> -P ops_identity.cmake
+
+if(NOT DEFINED GNNMARK_BIN)
+    message(FATAL_ERROR "pass -DGNNMARK_BIN=<gnnmark binary>")
+endif()
+
+function(run_ops out_var threads variant)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env GNNMARK_THREADS=${threads}
+                "GNNMARK_OP_VARIANT=${variant}"
+                ${GNNMARK_BIN} ops --json
+        RESULT_VARIABLE rv
+        OUTPUT_VARIABLE out
+        ERROR_QUIET)
+    if(NOT rv EQUAL 0)
+        message(FATAL_ERROR "gnnmark ops --json exited with '${rv}'")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_ops(first 1 "")
+run_ops(second 1 "")
+if(NOT first STREQUAL second)
+    message(FATAL_ERROR
+        "ops --json reports differ between two processes — the sweep "
+        "leaked nondeterminism into the machine-readable document")
+endif()
+message(STATUS "ops reports byte-identical across processes")
+
+run_ops(threaded 16 "")
+if(NOT first STREQUAL threaded)
+    message(FATAL_ERROR
+        "ops --json reports differ across thread counts — a host "
+        "kernel's chunking leaked into the simulated numbers")
+endif()
+message(STATUS "ops reports byte-identical across thread counts")
+
+run_ops(pinned 1 "gemm=naive,spmm=scalar")
+if(first STREQUAL pinned)
+    message(FATAL_ERROR
+        "GNNMARK_OP_VARIANT=gemm=naive,spmm=scalar changed nothing — "
+        "the override is not reaching the dispatcher")
+endif()
+string(REGEX MATCHALL "\"variant\":\"naive\"" naive_rows "${pinned}")
+list(LENGTH naive_rows naive_count)
+string(REGEX MATCHALL "\"variant\":\"csr_scalar\"" scalar_rows
+       "${pinned}")
+list(LENGTH scalar_rows scalar_count)
+if(naive_count LESS 5 OR scalar_count LESS 3)
+    message(FATAL_ERROR
+        "override run dispatched ${naive_count} naive gemm and "
+        "${scalar_count} csr_scalar spmm rows (expected 5 and 3)")
+endif()
+message(STATUS "GNNMARK_OP_VARIANT pins the dispatched variants")
